@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out. Each pair of
+ * rows measures a basic transfer or end-to-end operation with one
+ * mechanism enabled and disabled:
+ *
+ *  - the T3D write-back queue (strided stores),
+ *  - the T3D read-ahead circuitry (contiguous loads; the paper
+ *    reports ~60% gain),
+ *  - the Paragon pipelined loads (the paper reports a 30-40% loss
+ *    when they cannot be used),
+ *  - deposit-engine flexibility (any-pattern annex vs a
+ *    contiguous-only DMA forces packing for strided transfers),
+ *  - the Paragon bus arbitration penalty for fine-grain
+ *    processor/co-processor interleaving (up to 50% per the paper).
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+double
+copyRate(const sim::MachineConfig &cfg, P x, P y)
+{
+    return sim::measureLocalCopy(cfg, x, y);
+}
+
+void
+wbq(benchmark::State &state, bool enabled)
+{
+    auto cfg = sim::t3dConfig();
+    if (!enabled)
+        cfg.node.memory.writeBuffer.entries = 0;
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = copyRate(cfg, P::contiguous(), P::strided(64));
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+readAhead(benchmark::State &state, bool enabled)
+{
+    auto cfg = sim::t3dConfig();
+    cfg.node.memory.readAhead.enabled = enabled;
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = copyRate(cfg, P::contiguous(), P::contiguous());
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+pipelinedLoads(benchmark::State &state, bool enabled)
+{
+    auto cfg = sim::paragonConfig();
+    cfg.node.memory.loadPipeline.enabled = enabled;
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = copyRate(cfg, P::strided(16), P::contiguous());
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+depositFlexibility(benchmark::State &state, bool any_pattern)
+{
+    // With a flexible engine the strided transfer can be chained;
+    // a contiguous-only engine forces buffer packing.
+    double mbps = 0.0;
+    for (auto _ : state) {
+        if (any_pattern) {
+            mbps = exchangeMBps(MachineId::T3d, LayerKind::Chained,
+                                P::contiguous(), P::strided(64));
+        } else {
+            mbps = exchangeMBps(MachineId::T3d, LayerKind::Packing,
+                                P::contiguous(), P::strided(64));
+        }
+    }
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+busArbitration(benchmark::State &state, bool penalized)
+{
+    auto cfg = sim::paragonConfig();
+    cfg.node.memory.bus.arbitrationCycles = penalized ? 12 : 0;
+    sim::Machine m(cfg);
+    auto op = rt::pairExchange(m, P::strided(16), P::strided(16),
+                               1 << 14);
+    rt::seedSources(m, op);
+    double mbps = 0.0;
+    for (auto _ : state) {
+        rt::ChainedLayer layer;
+        auto r = layer.run(m, op);
+        mbps = r.perNodeMBps(m);
+    }
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+chunkSize(benchmark::State &state)
+{
+    // The pipelining granularity of the runtime layers is a compile
+    // time constant; this row documents the configured value next to
+    // the throughput it achieves.
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = exchangeMBps(MachineId::T3d, LayerKind::Chained,
+                            P::contiguous(), P::strided(64));
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "chunk_words",
+               static_cast<double>(rt::layerChunkWords));
+    setCounter(state, "credits",
+               static_cast<double>(rt::layerCredits));
+}
+
+void
+registerAll()
+{
+    auto reg = [](const char *name, auto fn, bool flag) {
+        benchmark::RegisterBenchmark(
+            name, [fn, flag](benchmark::State &s) { fn(s, flag); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    };
+    reg("t3d_wbq/on", wbq, true);
+    reg("t3d_wbq/off", wbq, false);
+    reg("t3d_read_ahead/on", readAhead, true);
+    reg("t3d_read_ahead/off", readAhead, false);
+    reg("paragon_pipelined_loads/on", pipelinedLoads, true);
+    reg("paragon_pipelined_loads/off", pipelinedLoads, false);
+    reg("deposit_engine/any_pattern", depositFlexibility, true);
+    reg("deposit_engine/contiguous_only", depositFlexibility, false);
+    reg("paragon_bus_arbitration/penalized", busArbitration, true);
+    reg("paragon_bus_arbitration/free", busArbitration, false);
+    benchmark::RegisterBenchmark("layer_chunking", chunkSize)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension bench (not a paper table): collective operations built
+ * on the runtime layers. Quantifies the all-to-all scheduling
+ * choices (naive partner order vs the rotation schedule of the
+ * paper's reference [8] vs fully phased rounds) and the scaling of
+ * broadcast and gather.
+ */
+
+#include "bench_util.h"
+#include "rt/collectives.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+
+template <typename Fn>
+void
+collectiveRow(benchmark::State &state, Fn &&fn)
+{
+    double mbps = 0.0;
+    int rounds = 0;
+    for (auto _ : state) {
+        sim::Machine m(sim::t3dConfig({4, 4, 1})); // 16 nodes
+        rt::ChainedLayer layer;
+        auto r = fn(m, layer);
+        mbps = r.perNodeMBps(m);
+        rounds = r.rounds;
+    }
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "rounds", rounds);
+}
+
+void
+registerAll()
+{
+    auto reg = [](const char *name, auto fn) {
+        benchmark::RegisterBenchmark(
+            name,
+            [fn](benchmark::State &s) { collectiveRow(s, fn); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    };
+    reg("shift", [](sim::Machine &m, rt::MessageLayer &l) {
+        return rt::shift(m, l, 4096);
+    });
+    reg("all_to_all/rotated", [](sim::Machine &m,
+                                 rt::MessageLayer &l) {
+        return rt::allToAll(m, l, 512);
+    });
+    reg("all_to_all/naive", [](sim::Machine &m, rt::MessageLayer &l) {
+        return rt::allToAllNaive(m, l, 512);
+    });
+    reg("all_to_all/phased", [](sim::Machine &m,
+                                rt::MessageLayer &l) {
+        return rt::allToAllPhased(m, l, 512);
+    });
+    reg("broadcast", [](sim::Machine &m, rt::MessageLayer &l) {
+        return rt::broadcast(m, l, 8192);
+    });
+    reg("gather", [](sim::Machine &m, rt::MessageLayer &l) {
+        return rt::gatherTo(m, l, 2048);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension bench (not a paper table): the irregular gather
+ * A[1:n] = B[X[1:n]] of the paper's Figure 2, swept over the
+ * locality of the index permutation. Communication volume shrinks
+ * linearly with locality while the per-partner overheads stay, so
+ * effective throughput of the *communication step* falls as the
+ * halo gets thinner -- the regime in which the FEM kernel of Table 6
+ * lives (its halo moves only a fraction of the local data).
+ */
+
+#include "apps/irregular.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+
+void
+gatherRow(benchmark::State &state, LayerKind kind)
+{
+    double locality =
+        static_cast<double>(state.range(0)) / 100.0;
+    double mbps = 0.0;
+    std::uint64_t remote = 0;
+    for (auto _ : state) {
+        sim::Machine m(sim::t3dConfig({2, 2, 2}));
+        apps::IrregularConfig cfg;
+        cfg.n = 1 << 14;
+        cfg.locality = locality;
+        auto w = apps::IrregularGatherWorkload::create(m, cfg);
+        remote = w.remoteWords();
+        if (w.op().flows.empty()) {
+            mbps = 0.0; // fully local: nothing to communicate
+            continue;
+        }
+        auto layer = makeLayer(kind);
+        auto r = layer->run(m, w.op());
+        if (w.verify(m) != 0)
+            state.SkipWithError("corrupted gather");
+        mbps = r.perNodeMBps(m);
+    }
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "remote_words",
+               static_cast<double>(remote));
+}
+
+void
+registerAll()
+{
+    for (LayerKind kind : {LayerKind::Chained, LayerKind::Packing}) {
+        auto *b = benchmark::RegisterBenchmark(
+            (std::string("gather_locality_pct/") + layerName(kind))
+                .c_str(),
+            [kind](benchmark::State &s) { gatherRow(s, kind); });
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+        for (int pct : {0, 25, 50, 75, 90})
+            b->Arg(pct);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Extension bench (not a paper table): HPF redistributions executed
+ * with both communication styles on the 8-node T3D. Shows the
+ * compiler view end to end: each (from, to) pair induces an xQy
+ * operation whose winner the planner predicts; the last two rows are
+ * the 2-D transposing redistribution of Figure 9 in both loop
+ * orders, i.e. Table 5 derived from distribution specs instead of
+ * hand-built flows.
+ */
+
+#include "bench_util.h"
+
+#include "core/planner.h"
+#include "rt/redistribute.h"
+#include "rt/redistribute2d.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using D = core::Distribution;
+
+constexpr std::uint64_t N = 1 << 14;
+constexpr int P = 8;
+
+template <typename Workload>
+void
+annotate(benchmark::State &state, const Workload &w, double mbps)
+{
+    auto [x, y] = w.dominantPatterns();
+    setCounter(state, "sim_MBps", mbps);
+    core::PlanQuery q{core::MachineId::T3d, x, y, 0.0};
+    setCounter(state, "model_best_MBps",
+               core::bestPlan(q).estimate);
+}
+
+void
+redistRow(benchmark::State &state, const D &from, const D &to,
+          LayerKind kind)
+{
+    double mbps = 0.0;
+    sim::Machine probe(sim::t3dConfig({2, 2, 2}));
+    auto shape = rt::RedistributionWorkload::create(probe, from, to);
+    for (auto _ : state) {
+        sim::Machine m(sim::t3dConfig({2, 2, 2}));
+        auto w = rt::RedistributionWorkload::create(m, from, to);
+        w.fillInput(m);
+        auto layer = makeLayer(kind);
+        auto r = layer->run(m, w.op());
+        if (w.verify(m) != 0)
+            state.SkipWithError("corrupted");
+        mbps = r.perNodeMBps(m);
+    }
+    annotate(state, shape, mbps);
+}
+
+void
+redist2dRow(benchmark::State &state, bool transpose, LayerKind kind)
+{
+    using core::DimSpec;
+    core::Distribution2d row_block{DimSpec::dist(D::block(512, P)),
+                                   DimSpec::whole(512)};
+    core::Distribution2d col_block{DimSpec::whole(512),
+                                   DimSpec::dist(D::block(512, P))};
+    // transpose: B(BLOCK, *) = A^T(BLOCK, *), the Figure 9 exchange;
+    // otherwise the (BLOCK, *) -> (*, BLOCK) layout change.
+    const core::Distribution2d &to =
+        transpose ? row_block : col_block;
+    double mbps = 0.0;
+    sim::Machine probe(sim::t3dConfig({2, 2, 2}));
+    auto shape = rt::Redistribution2dWorkload::create(
+        probe, row_block, to, transpose);
+    for (auto _ : state) {
+        sim::Machine m(sim::t3dConfig({2, 2, 2}));
+        auto w = rt::Redistribution2dWorkload::create(m, row_block,
+                                                      to, transpose);
+        w.fillInput(m);
+        auto layer = makeLayer(kind);
+        auto r = layer->run(m, w.op());
+        if (w.verify(m) != 0)
+            state.SkipWithError("corrupted");
+        mbps = r.perNodeMBps(m);
+    }
+    annotate(state, shape, mbps);
+}
+
+void
+registerAll()
+{
+    struct Pair
+    {
+        const char *name;
+        D from;
+        D to;
+    };
+    const Pair pairs[] = {
+        {"block_to_cyclic", D::block(N, P), D::cyclic(N, P)},
+        {"cyclic_to_block", D::cyclic(N, P), D::block(N, P)},
+        {"block_to_blockcyclic8", D::block(N, P),
+         D::blockCyclic(N, P, 8)},
+        {"blockcyclic8_to_cyclic", D::blockCyclic(N, P, 8),
+         D::cyclic(N, P)},
+    };
+    for (const Pair &pair : pairs) {
+        for (LayerKind kind :
+             {LayerKind::Chained, LayerKind::Packing}) {
+            std::string name = std::string(pair.name) + "/" +
+                               layerName(kind);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [pair, kind](benchmark::State &s) {
+                    redistRow(s, pair.from, pair.to, kind);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    for (bool transpose : {true, false}) {
+        for (LayerKind kind :
+             {LayerKind::Chained, LayerKind::Packing}) {
+            std::string name =
+                std::string(transpose ? "transpose2d"
+                                      : "row_to_col_blocks") +
+                "/" + layerName(kind);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [transpose, kind](benchmark::State &s) {
+                    redist2dRow(s, transpose, kind);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

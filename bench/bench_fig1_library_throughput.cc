@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Figure 1: measured application throughput for simple
+ * (contiguous) communication operations, comparing the portable
+ * PVM-style library against the fastest vendor-specific path, as a
+ * function of the message size. The shape to check: the low-level
+ * layers sit far above PVM, whose throughput only slowly approaches
+ * theirs as messages grow, and both stay well below the wire's peak
+ * bandwidth.
+ */
+
+#include "bench_util.h"
+
+#include "core/latency_model.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+core::Style
+styleOf(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Chained:
+        return core::Style::Chained;
+      case LayerKind::Packing:
+        return core::Style::BufferPacking;
+      case LayerKind::Pvm:
+        return core::Style::Pvm;
+    }
+    return core::Style::BufferPacking;
+}
+
+void
+libraryRow(benchmark::State &state, MachineId machine, LayerKind kind)
+{
+    auto words = static_cast<std::uint64_t>(state.range(0));
+    double sim = 0.0;
+    for (auto _ : state)
+        sim = exchangeMBps(machine, kind, P::contiguous(),
+                           P::contiguous(), words);
+    setCounter(state, "sim_MBps", sim);
+    setCounter(state, "message_KB",
+               static_cast<double>(words * 8) / 1024.0);
+    // The latency-extended model's prediction of the same curve.
+    if (auto m = core::makeMessageCostModel(machine, styleOf(kind),
+                                            P::contiguous(),
+                                            P::contiguous()))
+        setCounter(state, "latency_model_MBps",
+                   m->throughputAt(words * 8));
+}
+
+void
+registerAll()
+{
+    struct Entry
+    {
+        const char *name;
+        MachineId machine;
+        LayerKind kind;
+    };
+    // "Fastest" on the T3D is the chained/remote-store path (libsm);
+    // on the Paragon the SUNMOS NX packing path with DMA transfers.
+    const Entry entries[] = {
+        {"T3D/pvm", MachineId::T3d, LayerKind::Pvm},
+        {"T3D/libsm_chained", MachineId::T3d, LayerKind::Chained},
+        {"Paragon/pvm", MachineId::Paragon, LayerKind::Pvm},
+        {"Paragon/sunmos_packing", MachineId::Paragon,
+         LayerKind::Packing},
+        {"Paragon/sunmos_chained", MachineId::Paragon,
+         LayerKind::Chained},
+    };
+    for (const Entry &entry : entries) {
+        auto *b = benchmark::RegisterBenchmark(
+            entry.name, [entry](benchmark::State &s) {
+                libraryRow(s, entry.machine, entry.kind);
+            });
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+        for (std::int64_t words = 64; words <= (1 << 16); words *= 4)
+            b->Arg(words);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Figure 4: throughput of strided local memory-to-memory
+ * transfers as a function of the stride, separately for strided
+ * loads (sC1) and strided stores (1Cs), on both machines. The series
+ * shape to check: on the T3D strided stores stay well above strided
+ * loads (write-back queue); on the Paragon strided loads win
+ * (pipelined loads).
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+void
+strideLoads(benchmark::State &state, MachineId machine)
+{
+    auto stride = static_cast<std::uint32_t>(state.range(0));
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureLocalCopy(cfg, P::strided(stride),
+                                     P::contiguous());
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+strideStores(benchmark::State &state, MachineId machine)
+{
+    auto stride = static_cast<std::uint32_t>(state.range(0));
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureLocalCopy(cfg, P::contiguous(),
+                                     P::strided(stride));
+    setCounter(state, "sim_MBps", mbps);
+}
+
+void
+registerAll()
+{
+    struct MachineEntry
+    {
+        const char *name;
+        MachineId id;
+    };
+    for (MachineEntry m : {MachineEntry{"T3D", MachineId::T3d},
+                           MachineEntry{"Paragon",
+                                        MachineId::Paragon}}) {
+        auto id = m.id;
+        auto *loads = benchmark::RegisterBenchmark(
+            (std::string(m.name) + "/strided_loads_sC1").c_str(),
+            [id](benchmark::State &s) { strideLoads(s, id); });
+        auto *stores = benchmark::RegisterBenchmark(
+            (std::string(m.name) + "/strided_stores_1Cs").c_str(),
+            [id](benchmark::State &s) { strideStores(s, id); });
+        for (auto *b : {loads, stores}) {
+            b->Iterations(1)->Unit(benchmark::kMillisecond);
+            for (int stride : {1, 2, 4, 8, 16, 32, 64, 128, 256})
+                b->Arg(stride);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

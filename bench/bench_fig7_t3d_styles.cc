@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 7 (and the §5.1.1/§5.1.2 predictions): throughput
+ * of communication operations xQy on the T3D for contiguous, strided
+ * and indexed patterns, comparing the buffer-packing and chained
+ * implementations. Each row reports the copy-transfer model estimate
+ * (model_MBps), the end-to-end simulator measurement (sim_MBps) and,
+ * where the paper prints one, the published model value (paper_MBps).
+ *
+ * Shape to check: chained beats buffer packing for every pattern;
+ * contiguous chained reaches about 2.5x buffer packing.
+ */
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+struct Row
+{
+    const char *name;
+    P x;
+    P y;
+    double paperPacking; // §5.1.1 predictions, 0 = not printed
+    double paperChained; // §5.1.2 predictions
+};
+
+const Row rows[] = {
+    {"1Q1", P::contiguous(), P::contiguous(), 27.9, 70.0},
+    {"1Q16", P::contiguous(), P::strided(16), 25.4, 38.0},
+    {"1Q64", P::contiguous(), P::strided(64), 25.2, 38.0},
+    {"16Q1", P::strided(16), P::contiguous(), 18.4, 38.0},
+    {"64Q1", P::strided(64), P::contiguous(), 17.1, 0.0},
+    {"wQw", P::indexed(), P::indexed(), 14.2, 32.0},
+};
+
+void
+styleRow(benchmark::State &state, const Row &row, LayerKind kind,
+         core::Style style, double paper)
+{
+    double sim = 0.0;
+    for (auto _ : state)
+        sim = exchangeMBps(MachineId::T3d, kind, row.x, row.y);
+    setCounter(state, "sim_MBps", sim);
+    setCounter(state, "model_MBps",
+               modelMBps(MachineId::T3d, style, row.x, row.y));
+    if (paper > 0.0)
+        setCounter(state, "paper_model_MBps", paper);
+}
+
+void
+registerAll()
+{
+    for (const Row &row : rows) {
+        benchmark::RegisterBenchmark(
+            (std::string("packing/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                styleRow(s, row, LayerKind::Packing,
+                         core::Style::BufferPacking,
+                         row.paperPacking);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string("chained/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                styleRow(s, row, LayerKind::Chained,
+                         core::Style::Chained, row.paperChained);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Figure 8 (and the §5.1.3/§5.1.4 predictions): buffer
+ * packing vs chained transfers on the Paragon. The chained receiver
+ * is the communication co-processor (0Ry); buffer packing feeds the
+ * network through the DMA (1F0) and deposits through the
+ * line-transfer unit (0D1).
+ */
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+struct Row
+{
+    const char *name;
+    P x;
+    P y;
+    double paperPacking; // §5.1.3 predictions (0 = not printed)
+    double paperChained; // §5.1.4 predictions
+};
+
+const Row rows[] = {
+    {"1Q1", P::contiguous(), P::contiguous(), 20.7, 52.0},
+    {"1Q16", P::contiguous(), P::strided(16), 18.3, 32.0},
+    {"1Q64", P::contiguous(), P::strided(64), 16.1, 38.0},
+    {"16Q1", P::strided(16), P::contiguous(), 20.7, 42.0},
+    {"64Q1", P::strided(64), P::contiguous(), 0.0, 0.0},
+    {"wQw", P::indexed(), P::indexed(), 16.2, 36.0},
+};
+
+void
+styleRow(benchmark::State &state, const Row &row, LayerKind kind,
+         core::Style style, double paper)
+{
+    double sim = 0.0;
+    for (auto _ : state)
+        sim = exchangeMBps(MachineId::Paragon, kind, row.x, row.y);
+    setCounter(state, "sim_MBps", sim);
+    setCounter(state, "model_MBps",
+               modelMBps(MachineId::Paragon, style, row.x, row.y));
+    if (paper > 0.0)
+        setCounter(state, "paper_model_MBps", paper);
+}
+
+void
+registerAll()
+{
+    for (const Row &row : rows) {
+        benchmark::RegisterBenchmark(
+            (std::string("packing/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                styleRow(s, row, LayerKind::Packing,
+                         core::Style::BufferPacking,
+                         row.paperPacking);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string("chained/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                styleRow(s, row, LayerKind::Chained,
+                         core::Style::Chained, row.paperChained);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table 1: throughput of selected local memory-to-memory
+ * transfers (MB/s) for large blocks, on both machines. Counters:
+ * sim_MBps (our simulator) vs paper_MBps (published).
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+struct Row
+{
+    const char *name;
+    P x;
+    P y;
+    double paperT3d;
+    double paperParagon;
+};
+
+const Row rows[] = {
+    {"1C1", P::contiguous(), P::contiguous(), 93.0, 67.6},
+    {"1C64", P::contiguous(), P::strided(64), 67.9, 27.6},
+    {"64C1", P::strided(64), P::contiguous(), 33.3, 31.1},
+    {"1Cw", P::contiguous(), P::indexed(), 38.5, 35.2},
+    {"wC1", P::indexed(), P::contiguous(), 32.9, 45.1},
+};
+
+void
+localCopy(benchmark::State &state, MachineId machine, const Row &row)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureLocalCopy(cfg, row.x, row.y);
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", machine == MachineId::T3d
+                                        ? row.paperT3d
+                                        : row.paperParagon);
+}
+
+void
+registerAll()
+{
+    for (const Row &row : rows) {
+        benchmark::RegisterBenchmark(
+            (std::string("T3D/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                localCopy(s, MachineId::T3d, row);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string("Paragon/") + row.name).c_str(),
+            [&row](benchmark::State &s) {
+                localCopy(s, MachineId::Paragon, row);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Table 2: throughput figures for sending network
+ * transfers (1S0, 1F0, 64S0, wS0) on both machines.
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+void
+loadSendRow(benchmark::State &state, MachineId machine, P x,
+            double paper)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureLoadSend(cfg, x);
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", paper);
+}
+
+void
+fetchSendRow(benchmark::State &state, MachineId machine, double paper)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state) {
+        auto v = sim::measureFetchSend(cfg);
+        mbps = v.value_or(0.0); // 0 = "-" in the paper's table
+    }
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", paper);
+}
+
+void
+registerAll()
+{
+    struct Row
+    {
+        const char *name;
+        P x;
+        double t3d;
+        double paragon;
+    };
+    const Row rows[] = {
+        {"1S0", P::contiguous(), 126.0, 52.0},
+        {"16S0", P::strided(16), 41.0, 42.0},
+        {"64S0", P::strided(64), 35.0, 42.0},
+        {"wS0", P::indexed(), 32.0, 36.0},
+    };
+    for (const Row &row : rows) {
+        benchmark::RegisterBenchmark(
+            (std::string("T3D/") + row.name).c_str(),
+            [row](benchmark::State &s) {
+                loadSendRow(s, MachineId::T3d, row.x, row.t3d);
+            })
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            (std::string("Paragon/") + row.name).c_str(),
+            [row](benchmark::State &s) {
+                loadSendRow(s, MachineId::Paragon, row.x, row.paragon);
+            })
+            ->Iterations(1);
+    }
+    benchmark::RegisterBenchmark("T3D/1F0",
+                                 [](benchmark::State &s) {
+                                     fetchSendRow(s, MachineId::T3d,
+                                                  0.0);
+                                 })
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "Paragon/1F0",
+        [](benchmark::State &s) {
+            fetchSendRow(s, MachineId::Paragon, 160.0);
+        })
+        ->Iterations(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

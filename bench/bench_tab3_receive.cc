@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Table 3: throughput figures for receiving network
+ * transfers (0Ry via processor/co-processor, 0Dy via the deposit
+ * engine). Missing combinations report 0, matching the dashes in the
+ * paper's table (no 0R on the T3D, no strided 0D on the Paragon).
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+void
+receiveStoreRow(benchmark::State &state, MachineId machine, P y,
+                double paper)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureReceiveStore(cfg, y).value_or(0.0);
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", paper);
+}
+
+void
+depositRow(benchmark::State &state, MachineId machine, P y,
+           double paper)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureReceiveDeposit(cfg, y).value_or(0.0);
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", paper);
+}
+
+void
+registerAll()
+{
+    struct Row
+    {
+        const char *name;
+        P y;
+        double r_t3d, d_t3d, r_par, d_par; // 0 = "-"
+    };
+    const Row rows[] = {
+        {"y1", P::contiguous(), 0.0, 142.0, 82.0, 160.0},
+        {"y64", P::strided(64), 0.0, 52.0, 38.0, 0.0},
+        {"yw", P::indexed(), 0.0, 52.0, 42.0, 0.0},
+    };
+    for (const Row &row : rows) {
+        std::string suffix = row.name + 1; // drop the leading 'y'
+        benchmark::RegisterBenchmark(
+            ("T3D/0R" + suffix).c_str(),
+            [row](benchmark::State &s) {
+                receiveStoreRow(s, MachineId::T3d, row.y, row.r_t3d);
+            })
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            ("T3D/0D" + suffix).c_str(),
+            [row](benchmark::State &s) {
+                depositRow(s, MachineId::T3d, row.y, row.d_t3d);
+            })
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            ("Paragon/0R" + suffix).c_str(),
+            [row](benchmark::State &s) {
+                receiveStoreRow(s, MachineId::Paragon, row.y,
+                                row.r_par);
+            })
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            ("Paragon/0D" + suffix).c_str(),
+            [row](benchmark::State &s) {
+                depositRow(s, MachineId::Paragon, row.y, row.d_par);
+            })
+            ->Iterations(1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Table 4: network bandwidth (MB/s) as a function of a
+ * fixed overall congestion (1, 2, 4), for data-only (Nd) and
+ * address-data-pair (Nadp) framing, on both machines. The shape to
+ * check: bandwidth halves per congestion doubling, and address-data
+ * pairs cost roughly half the payload bandwidth.
+ */
+
+#include "bench_util.h"
+#include "sim/measure.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+
+void
+networkRow(benchmark::State &state, MachineId machine,
+           sim::Framing framing, int congestion, double paper)
+{
+    auto cfg = sim::configFor(machine);
+    double mbps = 0.0;
+    for (auto _ : state)
+        mbps = sim::measureNetwork(cfg, framing, congestion);
+    setCounter(state, "sim_MBps", mbps);
+    setCounter(state, "paper_MBps", paper);
+}
+
+void
+registerAll()
+{
+    // Paper values: T3D Nd 142/69/35, Nadp 62/38/20;
+    //               Paragon Nd 176/90/44, Nadp 88/45/22.
+    const double paper[2][2][3] = {
+        {{142, 69, 35}, {62, 38, 20}},
+        {{176, 90, 44}, {88, 45, 22}},
+    };
+    struct MachineEntry
+    {
+        const char *name;
+        MachineId id;
+        int index;
+    };
+    const MachineEntry machines[] = {
+        {"T3D", MachineId::T3d, 0},
+        {"Paragon", MachineId::Paragon, 1},
+    };
+    const int congestions[] = {1, 2, 4};
+    for (const auto &m : machines) {
+        for (int fi = 0; fi < 2; ++fi) {
+            auto framing = fi == 0 ? sim::Framing::DataOnly
+                                   : sim::Framing::AddrDataPair;
+            const char *fname = fi == 0 ? "Nd" : "Nadp";
+            for (int ci = 0; ci < 3; ++ci) {
+                int congestion = congestions[ci];
+                double paper_value = paper[m.index][fi][ci];
+                std::string name = std::string(m.name) + "/" + fname +
+                                   "@" + std::to_string(congestion);
+                benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [=](benchmark::State &s) {
+                        networkRow(s, m.id, framing, congestion,
+                                   paper_value);
+                    })
+                    ->Iterations(1);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Table 5: strided loads vs strided stores. When a 2-D
+ * transpose patch moves between nodes, the compiler can place the
+ * stride on the load side (16Q1) or the store side (1Q16); the best
+ * choice differs between the machines (write-back queue vs pipelined
+ * loads). Rows report model, simulator, and the paper's model and
+ * measured values.
+ */
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+struct Row
+{
+    const char *machineName;
+    MachineId machine;
+    const char *opName;
+    P x;
+    P y;
+    LayerKind kind;
+    core::Style style;
+    double paperModel;
+    double paperMeasured;
+};
+
+const Row rows[] = {
+    // T3D, buffer packing.
+    {"T3D", MachineId::T3d, "1Q16_packing", P::contiguous(),
+     P::strided(16), LayerKind::Packing, core::Style::BufferPacking,
+     25.4, 20.8},
+    {"T3D", MachineId::T3d, "16Q1_packing", P::strided(16),
+     P::contiguous(), LayerKind::Packing, core::Style::BufferPacking,
+     18.4, 14.3},
+    // T3D, chained.
+    {"T3D", MachineId::T3d, "1Q16_chained", P::contiguous(),
+     P::strided(16), LayerKind::Chained, core::Style::Chained, 38.0,
+     31.3},
+    {"T3D", MachineId::T3d, "16Q1_chained", P::strided(16),
+     P::contiguous(), LayerKind::Chained, core::Style::Chained, 38.0,
+     27.4},
+    // Paragon, buffer packing.
+    {"Paragon", MachineId::Paragon, "1Q16_packing", P::contiguous(),
+     P::strided(16), LayerKind::Packing, core::Style::BufferPacking,
+     18.3, 20.7},
+    {"Paragon", MachineId::Paragon, "16Q1_packing", P::strided(16),
+     P::contiguous(), LayerKind::Packing, core::Style::BufferPacking,
+     20.7, 24.2},
+    // Paragon, chained.
+    {"Paragon", MachineId::Paragon, "1Q16_chained", P::contiguous(),
+     P::strided(16), LayerKind::Chained, core::Style::Chained, 32.0,
+     29.7},
+    {"Paragon", MachineId::Paragon, "16Q1_chained", P::strided(16),
+     P::contiguous(), LayerKind::Chained, core::Style::Chained, 42.0,
+     39.2},
+};
+
+void
+tableRow(benchmark::State &state, const Row &row)
+{
+    double sim = 0.0;
+    for (auto _ : state)
+        sim = exchangeMBps(row.machine, row.kind, row.x, row.y);
+    setCounter(state, "sim_MBps", sim);
+    setCounter(state, "model_MBps",
+               modelMBps(row.machine, row.style, row.x, row.y));
+    setCounter(state, "paper_model_MBps", row.paperModel);
+    setCounter(state, "paper_measured_MBps", row.paperMeasured);
+}
+
+void
+registerAll()
+{
+    for (const Row &row : rows) {
+        benchmark::RegisterBenchmark(
+            (std::string(row.machineName) + "/" + row.opName).c_str(),
+            [&row](benchmark::State &s) { tableRow(s, row); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Reproduces Table 6: measured data transfer rates of the three
+ * application kernels on a 64-node T3D partition (MB/s per node),
+ * for buffer-packing and chained communication, next to the chained
+ * model estimate. Also reports the PVM3 rates quoted in §6.2
+ * (approx. 2 MB/s FEM, 6 MB/s FFT transpose, 25 MB/s SOR).
+ *
+ * Shapes to check: chained beats packing for the transpose and FEM;
+ * SOR is nearly tied; the chained model grossly overestimates SOR
+ * because the tiny messages are overhead-bound.
+ */
+
+#include <array>
+#include <functional>
+
+#include "apps/fem.h"
+#include "apps/sor.h"
+#include "apps/transpose.h"
+#include "bench_util.h"
+
+#include "util/logging.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+constexpr std::array<int, 3> dims{4, 4, 4}; // 64 nodes
+
+template <typename MakeWorkload>
+double
+runKernel(LayerKind kind, MakeWorkload &&make)
+{
+    sim::Machine m(sim::t3dConfig({dims[0], dims[1], dims[2]}));
+    auto op_and_verify = make(m);
+    auto layer = makeLayer(kind);
+    auto result = layer->run(m, op_and_verify.first);
+    if (op_and_verify.second(m) != 0)
+        util::fatal("bench_tab6: corrupted kernel result");
+    return result.perNodeMBps(m);
+}
+
+using Verify = std::function<std::uint64_t(sim::Machine &)>;
+using OpAndVerify = std::pair<rt::CommOp, Verify>;
+
+OpAndVerify
+makeTranspose(sim::Machine &m)
+{
+    apps::TransposeConfig cfg;
+    cfg.n = 1024;
+    cfg.variant = apps::TransposeVariant::StridedStores;
+    auto w = std::make_shared<apps::TransposeWorkload>(
+        apps::TransposeWorkload::create(m, cfg));
+    w->fillInput(m);
+    return {w->op(),
+            [w](sim::Machine &machine) { return w->verify(machine); }};
+}
+
+OpAndVerify
+makeFem(sim::Machine &m)
+{
+    apps::FemConfig cfg;
+    cfg.nx = 96;
+    cfg.ny = 96;
+    cfg.nz = 28;
+    auto w = std::make_shared<apps::FemWorkload>(
+        apps::FemWorkload::create(m, cfg));
+    rt::seedSources(m, w->op());
+    rt::CommOp op = w->op();
+    return {op, [op](sim::Machine &machine) {
+                return rt::verifyDelivery(machine, op);
+            }};
+}
+
+OpAndVerify
+makeSor(sim::Machine &m)
+{
+    apps::SorConfig cfg;
+    cfg.n = 256;
+    auto w = std::make_shared<apps::SorWorkload>(
+        apps::SorWorkload::create(m, cfg));
+    w->fillInterior(m);
+    return {w->op(),
+            [w](sim::Machine &machine) { return w->verify(machine); }};
+}
+
+struct Kernel
+{
+    const char *name;
+    OpAndVerify (*make)(sim::Machine &);
+    // Paper Table 6 columns.
+    double paperPacking;
+    double paperChained;
+    double paperChainedModel;
+    double paperPvm; // §6.2 text
+    // Model pattern for the chained estimate.
+    P x;
+    P y;
+};
+
+const Kernel kernels[] = {
+    {"transpose", makeTranspose, 20.0, 25.2, 29.5, 6.0,
+     P::contiguous(), P::strided(1024)},
+    {"fem", makeFem, 12.2, 14.2, 20.2, 2.0, P::indexed(),
+     P::indexed()},
+    {"sor", makeSor, 26.2, 27.9, 68.1, 25.0, P::contiguous(),
+     P::contiguous()},
+};
+
+void
+kernelRow(benchmark::State &state, const Kernel &kernel,
+          LayerKind kind)
+{
+    double sim = 0.0;
+    for (auto _ : state)
+        sim = runKernel(kind, kernel.make);
+    setCounter(state, "sim_MBps", sim);
+    switch (kind) {
+      case LayerKind::Packing:
+        setCounter(state, "paper_measured_MBps", kernel.paperPacking);
+        break;
+      case LayerKind::Chained:
+        setCounter(state, "paper_measured_MBps", kernel.paperChained);
+        setCounter(state, "model_MBps",
+                   modelMBps(MachineId::T3d, core::Style::Chained,
+                             kernel.x, kernel.y));
+        setCounter(state, "paper_model_MBps",
+                   kernel.paperChainedModel);
+        break;
+      case LayerKind::Pvm:
+        setCounter(state, "paper_measured_MBps", kernel.paperPvm);
+        break;
+    }
+}
+
+void
+registerAll()
+{
+    for (const Kernel &kernel : kernels) {
+        for (LayerKind kind : {LayerKind::Packing, LayerKind::Chained,
+                               LayerKind::Pvm}) {
+            std::string name =
+                std::string(kernel.name) + "/" + layerName(kind);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [&kernel, kind](benchmark::State &s) {
+                    kernelRow(s, kernel, kind);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

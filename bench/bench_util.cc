@@ -1,0 +1,66 @@
+#include "bench_util.h"
+
+#include "util/logging.h"
+
+namespace ct::bench {
+
+std::unique_ptr<rt::MessageLayer>
+makeLayer(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Chained:
+        return std::make_unique<rt::ChainedLayer>();
+      case LayerKind::Packing:
+        return std::make_unique<rt::PackingLayer>();
+      case LayerKind::Pvm:
+        return std::make_unique<rt::PackingLayer>(
+            rt::makePvmLayer());
+    }
+    util::panic("makeLayer: bad kind");
+}
+
+std::string
+layerName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Chained:
+        return "chained";
+      case LayerKind::Packing:
+        return "packing";
+      case LayerKind::Pvm:
+        return "pvm";
+    }
+    util::panic("layerName: bad kind");
+}
+
+double
+exchangeMBps(MachineId machine, LayerKind kind, AccessPattern x,
+             AccessPattern y, std::uint64_t words)
+{
+    sim::Machine m(sim::configFor(machine));
+    auto op = rt::pairExchange(m, x, y, words);
+    rt::seedSources(m, op);
+    auto layer = makeLayer(kind);
+    auto result = layer->run(m, op);
+    if (rt::verifyDelivery(m, op) != 0)
+        util::fatal("exchangeMBps: corrupted delivery for ",
+                    x.label(), "Q", y.label());
+    return result.perNodeMBps(m);
+}
+
+double
+modelMBps(MachineId machine, core::Style style, AccessPattern x,
+          AccessPattern y)
+{
+    auto strategy = core::makeStrategy(machine, style, x, y);
+    if (!strategy)
+        util::fatal("modelMBps: style not available on this machine");
+    auto table = core::paperTable(machine);
+    auto rate = core::rateStrategy(
+        *strategy, table, core::paperCaps(machine).defaultCongestion);
+    if (!rate)
+        util::fatal("modelMBps: strategy not rateable");
+    return *rate;
+}
+
+} // namespace ct::bench

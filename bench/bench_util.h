@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper: rows appear as
+ * google-benchmark counters (sim_MBps for simulator measurements,
+ * model_MBps for copy-transfer-model estimates, paper_MBps for the
+ * value printed in the paper), so the "who wins and by how much"
+ * comparison is visible directly in the benchmark report.
+ *
+ * The simulator is deterministic, so benchmarks run one iteration.
+ */
+
+#ifndef CT_BENCH_BENCH_UTIL_H
+#define CT_BENCH_BENCH_UTIL_H
+
+#include <benchmark/benchmark.h>
+
+#include "core/strategies.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+#include "rt/workload.h"
+
+namespace ct::bench {
+
+using core::AccessPattern;
+using core::MachineId;
+
+/** Which runtime layer executes an operation. */
+enum class LayerKind {
+    Chained,
+    Packing,
+    Pvm,
+};
+
+/** Layer factory. */
+std::unique_ptr<rt::MessageLayer> makeLayer(LayerKind kind);
+
+/** Name used in reports. */
+std::string layerName(LayerKind kind);
+
+/**
+ * Per-node throughput of a pairwise exchange xQy executed with the
+ * given layer on a small partition of the machine (every node both
+ * sends and receives, as in the paper's measurements). Verifies
+ * delivery and aborts on corruption.
+ */
+double exchangeMBps(MachineId machine, LayerKind kind,
+                    AccessPattern x, AccessPattern y,
+                    std::uint64_t words = 1 << 14);
+
+/** Copy-transfer model estimate from the paper's parameter tables. */
+double modelMBps(MachineId machine, core::Style style,
+                 AccessPattern x, AccessPattern y);
+
+/** Attach a rate counter to the current benchmark row. */
+inline void
+setCounter(benchmark::State &state, const char *name, double value)
+{
+    state.counters[name] = benchmark::Counter(value);
+}
+
+} // namespace ct::bench
+
+#endif // CT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Distributed iterative solver on a partitioned finite-element mesh
+ * of a synthetic alluvial valley -- the paper's §6.1.2 scenario
+ * (after the Quake project's earthquake simulations).
+ *
+ * Each iteration performs a Jacobi smoothing step of the graph
+ * Laplacian: every vertex averages its neighbours. Neighbour values
+ * owned by other partitions arrive through the halo exchange, which
+ * is the irregular (wQw) communication kernel measured in Table 6.
+ *
+ * The example runs the solver with chained and buffer-packing halo
+ * exchanges, checks both produce identical results, and reports the
+ * communication rate of each.
+ *
+ * Build and run:  ./examples/earthquake_solver
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/fem.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+
+namespace {
+
+using namespace ct;
+
+constexpr int ITERATIONS = 8;
+
+struct SolverRun
+{
+    std::vector<double> values; // final vertex values
+    double commMBps = 0.0;
+    double residual = 0.0;
+};
+
+SolverRun
+solve(rt::MessageLayer &layer)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    apps::FemConfig cfg;
+    cfg.nx = 32;
+    cfg.ny = 32;
+    cfg.nz = 12;
+    auto w = apps::FemWorkload::create(m, cfg);
+    const auto &mesh = w.mesh();
+    int n = mesh.vertexCount();
+
+    // Adjacency list of the mesh.
+    std::vector<std::vector<int>> neighbours(
+        static_cast<std::size_t>(n));
+    for (auto [a, b] : mesh.edges()) {
+        neighbours[static_cast<std::size_t>(a)].push_back(b);
+        neighbours[static_cast<std::size_t>(b)].push_back(a);
+    }
+
+    // Reverse map (owner, local index) -> global vertex id.
+    std::map<std::pair<int, std::uint64_t>, int> reverse;
+    for (int v = 0; v < n; ++v)
+        reverse[{w.owners()[static_cast<std::size_t>(v)],
+                 w.localIndex(v)}] = v;
+
+    // Ghost slot of vertex v on node p (derived from the flows).
+    std::map<std::pair<int, int>, sim::Addr> ghost_addr;
+    for (const auto &flow : w.op().flows) {
+        auto &dst_ram = m.node(flow.dst).ram();
+        auto &src_ram = m.node(flow.src).ram();
+        for (std::uint64_t i = 0; i < flow.words; ++i) {
+            // Identify the global vertex from the sender's value
+            // array slot.
+            sim::Addr value_addr =
+                flow.srcWalk.elementAddr(src_ram, i);
+            std::uint64_t local =
+                (value_addr - w.valueBase(flow.src)) / 8;
+            int v = reverse.at({flow.src, local});
+            ghost_addr[{flow.dst, v}] =
+                flow.dstWalk.elementAddr(dst_ram, i);
+        }
+    }
+
+    // Initial condition: a displacement spike at the basin centre.
+    std::vector<double> init(static_cast<std::size_t>(n), 0.0);
+    int centre = n / 2;
+    init[static_cast<std::size_t>(centre)] = 1000.0;
+    for (int v = 0; v < n; ++v) {
+        int p = w.owners()[static_cast<std::size_t>(v)];
+        m.node(p).ram().writeDouble(
+            w.valueBase(p) + w.localIndex(v) * 8,
+            init[static_cast<std::size_t>(v)]);
+    }
+
+    double total_bytes = 0.0, total_seconds = 0.0;
+    for (int it = 0; it < ITERATIONS; ++it) {
+        // 1. Halo exchange: boundary values travel to the ghosts.
+        auto r = layer.run(m, w.op());
+        total_bytes += static_cast<double>(r.maxBytesPerSender);
+        total_seconds +=
+            util::toSeconds(r.makespan, m.config().clockHz);
+
+        // 2. Jacobi sweep using local + ghost values.
+        std::vector<double> next(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) {
+            int p = w.owners()[static_cast<std::size_t>(v)];
+            auto &ram = m.node(p).ram();
+            double sum =
+                ram.readDouble(w.valueBase(p) + w.localIndex(v) * 8);
+            double count = 1.0;
+            for (int u : neighbours[static_cast<std::size_t>(v)]) {
+                int q = w.owners()[static_cast<std::size_t>(u)];
+                double uv;
+                if (q == p) {
+                    uv = ram.readDouble(w.valueBase(p) +
+                                        w.localIndex(u) * 8);
+                } else {
+                    uv = ram.readDouble(ghost_addr.at({p, u}));
+                }
+                sum += uv;
+                count += 1.0;
+            }
+            next[static_cast<std::size_t>(v)] = sum / count;
+        }
+        for (int v = 0; v < n; ++v) {
+            int p = w.owners()[static_cast<std::size_t>(v)];
+            m.node(p).ram().writeDouble(
+                w.valueBase(p) + w.localIndex(v) * 8,
+                next[static_cast<std::size_t>(v)]);
+        }
+    }
+
+    SolverRun run;
+    run.values.resize(static_cast<std::size_t>(n));
+    double field_sum = 0.0;
+    for (int v = 0; v < n; ++v) {
+        int p = w.owners()[static_cast<std::size_t>(v)];
+        double val = m.node(p).ram().readDouble(
+            w.valueBase(p) + w.localIndex(v) * 8);
+        run.values[static_cast<std::size_t>(v)] = val;
+        field_sum += val;
+    }
+    run.residual = field_sum;
+    run.commMBps = total_bytes / 1e6 / total_seconds;
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Jacobi smoothing on a partitioned alluvial-valley "
+                "mesh (8-node simulated T3D, %d iterations)\n\n",
+                ITERATIONS);
+
+    rt::ChainedLayer chained;
+    rt::PackingLayer packing;
+    auto a = solve(chained);
+    auto b = solve(packing);
+
+    std::printf("  chained        halo exchange: %6.2f MB/s per "
+                "node\n",
+                a.commMBps);
+    std::printf("  buffer-packing halo exchange: %6.2f MB/s per "
+                "node\n\n",
+                b.commMBps);
+
+    // Both layers must produce identical numerical results.
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < a.values.size(); ++i)
+        max_diff = std::max(max_diff,
+                            std::abs(a.values[i] - b.values[i]));
+    std::printf("max |chained - packing| over %zu vertices: %g\n",
+                a.values.size(), max_diff);
+
+    // Mass is conserved by averaging up to the spike spreading out.
+    std::printf("smoothed field sum: %.1f (spike of 1000 diffused)\n",
+                a.residual);
+    bool ok = max_diff == 0.0 && a.commMBps > b.commMBps * 0.5;
+    std::printf("\n%s\n", ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+}

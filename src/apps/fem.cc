@@ -1,0 +1,285 @@
+#include "fem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace ct::apps {
+
+FemMesh
+FemMesh::generate(const FemConfig &config)
+{
+    if (config.nx < 2 || config.ny < 2 || config.nz < 2)
+        util::fatal("FemMesh: lattice too small");
+
+    FemMesh mesh;
+    // Basin profile: deep sediment in the middle of the valley,
+    // shallow at the rim; vertices below the profile are hard rock
+    // and do not belong to the simulated volume.
+    auto depth_at = [&](int x, int y) {
+        double fx = (static_cast<double>(x) / (config.nx - 1)) * 2 - 1;
+        double fy = (static_cast<double>(y) / (config.ny - 1)) * 2 - 1;
+        double r2 = fx * fx + fy * fy;
+        double profile = config.basinDepth * (1.0 - r2) +
+                         config.rimDepth * r2;
+        return std::max(1, static_cast<int>(profile * config.nz));
+    };
+
+    // Dense id map for the kept lattice points.
+    std::vector<int> id(
+        static_cast<std::size_t>(config.nx) * config.ny * config.nz,
+        -1);
+    auto flat = [&](int x, int y, int z) {
+        return (static_cast<std::size_t>(z) * config.ny + y) *
+                   config.nx +
+               x;
+    };
+    for (int z = 0; z < config.nz; ++z) {
+        for (int y = 0; y < config.ny; ++y) {
+            for (int x = 0; x < config.nx; ++x) {
+                if (z >= depth_at(x, y))
+                    continue;
+                id[flat(x, y, z)] =
+                    static_cast<int>(mesh.coordinates.size());
+                mesh.coordinates.push_back({x, y, z});
+            }
+        }
+    }
+
+    // 6-neighbourhood edges within the kept volume.
+    const int dirs[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    for (std::size_t v = 0; v < mesh.coordinates.size(); ++v) {
+        auto [x, y, z] = mesh.coordinates[v];
+        for (const auto &d : dirs) {
+            int nx = x + d[0], ny = y + d[1], nz = z + d[2];
+            if (nx >= config.nx || ny >= config.ny || nz >= config.nz)
+                continue;
+            int u = id[flat(nx, ny, nz)];
+            if (u >= 0)
+                mesh.edgeList.emplace_back(static_cast<int>(v), u);
+        }
+    }
+    return mesh;
+}
+
+std::vector<int>
+partitionMesh(const FemMesh &mesh, int parts)
+{
+    if (parts <= 0 || (parts & (parts - 1)) != 0)
+        util::fatal("partitionMesh: parts must be a power of two");
+
+    std::vector<int> owner(
+        static_cast<std::size_t>(mesh.vertexCount()), 0);
+    std::vector<int> vertices(
+        static_cast<std::size_t>(mesh.vertexCount()));
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+        vertices[i] = static_cast<int>(i);
+
+    // Recursive coordinate bisection along the widest axis.
+    struct Job
+    {
+        std::vector<int> verts;
+        int firstPart;
+        int numParts;
+    };
+    std::vector<Job> stack{{std::move(vertices), 0, parts}};
+    while (!stack.empty()) {
+        Job job = std::move(stack.back());
+        stack.pop_back();
+        if (job.numParts == 1) {
+            for (int v : job.verts)
+                owner[static_cast<std::size_t>(v)] = job.firstPart;
+            continue;
+        }
+        int best_axis = 0;
+        int best_span = -1;
+        for (int axis = 0; axis < 3; ++axis) {
+            int lo = INT32_MAX, hi = INT32_MIN;
+            for (int v : job.verts) {
+                int c = mesh.coords()[static_cast<std::size_t>(v)]
+                                     [static_cast<std::size_t>(axis)];
+                lo = std::min(lo, c);
+                hi = std::max(hi, c);
+            }
+            if (hi - lo > best_span) {
+                best_span = hi - lo;
+                best_axis = axis;
+            }
+        }
+        auto mid = job.verts.begin() +
+                   static_cast<std::ptrdiff_t>(job.verts.size() / 2);
+        std::nth_element(
+            job.verts.begin(), mid, job.verts.end(),
+            [&](int a, int b) {
+                const auto &ca =
+                    mesh.coords()[static_cast<std::size_t>(a)];
+                const auto &cb =
+                    mesh.coords()[static_cast<std::size_t>(b)];
+                auto axis = static_cast<std::size_t>(best_axis);
+                if (ca[axis] != cb[axis])
+                    return ca[axis] < cb[axis];
+                return a < b;
+            });
+        Job low{std::vector<int>(job.verts.begin(), mid),
+                job.firstPart, job.numParts / 2};
+        Job high{std::vector<int>(mid, job.verts.end()),
+                 job.firstPart + job.numParts / 2, job.numParts / 2};
+        stack.push_back(std::move(low));
+        stack.push_back(std::move(high));
+    }
+    return owner;
+}
+
+FemWorkload
+FemWorkload::create(Machine &machine, const FemConfig &cfg)
+{
+    FemWorkload w;
+    w.femMesh = FemMesh::generate(cfg);
+    int parts = machine.nodeCount();
+    w.owner = partitionMesh(w.femMesh, parts);
+
+    int n = w.femMesh.vertexCount();
+    w.localIdx.assign(static_cast<std::size_t>(n), 0);
+    w.counts.assign(static_cast<std::size_t>(parts), 0);
+    for (int v = 0; v < n; ++v) {
+        auto p = static_cast<std::size_t>(w.owner[v]);
+        w.localIdx[static_cast<std::size_t>(v)] =
+            static_cast<std::uint32_t>(w.counts[p]++);
+    }
+
+    // Boundary sets: for each directed pair (p, q), the vertices
+    // owned by p that q's computation references.
+    std::map<std::pair<int, int>, std::set<int>> boundary;
+    for (const auto &[a, b] : w.femMesh.edges()) {
+        int pa = w.owner[static_cast<std::size_t>(a)];
+        int pb = w.owner[static_cast<std::size_t>(b)];
+        if (pa == pb)
+            continue;
+        boundary[{pa, pb}].insert(a);
+        boundary[{pb, pa}].insert(b);
+    }
+
+    // Ghost arrays: every node stores the halo values it receives,
+    // ordered by global vertex id (interleaving the owners, which
+    // scatters the stores).
+    std::vector<std::set<int>> ghosts(
+        static_cast<std::size_t>(parts));
+    for (const auto &[pair, verts] : boundary)
+        ghosts[static_cast<std::size_t>(pair.second)].insert(
+            verts.begin(), verts.end());
+    std::vector<std::map<int, std::uint32_t>> ghost_slot(
+        static_cast<std::size_t>(parts));
+    for (int p = 0; p < parts; ++p) {
+        std::uint32_t slot = 0;
+        for (int v : ghosts[static_cast<std::size_t>(p)])
+            ghost_slot[static_cast<std::size_t>(p)][v] = slot++;
+    }
+
+    for (int p = 0; p < parts; ++p) {
+        sim::NodeRam &ram = machine.node(p).ram();
+        w.valueBases.push_back(
+            ram.alloc(std::max<std::uint64_t>(
+                          1, w.counts[static_cast<std::size_t>(p)]) *
+                      8));
+        w.ghostBases.push_back(ram.alloc(
+            std::max<std::size_t>(
+                1, ghosts[static_cast<std::size_t>(p)].size()) *
+            8));
+    }
+
+    w.commOp.name = "FEM halo exchange";
+    for (const auto &[pair, verts] : boundary) {
+        auto [p, q] = pair;
+        rt::Flow flow;
+        flow.src = p;
+        flow.dst = q;
+        flow.words = verts.size();
+
+        // Source: indexed gather from p's value array.
+        sim::NodeRam &src_ram = machine.node(p).ram();
+        Addr src_idx = src_ram.alloc(flow.words * 8);
+        // Destination: indexed scatter into q's ghost array; the
+        // sender keeps a replica of the index array to generate
+        // remote store addresses.
+        sim::NodeRam &dst_ram = machine.node(q).ram();
+        Addr dst_idx = dst_ram.alloc(flow.words * 8);
+        Addr dst_idx_on_sender = src_ram.alloc(flow.words * 8);
+
+        std::uint64_t i = 0;
+        for (int v : verts) {
+            src_ram.writeWord(
+                src_idx + i * 8,
+                w.localIdx[static_cast<std::size_t>(v)]);
+            std::uint32_t slot =
+                ghost_slot[static_cast<std::size_t>(q)].at(v);
+            dst_ram.writeWord(dst_idx + i * 8, slot);
+            src_ram.writeWord(dst_idx_on_sender + i * 8, slot);
+            ++i;
+        }
+
+        flow.srcWalk =
+            sim::indexedWalk(w.valueBases[static_cast<std::size_t>(p)],
+                             src_idx);
+        flow.dstWalk =
+            sim::indexedWalk(w.ghostBases[static_cast<std::size_t>(q)],
+                             dst_idx);
+        flow.dstWalkOnSender = sim::indexedWalk(
+            w.ghostBases[static_cast<std::size_t>(q)],
+            dst_idx_on_sender);
+        w.commOp.flows.push_back(flow);
+    }
+    return w;
+}
+
+std::uint64_t
+FemWorkload::haloWords() const
+{
+    std::uint64_t total = 0;
+    for (const auto &flow : commOp.flows)
+        total += flow.words;
+    return total;
+}
+
+double
+FemWorkload::boundaryFraction() const
+{
+    std::set<int> boundary_vertices;
+    for (const auto &[a, b] : femMesh.edges()) {
+        if (owner[static_cast<std::size_t>(a)] !=
+            owner[static_cast<std::size_t>(b)]) {
+            boundary_vertices.insert(a);
+            boundary_vertices.insert(b);
+        }
+    }
+    return static_cast<double>(boundary_vertices.size()) /
+           static_cast<double>(femMesh.vertexCount());
+}
+
+Addr
+FemWorkload::valueBase(NodeId node) const
+{
+    return valueBases[static_cast<std::size_t>(node)];
+}
+
+Addr
+FemWorkload::ghostBase(NodeId node) const
+{
+    return ghostBases[static_cast<std::size_t>(node)];
+}
+
+std::uint32_t
+FemWorkload::localIndex(int v) const
+{
+    return localIdx[static_cast<std::size_t>(v)];
+}
+
+std::uint64_t
+FemWorkload::localCount(NodeId node) const
+{
+    return counts[static_cast<std::size_t>(node)];
+}
+
+} // namespace ct::apps

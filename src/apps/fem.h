@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Finite-element halo exchange (paper §6.1.2). The paper's kernel
+ * comes from a sparse solver on a partitioned unstructured grid of an
+ * alluvial valley (Quake project [14]); we generate a synthetic
+ * equivalent -- an irregular 3-D lattice bounded by a basin-shaped
+ * depth profile -- partition it with recursive coordinate bisection,
+ * and exchange boundary vertex values between neighbouring
+ * partitions. Both sides use indexed access (wQw flows).
+ */
+
+#ifndef CT_APPS_FEM_H
+#define CT_APPS_FEM_H
+
+#include <array>
+#include <vector>
+
+#include "rt/comm_op.h"
+
+namespace ct::apps {
+
+using rt::CommOp;
+using sim::Addr;
+using sim::Machine;
+using sim::NodeId;
+
+/** Parameters of the synthetic valley mesh. */
+struct FemConfig
+{
+    int nx = 24;
+    int ny = 24;
+    int nz = 10;
+    /** Valley floor depth as a fraction of nz at the basin centre. */
+    double basinDepth = 0.9;
+    /** Depth at the rim (shallow soil layer). */
+    double rimDepth = 0.25;
+};
+
+/** An irregular 3-D mesh: vertices with coordinates plus edges. */
+class FemMesh
+{
+  public:
+    /** Carve the valley out of an nx x ny x nz lattice. */
+    static FemMesh generate(const FemConfig &config);
+
+    int vertexCount() const
+    {
+        return static_cast<int>(coordinates.size());
+    }
+    std::size_t edgeCount() const { return edgeList.size(); }
+
+    const std::vector<std::array<int, 3>> &coords() const
+    {
+        return coordinates;
+    }
+    const std::vector<std::pair<int, int>> &edges() const
+    {
+        return edgeList;
+    }
+
+  private:
+    std::vector<std::array<int, 3>> coordinates;
+    std::vector<std::pair<int, int>> edgeList;
+};
+
+/**
+ * Recursive coordinate bisection: split the vertex set into @p parts
+ * (a power of two) by repeatedly halving along the longest axis.
+ * Returns the owner part of each vertex.
+ */
+std::vector<int> partitionMesh(const FemMesh &mesh, int parts);
+
+/** The distributed solver state plus the halo-exchange operation. */
+class FemWorkload
+{
+  public:
+    static FemWorkload create(Machine &machine, const FemConfig &cfg);
+
+    const CommOp &op() const { return commOp; }
+    const FemMesh &mesh() const { return femMesh; }
+    const std::vector<int> &owners() const { return owner; }
+
+    /** Total boundary words exchanged per step. */
+    std::uint64_t haloWords() const;
+
+    /** Fraction of all vertices that are on partition boundaries. */
+    double boundaryFraction() const;
+
+    /** Per-node base address of the local vertex value array. */
+    Addr valueBase(NodeId node) const;
+    /** Per-node base of the ghost (halo) value array. */
+    Addr ghostBase(NodeId node) const;
+    /** Local index of global vertex @p v on its owner. */
+    std::uint32_t localIndex(int v) const;
+    /** Number of vertices owned by @p node. */
+    std::uint64_t localCount(NodeId node) const;
+
+  private:
+    FemMesh femMesh;
+    std::vector<int> owner;
+    std::vector<std::uint32_t> localIdx;
+    std::vector<std::uint64_t> counts;
+    std::vector<Addr> valueBases;
+    std::vector<Addr> ghostBases;
+    CommOp commOp;
+};
+
+} // namespace ct::apps
+
+#endif // CT_APPS_FEM_H

@@ -1,0 +1,83 @@
+#include "fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace ct::apps {
+
+namespace {
+
+void
+fftInPlace(std::vector<std::complex<double>> &data, bool inverse)
+{
+    std::size_t n = data.size();
+    if (n == 0 || (n & (n - 1)) != 0)
+        util::fatal("fft: size must be a non-zero power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * std::numbers::pi /
+                       static_cast<double>(len) * (inverse ? 1 : -1);
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                std::complex<double> u = data[i + k];
+                std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &x : data)
+            x /= static_cast<double>(n);
+    }
+}
+
+} // namespace
+
+void
+fft(std::vector<std::complex<double>> &data)
+{
+    fftInPlace(data, false);
+}
+
+void
+ifft(std::vector<std::complex<double>> &data)
+{
+    fftInPlace(data, true);
+}
+
+void
+fftRows(std::vector<std::complex<double>> &matrix, std::size_t n)
+{
+    if (n == 0 || matrix.size() % n != 0)
+        util::fatal("fftRows: matrix size not a multiple of n");
+    std::vector<std::complex<double>> row(n);
+    for (std::size_t r = 0; r < matrix.size() / n; ++r) {
+        std::copy_n(matrix.begin() +
+                        static_cast<std::ptrdiff_t>(r * n),
+                    n, row.begin());
+        fft(row);
+        std::copy_n(row.begin(), n,
+                    matrix.begin() +
+                        static_cast<std::ptrdiff_t>(r * n));
+    }
+}
+
+} // namespace ct::apps

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Radix-2 complex FFT used by the 2-D FFT example (paper §6.1.1).
+ * The 2-D FFT performs row FFTs locally, transposes the matrix with
+ * the communication layer, then performs the column FFTs locally;
+ * only the transpose touches the network.
+ */
+
+#ifndef CT_APPS_FFT_H
+#define CT_APPS_FFT_H
+
+#include <complex>
+#include <vector>
+
+namespace ct::apps {
+
+/** In-place radix-2 decimation-in-time FFT; n must be a power of 2. */
+void fft(std::vector<std::complex<double>> &data);
+
+/** In-place inverse FFT (normalized by 1/n). */
+void ifft(std::vector<std::complex<double>> &data);
+
+/** Forward FFT of every length-n row of a flat row-major matrix. */
+void fftRows(std::vector<std::complex<double>> &matrix, std::size_t n);
+
+} // namespace ct::apps
+
+#endif // CT_APPS_FFT_H

@@ -1,0 +1,153 @@
+#include "irregular.h"
+
+#include <map>
+
+#include "rt/workload.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ct::apps {
+
+namespace {
+
+/**
+ * A permutation of 0..n-1 in which roughly @p locality of the
+ * entries keep X[i] within i's own block: shuffle within blocks
+ * first, then swap a (1 - locality) fraction of entries between
+ * random blocks.
+ */
+std::vector<std::uint64_t>
+localityPermutation(std::uint64_t n, const core::Distribution &dist,
+                    double locality, util::Rng &rng)
+{
+    std::vector<std::uint64_t> x(n);
+    // Within-block shuffles keep every index local.
+    for (int node = 0; node < dist.nodes(); ++node) {
+        std::vector<std::uint64_t> members;
+        for (std::uint64_t li = 0; li < dist.localCount(node); ++li)
+            members.push_back(dist.globalIndexOf(node, li));
+        auto shuffled = members;
+        rng.shuffle(shuffled);
+        for (std::size_t i = 0; i < members.size(); ++i)
+            x[members[i]] = shuffled[i];
+    }
+    // Cross-block swaps create the remote fraction.
+    auto swaps = static_cast<std::uint64_t>(
+        static_cast<double>(n) * (1.0 - locality) / 2.0);
+    for (std::uint64_t s = 0; s < swaps; ++s) {
+        std::uint64_t i = rng.nextBelow(n);
+        std::uint64_t j = rng.nextBelow(n);
+        std::swap(x[i], x[j]);
+    }
+    return x;
+}
+
+} // namespace
+
+IrregularGatherWorkload
+IrregularGatherWorkload::create(Machine &machine,
+                                const IrregularConfig &cfg)
+{
+    if (cfg.locality < 0.0 || cfg.locality > 1.0)
+        util::fatal("IrregularGatherWorkload: locality out of [0,1]");
+
+    IrregularGatherWorkload w;
+    w.n = cfg.n;
+    int p = machine.nodeCount();
+    w.dist = core::Distribution::block(cfg.n, p);
+    util::Rng rng(cfg.seed);
+    w.xIndex = localityPermutation(cfg.n, w.dist, cfg.locality, rng);
+    w.commOp.name = "A = B[X] gather";
+
+    for (int node = 0; node < p; ++node) {
+        sim::NodeRam &ram = machine.node(node).ram();
+        std::uint64_t count =
+            std::max<std::uint64_t>(1, w.dist.localCount(node));
+        w.aBase.push_back(ram.alloc(count * 8));
+        w.bBase.push_back(ram.alloc(count * 8));
+        // B[g] = g + 1 so results are recognizable.
+        for (std::uint64_t li = 0; li < w.dist.localCount(node); ++li)
+            ram.writeWord(w.bBase.back() + li * 8,
+                          w.dist.globalIndexOf(node, li) + 1);
+    }
+
+    // Inspector: resolve every index to its home; local references
+    // are satisfied immediately (no communication), remote ones are
+    // grouped into per-(home, requester) flows -- exactly Figure 2's
+    // intermediate index array T.
+    std::map<std::pair<int, int>, std::pair<std::vector<std::uint64_t>,
+                                            std::vector<std::uint64_t>>>
+        pair_lists; // (src=home, dst=requester) -> (b locals, a locals)
+    for (std::uint64_t i = 0; i < cfg.n; ++i) {
+        int requester = w.dist.ownerOf(i);
+        std::uint64_t g = w.xIndex[i];
+        int home = w.dist.ownerOf(g);
+        if (home == requester) {
+            ++w.localCount;
+            sim::NodeRam &ram = machine.node(home).ram();
+            auto idx = static_cast<std::size_t>(home);
+            ram.writeWord(w.aBase[idx] + w.dist.localIndexOf(i) * 8,
+                          ram.readWord(w.bBase[idx] +
+                                       w.dist.localIndexOf(g) * 8));
+            continue;
+        }
+        auto &[b_locals, a_locals] = pair_lists[{home, requester}];
+        b_locals.push_back(w.dist.localIndexOf(g));
+        a_locals.push_back(w.dist.localIndexOf(i));
+    }
+
+    for (auto &[pair, lists] : pair_lists) {
+        auto [home, requester] = pair;
+        auto &[b_locals, a_locals] = lists;
+        rt::Flow flow;
+        flow.src = home;
+        flow.dst = requester;
+        flow.words = b_locals.size();
+        flow.srcWalk = rt::walkForIndices(
+            b_locals, w.bBase[static_cast<std::size_t>(home)],
+            machine.node(home));
+        flow.dstWalk = rt::walkForIndices(
+            a_locals, w.aBase[static_cast<std::size_t>(requester)],
+            machine.node(requester));
+        flow.dstWalkOnSender =
+            flow.dstWalk.pattern.isIndexed()
+                ? rt::walkForIndices(
+                      a_locals,
+                      w.aBase[static_cast<std::size_t>(requester)],
+                      machine.node(home))
+                : flow.dstWalk;
+        w.commOp.flows.push_back(flow);
+    }
+    return w;
+}
+
+std::uint64_t
+IrregularGatherWorkload::verify(Machine &machine) const
+{
+    std::uint64_t mismatches = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        int node = dist.ownerOf(i);
+        std::uint64_t got = machine.node(node).ram().readWord(
+            aBase[static_cast<std::size_t>(node)] +
+            dist.localIndexOf(i) * 8);
+        mismatches += got != xIndex[i] + 1;
+    }
+    return mismatches;
+}
+
+std::uint64_t
+IrregularGatherWorkload::remoteWords() const
+{
+    std::uint64_t total = 0;
+    for (const auto &flow : commOp.flows)
+        total += flow.words;
+    return total;
+}
+
+double
+IrregularGatherWorkload::measuredLocality() const
+{
+    return static_cast<double>(localCount) / static_cast<double>(n);
+}
+
+} // namespace ct::apps

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's irregular access example (§2.1, Figure 2):
+ *
+ *     A[1:n] = B[X[1:n]]
+ *
+ * where A, B and the index array X are block-distributed and X holds
+ * a permutation of 1..n. An inspector pass (the compiler's job)
+ * resolves each index to its home node and builds per-pair indexed
+ * flow lists; the executor runs the resulting wQw communication with
+ * any message layer. The locality knob controls which fraction of
+ * the permutation stays node-local, i.e. how much of the gather is
+ * communication at all.
+ */
+
+#ifndef CT_APPS_IRREGULAR_H
+#define CT_APPS_IRREGULAR_H
+
+#include "core/distribution.h"
+#include "rt/comm_op.h"
+
+namespace ct::apps {
+
+using rt::CommOp;
+using sim::Addr;
+using sim::Machine;
+using sim::NodeId;
+
+/** Parameters of the irregular gather. */
+struct IrregularConfig
+{
+    std::uint64_t n = 1 << 12;
+    /** Fraction of X entries resolving to the local block. */
+    double locality = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/** The distributed gather A = B[X] plus its communication step. */
+class IrregularGatherWorkload
+{
+  public:
+    /**
+     * Allocate A and B (BLOCK-distributed), generate the permutation
+     * X with the requested locality, run the inspector, and copy the
+     * node-local elements (they never touch the network).
+     */
+    static IrregularGatherWorkload create(Machine &machine,
+                                          const IrregularConfig &cfg);
+
+    /** Check A[i] == B[X[i]] for every i; returns mismatches. */
+    std::uint64_t verify(Machine &machine) const;
+
+    const CommOp &op() const { return commOp; }
+
+    /** Elements that crossed node boundaries. */
+    std::uint64_t remoteWords() const;
+
+    /** Fraction of elements that stayed local. */
+    double measuredLocality() const;
+
+    const std::vector<std::uint64_t> &permutation() const
+    {
+        return xIndex;
+    }
+
+  private:
+    std::uint64_t n = 0;
+    std::vector<std::uint64_t> xIndex;
+    std::vector<Addr> aBase;
+    std::vector<Addr> bBase;
+    std::uint64_t localCount = 0;
+    core::Distribution dist = core::Distribution::block(1, 1);
+    CommOp commOp;
+};
+
+} // namespace ct::apps
+
+#endif // CT_APPS_IRREGULAR_H

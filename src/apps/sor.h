@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Successive over-relaxation boundary exchange (paper §6.1.3). An
+ * n x n grid is distributed as contiguous row blocks with one
+ * overlap (ghost) row on each side; after every relaxation step the
+ * boundary rows are shifted to the neighbouring nodes as contiguous
+ * blocks (1Q1 flows).
+ */
+
+#ifndef CT_APPS_SOR_H
+#define CT_APPS_SOR_H
+
+#include "rt/comm_op.h"
+
+namespace ct::apps {
+
+using rt::CommOp;
+using sim::Addr;
+using sim::Machine;
+using sim::NodeId;
+
+/** Parameters of the SOR workload. */
+struct SorConfig
+{
+    std::uint64_t n = 256; ///< grid dimension (words per row)
+    /** Treat the node chain as a ring (wrap the shift around). */
+    bool periodic = false;
+};
+
+/**
+ * The distributed SOR grid plus the overlap-exchange operation.
+ * Each node stores (rows + 2) x n doubles: one ghost row above and
+ * below its block.
+ */
+class SorWorkload
+{
+  public:
+    static SorWorkload create(Machine &machine, const SorConfig &cfg);
+
+    /** Fill the interior with f(row, col) = row * n + col + 1. */
+    void fillInterior(Machine &machine) const;
+
+    /** Check every ghost row equals the neighbour's boundary row. */
+    std::uint64_t verify(Machine &machine) const;
+
+    /**
+     * Run one Jacobi-style relaxation sweep on the local data plane
+     * (pure data transformation; used by the example application).
+     * Ghost rows must have been exchanged first.
+     */
+    void relaxInterior(Machine &machine, double omega) const;
+
+    const CommOp &op() const { return commOp; }
+    std::uint64_t n() const { return dim; }
+    std::uint64_t rowsPerNode() const { return rowsPer; }
+
+    /** Address of local row @p r (0 = top ghost) on node @p p. */
+    Addr rowAddr(int p, std::uint64_t r) const;
+
+  private:
+    std::uint64_t dim = 0;
+    std::uint64_t rowsPer = 0;
+    bool periodic = false;
+    std::vector<Addr> base;
+    CommOp commOp;
+};
+
+} // namespace ct::apps
+
+#endif // CT_APPS_SOR_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Throughput evaluation rules of the copy-transfer model (paper §3.3):
+ * parallel composition takes the minimum, sequential composition takes
+ * the reciprocal sum, and resource constraints cap the result.
+ */
+
+#ifndef CT_CORE_ALGEBRA_H
+#define CT_CORE_ALGEBRA_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+
+namespace ct::core {
+
+/**
+ * An aggregate resource bound, e.g. "every node sends and receives at
+ * once, so 2x the operation throughput must fit in the memory-system
+ * bandwidth": demandFactor 2, limit |0C1|.
+ */
+struct ResourceConstraint
+{
+    std::string name;    ///< label used in reports
+    double demandFactor; ///< how many times the operation loads it
+    util::MBps limit;    ///< available aggregate bandwidth
+};
+
+/** Everything needed to evaluate an expression on one machine. */
+struct EvalContext
+{
+    const ThroughputTable *table = nullptr;
+    /** Congestion assumed for network legs without an override. */
+    double congestion = 2.0;
+    std::vector<ResourceConstraint> constraints;
+};
+
+/**
+ * Estimate the throughput of a communication operation.
+ *
+ * Returns nullopt when some basic transfer in the expression is not
+ * implemented on the machine (no table entry), which the planner uses
+ * to discard illegal strategies.
+ */
+std::optional<util::MBps> evaluate(const ExprPtr &expr,
+                                   const EvalContext &ctx);
+
+/** Like evaluate() but fatal() when the expression cannot be rated. */
+util::MBps evaluateOrDie(const ExprPtr &expr, const EvalContext &ctx);
+
+/**
+ * Render a human-readable evaluation trace: one line per node with its
+ * individual and composite throughputs, plus applied constraints.
+ */
+std::string explain(const ExprPtr &expr, const EvalContext &ctx);
+
+} // namespace ct::core
+
+#endif // CT_CORE_ALGEBRA_H

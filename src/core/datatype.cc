@@ -1,0 +1,113 @@
+#include "datatype.h"
+
+#include <algorithm>
+
+#include "core/distribution.h"
+#include "util/logging.h"
+
+namespace ct::core {
+
+Datatype
+Datatype::contiguous(std::uint64_t count)
+{
+    if (count == 0)
+        util::fatal("Datatype::contiguous: zero count");
+    Datatype t;
+    t.wordOffsets.resize(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        t.wordOffsets[i] = i;
+    return t;
+}
+
+Datatype
+Datatype::vector(std::uint64_t count, std::uint64_t blocklen,
+                 std::uint64_t stride)
+{
+    if (count == 0 || blocklen == 0)
+        util::fatal("Datatype::vector: zero count or blocklen");
+    if (stride < blocklen)
+        util::fatal("Datatype::vector: stride smaller than blocklen");
+    Datatype t;
+    t.wordOffsets.reserve(count * blocklen);
+    for (std::uint64_t i = 0; i < count; ++i)
+        for (std::uint64_t j = 0; j < blocklen; ++j)
+            t.wordOffsets.push_back(i * stride + j);
+    return t;
+}
+
+Datatype
+Datatype::indexedBlock(std::uint64_t blocklen,
+                       const std::vector<std::uint64_t> &displacements)
+{
+    std::vector<std::uint64_t> lens(displacements.size(), blocklen);
+    return indexed(lens, displacements);
+}
+
+Datatype
+Datatype::indexed(const std::vector<std::uint64_t> &blocklens,
+                  const std::vector<std::uint64_t> &displacements)
+{
+    if (blocklens.size() != displacements.size())
+        util::fatal("Datatype::indexed: length mismatch");
+    if (blocklens.empty())
+        util::fatal("Datatype::indexed: empty type");
+    Datatype t;
+    for (std::size_t i = 0; i < blocklens.size(); ++i) {
+        if (blocklens[i] == 0)
+            util::fatal("Datatype::indexed: zero-length block");
+        for (std::uint64_t j = 0; j < blocklens[i]; ++j)
+            t.wordOffsets.push_back(displacements[i] + j);
+    }
+    return t;
+}
+
+Datatype
+Datatype::replicate(const Datatype &element, std::uint64_t count,
+                    std::uint64_t extent)
+{
+    if (count == 0)
+        util::fatal("Datatype::replicate: zero count");
+    if (extent == 0)
+        util::fatal("Datatype::replicate: zero extent");
+    Datatype t;
+    t.wordOffsets.reserve(element.size() * count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        for (std::uint64_t off : element.wordOffsets)
+            t.wordOffsets.push_back(i * extent + off);
+    return t;
+}
+
+std::uint64_t
+Datatype::extent() const
+{
+    return *std::max_element(wordOffsets.begin(), wordOffsets.end()) +
+           1;
+}
+
+AccessPattern
+Datatype::pattern() const
+{
+    return classifyIndices(wordOffsets);
+}
+
+bool
+Datatype::isMonotone() const
+{
+    for (std::size_t i = 1; i < wordOffsets.size(); ++i)
+        if (wordOffsets[i] <= wordOffsets[i - 1])
+            return false;
+    return true;
+}
+
+bool
+Datatype::hasOverlap() const
+{
+    std::vector<std::uint64_t> sorted = wordOffsets;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i] == sorted[i - 1])
+            return true;
+    return false;
+}
+
+} // namespace ct::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Derived datatypes: MPI-style descriptions of non-contiguous data
+ * layouts. The paper's abstract notes that standard message-passing
+ * libraries force buffer packing for such layouts; this module lets
+ * a user describe a layout once (vector, indexed, nested), classify
+ * it into the copy-transfer model's access patterns, and hand it to
+ * the planner -- which is exactly what MPI datatypes later
+ * standardized.
+ *
+ * All units are 64-bit words, the paper's basic unit of transfer.
+ */
+
+#ifndef CT_CORE_DATATYPE_H
+#define CT_CORE_DATATYPE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace ct::core {
+
+/**
+ * A derived datatype: an ordered list of word offsets relative to a
+ * base address. Constructors mirror the MPI type constructors.
+ */
+class Datatype
+{
+  public:
+    /** count consecutive words (MPI_Type_contiguous). */
+    static Datatype contiguous(std::uint64_t count);
+
+    /**
+     * count blocks of blocklen words, stride words apart
+     * (MPI_Type_vector). A complex-number column of an n-column
+     * matrix is vector(rows, 2, 2 * n).
+     */
+    static Datatype vector(std::uint64_t count, std::uint64_t blocklen,
+                           std::uint64_t stride);
+
+    /**
+     * Blocks of equal length at arbitrary displacements
+     * (MPI_Type_create_indexed_block).
+     */
+    static Datatype indexedBlock(std::uint64_t blocklen,
+                                 const std::vector<std::uint64_t>
+                                     &displacements);
+
+    /**
+     * Fully general blocks (MPI_Type_indexed): blocklens[i] words at
+     * displacements[i].
+     */
+    static Datatype indexed(const std::vector<std::uint64_t> &blocklens,
+                            const std::vector<std::uint64_t>
+                                &displacements);
+
+    /**
+     * count copies of @p element laid end to end with the given
+     * extent (MPI_Type_create_resized + contiguous): copy i adds
+     * i * extent to every offset.
+     */
+    static Datatype replicate(const Datatype &element,
+                              std::uint64_t count,
+                              std::uint64_t extent);
+
+    /** Number of words one instance of the type covers. */
+    std::uint64_t size() const { return wordOffsets.size(); }
+
+    /** One past the largest offset (the type's extent in words). */
+    std::uint64_t extent() const;
+
+    /** The flattened word offsets, in transmission order. */
+    const std::vector<std::uint64_t> &offsets() const
+    {
+        return wordOffsets;
+    }
+
+    /**
+     * The copy-transfer access pattern a loop over this layout
+     * exhibits: contiguous, (block-)strided, or indexed.
+     */
+    AccessPattern pattern() const;
+
+    /** True when offsets are strictly increasing. */
+    bool isMonotone() const;
+
+    /** True when some word offset appears more than once. */
+    bool hasOverlap() const;
+
+    bool operator==(const Datatype &other) const = default;
+
+  private:
+    std::vector<std::uint64_t> wordOffsets;
+};
+
+} // namespace ct::core
+
+#endif // CT_CORE_DATATYPE_H

@@ -1,0 +1,146 @@
+#include "distribution2d.h"
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+DimSpec
+DimSpec::whole(std::uint64_t extent)
+{
+    if (extent == 0)
+        util::fatal("DimSpec::whole: empty dimension");
+    DimSpec s;
+    s.wholeExtent = extent;
+    return s;
+}
+
+DimSpec
+DimSpec::dist(const Distribution &d)
+{
+    DimSpec s;
+    s.distributed = d;
+    return s;
+}
+
+std::uint64_t
+DimSpec::extent() const
+{
+    return isWhole() ? wholeExtent : distributed->elements();
+}
+
+int
+DimSpec::gridNodes() const
+{
+    return isWhole() ? 1 : distributed->nodes();
+}
+
+const Distribution &
+DimSpec::distribution() const
+{
+    if (isWhole())
+        util::fatal("DimSpec: dimension is not distributed");
+    return *distributed;
+}
+
+Distribution2d::Distribution2d(DimSpec row_spec, DimSpec col_spec)
+    : rowSpec(std::move(row_spec)), colSpec(std::move(col_spec))
+{
+}
+
+std::uint64_t
+Distribution2d::localRowCount(int grid_row) const
+{
+    return rowSpec.isWhole() ? rowSpec.extent()
+                             : rowSpec.distribution().localCount(
+                                   grid_row);
+}
+
+std::uint64_t
+Distribution2d::localColCount(int grid_col) const
+{
+    return colSpec.isWhole() ? colSpec.extent()
+                             : colSpec.distribution().localCount(
+                                   grid_col);
+}
+
+int
+Distribution2d::ownerOf(std::uint64_t i, std::uint64_t j) const
+{
+    int grid_row =
+        rowSpec.isWhole() ? 0 : rowSpec.distribution().ownerOf(i);
+    int grid_col =
+        colSpec.isWhole() ? 0 : colSpec.distribution().ownerOf(j);
+    return grid_row * colSpec.gridNodes() + grid_col;
+}
+
+std::uint64_t
+Distribution2d::localOffsetOf(std::uint64_t i, std::uint64_t j) const
+{
+    std::uint64_t li =
+        rowSpec.isWhole() ? i : rowSpec.distribution().localIndexOf(i);
+    std::uint64_t lj =
+        colSpec.isWhole() ? j : colSpec.distribution().localIndexOf(j);
+    int grid_col =
+        colSpec.isWhole() ? 0 : colSpec.distribution().ownerOf(j);
+    return li * localColCount(grid_col) + lj;
+}
+
+std::uint64_t
+Distribution2d::localWords(int node) const
+{
+    if (node < 0 || node >= nodes())
+        util::fatal("Distribution2d::localWords: bad node");
+    int grid_row = node / colSpec.gridNodes();
+    int grid_col = node % colSpec.gridNodes();
+    return localRowCount(grid_row) * localColCount(grid_col);
+}
+
+std::string
+Distribution2d::name() const
+{
+    auto dim = [](const DimSpec &s) {
+        return s.isWhole() ? std::string("*") : s.distribution().name();
+    };
+    std::string out = "(";
+    out += dim(rowSpec);
+    out += ", ";
+    out += dim(colSpec);
+    out += ")";
+    return out;
+}
+
+Redist2dPair
+redistribution2dIndices(const Distribution2d &from,
+                        const Distribution2d &to, int sender,
+                        int receiver, bool transpose)
+{
+    std::uint64_t rows = to.rows();
+    std::uint64_t cols = to.cols();
+    if (!transpose &&
+        (from.rows() != rows || from.cols() != cols))
+        util::fatal("redistribution2dIndices: shape mismatch");
+    if (transpose &&
+        (from.rows() != cols || from.cols() != rows))
+        util::fatal("redistribution2dIndices: transposed shape "
+                    "mismatch");
+
+    Redist2dPair pair;
+    // Walk the receiver's local storage in order (row-major), so the
+    // destination offsets come out sorted; classifyIndices then
+    // recognizes the induced pattern on both sides.
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        for (std::uint64_t j = 0; j < cols; ++j) {
+            if (to.ownerOf(i, j) != receiver)
+                continue;
+            std::uint64_t si = transpose ? j : i;
+            std::uint64_t sj = transpose ? i : j;
+            if (from.ownerOf(si, sj) != sender)
+                continue;
+            pair.srcOffsets.push_back(from.localOffsetOf(si, sj));
+            pair.dstOffsets.push_back(to.localOffsetOf(i, j));
+        }
+    }
+    return pair;
+}
+
+} // namespace ct::core

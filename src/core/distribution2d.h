@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Two-dimensional HPF distributions. An HPF array is distributed per
+ * dimension over a node grid; `*` (no distribution) keeps a
+ * dimension whole on every owner. The paper's transpose (§5.2,
+ * Figure 9) is exactly the redistribution
+ *
+ *     A(BLOCK, *)  ->  B(*, BLOCK)
+ *
+ * and the loop-order choice of Table 5 is which side of that
+ * redistribution carries the stride.
+ */
+
+#ifndef CT_CORE_DISTRIBUTION2D_H
+#define CT_CORE_DISTRIBUTION2D_H
+
+#include "core/distribution.h"
+
+namespace ct::core {
+
+/** Per-dimension distribution spec: a Distribution or `*`. */
+struct DimSpec
+{
+    /** Whole dimension replicated along this grid axis. */
+    static DimSpec whole(std::uint64_t extent);
+
+    /** Distributed dimension. */
+    static DimSpec dist(const Distribution &d);
+
+    bool isWhole() const { return !distributed.has_value(); }
+    std::uint64_t extent() const;
+    int gridNodes() const;
+    const Distribution &distribution() const;
+
+    std::optional<Distribution> distributed;
+    std::uint64_t wholeExtent = 0;
+};
+
+/**
+ * A 2-D array of rows x cols elements distributed over a grid of
+ * rowSpec.gridNodes() x colSpec.gridNodes() nodes. Node (r, c) of
+ * the grid is linear node r * colNodes + c. Local storage is
+ * row-major over the node's local rows and columns.
+ */
+class Distribution2d
+{
+  public:
+    Distribution2d(DimSpec row_spec, DimSpec col_spec);
+
+    std::uint64_t rows() const { return rowSpec.extent(); }
+    std::uint64_t cols() const { return colSpec.extent(); }
+    int nodes() const
+    {
+        return rowSpec.gridNodes() * colSpec.gridNodes();
+    }
+
+    /** The linear node owning element (i, j). */
+    int ownerOf(std::uint64_t i, std::uint64_t j) const;
+
+    /** Word offset of (i, j) within its owner's local array. */
+    std::uint64_t localOffsetOf(std::uint64_t i, std::uint64_t j) const;
+
+    /** Local words stored on linear node @p node. */
+    std::uint64_t localWords(int node) const;
+
+    /** e.g. "(BLOCK, *)". */
+    std::string name() const;
+
+  private:
+    std::uint64_t localRowCount(int grid_row) const;
+    std::uint64_t localColCount(int grid_col) const;
+
+    DimSpec rowSpec;
+    DimSpec colSpec;
+};
+
+/**
+ * Element traffic of B(to) = A(from) for one (sender, receiver)
+ * pair, optionally transposing (B[i][j] = A[j][i]). Returns parallel
+ * lists of local word offsets: source offsets on the sender and
+ * destination offsets on the receiver, in destination storage order.
+ */
+struct Redist2dPair
+{
+    std::vector<std::uint64_t> srcOffsets;
+    std::vector<std::uint64_t> dstOffsets;
+};
+
+Redist2dPair redistribution2dIndices(const Distribution2d &from,
+                                     const Distribution2d &to,
+                                     int sender, int receiver,
+                                     bool transpose = false);
+
+} // namespace ct::core
+
+#endif // CT_CORE_DISTRIBUTION2D_H

@@ -1,0 +1,181 @@
+#include "expr.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+ExprPtr
+TransferExpr::leaf(BasicTransfer t)
+{
+    auto node = std::shared_ptr<TransferExpr>(new TransferExpr());
+    node->kindValue = ExprKind::Leaf;
+    node->leafTransfer = t;
+    return node;
+}
+
+ExprPtr
+TransferExpr::leaf(BasicTransfer t, double congestion)
+{
+    if (!isNetworkOp(t.op))
+        util::fatal("TransferExpr::leaf: congestion override on ",
+                    t.name());
+    if (congestion < 1.0)
+        util::fatal("TransferExpr::leaf: congestion < 1");
+    auto node = std::shared_ptr<TransferExpr>(new TransferExpr());
+    node->kindValue = ExprKind::Leaf;
+    node->leafTransfer = t;
+    node->congestion = congestion;
+    return node;
+}
+
+ExprPtr
+TransferExpr::seq(std::vector<ExprPtr> parts)
+{
+    if (parts.size() < 2)
+        util::fatal("TransferExpr::seq: needs >= 2 parts");
+    for (const auto &p : parts)
+        if (!p)
+            util::fatal("TransferExpr::seq: null child");
+    auto node = std::shared_ptr<TransferExpr>(new TransferExpr());
+    node->kindValue = ExprKind::Seq;
+    node->parts = std::move(parts);
+    return node;
+}
+
+ExprPtr
+TransferExpr::seq(ExprPtr a, ExprPtr b)
+{
+    return seq(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr
+TransferExpr::seq(ExprPtr a, ExprPtr b, ExprPtr c)
+{
+    return seq(std::vector<ExprPtr>{std::move(a), std::move(b),
+                                    std::move(c)});
+}
+
+ExprPtr
+TransferExpr::par(std::vector<ExprPtr> parts)
+{
+    if (parts.size() < 2)
+        util::fatal("TransferExpr::par: needs >= 2 parts");
+    for (const auto &p : parts)
+        if (!p)
+            util::fatal("TransferExpr::par: null child");
+    auto node = std::shared_ptr<TransferExpr>(new TransferExpr());
+    node->kindValue = ExprKind::Par;
+    node->parts = std::move(parts);
+    return node;
+}
+
+ExprPtr
+TransferExpr::par(ExprPtr a, ExprPtr b)
+{
+    return par(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+ExprPtr
+TransferExpr::par(ExprPtr a, ExprPtr b, ExprPtr c)
+{
+    return par(std::vector<ExprPtr>{std::move(a), std::move(b),
+                                    std::move(c)});
+}
+
+const BasicTransfer &
+TransferExpr::transfer() const
+{
+    if (kindValue != ExprKind::Leaf)
+        util::fatal("TransferExpr::transfer: not a leaf");
+    return leafTransfer;
+}
+
+std::optional<AccessPattern>
+TransferExpr::readPattern() const
+{
+    if (kindValue == ExprKind::Leaf) {
+        if (leafTransfer.read.touchesMemory())
+            return leafTransfer.read;
+        return std::nullopt;
+    }
+    for (const auto &child : parts)
+        if (auto p = child->readPattern())
+            return p;
+    return std::nullopt;
+}
+
+std::optional<AccessPattern>
+TransferExpr::writePattern() const
+{
+    if (kindValue == ExprKind::Leaf) {
+        if (leafTransfer.write.touchesMemory())
+            return leafTransfer.write;
+        return std::nullopt;
+    }
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        if (auto p = (*it)->writePattern())
+            return p;
+    return std::nullopt;
+}
+
+std::optional<std::string>
+TransferExpr::validate() const
+{
+    if (kindValue == ExprKind::Leaf)
+        return std::nullopt;
+
+    for (const auto &child : parts)
+        if (auto err = child->validate())
+            return err;
+
+    if (kindValue == ExprKind::Seq) {
+        // Enforce the handoff rule between consecutive stages that
+        // both touch memory: stage i's write pattern must equal stage
+        // i+1's read pattern.
+        for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+            auto w = parts[i]->writePattern();
+            auto r = parts[i + 1]->readPattern();
+            if (w && r && !(*w == *r)) {
+                return "pattern mismatch between '" +
+                       parts[i]->format() + "' (writes " + w->label() +
+                       ") and '" + parts[i + 1]->format() +
+                       "' (reads " + r->label() + ")";
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::string
+TransferExpr::formatInner(bool parenthesize) const
+{
+    if (kindValue == ExprKind::Leaf) {
+        std::string s = leafTransfer.name();
+        if (congestion) {
+            std::ostringstream os;
+            os << s << "@" << *congestion;
+            return os.str();
+        }
+        return s;
+    }
+    const char *sep = kindValue == ExprKind::Seq ? " o " : " || ";
+    std::string body;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            body += sep;
+        body += parts[i]->formatInner(true);
+    }
+    if (parenthesize)
+        return "(" + body + ")";
+    return body;
+}
+
+std::string
+TransferExpr::format() const
+{
+    return formatInner(false);
+}
+
+} // namespace ct::core

@@ -1,0 +1,84 @@
+#include "latency_model.h"
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+MessageCostModel::MessageCostModel(util::MBps asymptotic_mbps,
+                                   util::Cycles startup_cycles,
+                                   util::Cycles sync_cycles,
+                                   double clock_hz)
+    : peak(asymptotic_mbps),
+      startupSeconds(static_cast<double>(startup_cycles) / clock_hz),
+      syncSeconds(static_cast<double>(sync_cycles) / clock_hz)
+{
+    if (peak <= 0.0)
+        util::fatal("MessageCostModel: non-positive throughput");
+    if (clock_hz <= 0.0)
+        util::fatal("MessageCostModel: non-positive clock");
+}
+
+double
+MessageCostModel::secondsFor(util::Bytes bytes) const
+{
+    return startupSeconds + syncSeconds +
+           static_cast<double>(bytes) / (peak * 1e6);
+}
+
+util::MBps
+MessageCostModel::throughputAt(util::Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / 1e6 / secondsFor(bytes);
+}
+
+util::Bytes
+MessageCostModel::halfPowerPoint() const
+{
+    // throughput(n) = peak/2  <=>  n / peak = startup + sync + n/peak
+    // ... solving n/(s + n/B) = B/2 gives n = s * B.
+    double n = (startupSeconds + syncSeconds) * peak * 1e6;
+    return static_cast<util::Bytes>(n);
+}
+
+std::optional<MessageCostModel>
+makeMessageCostModel(MachineId id, Style style, AccessPattern x,
+                     AccessPattern y)
+{
+    auto strategy = makeStrategy(id, style, x, y);
+    if (!strategy)
+        return std::nullopt;
+    auto caps = paperCaps(id);
+    auto table = paperTable(id);
+    auto rate =
+        rateStrategy(*strategy, table, caps.defaultCongestion);
+    if (!rate)
+        return std::nullopt;
+
+    // Software costs, matching the runtime layers' defaults (see
+    // rt::ChainedOptions / rt::PackingOptions): the chained path
+    // pays an annex partner switch per message and a cache-
+    // invalidating synchronization per step; the packing path a
+    // cheaper library call and barrier; PVM adds protocol work.
+    util::Cycles startup = 0;
+    util::Cycles sync = 0;
+    switch (style) {
+      case Style::Chained:
+        startup = 1500;
+        sync = 8000;
+        break;
+      case Style::BufferPacking:
+      case Style::DmaDirect:
+        startup = 1500; // sender + receiver library calls
+        sync = 3000;
+        break;
+      case Style::Pvm:
+        startup = 6000;
+        sync = 3000;
+        break;
+    }
+    return MessageCostModel(*rate, startup, sync, caps.clockHz);
+}
+
+} // namespace ct::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text syntax for copy-transfer formulas.
+ *
+ * Grammar (whitespace separates tokens; `o` is the sequential
+ * operator, `||` the parallel operator):
+ *
+ *     expr   := term ( "o" term )*
+ *     term   := factor ( "||" factor )*
+ *     factor := "(" expr ")" | leaf
+ *     leaf   := "Nd" | "Nadp" [ "@" congestion ]
+ *             | pattern OP pattern        e.g. 64C1, wS0, 0D64, 1F0
+ *     pattern:= "0" | "1" | stride digits | "w"
+ *
+ * Examples accepted: "1C64", "wS0 || Nadp || 0Dw",
+ * "1C1 o (1S0 || Nd@2 || 0D1) o 1C64".
+ */
+
+#ifndef CT_CORE_PARSER_H
+#define CT_CORE_PARSER_H
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/expr.h"
+
+namespace ct::core {
+
+/** Error produced by parse(): message plus offending position. */
+struct ParseError
+{
+    std::string message;
+    std::size_t position = 0;
+};
+
+/** Result of parsing: either an expression or an error. */
+using ParseResult = std::variant<ExprPtr, ParseError>;
+
+/** Parse a formula; see the file comment for the grammar. */
+ParseResult parse(std::string_view text);
+
+/** Parse or fatal() with a decorated message; for trusted literals. */
+ExprPtr parseOrDie(std::string_view text);
+
+} // namespace ct::core
+
+#endif // CT_CORE_PARSER_H

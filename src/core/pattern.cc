@@ -1,0 +1,114 @@
+#include "pattern.h"
+
+#include <charconv>
+#include <tuple>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ct::core {
+
+AccessPattern
+AccessPattern::fixed()
+{
+    return {PatternKind::Fixed, 0, 0};
+}
+
+AccessPattern
+AccessPattern::contiguous()
+{
+    return {PatternKind::Contiguous, 1, 1};
+}
+
+AccessPattern
+AccessPattern::strided(std::uint32_t stride_words,
+                       std::uint32_t block_words)
+{
+    if (stride_words == 0 || block_words == 0)
+        util::fatal("AccessPattern::strided: zero stride or block");
+    if (block_words > stride_words)
+        util::fatal("AccessPattern::strided: block (", block_words,
+                    ") larger than stride (", stride_words, ")");
+    if (stride_words == block_words)
+        return contiguous();
+    return {PatternKind::Strided, stride_words, block_words};
+}
+
+AccessPattern
+AccessPattern::indexed()
+{
+    return {PatternKind::Indexed, 0, 0};
+}
+
+namespace {
+
+std::optional<std::uint32_t>
+parseNumber(std::string_view s)
+{
+    if (!util::isAllDigits(s))
+        return std::nullopt;
+    std::uint32_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return std::nullopt;
+    return value;
+}
+
+} // namespace
+
+std::optional<AccessPattern>
+AccessPattern::parse(std::string_view text)
+{
+    auto s = util::trim(text);
+    if (s == "w" || s == "omega" || s == "W")
+        return indexed();
+
+    // "stride.block" for block-strided patterns.
+    if (auto dot = s.find('.'); dot != std::string_view::npos) {
+        auto stride = parseNumber(s.substr(0, dot));
+        auto block = parseNumber(s.substr(dot + 1));
+        if (!stride || !block || *stride == 0 || *block == 0 ||
+            *block > *stride)
+            return std::nullopt;
+        return strided(*stride, *block);
+    }
+
+    auto value = parseNumber(s);
+    if (!value)
+        return std::nullopt;
+    if (*value == 0)
+        return fixed();
+    return strided(*value);
+}
+
+std::string
+AccessPattern::label() const
+{
+    switch (kindValue) {
+      case PatternKind::Fixed:
+        return "0";
+      case PatternKind::Contiguous:
+        return "1";
+      case PatternKind::Strided:
+        if (blockWords > 1)
+            return std::to_string(strideWords) + "." +
+                   std::to_string(blockWords);
+        return std::to_string(strideWords);
+      case PatternKind::Indexed:
+        return "w";
+    }
+    util::panic("AccessPattern::label: bad kind");
+}
+
+bool
+PatternLess::operator()(const AccessPattern &a,
+                        const AccessPattern &b) const
+{
+    return std::tuple(static_cast<int>(a.kind()), a.stride(),
+                      a.block()) <
+           std::tuple(static_cast<int>(b.kind()), b.stride(),
+                      b.block());
+}
+
+} // namespace ct::core

@@ -1,0 +1,118 @@
+#include "planner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+std::vector<PlannedStrategy>
+plan(const PlanQuery &query)
+{
+    ThroughputTable table = paperTable(query.machine);
+    MachineCaps caps = paperCaps(query.machine);
+    double congestion = query.congestion > 0.0 ? query.congestion
+                                               : caps.defaultCongestion;
+
+    std::vector<PlannedStrategy> result;
+    for (Style style : {Style::DmaDirect, Style::Chained,
+                        Style::BufferPacking, Style::Pvm}) {
+        auto strategy =
+            makeStrategy(query.machine, style, query.read, query.write);
+        if (!strategy)
+            continue;
+        auto rate = rateStrategy(*strategy, table, congestion);
+        if (!rate)
+            continue;
+        result.push_back({std::move(*strategy), *rate});
+    }
+    if (result.empty())
+        util::panic("plan: no legal strategy for ",
+                    query.read.label(), "Q", query.write.label(),
+                    " on ", caps.name);
+
+    std::stable_sort(result.begin(), result.end(),
+                     [](const PlannedStrategy &a,
+                        const PlannedStrategy &b) {
+                         return a.estimate > b.estimate;
+                     });
+    return result;
+}
+
+PlannedStrategy
+bestPlan(const PlanQuery &query)
+{
+    return plan(query).front();
+}
+
+std::vector<SizedPlan>
+planForSize(MachineId machine, AccessPattern x, AccessPattern y,
+            util::Bytes message_bytes)
+{
+    std::vector<SizedPlan> result;
+    for (Style style : {Style::DmaDirect, Style::Chained,
+                        Style::BufferPacking, Style::Pvm}) {
+        auto model = makeMessageCostModel(machine, style, x, y);
+        if (!model)
+            continue;
+        SizedPlan plan;
+        plan.style = style;
+        plan.effective = model->throughputAt(message_bytes);
+        plan.asymptotic = model->asymptotic();
+        plan.halfPower = model->halfPowerPoint();
+        result.push_back(plan);
+    }
+    std::stable_sort(result.begin(), result.end(),
+                     [](const SizedPlan &a, const SizedPlan &b) {
+                         return a.effective > b.effective;
+                     });
+    return result;
+}
+
+util::Bytes
+styleCrossoverBytes(MachineId machine, AccessPattern x,
+                    AccessPattern y, Style a, Style b)
+{
+    auto ma = makeMessageCostModel(machine, a, x, y);
+    auto mb = makeMessageCostModel(machine, b, x, y);
+    if (!ma || !mb)
+        util::fatal("styleCrossoverBytes: style unavailable");
+    // Effective rates are monotone; they cross at most once. Solve
+    // secondsFor equality by bisection over a generous range.
+    auto diff = [&](double n) {
+        return ma->throughputAt(static_cast<util::Bytes>(n)) -
+               mb->throughputAt(static_cast<util::Bytes>(n));
+    };
+    double lo = 8.0, hi = 1e9;
+    if (diff(lo) * diff(hi) > 0.0)
+        return 0; // one style dominates everywhere
+    for (int it = 0; it < 200; ++it) {
+        double mid = (lo + hi) / 2.0;
+        if (diff(lo) * diff(mid) <= 0.0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return static_cast<util::Bytes>((lo + hi) / 2.0);
+}
+
+std::string
+formatPlan(const PlanQuery &query,
+           const std::vector<PlannedStrategy> &plans)
+{
+    MachineCaps caps = paperCaps(query.machine);
+    std::ostringstream os;
+    os << query.read.label() << "Q" << query.write.label() << " on "
+       << caps.name << ":\n";
+    for (const auto &p : plans) {
+        os << "  " << std::left << std::setw(15)
+           << styleName(p.strategy.style) << std::right << std::fixed
+           << std::setprecision(1) << std::setw(6) << p.estimate
+           << " MB/s   " << p.strategy.expr->format() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ct::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The compiler-facing planner (paper §5): enumerate every legal way to
+ * implement a remote memory copy xQy on a machine, rate each with the
+ * copy-transfer model, and rank them.
+ */
+
+#ifndef CT_CORE_PLANNER_H
+#define CT_CORE_PLANNER_H
+
+#include <string>
+#include <vector>
+
+#include "core/latency_model.h"
+#include "core/strategies.h"
+
+namespace ct::core {
+
+/** One rated candidate implementation. */
+struct PlannedStrategy
+{
+    Strategy strategy;
+    util::MBps estimate = 0.0;
+};
+
+/** Inputs of a planning query. */
+struct PlanQuery
+{
+    MachineId machine = MachineId::T3d;
+    AccessPattern read;  ///< source access pattern x
+    AccessPattern write; ///< destination access pattern y
+    /** Congestion of the communication step; <= 0 uses the machine
+     *  default (two for both studied machines, §4.3). */
+    double congestion = 0.0;
+};
+
+/**
+ * Enumerate, rate and sort (fastest first) all styles the machine can
+ * execute for the queried xQy. Never returns an empty vector: buffer
+ * packing is always available.
+ */
+std::vector<PlannedStrategy> plan(const PlanQuery &query);
+
+/** Shortcut for the fastest plan. */
+PlannedStrategy bestPlan(const PlanQuery &query);
+
+/** Multi-line report of a planning decision, for tools and examples. */
+std::string formatPlan(const PlanQuery &query,
+                       const std::vector<PlannedStrategy> &plans);
+
+/** One style's effective rate at a given message size. */
+struct SizedPlan
+{
+    Style style = Style::BufferPacking;
+    /** Effective throughput at the queried message size. */
+    util::MBps effective = 0.0;
+    /** Steady-state rate the style approaches for large messages. */
+    util::MBps asymptotic = 0.0;
+    /** Message size reaching half the asymptotic rate. */
+    util::Bytes halfPower = 0;
+};
+
+/**
+ * Size-aware planning via the latency-extended model: rank the
+ * styles by their *effective* throughput for messages of
+ * @p message_bytes. For small messages the ranking can differ from
+ * plan(): chained transfers pay a heavier synchronization charge, so
+ * below a crossover size buffer packing wins even where the
+ * steady-state model says otherwise (the §6.2 SOR situation).
+ */
+std::vector<SizedPlan> planForSize(MachineId machine, AccessPattern x,
+                                   AccessPattern y,
+                                   util::Bytes message_bytes);
+
+/**
+ * The message size at which @p a and @p b deliver equal effective
+ * throughput, or 0 when one dominates at every size.
+ */
+util::Bytes styleCrossoverBytes(MachineId machine, AccessPattern x,
+                                AccessPattern y, Style a, Style b);
+
+} // namespace ct::core
+
+#endif // CT_CORE_PLANNER_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Formula builders for the communication-operation implementations the
+ * paper compares (§3.4, §5.1): buffer packing, chained transfers, the
+ * PVM-style doubly-buffered variant, and direct DMA block transfer.
+ */
+
+#ifndef CT_CORE_STRATEGIES_H
+#define CT_CORE_STRATEGIES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/algebra.h"
+#include "core/machine_params.h"
+
+namespace ct::core {
+
+/** Implementation styles for a remote memory copy xQy. */
+enum class Style {
+    /** Gather into a buffer, block transfer, scatter (libsma/NX). */
+    BufferPacking,
+    /** Gather/transfer/scatter in one step via the deposit path. */
+    Chained,
+    /** Buffer packing plus extra system-buffer copies (PVM). */
+    Pvm,
+    /** Contiguous-only direct DMA block transfer, no copies. */
+    DmaDirect,
+};
+
+/** Display name of a style. */
+std::string styleName(Style style);
+
+/**
+ * A concrete implementation choice for xQy on one machine: the
+ * composed formula plus the resource constraints that apply to it.
+ */
+struct Strategy
+{
+    Style style = Style::BufferPacking;
+    ExprPtr expr;
+    std::vector<ResourceConstraint> constraints;
+    std::string description;
+};
+
+/**
+ * Build the formula for implementing xQy with @p style on machine
+ * @p id. Returns nullopt when the machine lacks the required hardware
+ * (e.g. Chained with strided y needs a flexible deposit engine or a
+ * receive co-processor; DmaDirect needs x = y = 1).
+ *
+ * The returned strategy carries the aggregate store-bandwidth
+ * constraint for styles that store every word twice per node
+ * (buffer packing and PVM), per §3.4/§5.1.3.
+ */
+std::optional<Strategy> makeStrategy(MachineId id, Style style,
+                                     AccessPattern x, AccessPattern y);
+
+/** Convenience: evaluate a strategy under the machine's defaults. */
+std::optional<util::MBps> rateStrategy(const Strategy &strategy,
+                                       const ThroughputTable &table,
+                                       double congestion);
+
+} // namespace ct::core
+
+#endif // CT_CORE_STRATEGIES_H

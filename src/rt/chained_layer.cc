@@ -1,0 +1,260 @@
+#include "chained_layer.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace ct::rt {
+
+namespace {
+
+using sim::Framing;
+using sim::Machine;
+using sim::NodeId;
+using sim::Packet;
+
+/** Execution state of the whole operation. */
+struct Ctx
+{
+    Machine &machine;
+    const CommOp &op;
+    const ChainedOptions &opts;
+    bool engineReceive; // deposit engine vs co-processor receive
+
+    std::vector<FlowGroup> groups;
+
+    struct GroupRun
+    {
+        std::uint64_t nextWord = 0; // group-space cursor
+        int credits = layerCredits;
+        bool setupPaid = false;
+    };
+
+    std::vector<GroupRun> runs;
+    /** Group indices each node still has to send, in order. */
+    std::vector<std::deque<std::size_t>> senderQueue;
+    std::vector<bool> procBusy;
+    /** Packets waiting for the receive co-processor, per node. */
+    std::vector<std::deque<Packet>> coprocQueue;
+    std::vector<Cycles> coprocFreeAt;
+    std::vector<bool> coprocBusy;
+    Cycles lastDone = 0;
+
+    Ctx(Machine &machine, const CommOp &op, const ChainedOptions &opts)
+        : machine(machine), op(op), opts(opts), groups(groupFlows(op)),
+          runs(groups.size()),
+          senderQueue(static_cast<std::size_t>(machine.nodeCount())),
+          procBusy(static_cast<std::size_t>(machine.nodeCount()),
+                   false),
+          coprocQueue(static_cast<std::size_t>(machine.nodeCount())),
+          coprocFreeAt(static_cast<std::size_t>(machine.nodeCount()),
+                       0),
+          coprocBusy(static_cast<std::size_t>(machine.nodeCount()),
+                     false)
+    {
+        engineReceive = machine.config().node.deposit.anyPattern;
+        if (!engineReceive && !machine.config().node.hasCoProcessor)
+            util::fatal("ChainedLayer: machine has neither a flexible "
+                        "deposit engine nor a receive co-processor");
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            senderQueue[static_cast<std::size_t>(groups[g].src)]
+                .push_back(g);
+    }
+
+    void trySend(NodeId node);
+    void tryReceive(NodeId node);
+    void deliver(Packet &&pkt, Cycles time);
+    void chunkDeposited(std::size_t group_idx, Cycles time);
+};
+
+void
+Ctx::trySend(NodeId node)
+{
+    auto n = static_cast<std::size_t>(node);
+    if (procBusy[n])
+        return;
+    auto &queue = senderQueue[n];
+
+    // Partners are served in order: all data for one destination is
+    // streamed before the annex is switched to the next.
+    while (!queue.empty()) {
+        std::size_t g = queue.front();
+        const FlowGroup &group = groups[g];
+        GroupRun &run = runs[g];
+        if (run.nextWord >= group.totalWords()) {
+            queue.pop_front();
+            continue;
+        }
+        if (run.credits == 0)
+            return; // re-triggered when a chunk is deposited
+
+        auto [pos, offset] = group.locate(run.nextWord);
+        std::size_t flow_idx = group.flows[pos];
+        const Flow &flow = op.flows[flow_idx];
+
+        // Remote stores through a deposit engine carry their own
+        // addresses, so a chunk may stream across flow boundaries
+        // within the partner group; the co-processor receive path
+        // (no engine) needs software framing per flow.
+        std::uint64_t limit =
+            engineReceive ? group.totalWords() - run.nextWord
+                          : flow.words - offset;
+        std::uint64_t count =
+            std::min<std::uint64_t>(layerChunkWords, limit);
+        std::uint64_t chunk_first = run.nextWord;
+        run.nextWord += count;
+        --run.credits;
+
+        bool contiguous = flow.srcWalk.pattern.isContiguous() &&
+                          flow.dstWalk.pattern.isContiguous() &&
+                          offset + count <= flow.words;
+
+        procBusy[n] = true;
+        sim::Processor &proc = machine.node(node).processor();
+        Cycles now = machine.events().now();
+        Cycles elapsed = 0;
+        if (!run.setupPaid) {
+            elapsed += opts.flowSetupOverhead;
+            run.setupPaid = true;
+        }
+
+        Packet pkt;
+        pkt.src = group.src;
+        pkt.dst = group.dst;
+        pkt.flow = static_cast<std::uint32_t>(flow_idx);
+        pkt.seq = static_cast<std::uint32_t>(g);
+        pkt.framing =
+            contiguous ? Framing::DataOnly : Framing::AddrDataPair;
+        pkt.destBase = offset; // in-flow first word, see deliver()
+
+        if (pkt.framing == Framing::DataOnly) {
+            elapsed += proc.gatherToPort(flow.srcWalk, offset, count,
+                                         now + elapsed, pkt.words);
+            pkt.destBase = flow.dstWalk.base + offset * 8;
+        } else {
+            // Gather and address-generate segment by segment.
+            std::uint64_t done = 0;
+            while (done < count) {
+                auto [seg_pos, seg_off] =
+                    group.locate(chunk_first + done);
+                const Flow &seg_flow = op.flows[group.flows[seg_pos]];
+                std::uint64_t seg_count = std::min<std::uint64_t>(
+                    count - done, seg_flow.words - seg_off);
+                elapsed += proc.gatherToPort(seg_flow.srcWalk,
+                                             seg_off, seg_count,
+                                             now + elapsed, pkt.words);
+                elapsed += proc.computeRemoteAddrs(
+                    seg_flow.dstWalkOnSender, seg_off, seg_count,
+                    now + elapsed, pkt.addrs);
+                done += seg_count;
+            }
+        }
+
+        machine.events().scheduleAfter(
+            elapsed, [this, node, pkt = std::move(pkt)]() mutable {
+                machine.network().send(std::move(pkt));
+                procBusy[static_cast<std::size_t>(node)] = false;
+                trySend(node);
+            });
+        return;
+    }
+}
+
+void
+Ctx::chunkDeposited(std::size_t group_idx, Cycles time)
+{
+    lastDone = std::max(lastDone, time);
+    ++runs[group_idx].credits;
+    trySend(groups[group_idx].src);
+}
+
+void
+Ctx::tryReceive(NodeId node)
+{
+    auto n = static_cast<std::size_t>(node);
+    if (coprocBusy[n] || coprocQueue[n].empty())
+        return;
+    Packet pkt = std::move(coprocQueue[n].front());
+    coprocQueue[n].pop_front();
+    coprocBusy[n] = true;
+
+    const Flow &flow = op.flows[pkt.flow];
+    std::uint64_t first = pkt.destBase; // in-flow first word
+    Cycles now = machine.events().now();
+    Cycles start = std::max(now, coprocFreeAt[n]);
+    sim::Processor &coproc = machine.node(node).coProcessor();
+    Cycles elapsed =
+        coproc.scatterFromPort(flow.dstWalk, first, pkt.words.size(),
+                               start, pkt.words.data());
+    coprocFreeAt[n] = start + elapsed;
+
+    std::size_t group_idx = pkt.seq;
+    machine.events().schedule(
+        start + elapsed, [this, node, group_idx]() {
+            auto idx = static_cast<std::size_t>(node);
+            coprocBusy[idx] = false;
+            chunkDeposited(group_idx, machine.events().now());
+            tryReceive(node);
+        });
+}
+
+void
+Ctx::deliver(Packet &&pkt, Cycles time)
+{
+    NodeId node = pkt.dst;
+    if (engineReceive) {
+        if (pkt.framing == Framing::DataOnly) {
+            // destBase already holds the absolute address.
+        }
+        sim::DepositEngine &engine =
+            machine.node(node).depositEngine();
+        std::size_t group_idx = pkt.seq;
+        Cycles done = engine.deposit(pkt, time);
+        machine.events().schedule(done, [this, group_idx]() {
+            chunkDeposited(group_idx, machine.events().now());
+        });
+        return;
+    }
+    // Co-processor receive path (Paragon): data-only packets carry
+    // an absolute destBase, but the scatter kernel needs the in-flow
+    // offset; recover it from the walk base.
+    if (pkt.framing == Framing::DataOnly) {
+        const Flow &flow = op.flows[pkt.flow];
+        pkt.destBase = (pkt.destBase - flow.dstWalk.base) / 8;
+    }
+    coprocQueue[static_cast<std::size_t>(node)].push_back(
+        std::move(pkt));
+    tryReceive(node);
+}
+
+} // namespace
+
+RunResult
+ChainedLayer::run(sim::Machine &machine, const CommOp &op)
+{
+    Ctx ctx(machine, op, opts);
+    machine.network().setDeliver(
+        [&ctx](Packet &&pkt, Cycles time) {
+            ctx.deliver(std::move(pkt), time);
+        });
+    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+        ctx.trySend(node);
+    machine.events().run();
+
+    // Settle write queues, then pay the end-of-step synchronization
+    // (barrier + cache invalidation after background deposits).
+    Cycles makespan = ctx.lastDone;
+    Cycles extra = 0;
+    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+        extra = std::max(extra,
+                         machine.node(node).memory().fence(makespan));
+    makespan += extra + opts.stepSyncCycles;
+
+    RunResult result;
+    result.makespan = makespan;
+    result.payloadBytes = op.totalBytes();
+    result.maxBytesPerSender = op.maxBytesPerSender();
+    return result;
+}
+
+} // namespace ct::rt

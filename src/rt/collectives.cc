@@ -1,0 +1,200 @@
+#include "collectives.h"
+
+#include "util/logging.h"
+
+namespace ct::rt {
+
+namespace {
+
+/** Run one CommOp, verify it, and fold it into the summary. */
+void
+runRound(sim::Machine &machine, MessageLayer &layer, CommOp &op,
+         CollectiveResult &total)
+{
+    if (op.flows.empty())
+        return;
+    seedSources(machine, op);
+    RunResult r = layer.run(machine, op);
+    if (verifyDelivery(machine, op) != 0)
+        util::fatal("collective '", op.name, "': corrupted delivery");
+    total.makespan += r.makespan;
+    total.bytesPerNode += r.maxBytesPerSender;
+    ++total.rounds;
+}
+
+Flow
+contiguousFlow(sim::Machine &machine, NodeId src, NodeId dst,
+               std::uint64_t words)
+{
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.words = words;
+    flow.srcWalk = sim::contiguousWalk(
+        machine.node(src).ram().alloc(words * 8));
+    flow.dstWalk = sim::contiguousWalk(
+        machine.node(dst).ram().alloc(words * 8));
+    flow.dstWalkOnSender = flow.dstWalk;
+    return flow;
+}
+
+} // namespace
+
+CollectiveResult
+shift(sim::Machine &machine, MessageLayer &layer, std::uint64_t words,
+      int displacement)
+{
+    int p = machine.nodeCount();
+    if (displacement % p == 0)
+        util::fatal("shift: displacement must move data");
+    CommOp op;
+    op.name = "shift(" + std::to_string(displacement) + ")";
+    for (NodeId node = 0; node < p; ++node) {
+        NodeId dst = (node + displacement % p + p) % p;
+        op.flows.push_back(contiguousFlow(machine, node, dst, words));
+    }
+    CollectiveResult total;
+    runRound(machine, layer, op, total);
+    return total;
+}
+
+CollectiveResult
+allToAll(sim::Machine &machine, MessageLayer &layer,
+         std::uint64_t words_per_pair)
+{
+    int p = machine.nodeCount();
+    CommOp op;
+    op.name = "all-to-all";
+    for (NodeId src = 0; src < p; ++src) {
+        // Rotation schedule: partner p+1, p+2, ... avoids hot
+        // receivers (reference [8] of the paper).
+        for (int step = 1; step < p; ++step) {
+            NodeId dst = (src + step) % p;
+            op.flows.push_back(
+                contiguousFlow(machine, src, dst, words_per_pair));
+        }
+    }
+    CollectiveResult total;
+    runRound(machine, layer, op, total);
+    return total;
+}
+
+CollectiveResult
+allToAllNaive(sim::Machine &machine, MessageLayer &layer,
+              std::uint64_t words_per_pair)
+{
+    int p = machine.nodeCount();
+    CommOp op;
+    op.name = "all-to-all (naive order)";
+    for (NodeId src = 0; src < p; ++src)
+        for (NodeId dst = 0; dst < p; ++dst)
+            if (dst != src)
+                op.flows.push_back(contiguousFlow(machine, src, dst,
+                                                  words_per_pair));
+    CollectiveResult total;
+    runRound(machine, layer, op, total);
+    return total;
+}
+
+CollectiveResult
+allToAllPhased(sim::Machine &machine, MessageLayer &layer,
+               std::uint64_t words_per_pair)
+{
+    int p = machine.nodeCount();
+    CollectiveResult total;
+    for (int step = 1; step < p; ++step) {
+        CommOp op;
+        op.name = "all-to-all phase " + std::to_string(step);
+        for (NodeId src = 0; src < p; ++src)
+            op.flows.push_back(contiguousFlow(
+                machine, src, (src + step) % p, words_per_pair));
+        runRound(machine, layer, op, total);
+    }
+    return total;
+}
+
+CollectiveResult
+broadcast(sim::Machine &machine, MessageLayer &layer,
+          std::uint64_t words, NodeId root)
+{
+    int p = machine.nodeCount();
+    if (root != 0)
+        util::fatal("broadcast: only root 0 is supported");
+
+    // One broadcast buffer per node; the tree forwards through them.
+    std::vector<Addr> buffer;
+    for (NodeId node = 0; node < p; ++node)
+        buffer.push_back(machine.node(node).ram().alloc(words * 8));
+    for (std::uint64_t w = 0; w < words; ++w)
+        machine.node(root).ram().writeWord(buffer[0] + w * 8,
+                                           0xB0000 + w);
+
+    // Binomial tree: in round r, nodes < 2^r forward to node + 2^r.
+    CollectiveResult total;
+    for (int round = 1; round < p; round <<= 1) {
+        CommOp op;
+        op.name = "broadcast round";
+        for (NodeId src = 0; src < round && src + round < p; ++src) {
+            Flow flow;
+            flow.src = src;
+            flow.dst = src + round;
+            flow.words = words;
+            flow.srcWalk = sim::contiguousWalk(
+                buffer[static_cast<std::size_t>(src)]);
+            flow.dstWalk = sim::contiguousWalk(
+                buffer[static_cast<std::size_t>(src + round)]);
+            flow.dstWalkOnSender = flow.dstWalk;
+            op.flows.push_back(flow);
+        }
+        if (op.flows.empty())
+            break;
+        RunResult r = layer.run(machine, op);
+        total.makespan += r.makespan;
+        total.bytesPerNode += words * 8; // tree depth x message
+        ++total.rounds;
+    }
+
+    // Every node must now hold the root's data.
+    for (NodeId node = 0; node < p; ++node)
+        for (std::uint64_t w = 0; w < words; w += 17)
+            if (machine.node(node).ram().readWord(
+                    buffer[static_cast<std::size_t>(node)] + w * 8) !=
+                0xB0000 + w)
+                util::fatal("broadcast: node ", node,
+                            " missing data at word ", w);
+    return total;
+}
+
+CollectiveResult
+gatherTo(sim::Machine &machine, MessageLayer &layer,
+         std::uint64_t words_per_node, NodeId root)
+{
+    int p = machine.nodeCount();
+    CommOp op;
+    op.name = "gather";
+    Addr buffer = machine.node(root).ram().alloc(
+        words_per_node * static_cast<std::uint64_t>(p) * 8);
+    for (NodeId src = 0; src < p; ++src) {
+        if (src == root)
+            continue;
+        Flow flow;
+        flow.src = src;
+        flow.dst = root;
+        flow.words = words_per_node;
+        flow.srcWalk = sim::contiguousWalk(
+            machine.node(src).ram().alloc(words_per_node * 8));
+        flow.dstWalk = sim::contiguousWalk(
+            buffer + static_cast<std::uint64_t>(src) *
+                         words_per_node * 8);
+        flow.dstWalkOnSender = flow.dstWalk;
+        op.flows.push_back(flow);
+    }
+    CollectiveResult total;
+    runRound(machine, layer, op, total);
+    // The gather is root-limited: report the root's receive volume.
+    total.bytesPerNode =
+        words_per_node * static_cast<std::uint64_t>(p - 1) * 8;
+    return total;
+}
+
+} // namespace ct::rt

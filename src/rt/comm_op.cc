@@ -1,0 +1,127 @@
+#include "comm_op.h"
+
+#include <map>
+
+namespace ct::rt {
+
+Bytes
+CommOp::totalBytes() const
+{
+    Bytes total = 0;
+    for (const auto &flow : flows)
+        total += flow.words * 8;
+    return total;
+}
+
+Bytes
+CommOp::maxBytesPerSender() const
+{
+    std::map<NodeId, Bytes> per_sender;
+    for (const auto &flow : flows)
+        per_sender[flow.src] += flow.words * 8;
+    Bytes best = 0;
+    for (const auto &[node, bytes] : per_sender)
+        best = std::max(best, bytes);
+    return best;
+}
+
+int
+CommOp::activeSenders() const
+{
+    std::map<NodeId, Bytes> per_sender;
+    for (const auto &flow : flows)
+        if (flow.words > 0)
+            per_sender[flow.src] += flow.words;
+    return static_cast<int>(per_sender.size());
+}
+
+std::vector<sim::TrafficDemand>
+CommOp::demands() const
+{
+    std::vector<sim::TrafficDemand> result;
+    result.reserve(flows.size());
+    for (const auto &flow : flows)
+        result.push_back({flow.src, flow.dst, flow.words * 8});
+    return result;
+}
+
+std::pair<std::size_t, std::uint64_t>
+FlowGroup::locate(std::uint64_t word) const
+{
+    // prefix is sorted; find the last flow starting at or before word.
+    std::size_t lo = 0, hi = flows.size();
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (prefix[mid] <= word)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return {lo, word - prefix[lo]};
+}
+
+std::vector<FlowGroup>
+groupFlows(const CommOp &op)
+{
+    std::vector<FlowGroup> groups;
+    for (std::size_t f = 0; f < op.flows.size(); ++f) {
+        const Flow &flow = op.flows[f];
+        if (flow.words == 0)
+            continue;
+        if (groups.empty() || groups.back().src != flow.src ||
+            groups.back().dst != flow.dst) {
+            FlowGroup group;
+            group.src = flow.src;
+            group.dst = flow.dst;
+            group.prefix.push_back(0);
+            groups.push_back(std::move(group));
+        }
+        FlowGroup &group = groups.back();
+        group.flows.push_back(f);
+        group.prefix.push_back(group.prefix.back() + flow.words);
+    }
+    return groups;
+}
+
+namespace {
+
+std::uint64_t
+sourceValue(std::size_t flow_idx, std::uint64_t element)
+{
+    return (static_cast<std::uint64_t>(flow_idx) << 40) ^ (element + 1);
+}
+
+} // namespace
+
+void
+seedSources(sim::Machine &machine, const CommOp &op)
+{
+    for (std::size_t f = 0; f < op.flows.size(); ++f) {
+        const Flow &flow = op.flows[f];
+        sim::NodeRam &ram = machine.node(flow.src).ram();
+        for (std::uint64_t i = 0; i < flow.words; ++i)
+            ram.writeWord(flow.srcWalk.elementAddr(ram, i),
+                          sourceValue(f, i));
+    }
+}
+
+std::uint64_t
+verifyDelivery(sim::Machine &machine, const CommOp &op)
+{
+    std::uint64_t mismatches = 0;
+    for (std::size_t f = 0; f < op.flows.size(); ++f) {
+        const Flow &flow = op.flows[f];
+        sim::NodeRam &src_ram = machine.node(flow.src).ram();
+        sim::NodeRam &dst_ram = machine.node(flow.dst).ram();
+        for (std::uint64_t i = 0; i < flow.words; ++i) {
+            std::uint64_t sent =
+                src_ram.readWord(flow.srcWalk.elementAddr(src_ram, i));
+            std::uint64_t got =
+                dst_ram.readWord(flow.dstWalk.elementAddr(dst_ram, i));
+            mismatches += sent != got;
+        }
+    }
+    return mismatches;
+}
+
+} // namespace ct::rt

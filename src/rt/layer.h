@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Message-layer interface: the different software implementations of
+ * a communication operation the paper compares (§5.1). Each layer
+ * executes a CommOp end-to-end on a simulated machine, actually
+ * moving the data, and reports the makespan.
+ */
+
+#ifndef CT_RT_LAYER_H
+#define CT_RT_LAYER_H
+
+#include <memory>
+#include <string>
+
+#include "rt/comm_op.h"
+
+namespace ct::rt {
+
+/** Outcome of one end-to-end run. */
+struct RunResult
+{
+    Cycles makespan = 0;
+    Bytes payloadBytes = 0;
+    /** Largest payload injected by one node (basis of per-node MB/s). */
+    Bytes maxBytesPerSender = 0;
+
+    /**
+     * Per-node throughput as the paper reports it: the data one node
+     * moved divided by the time the whole step took.
+     */
+    util::MBps perNodeMBps(const sim::Machine &machine) const
+    {
+        return machine.toMBps(maxBytesPerSender, makespan);
+    }
+
+    /** Aggregate throughput of the whole step. */
+    util::MBps totalMBps(const sim::Machine &machine) const
+    {
+        return machine.toMBps(payloadBytes, makespan);
+    }
+};
+
+/** Abstract message layer. */
+class MessageLayer
+{
+  public:
+    virtual ~MessageLayer() = default;
+
+    /** Human-readable layer name, e.g. "chained". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute @p op on @p machine. The machine must be freshly
+     * constructed (or otherwise quiescent); the layer drives the
+     * machine's event queue to completion.
+     */
+    virtual RunResult run(sim::Machine &machine, const CommOp &op) = 0;
+};
+
+/** Number of words moved per pipelined chunk by all layers. */
+inline constexpr std::uint64_t layerChunkWords = 64;
+
+/** In-flight chunks allowed per flow before the sender throttles. */
+inline constexpr int layerCredits = 4;
+
+} // namespace ct::rt
+
+#endif // CT_RT_LAYER_H

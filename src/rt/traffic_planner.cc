@@ -1,0 +1,50 @@
+#include "traffic_planner.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ct::rt {
+
+TrafficPlan
+planForTraffic(sim::Machine &machine, const CommOp &op)
+{
+    if (op.flows.empty())
+        util::fatal("planForTraffic: empty operation");
+
+    TrafficPlan plan;
+    plan.congestion =
+        machine.topology().congestionOf(op.demands());
+
+    const Flow *largest = nullptr;
+    for (const auto &flow : op.flows)
+        if (!largest || flow.words > largest->words)
+            largest = &flow;
+    plan.read = largest->srcWalk.pattern;
+    plan.write = largest->dstWalk.pattern;
+
+    core::PlanQuery query;
+    query.machine = machine.config().id;
+    query.read = plan.read;
+    query.write = plan.write;
+    query.congestion = plan.congestion;
+    plan.strategies = core::plan(query);
+    return plan;
+}
+
+std::string
+formatTrafficPlan(const sim::Machine &machine, const CommOp &op,
+                  const TrafficPlan &plan)
+{
+    std::ostringstream os;
+    os << "'" << op.name << "' on " << machine.config().name << " ("
+       << machine.nodeCount() << " nodes): " << op.flows.size()
+       << " flows, " << op.totalBytes() / 1024 << " KB total\n";
+    os << "  analyzed congestion: " << plan.congestion << "\n";
+    core::PlanQuery query{machine.config().id, plan.read, plan.write,
+                          plan.congestion};
+    os << core::formatPlan(query, plan.strategies);
+    return os.str();
+}
+
+} // namespace ct::rt

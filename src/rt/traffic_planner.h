@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Congestion-aware planning: the paper fixes the congestion factor of
+ * a communication step by analyzing its traffic pattern on the
+ * machine's topology (§4.3: shifts run at congestion ~1-2, dense
+ * exchanges at ~2, fan-ins higher). This module closes the loop
+ * between the model (`ct::core`) and the machine (`ct::sim`): it
+ * derives the congestion of a concrete CommOp from static link-load
+ * analysis and feeds it into the planner, so the recommended strategy
+ * accounts for how loaded the wires will actually be.
+ */
+
+#ifndef CT_RT_TRAFFIC_PLANNER_H
+#define CT_RT_TRAFFIC_PLANNER_H
+
+#include "core/planner.h"
+#include "rt/comm_op.h"
+
+namespace ct::rt {
+
+/** A plan annotated with the traffic analysis that produced it. */
+struct TrafficPlan
+{
+    /** Congestion of the op's traffic pattern on this topology. */
+    double congestion = 1.0;
+    /** Dominant access patterns of the op's flows. */
+    core::AccessPattern read;
+    core::AccessPattern write;
+    /** Ranked strategies at that congestion. */
+    std::vector<core::PlannedStrategy> strategies;
+};
+
+/**
+ * Analyze @p op on @p machine: compute the congestion factor of its
+ * demands on the machine's topology (never below the machine's
+ * structural minimum -- two on the T3D, whose nodes share network
+ * ports), take the access patterns of the largest flow, and rank the
+ * implementation strategies at that congestion.
+ */
+TrafficPlan planForTraffic(sim::Machine &machine, const CommOp &op);
+
+/** Render the analysis for tools and examples. */
+std::string formatTrafficPlan(const sim::Machine &machine,
+                              const CommOp &op,
+                              const TrafficPlan &plan);
+
+} // namespace ct::rt
+
+#endif // CT_RT_TRAFFIC_PLANNER_H

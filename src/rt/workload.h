@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Generic workload builders: allocate pattern walks in node memories
+ * and assemble simple CommOps (pairwise exchanges of a given xQy)
+ * used by tests and the basic-operation benchmarks (Figures 7/8,
+ * Table 5).
+ */
+
+#ifndef CT_RT_WORKLOAD_H
+#define CT_RT_WORKLOAD_H
+
+#include "core/datatype.h"
+#include "rt/comm_op.h"
+#include "util/rng.h"
+
+namespace ct::rt {
+
+/**
+ * Allocate a walk of @p words elements with pattern @p p in @p node's
+ * memory. Indexed walks get a fresh random permutation index array.
+ */
+sim::PatternWalk allocWalk(sim::Node &node, core::AccessPattern p,
+                           std::uint64_t words, util::Rng &rng);
+
+/**
+ * Replicate the index array of @p walk into @p node's memory (the
+ * sender of a chained transfer generates the remote store addresses
+ * and therefore needs the destination index array locally).
+ */
+sim::PatternWalk replicateIndexArray(const sim::PatternWalk &walk,
+                                     std::uint64_t words,
+                                     const sim::NodeRam &owner_ram,
+                                     sim::Node &node);
+
+/**
+ * Build one flow src -> dst moving @p words elements read with
+ * pattern @p x and written with pattern @p y, allocating all storage.
+ */
+Flow makeFlow(sim::Machine &machine, NodeId src, NodeId dst,
+              core::AccessPattern x, core::AccessPattern y,
+              std::uint64_t words, util::Rng &rng);
+
+/**
+ * Build a walk over @p array_base visiting the sorted word indices
+ * @p locals. Regular index lists become contiguous or (block-)
+ * strided walks; irregular ones materialize an index array in
+ * @p index_home's memory (the node the walk is evaluated on).
+ */
+sim::PatternWalk walkForIndices(const std::vector<std::uint64_t> &locals,
+                                Addr array_base, sim::Node &index_home);
+
+/**
+ * Build a flow that transmits one instance of @p src_type from
+ * @p src into the layout @p dst_type on @p dst (MPI-style typed
+ * send/receive; the type signatures must carry the same word count).
+ * Arrays large enough for each type's extent are allocated.
+ */
+Flow makeTypedFlow(sim::Machine &machine, NodeId src, NodeId dst,
+                   const core::Datatype &src_type,
+                   const core::Datatype &dst_type);
+
+/**
+ * Pairwise exchange: nodes are grouped in pairs (0,1), (2,3), ...;
+ * each partner sends @p words elements to the other with patterns
+ * x -> y. Every node both sends and receives, as in the paper's
+ * measurement setup.
+ */
+CommOp pairExchange(sim::Machine &machine, core::AccessPattern x,
+                    core::AccessPattern y, std::uint64_t words,
+                    std::uint64_t seed = 42);
+
+} // namespace ct::rt
+
+#endif // CT_RT_WORKLOAD_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Address and sizing primitives of the node simulator.
+ */
+
+#ifndef CT_SIM_ADDR_H
+#define CT_SIM_ADDR_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace ct::sim {
+
+/** Byte address within one node's local memory. */
+using Addr = std::uint64_t;
+
+using util::Bytes;
+using util::Cycles;
+
+/** Round @p addr down to a multiple of @p unit (a power of two). */
+constexpr Addr
+alignDown(Addr addr, Bytes unit)
+{
+    return addr & ~(static_cast<Addr>(unit) - 1);
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace ct::sim
+
+#endif // CT_SIM_ADDR_H

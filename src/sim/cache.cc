@@ -1,0 +1,182 @@
+#include "cache.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    if (!isPowerOfTwo(cfg.sizeBytes) || !isPowerOfTwo(cfg.lineBytes))
+        util::fatal("Cache: size and line must be powers of two");
+    if (cfg.associativity == 0)
+        util::fatal("Cache: zero associativity");
+    Bytes line_count = cfg.sizeBytes / cfg.lineBytes;
+    if (line_count % cfg.associativity != 0)
+        util::fatal("Cache: line count not divisible by associativity");
+    numSets = line_count / cfg.associativity;
+    if (!isPowerOfTwo(numSets))
+        util::fatal("Cache: set count must be a power of two");
+    lines.resize(line_count);
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return alignDown(addr, cfg.lineBytes);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::size_t>((line_addr / cfg.lineBytes) &
+                                    (numSets - 1));
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    std::size_t set = setIndex(line_addr);
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        Line &line = lines[set * cfg.associativity + way];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+Cache::Line &
+Cache::victim(Addr line_addr)
+{
+    std::size_t set = setIndex(line_addr);
+    Line *lru = &lines[set * cfg.associativity];
+    for (unsigned way = 1; way < cfg.associativity; ++way) {
+        Line &line = lines[set * cfg.associativity + way];
+        if (!line.valid)
+            return line;
+        if (line.lastUse < lru->lastUse)
+            lru = &line;
+    }
+    return *lru;
+}
+
+CacheLoadResult
+Cache::load(Addr addr)
+{
+    ++useClock;
+    Addr la = lineAddr(addr);
+    if (Line *line = findLine(la)) {
+        ++counters.loadHits;
+        line->lastUse = useClock;
+        return {true, false, false, 0};
+    }
+    ++counters.loadMisses;
+    CacheLoadResult result{false, true, false, 0};
+    Line &slot = victim(la);
+    if (slot.valid && slot.dirty) {
+        ++counters.writeBacks;
+        result.writeBack = true;
+        result.writeBackLine = slot.tag;
+    }
+    slot.tag = la;
+    slot.valid = true;
+    slot.dirty = false;
+    slot.lastUse = useClock;
+    return result;
+}
+
+CacheStoreResult
+Cache::store(Addr addr)
+{
+    ++useClock;
+    Addr la = lineAddr(addr);
+    Line *line = findLine(la);
+    CacheStoreResult result;
+    switch (cfg.writePolicy) {
+      case WritePolicy::WriteAround:
+        // The store bypasses the cache; a resident copy goes stale
+        // and is invalidated to keep loads coherent.
+        result.hit = line != nullptr;
+        result.toMemory = true;
+        if (line) {
+            ++counters.storeHits;
+            line->valid = false;
+            ++counters.invalidations;
+        } else {
+            ++counters.storeMisses;
+        }
+        return result;
+      case WritePolicy::WriteThrough:
+        result.toMemory = true;
+        if (line) {
+            ++counters.storeHits;
+            result.hit = true;
+            line->lastUse = useClock;
+        } else {
+            ++counters.storeMisses;
+        }
+        return result;
+      case WritePolicy::WriteBack:
+        if (line) {
+            ++counters.storeHits;
+            result.hit = true;
+            line->dirty = true;
+            line->lastUse = useClock;
+            return result;
+        }
+        ++counters.storeMisses;
+        if (!cfg.allocateOnWriteMiss) {
+            result.toMemory = true;
+            return result;
+        }
+        result.fill = true;
+        {
+            Line &slot = victim(la);
+            if (slot.valid && slot.dirty) {
+                ++counters.writeBacks;
+                result.writeBack = true;
+                result.writeBackLine = slot.tag;
+            }
+            slot.tag = la;
+            slot.valid = true;
+            slot.dirty = true;
+            slot.lastUse = useClock;
+        }
+        return result;
+    }
+    util::panic("Cache::store: bad policy");
+}
+
+void
+Cache::invalidateLine(Addr addr)
+{
+    if (Line *line = findLine(lineAddr(addr))) {
+        line->valid = false;
+        line->dirty = false;
+        ++counters.invalidations;
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines) {
+        if (line.valid)
+            ++counters.invalidations;
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(lineAddr(addr)) != nullptr;
+}
+
+} // namespace ct::sim

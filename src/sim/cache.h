@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Set-associative first-level data cache model with the write policies
+ * found on the studied nodes: write-around (T3D default configuration)
+ * and write-through (Paragon under SUNMOS); write-back is provided for
+ * completeness and ablations.
+ *
+ * The cache tracks only tags, not data; the surrounding MemorySystem
+ * translates hit/miss outcomes into cycle costs.
+ */
+
+#ifndef CT_SIM_CACHE_H
+#define CT_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/addr.h"
+
+namespace ct::sim {
+
+/** What the cache does with stores. */
+enum class WritePolicy {
+    WriteAround, ///< stores bypass the cache entirely (T3D)
+    WriteThrough, ///< stores update cache on hit, always go to memory
+    WriteBack,   ///< stores dirty the line; memory updated on eviction
+};
+
+/** Geometry and policy of the cache. */
+struct CacheConfig
+{
+    Bytes sizeBytes = 8192;
+    Bytes lineBytes = 32;
+    unsigned associativity = 1;
+    WritePolicy writePolicy = WritePolicy::WriteAround;
+    /** Allocate a line on a store miss (only for write-back). */
+    bool allocateOnWriteMiss = false;
+};
+
+/** Hit/miss counters. */
+struct CacheStats
+{
+    std::uint64_t loadHits = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t writeBacks = 0;
+    std::uint64_t invalidations = 0;
+};
+
+/** Outcome of a load access. */
+struct CacheLoadResult
+{
+    bool hit = false;
+    /** A line fill from memory is required (always true on a miss). */
+    bool fill = false;
+    /** A dirty line was evicted and must be written back first. */
+    bool writeBack = false;
+    Addr writeBackLine = 0;
+};
+
+/** Outcome of a store access. */
+struct CacheStoreResult
+{
+    bool hit = false;
+    /** The store must be sent to memory now (through/around). */
+    bool toMemory = false;
+    /** A line fill is required (write-allocate miss). */
+    bool fill = false;
+    bool writeBack = false;
+    Addr writeBackLine = 0;
+};
+
+/** LRU set-associative tag store. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Access for a load of one word at @p addr. */
+    CacheLoadResult load(Addr addr);
+
+    /** Access for a store of one word at @p addr. */
+    CacheStoreResult store(Addr addr);
+
+    /** Invalidate the line containing @p addr (deposit-engine
+     *  coherence on the T3D: incoming remote stores invalidate line
+     *  by line). Dirty data is dropped: callers that need the write
+     *  back must use load/store results instead. */
+    void invalidateLine(Addr addr);
+
+    /** Invalidate everything (synchronization-point flush). */
+    void invalidateAll();
+
+    /** True if the line containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    const CacheStats &stats() const { return counters; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const;
+    std::size_t setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    /** Pick the LRU victim in the set of @p line_addr. */
+    Line &victim(Addr line_addr);
+
+    CacheConfig cfg;
+    CacheStats counters;
+    std::size_t numSets;
+    std::vector<Line> lines; // numSets x associativity
+    std::uint64_t useClock = 0;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_CACHE_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Page-mode DRAM model. Both machines of the paper use simple
+ * DRAM-based main memories whose throughput depends heavily on row
+ * (page) locality: accesses within an open row are fast, a row change
+ * pays the full RAS cycle.
+ *
+ * Structure: each bank owns an open-row register and an activation
+ * window; the data beats of all banks serialize on one shared data
+ * bus. Two request lanes exist:
+ *
+ *  - the demand lane (processor fills, prefetches, engine traffic),
+ *  - the background lane (write-queue drains), which shares row and
+ *    bank state but never delays demand requests head-of-line; real
+ *    memory controllers give buffered writes the lowest priority.
+ */
+
+#ifndef CT_SIM_DRAM_H
+#define CT_SIM_DRAM_H
+
+#include <vector>
+
+#include "sim/addr.h"
+
+namespace ct::sim {
+
+/** Timing and geometry parameters of the DRAM array. */
+struct DramConfig
+{
+    Bytes rowBytes = 2048;    ///< page size of one DRAM row
+    int banks = 4;            ///< independently open rows
+    /** Bank interleave granularity; rows of one span share a bank. */
+    Bytes bankSpanBytes = 2048;
+    Cycles rowHitCycles = 10; ///< read within the open row
+    Cycles rowMissCycles = 20; ///< read after a row change
+    /** Writes often use a cheaper CAS-only path than line reads. */
+    Cycles writeHitCycles = 10;
+    Cycles writeMissCycles = 20;
+    Bytes beatBytes = 8;      ///< bytes moved per data beat
+    Cycles burstBeatCycles = 1; ///< each beat after the first
+};
+
+/** Counters exposed for tests and reports. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    Cycles busyCycles = 0;
+};
+
+/** Result of one DRAM request. */
+struct DramAccess
+{
+    Cycles start = 0;    ///< when the request began being served
+    Cycles complete = 0; ///< when the data transfer finished
+    bool rowHit = false; ///< first row touched was already open
+};
+
+/**
+ * Banked page-mode DRAM. Activations overlap across banks; data
+ * beats serialize on the shared bus, so independent streams (or
+ * pipelined random loads) overlap their row misses while same-bank
+ * streams serialize fully.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    /**
+     * Serve a demand read or write of @p bytes at @p addr, no earlier
+     * than @p now. Requests crossing row boundaries pay each row.
+     */
+    DramAccess access(Addr addr, Bytes bytes, bool is_write,
+                      Cycles now);
+
+    /**
+     * Serve a background (write-drain) request. Shares row/bank
+     * state and its own serialization, but does not push the demand
+     * lane's availability.
+     */
+    DramAccess accessBackground(Addr addr, Bytes bytes, bool is_write,
+                                Cycles now);
+
+    /** Forget all open rows (refresh / synchronization). */
+    void closeRows();
+
+    const DramStats &stats() const { return counters; }
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    std::size_t bankOf(Addr addr) const;
+    Addr rowOf(Addr addr) const;
+
+    /** Activation cycles for one row-local run; updates the
+     *  open-row register. */
+    Cycles serveWithinRow(Addr addr, bool is_write);
+
+    DramAccess serve(Addr addr, Bytes bytes, bool is_write, Cycles now,
+                     Cycles &lane_busy);
+
+    DramConfig cfg;
+    DramStats counters;
+    std::vector<Addr> openRow;
+    std::vector<bool> rowOpen;
+    std::vector<Cycles> bankBusyUntil;
+    Cycles demandBusyUntil = 0;
+    Cycles backgroundBusyUntil = 0;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_DRAM_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Background communication engines:
+ *
+ *  - DepositEngine: takes packets from the network and stores their
+ *    words into local memory without processor involvement. The T3D
+ *    annex handles any access pattern via address-data pairs; the
+ *    Paragon DMA (line-transfer unit) deposits contiguous, aligned
+ *    blocks only.
+ *
+ *  - FetchEngine: the sending-side DMA (Paragon 1F0): feeds the NI
+ *    from contiguous memory at bus speed, with a processor "kick"
+ *    penalty at every DRAM page boundary (§5.1.3).
+ */
+
+#ifndef CT_SIM_ENGINES_H
+#define CT_SIM_ENGINES_H
+
+#include "sim/memory.h"
+#include "sim/node_ram.h"
+#include "sim/packet.h"
+
+namespace ct::sim {
+
+/** Capabilities and speed of the deposit engine. */
+struct DepositEngineConfig
+{
+    bool enabled = false;
+    /** Accepts address-data pairs for any pattern (T3D annex). */
+    bool anyPattern = false;
+    /** Engine occupancy per data-only payload word. */
+    double dataWordCycles = 8.0;
+    /** Engine occupancy per address-data pair. */
+    double adpWordCycles = 20.0;
+    /** Fixed cost per packet. */
+    Cycles perPacketCycles = 10;
+};
+
+/** Counters. */
+struct DepositEngineStats
+{
+    std::uint64_t packets = 0;
+    std::uint64_t words = 0;
+    Cycles busyCycles = 0;
+};
+
+/**
+ * Receiving engine. Packets are served FIFO; each word is written to
+ * node memory through the engine port (which also invalidates stale
+ * cache lines). Per-word engine processing and the DRAM write are
+ * pipelined, so the occupancy per word is the maximum of the two.
+ */
+class DepositEngine
+{
+  public:
+    DepositEngine(const DepositEngineConfig &config, MemorySystem &mem,
+                  NodeRam &ram);
+
+    bool enabled() const { return cfg.enabled; }
+
+    /** True if the engine can deposit @p packet at all. */
+    bool accepts(const Packet &packet) const;
+
+    /**
+     * Deposit @p packet arriving at @p arrival.
+     * @return completion time (engine is busy until then).
+     */
+    Cycles deposit(const Packet &packet, Cycles arrival);
+
+    Cycles busyUntil() const { return freeAt; }
+    const DepositEngineStats &stats() const { return counters; }
+    const DepositEngineConfig &config() const { return cfg; }
+
+  private:
+    DepositEngineConfig cfg;
+    MemorySystem &mem;
+    NodeRam &ram;
+    DepositEngineStats counters;
+    Cycles freeAt = 0;
+};
+
+/** Sending-side DMA parameters. */
+struct FetchEngineConfig
+{
+    bool enabled = false;
+    /** Bytes fetched and injected per cycle in steady state. */
+    double bytesPerCycle = 3.2;
+    /** Processor setup cost per transfer. */
+    Cycles setupCycles = 50;
+    /** DRAM page size at which the engine stalls for a kick. */
+    Bytes pageBytes = 4096;
+    /** Stall per page boundary crossing. */
+    Cycles pageKickCycles = 30;
+};
+
+/** Counters. */
+struct FetchEngineStats
+{
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pageKicks = 0;
+};
+
+/**
+ * Sending engine (1F0). fetch() returns the cycles to read a
+ * contiguous block and inject it into the NI.
+ */
+class FetchEngine
+{
+  public:
+    explicit FetchEngine(const FetchEngineConfig &config);
+
+    bool enabled() const { return cfg.enabled; }
+
+    /** Cycles to fetch-and-inject [addr, addr+bytes). */
+    Cycles fetch(Addr addr, Bytes bytes);
+
+    const FetchEngineStats &stats() const { return counters; }
+    const FetchEngineConfig &config() const { return cfg; }
+
+  private:
+    FetchEngineConfig cfg;
+    FetchEngineStats counters;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_ENGINES_H

@@ -1,0 +1,45 @@
+#include "event.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+void
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    if (when < currentTime)
+        util::fatal("EventQueue::schedule: time ", when,
+                    " is in the past (now ", currentTime, ")");
+    if (!cb)
+        util::fatal("EventQueue::schedule: null callback");
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Cycles delay, Callback cb)
+{
+    schedule(currentTime + delay, std::move(cb));
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!events.empty() && executed < max_events) {
+        // Moving out of a priority_queue requires a const_cast; the
+        // element is popped immediately afterwards.
+        auto &top = const_cast<Event &>(events.top());
+        Cycles when = top.when;
+        Callback cb = std::move(top.cb);
+        events.pop();
+        currentTime = when;
+        cb();
+        ++executed;
+    }
+    if (executed >= max_events && !events.empty())
+        util::warn("EventQueue::run: stopped at event cap with ",
+                   events.size(), " events pending");
+    return executed;
+}
+
+} // namespace ct::sim

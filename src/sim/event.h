@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal discrete-event core used by the end-to-end communication
+ * timeline. Events are callbacks ordered by (time, insertion order);
+ * ties execute in insertion order to keep runs deterministic.
+ */
+
+#ifndef CT_SIM_EVENT_H
+#define CT_SIM_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/addr.h"
+
+namespace ct::sim {
+
+/** Deterministic event queue driving the simulation clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Cycles now() const { return currentTime; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void schedule(Cycles when, Callback cb);
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void scheduleAfter(Cycles delay, Callback cb);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /**
+     * Run until no events remain (or @p max_events fired, as a
+     * runaway guard). Returns the number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Cycles currentTime = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_EVENT_H

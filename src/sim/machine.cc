@@ -1,0 +1,129 @@
+#include "machine.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Machine::Machine(const MachineConfig &config)
+    : cfg(config), topo(cfg.topology), net(cfg.network, topo, queue)
+{
+    nodes.reserve(static_cast<std::size_t>(topo.nodeCount()));
+    for (int i = 0; i < topo.nodeCount(); ++i)
+        nodes.push_back(std::make_unique<Node>(cfg.node));
+}
+
+Node &
+Machine::node(NodeId id)
+{
+    if (id < 0 || id >= nodeCount())
+        util::fatal("Machine::node: bad id ", id);
+    return *nodes[static_cast<std::size_t>(id)];
+}
+
+util::MBps
+Machine::toMBps(Bytes bytes, Cycles cycles) const
+{
+    return util::toMBps(bytes, cycles, cfg.clockHz);
+}
+
+NodeConfig
+t3dNodeConfig()
+{
+    NodeConfig node;
+    node.ramBytes = 64ull << 20;
+    node.ramAllocSkew = 1056; // avoid direct-mapped set aliasing
+
+    // 8 KB direct-mapped on-chip cache, 32-byte lines, write-around.
+    node.memory.cache = {8192, 32, 1, WritePolicy::WriteAround, false};
+    node.memory.dram = {2048, 1, 2048, 14, 24, 7, 16, 8, 1};
+    node.memory.writeBuffer = {6, true, 32, 4};
+    node.memory.readAhead = {true, 32, 3};
+    node.memory.loadPipeline = {false, 0, 0};
+    node.memory.bus = {0, 0}; // private path, not a shared bus
+    node.memory.cacheHitCycles = 1;
+    node.memory.missOverheadCycles = 5;
+    node.memory.storeIssueCycles = 3;
+
+    node.processor = {2.0, 5, 4};
+    node.hasCoProcessor = false;
+
+    // The annex handles every pattern via address-data pairs.
+    node.deposit = {true, true, 8.4, 22.0, 10};
+    node.fetch = {false, 0.0, 0, 4096, 0};
+    return node;
+}
+
+NodeConfig
+paragonNodeConfig()
+{
+    NodeConfig node;
+    node.ramBytes = 64ull << 20;
+    node.ramAllocSkew = 9760; // stagger arrays across DRAM banks
+
+    // 16 KB 4-way on-chip cache, 32-byte lines; SUNMOS runs the
+    // caches write-through.
+    node.memory.cache = {16384, 32, 4, WritePolicy::WriteThrough,
+                         false};
+    node.memory.dram = {256, 8, 8192, 2, 10, 8, 12, 8, 1};
+    node.memory.writeBuffer = {3, true, 32, 2};
+    node.memory.readAhead = {false, 32, 3};
+    // Pipelined loads (pfld) bypassing the cache.
+    node.memory.loadPipeline = {true, 3, 2};
+    node.memory.bus = {8, 4}; // 400 MB/s at 50 MHz, arb penalty 4
+    node.memory.cacheHitCycles = 1;
+    node.memory.missOverheadCycles = 2;
+    node.memory.storeIssueCycles = 1;
+
+    node.processor = {1.0, 6, 2};
+    node.hasCoProcessor = true;
+    node.coProcessor = {1.0, 6, 2};
+
+    // The DMA deposits contiguous blocks only.
+    node.deposit = {true, false, 2.5, 0.0, 20};
+    node.fetch = {true, 3.2, 50, 4096, 30};
+    return node;
+}
+
+MachineConfig
+t3dConfig(std::vector<int> dims)
+{
+    MachineConfig cfg;
+    cfg.name = "T3D";
+    cfg.id = core::MachineId::T3d;
+    cfg.clockHz = 150e6;
+    cfg.topology.dims = std::move(dims);
+    cfg.topology.torus = true;
+    cfg.topology.nodesPerPort = 2; // two PEs share a network port
+    cfg.network = {1.0, 16, 15, 2};
+    cfg.node = t3dNodeConfig();
+    return cfg;
+}
+
+MachineConfig
+paragonConfig(std::vector<int> dims)
+{
+    MachineConfig cfg;
+    cfg.name = "Paragon";
+    cfg.id = core::MachineId::Paragon;
+    cfg.clockHz = 50e6;
+    cfg.topology.dims = std::move(dims);
+    cfg.topology.torus = false;
+    cfg.topology.nodesPerPort = 1;
+    cfg.network = {3.6, 16, 16, 2};
+    cfg.node = paragonNodeConfig();
+    return cfg;
+}
+
+MachineConfig
+configFor(core::MachineId id)
+{
+    switch (id) {
+      case core::MachineId::T3d:
+        return t3dConfig();
+      case core::MachineId::Paragon:
+        return paragonConfig();
+    }
+    util::panic("configFor: bad machine id");
+}
+
+} // namespace ct::sim

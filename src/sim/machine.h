@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A whole parallel machine: nodes, topology, interconnect and the
+ * shared event queue, plus the calibrated configurations of the two
+ * machines studied in the paper.
+ *
+ * Calibration targets are the basic-transfer throughputs the paper
+ * measured (Tables 1-4); EXPERIMENTS.md reports the achieved values
+ * side by side with the paper's.
+ */
+
+#ifndef CT_SIM_MACHINE_H
+#define CT_SIM_MACHINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace ct::sim {
+
+/** Full machine description. */
+struct MachineConfig
+{
+    std::string name = "machine";
+    core::MachineId id = core::MachineId::T3d;
+    double clockHz = 150e6;
+    TopologyConfig topology;
+    NetworkConfig network;
+    NodeConfig node;
+};
+
+/** Nodes + network, ready to run communication operations. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    int nodeCount() const { return topo.nodeCount(); }
+    Node &node(NodeId id);
+
+    EventQueue &events() { return queue; }
+    Network &network() { return net; }
+    const Topology &topology() const { return topo; }
+    const MachineConfig &config() const { return cfg; }
+
+    /** Payload throughput of @p bytes moved in @p cycles. */
+    util::MBps toMBps(Bytes bytes, Cycles cycles) const;
+
+  private:
+    MachineConfig cfg;
+    Topology topo;
+    EventQueue queue;
+    Network net;
+    std::vector<std::unique_ptr<Node>> nodes;
+};
+
+/** Node configuration calibrated to the Cray T3D (§3.5.1). */
+NodeConfig t3dNodeConfig();
+
+/** Node configuration calibrated to the Intel Paragon (§3.5.2). */
+NodeConfig paragonNodeConfig();
+
+/**
+ * A T3D partition: 3-D torus, two PEs per network port, 150 MHz
+ * Alpha EV4 nodes. @p dims must multiply to the node count.
+ */
+MachineConfig t3dConfig(std::vector<int> dims = {2, 2, 2});
+
+/** A Paragon partition: 2-D mesh, 50 MHz dual-i860XP nodes. */
+MachineConfig paragonConfig(std::vector<int> dims = {4, 2});
+
+/** Build the configuration for a machine id with default dims. */
+MachineConfig configFor(core::MachineId id);
+
+} // namespace ct::sim
+
+#endif // CT_SIM_MACHINE_H

@@ -1,0 +1,243 @@
+#include "measure.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+
+namespace {
+
+using core::AccessPattern;
+
+constexpr std::uint64_t chunkWords = 64;
+
+/** Allocate a walk of @p words elements with pattern @p p. */
+PatternWalk
+makeWalk(Node &node, AccessPattern p, std::uint64_t words,
+         util::Rng &rng)
+{
+    NodeRam &ram = node.ram();
+    switch (p.kind()) {
+      case core::PatternKind::Contiguous: {
+        Addr base = ram.alloc(words * 8);
+        return contiguousWalk(base);
+      }
+      case core::PatternKind::Strided: {
+        std::uint64_t blocks = (words + p.block() - 1) / p.block();
+        Addr base = ram.alloc(blocks * p.stride() * 8);
+        return stridedWalk(base, p.stride(), p.block());
+      }
+      case core::PatternKind::Indexed: {
+        Addr base = ram.alloc(words * 8);
+        Addr idx = ram.alloc(words * 8);
+        auto perm = rng.permutation(words);
+        for (std::uint64_t i = 0; i < words; ++i)
+            ram.writeWord(idx + i * 8, perm[i]);
+        return indexedWalk(base, idx);
+      }
+      case core::PatternKind::Fixed:
+        break;
+    }
+    util::fatal("makeWalk: pattern must touch memory");
+}
+
+/** Fill the elements of a walk with recognizable values. */
+void
+fillWalk(Node &node, const PatternWalk &walk, std::uint64_t words)
+{
+    for (std::uint64_t i = 0; i < words; ++i)
+        node.ram().writeWord(walk.elementAddr(node.ram(), i),
+                             0x1000 + i);
+}
+
+} // namespace
+
+util::MBps
+measureLocalCopy(const MachineConfig &cfg, core::AccessPattern x,
+                 core::AccessPattern y, std::uint64_t words)
+{
+    Node node(cfg.node);
+    util::Rng rng(12345);
+    PatternWalk src = makeWalk(node, x, words, rng);
+    PatternWalk dst = makeWalk(node, y, words, rng);
+    fillWalk(node, src, words);
+    Cycles elapsed = node.processor().copy(src, dst, 0, words, 0);
+    elapsed += node.processor().fence(elapsed);
+    return util::toMBps(words * 8, elapsed, cfg.clockHz);
+}
+
+util::MBps
+measureLoadSend(const MachineConfig &cfg, core::AccessPattern x,
+                std::uint64_t words)
+{
+    Node node(cfg.node);
+    util::Rng rng(12345);
+    PatternWalk src = makeWalk(node, x, words, rng);
+    fillWalk(node, src, words);
+    std::vector<std::uint64_t> sink;
+    sink.reserve(words);
+    Cycles elapsed =
+        node.processor().gatherToPort(src, 0, words, 0, sink);
+    return util::toMBps(words * 8, elapsed, cfg.clockHz);
+}
+
+std::optional<util::MBps>
+measureFetchSend(const MachineConfig &cfg, std::uint64_t words)
+{
+    Node node(cfg.node);
+    if (!node.fetchEngine().enabled())
+        return std::nullopt;
+    Addr base = node.ram().alloc(words * 8);
+    Cycles elapsed = node.fetchEngine().fetch(base, words * 8);
+    return util::toMBps(words * 8, elapsed, cfg.clockHz);
+}
+
+std::optional<util::MBps>
+measureReceiveStore(const MachineConfig &cfg, core::AccessPattern y,
+                    std::uint64_t words)
+{
+    Node node(cfg.node);
+    if (!node.hasCoProcessor())
+        return std::nullopt;
+    util::Rng rng(12345);
+    PatternWalk dst = makeWalk(node, y, words, rng);
+    std::vector<std::uint64_t> payload(words);
+    for (std::uint64_t i = 0; i < words; ++i)
+        payload[i] = 0x2000 + i;
+    Cycles elapsed = node.coProcessor().scatterFromPort(
+        dst, 0, words, 0, payload.data());
+    elapsed += node.coProcessor().fence(elapsed);
+    return util::toMBps(words * 8, elapsed, cfg.clockHz);
+}
+
+std::optional<util::MBps>
+measureReceiveDeposit(const MachineConfig &cfg, core::AccessPattern y,
+                      std::uint64_t words)
+{
+    Node node(cfg.node);
+    DepositEngine &engine = node.depositEngine();
+    if (!engine.enabled())
+        return std::nullopt;
+    util::Rng rng(12345);
+    PatternWalk dst = makeWalk(node, y, words, rng);
+
+    bool contiguous = y.isContiguous();
+    Cycles done = 0;
+    for (std::uint64_t first = 0; first < words; first += chunkWords) {
+        std::uint64_t count = std::min(chunkWords, words - first);
+        Packet pkt;
+        pkt.src = 0;
+        pkt.dst = 0;
+        pkt.framing =
+            contiguous ? Framing::DataOnly : Framing::AddrDataPair;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            pkt.words.push_back(0x3000 + first + i);
+            if (!contiguous)
+                pkt.addrs.push_back(
+                    dst.elementAddr(node.ram(), first + i));
+        }
+        if (contiguous)
+            pkt.destBase = dst.base + first * 8;
+        if (!engine.accepts(pkt))
+            return std::nullopt;
+        done = engine.deposit(pkt, 0);
+    }
+    return util::toMBps(words * 8, done, cfg.clockHz);
+}
+
+util::MBps
+measureNetwork(const MachineConfig &cfg, Framing framing,
+               int congestion, std::uint64_t words_per_flow)
+{
+    if (congestion < 1 || congestion > 4)
+        util::fatal("measureNetwork: congestion must be 1, 2 or 4");
+
+    // A 16-node ring (or line for a mesh) partition: senders 0, 2,
+    // 4, 6 target nodes 8, 10, 12, 14; with k active senders the
+    // middle link carries k flows while injection and ejection ports
+    // stay distinct.
+    MachineConfig ring = cfg;
+    ring.topology.dims = {16};
+    Machine machine(ring);
+
+    std::uint64_t flows = static_cast<std::uint64_t>(congestion);
+    std::uint64_t remaining = flows * ((words_per_flow + chunkWords - 1) /
+                                       chunkWords);
+    Cycles last_delivery = 0;
+    machine.network().setDeliver(
+        [&](Packet &&, Cycles time) {
+            last_delivery = std::max(last_delivery, time);
+            --remaining;
+        });
+
+    for (std::uint64_t f = 0; f < flows; ++f) {
+        NodeId src = static_cast<NodeId>(2 * f);
+        NodeId dst = static_cast<NodeId>(8 + 2 * f);
+        for (std::uint64_t first = 0; first < words_per_flow;
+             first += chunkWords) {
+            std::uint64_t count =
+                std::min(chunkWords, words_per_flow - first);
+            Packet pkt;
+            pkt.src = src;
+            pkt.dst = dst;
+            pkt.framing = framing;
+            pkt.flow = static_cast<std::uint32_t>(f);
+            pkt.words.assign(count, 0x4000);
+            if (framing == Framing::AddrDataPair)
+                pkt.addrs.assign(count, 0);
+            else
+                pkt.destBase = 0;
+            machine.network().send(std::move(pkt));
+        }
+    }
+    machine.events().run();
+    if (remaining != 0)
+        util::panic("measureNetwork: lost packets");
+    return util::toMBps(words_per_flow * 8, last_delivery,
+                        cfg.clockHz);
+}
+
+core::ThroughputTable
+measuredTable(const MachineConfig &cfg)
+{
+    using P = AccessPattern;
+    core::ThroughputTable table;
+    table.setMachineName(cfg.name + " (sim)");
+
+    const std::uint32_t strides[] = {1, 2, 4, 8, 16, 32, 64};
+    std::vector<P> patterns;
+    for (std::uint32_t s : strides)
+        patterns.push_back(P::strided(s));
+    patterns.push_back(P::indexed());
+
+    for (const P &p : patterns) {
+        // Local copies: vary one side at a time, like Table 1.
+        table.set(core::localCopy(P::contiguous(), p),
+                  measureLocalCopy(cfg, P::contiguous(), p));
+        if (!p.isContiguous())
+            table.set(core::localCopy(p, P::contiguous()),
+                      measureLocalCopy(cfg, p, P::contiguous()));
+
+        table.set(core::loadSend(p), measureLoadSend(cfg, p));
+        if (auto r = measureReceiveStore(cfg, p))
+            table.set(core::receiveStore(p), *r);
+        if (auto d = measureReceiveDeposit(cfg, p))
+            table.set(core::receiveDeposit(p), *d);
+    }
+    if (auto f = measureFetchSend(cfg))
+        table.set(core::fetchSend(P::contiguous()), *f);
+
+    for (int congestion : {1, 2, 4}) {
+        table.setNetwork(
+            core::TransferOp::NetData, congestion,
+            measureNetwork(cfg, Framing::DataOnly, congestion));
+        table.setNetwork(
+            core::TransferOp::NetAddrData, congestion,
+            measureNetwork(cfg, Framing::AddrDataPair, congestion));
+    }
+    return table;
+}
+
+} // namespace ct::sim

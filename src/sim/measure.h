@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Micro-benchmarks that measure the throughput of every basic
+ * transfer on the simulated machines, reproducing the measurement
+ * campaign of the paper's §4 (Tables 1-4 and Figure 4). The measured
+ * table can then be fed into the copy-transfer model exactly as the
+ * paper feeds its measured figures.
+ */
+
+#ifndef CT_SIM_MEASURE_H
+#define CT_SIM_MEASURE_H
+
+#include <optional>
+
+#include "core/basic_transfer.h"
+#include "sim/machine.h"
+
+namespace ct::sim {
+
+/** Default element count of one measurement (large vs the cache). */
+inline constexpr std::uint64_t measureWords = 1ull << 15;
+
+/** Throughput of a local memory-to-memory copy xCy. */
+util::MBps measureLocalCopy(const MachineConfig &cfg,
+                            core::AccessPattern x, core::AccessPattern y,
+                            std::uint64_t words = measureWords);
+
+/** Throughput of the load-send transfer xS0. */
+util::MBps measureLoadSend(const MachineConfig &cfg,
+                           core::AccessPattern x,
+                           std::uint64_t words = measureWords);
+
+/** Throughput of the DMA fetch-send 1F0; nullopt without a DMA. */
+std::optional<util::MBps>
+measureFetchSend(const MachineConfig &cfg,
+                 std::uint64_t words = measureWords);
+
+/**
+ * Throughput of the receive-store 0Ry executed by the communication
+ * co-processor; nullopt when the node has none (T3D).
+ */
+std::optional<util::MBps>
+measureReceiveStore(const MachineConfig &cfg, core::AccessPattern y,
+                    std::uint64_t words = measureWords);
+
+/**
+ * Throughput of the background deposit 0Dy; nullopt when the deposit
+ * engine cannot handle the pattern (Paragon DMA for y != 1).
+ */
+std::optional<util::MBps>
+measureReceiveDeposit(const MachineConfig &cfg, core::AccessPattern y,
+                      std::uint64_t words = measureWords);
+
+/**
+ * Per-flow network bandwidth at a fixed congestion factor (1, 2 or
+ * 4), with data-only or address-data-pair framing, measured on a
+ * 16-node ring partition like the paper's fixed-congestion runs.
+ */
+util::MBps measureNetwork(const MachineConfig &cfg, Framing framing,
+                          int congestion,
+                          std::uint64_t words_per_flow = measureWords);
+
+/**
+ * Run the whole campaign: strides 1..64, indexed patterns, all
+ * engines, network at congestion 1/2/4. The result mirrors the
+ * structure of core::paperTable() with simulator-measured values.
+ */
+core::ThroughputTable measuredTable(const MachineConfig &cfg);
+
+} // namespace ct::sim
+
+#endif // CT_SIM_MEASURE_H

@@ -1,0 +1,122 @@
+#include "memory.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+MemorySystem::MemorySystem(const MemoryConfig &config)
+    : cfg(config), dramModel(cfg.dram), cacheModel(cfg.cache),
+      wbq(cfg.writeBuffer, dramModel), rdal(cfg.readAhead, dramModel),
+      pipeline(cfg.loadPipeline), busModel(cfg.bus)
+{
+    if (cfg.readAhead.enabled &&
+        cfg.readAhead.lineBytes != cfg.cache.lineBytes)
+        util::fatal("MemorySystem: read-ahead line size must match "
+                    "the cache line size");
+}
+
+Cycles
+MemorySystem::load(Addr addr, Cycles now, BusMaster master,
+                   bool streaming)
+{
+    // Pipelined loads bypass the cache entirely (i860 pfld).
+    if (cfg.loadPipeline.enabled && streaming) {
+        Cycles bus_extra =
+            busModel.transact(master, util::wordBytes, now);
+        Cycles completes =
+            dramModel
+                .access(addr, util::wordBytes, false, now + bus_extra)
+                .complete;
+        return bus_extra + pipeline.load(completes, now + bus_extra);
+    }
+
+    auto result = cacheModel.load(addr);
+    if (result.hit)
+        return cfg.cacheHitCycles;
+
+    Addr line = alignDown(addr, cfg.cache.lineBytes);
+    Cycles fill = rdal.fill(line, now);
+    Cycles bus_extra =
+        busModel.transact(master, cfg.cache.lineBytes, now + fill);
+    Cycles total = cfg.missOverheadCycles + fill + bus_extra;
+    if (result.writeBack) {
+        Cycles wb = dramModel
+                        .access(result.writeBackLine,
+                                cfg.cache.lineBytes, true, now + total)
+                        .complete -
+                    (now + total);
+        total += wb;
+    }
+    return total;
+}
+
+Cycles
+MemorySystem::store(Addr addr, Cycles now, BusMaster master)
+{
+    auto result = cacheModel.store(addr);
+    Cycles total = cfg.storeIssueCycles;
+    if (result.toMemory) {
+        total += wbq.store(addr, util::wordBytes, now);
+        total += busModel.transact(master, util::wordBytes, now);
+    }
+    if (result.fill) {
+        // Write-allocate: fetch the line before dirtying it.
+        Cycles fill =
+            dramModel
+                .access(alignDown(addr, cfg.cache.lineBytes),
+                        cfg.cache.lineBytes, false, now + total)
+                .complete -
+            (now + total);
+        total += fill;
+    }
+    if (result.writeBack) {
+        Cycles wb = dramModel
+                        .access(result.writeBackLine,
+                                cfg.cache.lineBytes, true, now + total)
+                        .complete -
+                    (now + total);
+        total += wb;
+    }
+    return total;
+}
+
+Cycles
+MemorySystem::engineRead(Addr addr, Bytes bytes, Cycles now,
+                         BusMaster master)
+{
+    Cycles bus_extra = busModel.transact(master, bytes, now);
+    Cycles completes =
+        dramModel.access(addr, bytes, false, now + bus_extra).complete;
+    return completes - now;
+}
+
+Cycles
+MemorySystem::engineWrite(Addr addr, Bytes bytes, Cycles now,
+                          BusMaster master)
+{
+    // Keep the processor cache coherent with background deposits.
+    for (Addr line = alignDown(addr, cfg.cache.lineBytes);
+         line < addr + bytes; line += cfg.cache.lineBytes)
+        cacheModel.invalidateLine(line);
+    Cycles bus_extra = busModel.transact(master, bytes, now);
+    Cycles completes =
+        dramModel.access(addr, bytes, true, now + bus_extra).complete;
+    return completes - now;
+}
+
+Cycles
+MemorySystem::fence(Cycles now)
+{
+    Cycles wait = wbq.drainTime(now);
+    wait = std::max(wait, pipeline.drainTime(now));
+    return wait;
+}
+
+void
+MemorySystem::synchronize()
+{
+    rdal.reset();
+    pipeline.reset();
+}
+
+} // namespace ct::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The complete local memory system of one node: first-level cache,
+ * write queue, read-ahead / pipelined-load units, shared bus and
+ * page-mode DRAM. Exposes processor-visible cycle costs for loads and
+ * stores, plus a cache-bypassing engine port used by deposit engines
+ * and DMAs.
+ */
+
+#ifndef CT_SIM_MEMORY_H
+#define CT_SIM_MEMORY_H
+
+#include <memory>
+
+#include "sim/bus.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/prefetch.h"
+#include "sim/write_buffer.h"
+
+namespace ct::sim {
+
+/** Full configuration of a node's memory system. */
+struct MemoryConfig
+{
+    CacheConfig cache;
+    DramConfig dram;
+    WriteBufferConfig writeBuffer;
+    ReadAheadConfig readAhead;
+    LoadPipelineConfig loadPipeline;
+    BusConfig bus;
+
+    /** Cycles for a load that hits in the cache. */
+    Cycles cacheHitCycles = 1;
+    /** Fixed overhead added to a demand miss (handshake, tags). */
+    Cycles missOverheadCycles = 2;
+    /** Cycles to issue a store into the write path. */
+    Cycles storeIssueCycles = 1;
+};
+
+/**
+ * One node's memory system. All methods take the caller's current
+ * time so that the background units (write queue, prefetcher) can be
+ * modeled by occupancy without a global event loop.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Processor word load; returns visible cycles.
+     * @param streaming data-array loads may use the pipelined-load
+     *        path (i860 pfld); auxiliary loads such as index-array
+     *        reads set this false and go through the cache.
+     */
+    Cycles load(Addr addr, Cycles now,
+                BusMaster master = BusMaster::Processor,
+                bool streaming = true);
+
+    /** Processor word store; returns visible cycles. */
+    Cycles store(Addr addr, Cycles now,
+                 BusMaster master = BusMaster::Processor);
+
+    /**
+     * Read through the engine port (cache bypassed, pattern-neutral).
+     * Used by DMA fetch engines. Returns service cycles.
+     */
+    Cycles engineRead(Addr addr, Bytes bytes, Cycles now,
+                      BusMaster master = BusMaster::Dma);
+
+    /**
+     * Write through the engine port. Deposit engines invalidate the
+     * corresponding cache line to stay coherent (T3D behaviour).
+     */
+    Cycles engineWrite(Addr addr, Bytes bytes, Cycles now,
+                       BusMaster master = BusMaster::Dma);
+
+    /** Drain write queue and load pipeline; returns wait cycles. */
+    Cycles fence(Cycles now);
+
+    /** Reset stream/pipeline state at a synchronization point. */
+    void synchronize();
+
+    const MemoryConfig &config() const { return cfg; }
+    const Cache &cache() const { return cacheModel; }
+    const Dram &dram() const { return dramModel; }
+    const WriteBuffer &writeBuffer() const { return wbq; }
+    const ReadAhead &readAhead() const { return rdal; }
+    const Bus &bus() const { return busModel; }
+
+  private:
+    MemoryConfig cfg;
+    Dram dramModel;
+    Cache cacheModel;
+    WriteBuffer wbq;
+    ReadAhead rdal;
+    LoadPipeline pipeline;
+    Bus busModel;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_MEMORY_H

@@ -1,0 +1,76 @@
+#include "network.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Network::Network(const NetworkConfig &config, const Topology &topology,
+                 EventQueue &queue)
+    : cfg(config), topo(topology), events(queue),
+      linkFreeAt(static_cast<std::size_t>(topology.linkCount()), 0)
+{
+    if (cfg.wireBytesPerCycle <= 0.0)
+        util::fatal("Network: non-positive wire bandwidth");
+}
+
+void
+Network::setDeliver(Deliver deliver)
+{
+    deliverFn = std::move(deliver);
+}
+
+Bytes
+Network::wireBytesOf(const Packet &packet) const
+{
+    Bytes payload_words = packet.words.size();
+    Bytes body = packet.framing == Framing::AddrDataPair
+                     ? payload_words * cfg.adpBytesPerWord
+                     : payload_words * 8;
+    return cfg.headerBytes + body;
+}
+
+void
+Network::send(Packet &&packet)
+{
+    if (!deliverFn)
+        util::fatal("Network::send: no delivery sink installed");
+    if (packet.framing == Framing::AddrDataPair &&
+        packet.addrs.size() != packet.words.size())
+        util::fatal("Network::send: adp packet without addresses");
+
+    ++counters.packets;
+    counters.payloadBytes += packet.payloadBytes();
+    Bytes wire = wireBytesOf(packet);
+    counters.wireBytes += wire;
+
+    Cycles serialize = static_cast<Cycles>(std::llround(
+        std::ceil(static_cast<double>(wire) / cfg.wireBytesPerCycle)));
+
+    // Local delivery bypasses the wires.
+    if (packet.src == packet.dst) {
+        Packet p = std::move(packet);
+        events.scheduleAfter(0, [this, p = std::move(p)]() mutable {
+            deliverFn(std::move(p), events.now());
+        });
+        return;
+    }
+
+    Cycles cursor = events.now();
+    auto route = topo.route(packet.src, packet.dst);
+    for (LinkId link : route) {
+        auto idx = static_cast<std::size_t>(link);
+        Cycles start = std::max(cursor, linkFreeAt[idx]);
+        Cycles done = start + serialize;
+        linkFreeAt[idx] = done;
+        cursor = done + cfg.hopLatencyCycles;
+    }
+
+    Packet p = std::move(packet);
+    events.schedule(cursor, [this, p = std::move(p)]() mutable {
+        deliverFn(std::move(p), events.now());
+    });
+}
+
+} // namespace ct::sim

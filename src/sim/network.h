@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Link-level network model. Packets traverse their dimension-order
+ * route link by link; every directed link is a FIFO resource with a
+ * fixed wire bandwidth, so congestion emerges from link sharing
+ * instead of being an input parameter. Chunk-granularity store-and-
+ * forward slightly overstates latency compared with wormhole routing
+ * but leaves sustained bandwidth -- the quantity the paper's model is
+ * built on -- unchanged.
+ */
+
+#ifndef CT_SIM_NETWORK_H
+#define CT_SIM_NETWORK_H
+
+#include <functional>
+
+#include "sim/event.h"
+#include "sim/topology.h"
+
+namespace ct::sim {
+
+/** Wire parameters of the network. */
+struct NetworkConfig
+{
+    /** Wire bytes a link moves per node clock cycle. */
+    double wireBytesPerCycle = 1.0;
+    /** Fixed framing bytes per packet (header, delimiters). */
+    Bytes headerBytes = 16;
+    /** Wire bytes per payload word under address-data-pair framing
+     *  (8 data bytes + address + per-word framing). */
+    Bytes adpBytesPerWord = 16;
+    /** Router traversal latency per hop. */
+    Cycles hopLatencyCycles = 2;
+};
+
+/** Counters. */
+struct NetworkStats
+{
+    std::uint64_t packets = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t wireBytes = 0;
+};
+
+/**
+ * The machine's interconnect. send() reserves bandwidth on every link
+ * of the packet's route (reservations are made in event-time order,
+ * so FIFO link occupancy is consistent) and schedules a single
+ * delivery callback at the arrival time.
+ */
+class Network
+{
+  public:
+    using Deliver = std::function<void(Packet &&packet, Cycles time)>;
+
+    Network(const NetworkConfig &config, const Topology &topology,
+            EventQueue &queue);
+
+    /** Install the delivery sink (dispatches on packet.dst). */
+    void setDeliver(Deliver deliver);
+
+    /** Wire bytes a packet occupies on each link it crosses. */
+    Bytes wireBytesOf(const Packet &packet) const;
+
+    /** Inject @p packet at the current event time. */
+    void send(Packet &&packet);
+
+    const NetworkStats &stats() const { return counters; }
+    const NetworkConfig &config() const { return cfg; }
+
+  private:
+    NetworkConfig cfg;
+    const Topology &topo;
+    EventQueue &events;
+    Deliver deliverFn;
+    NetworkStats counters;
+    /** Time each directed link becomes free. */
+    std::vector<Cycles> linkFreeAt;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_NETWORK_H

@@ -1,0 +1,25 @@
+#include "node.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Node::Node(const NodeConfig &config)
+    : cfg(config), ramStore(cfg.ramBytes, cfg.ramAllocSkew), mem(cfg.memory),
+      proc(cfg.processor, mem, ramStore, BusMaster::Processor),
+      deposit(cfg.deposit, mem, ramStore), fetch(cfg.fetch)
+{
+    if (cfg.hasCoProcessor)
+        coproc.emplace(cfg.coProcessor, mem, ramStore,
+                       BusMaster::CoProcessor);
+}
+
+Processor &
+Node::coProcessor()
+{
+    if (!coproc)
+        util::fatal("Node: no co-processor on this node");
+    return *coproc;
+}
+
+} // namespace ct::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One processing node: local RAM, the memory-system timing model, a
+ * main processor, an optional communication co-processor (Paragon),
+ * and the background engines (deposit engine / sending DMA).
+ */
+
+#ifndef CT_SIM_NODE_H
+#define CT_SIM_NODE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/engines.h"
+#include "sim/processor.h"
+
+namespace ct::sim {
+
+/** Everything needed to build a node. */
+struct NodeConfig
+{
+    Bytes ramBytes = 64ull << 20;
+    /** Padding between allocations (bank-aliasing avoidance). */
+    Bytes ramAllocSkew = 0;
+    MemoryConfig memory;
+    ProcessorConfig processor;
+    /** Second processor usable as a receive engine (Paragon). */
+    bool hasCoProcessor = false;
+    ProcessorConfig coProcessor;
+    DepositEngineConfig deposit;
+    FetchEngineConfig fetch;
+};
+
+/** A complete node. */
+class Node
+{
+  public:
+    explicit Node(const NodeConfig &config);
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    NodeRam &ram() { return ramStore; }
+    MemorySystem &memory() { return mem; }
+    Processor &processor() { return proc; }
+
+    bool hasCoProcessor() const { return coproc.has_value(); }
+    Processor &coProcessor();
+
+    DepositEngine &depositEngine() { return deposit; }
+    FetchEngine &fetchEngine() { return fetch; }
+
+    const NodeConfig &config() const { return cfg; }
+
+  private:
+    NodeConfig cfg;
+    NodeRam ramStore;
+    MemorySystem mem;
+    Processor proc;
+    std::optional<Processor> coproc;
+    DepositEngine deposit;
+    FetchEngine fetch;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_NODE_H

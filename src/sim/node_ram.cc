@@ -1,0 +1,80 @@
+#include "node_ram.h"
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+NodeRam::NodeRam(Bytes size_bytes, Bytes alloc_skew_bytes)
+    : allocSkew(alloc_skew_bytes)
+{
+    if (size_bytes == 0)
+        util::fatal("NodeRam: zero size");
+    storage.reset(static_cast<std::uint8_t *>(
+        std::calloc(size_bytes, 1)));
+    if (!storage)
+        util::fatal("NodeRam: allocation of ", size_bytes,
+                    " bytes failed");
+    capacity = size_bytes;
+}
+
+Addr
+NodeRam::alloc(Bytes bytes, Bytes align)
+{
+    if (!isPowerOfTwo(align))
+        util::fatal("NodeRam::alloc: alignment not a power of two");
+    Addr base = (next + align - 1) & ~(static_cast<Addr>(align) - 1);
+    if (base + bytes > capacity)
+        util::fatal("NodeRam::alloc: out of memory (", capacity,
+                    " bytes total, need ", base + bytes, ")");
+    next = base + bytes + allocSkew;
+    return base;
+}
+
+void
+NodeRam::reset()
+{
+    next = 0;
+    std::memset(storage.get(), 0, capacity);
+}
+
+void
+NodeRam::checkRange(Addr addr, Bytes bytes) const
+{
+    if (addr + bytes > capacity)
+        util::fatal("NodeRam: access at ", addr, "+", bytes,
+                    " beyond size ", capacity);
+}
+
+std::uint64_t
+NodeRam::readWord(Addr addr) const
+{
+    checkRange(addr, 8);
+    std::uint64_t value;
+    std::memcpy(&value, storage.get() + addr, 8);
+    return value;
+}
+
+void
+NodeRam::writeWord(Addr addr, std::uint64_t value)
+{
+    checkRange(addr, 8);
+    std::memcpy(storage.get() + addr, &value, 8);
+}
+
+double
+NodeRam::readDouble(Addr addr) const
+{
+    checkRange(addr, 8);
+    double value;
+    std::memcpy(&value, storage.get() + addr, 8);
+    return value;
+}
+
+void
+NodeRam::writeDouble(Addr addr, double value)
+{
+    checkRange(addr, 8);
+    std::memcpy(storage.get() + addr, &value, 8);
+}
+
+} // namespace ct::sim

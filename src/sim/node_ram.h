@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Backing storage for one node's local memory. The timing models
+ * (MemorySystem) are tag/occupancy-only; NodeRam holds the actual
+ * bytes so that communication runs move real data and tests can check
+ * end-to-end correctness bit-exactly.
+ */
+
+#ifndef CT_SIM_NODE_RAM_H
+#define CT_SIM_NODE_RAM_H
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "sim/addr.h"
+
+namespace ct::sim {
+
+/** Flat byte-addressable memory with a bump allocator. */
+class NodeRam
+{
+  public:
+    /**
+     * @param size_bytes capacity
+     * @param alloc_skew_bytes padding inserted between allocations to
+     *        stagger arrays across DRAM banks (compilers pad large
+     *        arrays the same way to avoid bank/cache aliasing)
+     */
+    explicit NodeRam(Bytes size_bytes, Bytes alloc_skew_bytes = 0);
+
+    Bytes size() const { return capacity; }
+
+    /** Allocate @p bytes aligned to @p align; fatal on exhaustion. */
+    Addr alloc(Bytes bytes, Bytes align = 64);
+
+    /** Release everything allocated so far. */
+    void reset();
+
+    std::uint64_t readWord(Addr addr) const;
+    void writeWord(Addr addr, std::uint64_t value);
+
+    double readDouble(Addr addr) const;
+    void writeDouble(Addr addr, double value);
+
+  private:
+    void checkRange(Addr addr, Bytes bytes) const;
+
+    struct FreeDeleter
+    {
+        void operator()(std::uint8_t *p) const { std::free(p); }
+    };
+
+    /**
+     * calloc-backed storage: the OS provides zero pages lazily, so a
+     * large simulated memory costs only the pages actually touched.
+     */
+    std::unique_ptr<std::uint8_t[], FreeDeleter> storage;
+    Bytes capacity = 0;
+    Bytes allocSkew = 0;
+    Addr next = 0;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_NODE_RAM_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Network packets. A packet carries one chunk of a communication
+ * operation: payload words plus, for address-data-pair framing, the
+ * remote store address of every word.
+ */
+
+#ifndef CT_SIM_PACKET_H
+#define CT_SIM_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/addr.h"
+
+namespace ct::sim {
+
+/** Node index within a machine. */
+using NodeId = int;
+
+/** Wire framing of a packet (paper §3.2: Nd vs Nadp). */
+enum class Framing {
+    DataOnly,     ///< contiguous block; only a base address travels
+    AddrDataPair, ///< every word carries its remote store address
+};
+
+/** One chunk in flight. */
+struct Packet
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    Framing framing = Framing::DataOnly;
+    /** Base destination address (DataOnly framing). */
+    Addr destBase = 0;
+    /** Payload. */
+    std::vector<std::uint64_t> words;
+    /** Per-word destination addresses (AddrDataPair framing). */
+    std::vector<Addr> addrs;
+    /** Flow tag used by the timeline to route completions. */
+    std::uint32_t flow = 0;
+    /** Chunk sequence number within the flow. */
+    std::uint32_t seq = 0;
+
+    Bytes payloadBytes() const { return words.size() * 8; }
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_PACKET_H

@@ -1,0 +1,111 @@
+#include "processor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Processor::Processor(const ProcessorConfig &config, MemorySystem &memory,
+                     NodeRam &ram, BusMaster bus_master)
+    : cfg(config), mem(memory), nodeRam(ram), master(bus_master)
+{
+}
+
+Cycles
+Processor::loadElement(const PatternWalk &walk, std::uint64_t i,
+                       Cycles now, std::uint64_t &value)
+{
+    Cycles cost = 0;
+    if (walk.needsIndexLoad())
+        cost += mem.load(walk.indexAddr(i), now, master);
+    Addr addr = walk.elementAddr(nodeRam, i);
+    cost += mem.load(addr, now + cost, master);
+    value = nodeRam.readWord(addr);
+    return cost;
+}
+
+Cycles
+Processor::copy(const PatternWalk &src, const PatternWalk &dst,
+                std::uint64_t first, std::uint64_t count, Cycles start)
+{
+    return copy2(src, first, dst, first, count, start);
+}
+
+Cycles
+Processor::copy2(const PatternWalk &src, std::uint64_t src_first,
+                 const PatternWalk &dst, std::uint64_t dst_first,
+                 std::uint64_t count, Cycles start)
+{
+    Cycles now = start;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t value = 0;
+        now += loadElement(src, src_first + i, now, value);
+        if (dst.needsIndexLoad())
+            now += mem.load(dst.indexAddr(dst_first + i), now, master);
+        Addr daddr = dst.elementAddr(nodeRam, dst_first + i);
+        now += mem.store(daddr, now, master);
+        nodeRam.writeWord(daddr, value);
+        loopCarry += cfg.loopCyclesPerElem;
+        double whole = std::floor(loopCarry);
+        loopCarry -= whole;
+        now += static_cast<Cycles>(whole);
+    }
+    return now - start;
+}
+
+Cycles
+Processor::gatherToPort(const PatternWalk &src, std::uint64_t first,
+                        std::uint64_t count, Cycles start,
+                        std::vector<std::uint64_t> &words)
+{
+    Cycles now = start;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        std::uint64_t value = 0;
+        now += loadElement(src, i, now, value);
+        now += cfg.portStoreCycles;
+        words.push_back(value);
+        loopCarry += cfg.loopCyclesPerElem;
+        double whole = std::floor(loopCarry);
+        loopCarry -= whole;
+        now += static_cast<Cycles>(whole);
+    }
+    return now - start;
+}
+
+Cycles
+Processor::computeRemoteAddrs(const PatternWalk &dst,
+                              std::uint64_t first, std::uint64_t count,
+                              Cycles start, std::vector<Addr> &addrs)
+{
+    Cycles now = start;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        if (dst.needsIndexLoad())
+            now += mem.load(dst.indexAddr(i), now, master);
+        addrs.push_back(dst.elementAddr(nodeRam, i));
+    }
+    return now - start;
+}
+
+Cycles
+Processor::scatterFromPort(const PatternWalk &dst, std::uint64_t first,
+                           std::uint64_t count, Cycles start,
+                           const std::uint64_t *words)
+{
+    Cycles now = start;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        now += cfg.portLoadCycles;
+        if (dst.needsIndexLoad())
+            now += mem.load(dst.indexAddr(i), now, master);
+        Addr daddr = dst.elementAddr(nodeRam, i);
+        now += mem.store(daddr, now, master);
+        nodeRam.writeWord(daddr, words[i - first]);
+        loopCarry += cfg.loopCyclesPerElem;
+        double whole = std::floor(loopCarry);
+        loopCarry -= whole;
+        now += static_cast<Cycles>(whole);
+    }
+    return now - start;
+}
+
+} // namespace ct::sim

@@ -1,0 +1,129 @@
+#include "report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ct::sim {
+
+double
+MachineReport::loadHitRate() const
+{
+    std::uint64_t total = loadHits + loadMisses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(loadHits) /
+                            static_cast<double>(total);
+}
+
+double
+MachineReport::rowHitRate() const
+{
+    std::uint64_t total = rowHits + rowMisses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(rowHits) /
+                            static_cast<double>(total);
+}
+
+double
+MachineReport::wireOverhead() const
+{
+    return payloadBytes == 0 ? 0.0
+                             : static_cast<double>(wireBytes) /
+                                   static_cast<double>(payloadBytes);
+}
+
+MachineReport
+collectReport(Machine &machine)
+{
+    MachineReport r;
+    r.nodes = machine.nodeCount();
+    for (int n = 0; n < machine.nodeCount(); ++n) {
+        Node &node = machine.node(n);
+        const auto &cache = node.memory().cache().stats();
+        r.loadHits += cache.loadHits;
+        r.loadMisses += cache.loadMisses;
+        r.cacheInvalidations += cache.invalidations;
+
+        const auto &dram = node.memory().dram().stats();
+        r.dramReads += dram.reads;
+        r.dramWrites += dram.writes;
+        r.rowHits += dram.rowHits;
+        r.rowMisses += dram.rowMisses;
+
+        const auto &wbq = node.memory().writeBuffer().stats();
+        r.wbqStores += wbq.stores;
+        r.wbqCoalesced += wbq.coalesced;
+        r.wbqStallCycles += wbq.stallCycles;
+
+        const auto &bus = node.memory().bus().stats();
+        r.busTransactions += bus.transactions;
+        r.busOwnerSwitches += bus.ownerSwitches;
+        r.busWaitCycles += bus.waitCycles;
+
+        const auto &deposit = node.depositEngine().stats();
+        r.depositPackets += deposit.packets;
+        r.depositWords += deposit.words;
+        r.depositBusyCycles += deposit.busyCycles;
+    }
+    const auto &net = machine.network().stats();
+    r.networkPackets = net.packets;
+    r.payloadBytes = net.payloadBytes;
+    r.wireBytes = net.wireBytes;
+    return r;
+}
+
+std::string
+formatReport(const MachineReport &r)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "machine report (" << r.nodes << " nodes)\n";
+    os << "  cache:   " << 100.0 * r.loadHitRate() << "% load hits ("
+       << r.loadHits << "/" << r.loadHits + r.loadMisses << "), "
+       << r.cacheInvalidations << " invalidations\n";
+    os << "  dram:    " << r.dramReads << " reads, " << r.dramWrites
+       << " writes, " << 100.0 * r.rowHitRate() << "% row hits\n";
+    os << "  wbq:     " << r.wbqStores << " stores, "
+       << r.wbqCoalesced << " coalesced, " << r.wbqStallCycles
+       << " stall cycles\n";
+    if (r.busTransactions > 0) {
+        os << "  bus:     " << r.busTransactions << " transactions, "
+           << r.busOwnerSwitches << " owner switches, "
+           << r.busWaitCycles << " wait cycles\n";
+    }
+    os << "  deposit: " << r.depositPackets << " packets, "
+       << r.depositWords << " words, " << r.depositBusyCycles
+       << " busy cycles\n";
+    os << "  network: " << r.networkPackets << " packets, "
+       << r.payloadBytes << " payload bytes, wire overhead "
+       << r.wireOverhead() << "x\n";
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    return "nodes,load_hits,load_misses,invalidations,dram_reads,"
+           "dram_writes,row_hits,row_misses,wbq_stores,wbq_coalesced,"
+           "wbq_stall_cycles,bus_transactions,bus_switches,"
+           "bus_wait_cycles,deposit_packets,deposit_words,"
+           "deposit_busy_cycles,network_packets,payload_bytes,"
+           "wire_bytes";
+}
+
+std::string
+toCsv(const MachineReport &r)
+{
+    std::ostringstream os;
+    os << r.nodes << ',' << r.loadHits << ',' << r.loadMisses << ','
+       << r.cacheInvalidations << ',' << r.dramReads << ','
+       << r.dramWrites << ',' << r.rowHits << ',' << r.rowMisses
+       << ',' << r.wbqStores << ',' << r.wbqCoalesced << ','
+       << r.wbqStallCycles << ',' << r.busTransactions << ','
+       << r.busOwnerSwitches << ',' << r.busWaitCycles << ','
+       << r.depositPackets << ',' << r.depositWords << ','
+       << r.depositBusyCycles << ',' << r.networkPackets << ','
+       << r.payloadBytes << ',' << r.wireBytes;
+    return os.str();
+}
+
+} // namespace ct::sim

@@ -1,0 +1,137 @@
+#include "topology.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ct::sim {
+
+Topology::Topology(const TopologyConfig &config) : cfg(config)
+{
+    if (cfg.dims.empty())
+        util::fatal("Topology: no dimensions");
+    numNodes = 1;
+    for (int d : cfg.dims) {
+        if (d <= 0)
+            util::fatal("Topology: non-positive dimension");
+        numNodes *= d;
+    }
+    if (cfg.nodesPerPort <= 0 || numNodes % cfg.nodesPerPort != 0)
+        util::fatal("Topology: bad nodesPerPort");
+    networkLinksCount =
+        numNodes * static_cast<int>(cfg.dims.size()) * 2;
+    injectionPorts = numNodes / cfg.nodesPerPort;
+    numLinks = networkLinksCount + 2 * injectionPorts;
+}
+
+std::vector<int>
+Topology::coords(NodeId node) const
+{
+    if (node < 0 || node >= numNodes)
+        util::fatal("Topology::coords: bad node ", node);
+    std::vector<int> c(cfg.dims.size());
+    int rest = node;
+    for (std::size_t d = 0; d < cfg.dims.size(); ++d) {
+        c[d] = rest % cfg.dims[d];
+        rest /= cfg.dims[d];
+    }
+    return c;
+}
+
+NodeId
+Topology::nodeAt(const std::vector<int> &coords) const
+{
+    if (coords.size() != cfg.dims.size())
+        util::fatal("Topology::nodeAt: wrong coordinate count");
+    int node = 0;
+    for (std::size_t d = cfg.dims.size(); d-- > 0;) {
+        if (coords[d] < 0 || coords[d] >= cfg.dims[d])
+            util::fatal("Topology::nodeAt: coordinate out of range");
+        node = node * cfg.dims[d] + coords[d];
+    }
+    return node;
+}
+
+LinkId
+Topology::networkLink(NodeId node, std::size_t dim, bool positive) const
+{
+    return static_cast<LinkId>(
+        (node * cfg.dims.size() + dim) * 2 + (positive ? 0 : 1));
+}
+
+LinkId
+Topology::injectionLink(NodeId node) const
+{
+    return networkLinksCount + node / cfg.nodesPerPort;
+}
+
+LinkId
+Topology::ejectionLink(NodeId node) const
+{
+    return networkLinksCount + injectionPorts +
+           node / cfg.nodesPerPort;
+}
+
+std::vector<LinkId>
+Topology::route(NodeId src, NodeId dst) const
+{
+    if (src < 0 || src >= numNodes || dst < 0 || dst >= numNodes)
+        util::fatal("Topology::route: bad endpoint");
+    if (src == dst)
+        return {};
+
+    std::vector<LinkId> links;
+    links.push_back(injectionLink(src));
+
+    auto cur = coords(src);
+    auto goal = coords(dst);
+    for (std::size_t d = 0; d < cfg.dims.size(); ++d) {
+        int radix = cfg.dims[d];
+        while (cur[d] != goal[d]) {
+            int forward = (goal[d] - cur[d] + radix) % radix;
+            int backward = radix - forward;
+            bool positive;
+            if (cfg.torus)
+                positive = forward <= backward;
+            else
+                positive = goal[d] > cur[d];
+            links.push_back(networkLink(nodeAt(cur), d, positive));
+            cur[d] = (cur[d] + (positive ? 1 : radix - 1)) % radix;
+        }
+    }
+    links.push_back(ejectionLink(dst));
+    return links;
+}
+
+int
+Topology::hopCount(NodeId src, NodeId dst) const
+{
+    if (src == dst)
+        return 0;
+    // Route includes injection and ejection; hops are the rest.
+    return static_cast<int>(route(src, dst).size()) - 2;
+}
+
+double
+Topology::congestionOf(const std::vector<TrafficDemand> &demands) const
+{
+    std::vector<double> load(static_cast<std::size_t>(numLinks), 0.0);
+    double total = 0.0;
+    std::size_t active = 0;
+    for (const auto &demand : demands) {
+        if (demand.bytes == 0 || demand.src == demand.dst)
+            continue;
+        ++active;
+        total += static_cast<double>(demand.bytes);
+        for (LinkId link : route(demand.src, demand.dst))
+            load[static_cast<std::size_t>(link)] +=
+                static_cast<double>(demand.bytes);
+    }
+    if (active == 0)
+        return 1.0;
+    double mean = total / static_cast<double>(active);
+    double peak = *std::max_element(load.begin(), load.end());
+    return std::max(1.0, peak / mean);
+}
+
+} // namespace ct::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Direct-network topology: k-ary n-dimensional mesh or torus with
+ * dimension-order routing, as used by the T3D (3-D torus) and the
+ * Paragon (2-D mesh). Provides routes for the link-level network
+ * model and static link-load analysis from which the congestion
+ * factor of a traffic pattern is derived (paper §4.3).
+ */
+
+#ifndef CT_SIM_TOPOLOGY_H
+#define CT_SIM_TOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace ct::sim {
+
+/** Identifies one directed inter-router channel. */
+using LinkId = std::int32_t;
+
+/** Geometry of the direct network. */
+struct TopologyConfig
+{
+    std::vector<int> dims; ///< radix per dimension, e.g. {4,4,4}
+    bool torus = true;     ///< wrap-around links (T3D); false = mesh
+    /**
+     * Nodes per router injection port. The T3D attaches two
+     * processing elements to each network port, which makes the
+     * minimal congestion two (§4.3).
+     */
+    int nodesPerPort = 1;
+};
+
+/** One (src, dst, bytes) demand of a traffic pattern. */
+struct TrafficDemand
+{
+    NodeId src;
+    NodeId dst;
+    Bytes bytes;
+};
+
+/** Dimension-order-routed topology with link enumeration. */
+class Topology
+{
+  public:
+    explicit Topology(const TopologyConfig &config);
+
+    int nodeCount() const { return numNodes; }
+
+    /** Total number of directed links (network + injection/ejection). */
+    int linkCount() const { return numLinks; }
+
+    /** Coordinates of @p node. */
+    std::vector<int> coords(NodeId node) const;
+
+    /** Node at the given coordinates. */
+    NodeId nodeAt(const std::vector<int> &coords) const;
+
+    /**
+     * Dimension-order route from @p src to @p dst: the injection
+     * link, every traversed network link, and the ejection link, in
+     * order. A self-send returns an empty route.
+     */
+    std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+    /** Number of network hops between two nodes. */
+    int hopCount(NodeId src, NodeId dst) const;
+
+    /**
+     * Static congestion analysis of a traffic pattern: route every
+     * demand, accumulate per-link byte loads, and return the maximum
+     * link load divided by the mean per-demand bytes -- i.e. how many
+     * times the busiest link is traversed relative to a single
+     * demand. This matches the paper's notion that "a network link is
+     * traversed by twice as much data as it can support" (§4.3).
+     */
+    double congestionOf(const std::vector<TrafficDemand> &demands) const;
+
+    const TopologyConfig &config() const { return cfg; }
+
+  private:
+    /** Directed network link leaving @p node along @p dim. */
+    LinkId networkLink(NodeId node, std::size_t dim, bool positive) const;
+    LinkId injectionLink(NodeId node) const;
+    LinkId ejectionLink(NodeId node) const;
+
+    TopologyConfig cfg;
+    int numNodes = 0;
+    int numLinks = 0;
+    int networkLinksCount = 0;
+    int injectionPorts = 0;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_TOPOLOGY_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pattern walkers: map the copy-transfer model's access patterns
+ * (contiguous / strided / indexed) onto concrete word addresses in a
+ * node's memory. For indexed walks, the index array itself lives in
+ * node memory and reading it costs time but no payload bandwidth,
+ * matching the paper's accounting (§2.2).
+ */
+
+#ifndef CT_SIM_WALK_H
+#define CT_SIM_WALK_H
+
+#include "core/pattern.h"
+#include "sim/node_ram.h"
+
+namespace ct::sim {
+
+/** Description of one side of a transfer in node memory. */
+struct PatternWalk
+{
+    Addr base = 0;
+    core::AccessPattern pattern;
+    /** Word array of element indices; used by indexed patterns. */
+    Addr indexBase = 0;
+
+    /** Word address of element @p i (reads the index array if
+     *  needed). */
+    Addr elementAddr(const NodeRam &ram, std::uint64_t i) const;
+
+    /** Address of the i-th index entry (for timing the index load). */
+    Addr indexAddr(std::uint64_t i) const;
+
+    /** True when each element requires an index-array load. */
+    bool needsIndexLoad() const { return pattern.isIndexed(); }
+};
+
+/** Convenience constructors. */
+PatternWalk contiguousWalk(Addr base);
+PatternWalk stridedWalk(Addr base, std::uint32_t stride_words,
+                        std::uint32_t block_words = 1);
+PatternWalk indexedWalk(Addr base, Addr index_base);
+
+} // namespace ct::sim
+
+#endif // CT_SIM_WALK_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Write-back queue (WBQ) model. On the T3D, stores bypass the cache
+ * (write-around) and enter a small coalescing queue drained to DRAM in
+ * the background; the processor only stalls when the queue is full.
+ * This is the mechanism that makes strided *stores* much faster than
+ * strided *loads* on that machine (paper §3.5.1, Figure 4).
+ */
+
+#ifndef CT_SIM_WRITE_BUFFER_H
+#define CT_SIM_WRITE_BUFFER_H
+
+#include <deque>
+
+#include "sim/dram.h"
+
+namespace ct::sim {
+
+/** Sizing of the write queue. */
+struct WriteBufferConfig
+{
+    /** Number of outstanding entries; 0 disables the queue entirely
+     *  (every store stalls for its DRAM write). */
+    unsigned entries = 6;
+    /** Merge stores to the same line into one DRAM burst. */
+    bool coalesce = true;
+    Bytes lineBytes = 32;
+    /**
+     * Entries drained per DRAM turn. Draining in batches keeps row
+     * locality among the buffered stores instead of ping-ponging the
+     * open row between the read stream and single drained words.
+     */
+    unsigned drainBatch = 4;
+};
+
+/** Counters for tests and reports. */
+struct WriteBufferStats
+{
+    std::uint64_t stores = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t fullStalls = 0;
+    Cycles stallCycles = 0;
+};
+
+/**
+ * Occupancy-based write queue. Entries carry a completion time
+ * assigned on enqueue (drains are serialized on the DRAM write port);
+ * store() returns the stall the issuing processor observes.
+ */
+class WriteBuffer
+{
+  public:
+    WriteBuffer(const WriteBufferConfig &config, Dram &dram);
+
+    /**
+     * Issue a word store at time @p now.
+     * @return processor-visible stall cycles (0 in the common case).
+     */
+    Cycles store(Addr addr, Bytes bytes, Cycles now);
+
+    /** Cycles from @p now until the queue fully drains (fence);
+     *  forces any buffered entries out to memory. */
+    Cycles drainTime(Cycles now);
+
+    /** Pending (not yet drained) entries at time @p now. */
+    std::size_t occupancy(Cycles now) const;
+
+    const WriteBufferStats &stats() const { return counters; }
+
+  private:
+    struct Entry
+    {
+        Addr line;
+        Addr addr;
+        Bytes bytes;
+        bool issued;
+        Cycles completesAt;
+    };
+
+    void retire(Cycles now);
+    /** Send all unissued entries to DRAM back to back. */
+    void issueBatch(Cycles now);
+
+    WriteBufferConfig cfg;
+    Dram &dram;
+    WriteBufferStats counters;
+    std::deque<Entry> queue;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_WRITE_BUFFER_H

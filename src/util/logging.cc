@@ -1,0 +1,48 @@
+#include "logging.h"
+
+namespace ct::util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+fatalExit(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) <= static_cast<int>(globalLevel))
+        std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace ct::util

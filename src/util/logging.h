@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status-message and error helpers, modeled on the gem5 logging split:
+ * fatal() for user errors that stop the program, panic() for internal
+ * invariant violations, warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef CT_UTIL_LOGGING_H
+#define CT_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ct::util {
+
+/** Verbosity levels for runtime diagnostics. */
+enum class LogLevel {
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Process-wide verbosity; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void fatalExit(const std::string &msg);
+[[noreturn]] void panicAbort(const std::string &msg);
+void emit(LogLevel level, const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Terminate with exit(1). Use for conditions that are the caller's
+ * fault (bad configuration, invalid arguments), not library bugs.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate with abort(). Use for conditions that should never happen
+ * regardless of input, i.e. internal bugs.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicAbort(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning about dubious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Info, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose debugging message. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace ct::util
+
+#endif // CT_UTIL_LOGGING_H

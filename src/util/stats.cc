@@ -1,0 +1,96 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.h"
+
+namespace ct::util {
+
+void
+Accumulator::add(double value)
+{
+    if (n == 0) {
+        minAcc = value;
+        maxAcc = value;
+    } else {
+        minAcc = std::min(minAcc, value);
+        maxAcc = std::max(maxAcc, value);
+    }
+    ++n;
+    double delta = value - meanAcc;
+    meanAcc += delta / static_cast<double>(n);
+    m2 += delta * (value - meanAcc);
+}
+
+double
+Accumulator::mean() const
+{
+    return n == 0 ? 0.0 : meanAcc;
+}
+
+double
+Accumulator::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return n == 0 ? 0.0 : minAcc;
+}
+
+double
+Accumulator::max() const
+{
+    return n == 0 ? 0.0 : maxAcc;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("harmonicMean: non-positive value");
+        sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / sum;
+}
+
+double
+relativeError(double measured, double expected)
+{
+    if (expected == 0.0)
+        fatal("relativeError: zero expected value");
+    return std::abs(measured - expected) / std::abs(expected);
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    if (pct < 0.0 || pct > 100.0)
+        fatal("percentile: pct out of [0,100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= values.size())
+        return values.back();
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+} // namespace ct::util

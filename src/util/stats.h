@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers: running accumulator and summary measures
+ * used when reporting repeated simulator measurements.
+ */
+
+#ifndef CT_UTIL_STATS_H
+#define CT_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ct::util {
+
+/** Online accumulator for mean / variance / extrema (Welford). */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Number of samples added. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+  private:
+    std::size_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minAcc = 0.0;
+    double maxAcc = 0.0;
+};
+
+/** Harmonic mean of strictly positive values; 0 for an empty input. */
+double harmonicMean(const std::vector<double> &values);
+
+/**
+ * Relative error |measured - expected| / |expected|.
+ * Used by integration tests to compare model against simulation.
+ */
+double relativeError(double measured, double expected);
+
+/**
+ * Linear-interpolated percentile in [0, 100] of a sample set.
+ * The input is copied and sorted; empty input yields 0.
+ */
+double percentile(std::vector<double> values, double pct);
+
+} // namespace ct::util
+
+#endif // CT_UTIL_STATS_H

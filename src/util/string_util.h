@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal string helpers shared by the expression parser and the
+ * benchmark harnesses.
+ */
+
+#ifndef CT_UTIL_STRING_UTIL_H
+#define CT_UTIL_STRING_UTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct::util {
+
+/** Strip ASCII whitespace from both ends. */
+std::string_view trim(std::string_view s);
+
+/** Split on a single character; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if every character is an ASCII decimal digit (and non-empty). */
+bool isAllDigits(std::string_view s);
+
+} // namespace ct::util
+
+#endif // CT_UTIL_STRING_UTIL_H

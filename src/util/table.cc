@@ -1,0 +1,71 @@
+#include "table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "logging.h"
+
+namespace ct::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        fatal("TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        fatal("TextTable::addRow: expected ", header.size(),
+              " cells, got ", cells.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << render_row(header);
+    os << "|";
+    for (std::size_t c = 0; c < header.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows)
+        os << render_row(row);
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &t)
+{
+    return os << t.render();
+}
+
+} // namespace ct::util

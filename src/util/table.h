@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * rows in the same layout as the paper's tables.
+ */
+
+#ifndef CT_UTIL_TABLE_H
+#define CT_UTIL_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ct::util {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with a fixed precision. Example output:
+ *
+ *   |         | 1C1  | 1C64 |
+ *   |---------|------|------|
+ *   | T3D     | 93.0 | 67.9 |
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells; must match column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 1);
+
+    /** Render the table including a header separator line. */
+    std::string render() const;
+
+    /** Stream the rendered table. */
+    friend std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace ct::util
+
+#endif // CT_UTIL_TABLE_H

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/fem.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::apps;
+
+FemConfig
+smallMesh()
+{
+    FemConfig cfg;
+    cfg.nx = 12;
+    cfg.ny = 12;
+    cfg.nz = 6;
+    return cfg;
+}
+
+TEST(FemMesh, ValleyProfileCarvesVolume)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    int full = 12 * 12 * 6;
+    EXPECT_GT(mesh.vertexCount(), full / 8);
+    EXPECT_LT(mesh.vertexCount(), full); // rock removed at the rim
+    EXPECT_GT(mesh.edgeCount(), 0u);
+}
+
+TEST(FemMesh, BasinIsDeeperInTheMiddle)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    int centre_depth = 0, rim_depth = 0;
+    for (const auto &[x, y, z] : mesh.coords()) {
+        if (x == 6 && y == 6)
+            centre_depth = std::max(centre_depth, z);
+        if (x == 0 && y == 0)
+            rim_depth = std::max(rim_depth, z);
+    }
+    EXPECT_GT(centre_depth, rim_depth);
+}
+
+TEST(FemMesh, EdgesConnectValidLatticeNeighbours)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    for (const auto &[a, b] : mesh.edges()) {
+        ASSERT_GE(a, 0);
+        ASSERT_LT(a, mesh.vertexCount());
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, mesh.vertexCount());
+        const auto &ca = mesh.coords()[static_cast<std::size_t>(a)];
+        const auto &cb = mesh.coords()[static_cast<std::size_t>(b)];
+        int manhattan = std::abs(ca[0] - cb[0]) +
+                        std::abs(ca[1] - cb[1]) +
+                        std::abs(ca[2] - cb[2]);
+        EXPECT_EQ(manhattan, 1);
+    }
+}
+
+TEST(FemPartition, BalancedAndComplete)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    for (int parts : {2, 4, 8}) {
+        auto owner = partitionMesh(mesh, parts);
+        ASSERT_EQ(owner.size(),
+                  static_cast<std::size_t>(mesh.vertexCount()));
+        std::vector<int> counts(static_cast<std::size_t>(parts), 0);
+        for (int p : owner) {
+            ASSERT_GE(p, 0);
+            ASSERT_LT(p, parts);
+            ++counts[static_cast<std::size_t>(p)];
+        }
+        int lo = *std::min_element(counts.begin(), counts.end());
+        int hi = *std::max_element(counts.begin(), counts.end());
+        EXPECT_LE(hi - lo, 1) << parts; // median splits balance
+    }
+}
+
+TEST(FemPartition, CutIsSmallFractionOfEdges)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    auto owner = partitionMesh(mesh, 8);
+    std::size_t cut = 0;
+    for (const auto &[a, b] : mesh.edges())
+        cut += owner[static_cast<std::size_t>(a)] !=
+               owner[static_cast<std::size_t>(b)];
+    EXPECT_LT(static_cast<double>(cut),
+              0.5 * static_cast<double>(mesh.edgeCount()));
+}
+
+TEST(FemPartitionDeath, NonPowerOfTwo)
+{
+    auto mesh = FemMesh::generate(smallMesh());
+    EXPECT_EXIT((void)partitionMesh(mesh, 3),
+                testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(FemWorkload, FlowsAreIndexedBothSides)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    EXPECT_GT(w.op().flows.size(), 0u);
+    for (const auto &flow : w.op().flows) {
+        EXPECT_TRUE(flow.srcWalk.pattern.isIndexed());
+        EXPECT_TRUE(flow.dstWalk.pattern.isIndexed());
+        EXPECT_TRUE(flow.dstWalkOnSender.pattern.isIndexed());
+        EXPECT_GT(flow.words, 0u);
+        // The sender-side replica of the destination index array
+        // (in the sender's memory) must yield the same remote
+        // addresses as the receiver's own copy.
+        auto &src_ram = m.node(flow.src).ram();
+        auto &dst_ram = m.node(flow.dst).ram();
+        for (std::uint64_t i = 0; i < flow.words; i += 13)
+            EXPECT_EQ(flow.dstWalkOnSender.elementAddr(src_ram, i),
+                      flow.dstWalk.elementAddr(dst_ram, i));
+    }
+}
+
+TEST(FemWorkload, HaloIsSymmetricInPartners)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    std::set<std::pair<int, int>> pairs;
+    for (const auto &flow : w.op().flows)
+        pairs.insert({flow.src, flow.dst});
+    for (auto [p, q] : pairs)
+        EXPECT_TRUE(pairs.count({q, p})) << p << "->" << q;
+}
+
+TEST(FemWorkload, ChainedExchangeDeliversExactly)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    rt::seedSources(m, w.op());
+    rt::ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(rt::verifyDelivery(m, w.op()), 0u);
+}
+
+TEST(FemWorkload, PackingExchangeDeliversExactly)
+{
+    sim::Machine m(sim::paragonConfig({4, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    rt::seedSources(m, w.op());
+    rt::PackingLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(rt::verifyDelivery(m, w.op()), 0u);
+}
+
+TEST(FemWorkload, OnlyBoundaryDataMoves)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    // Halo words must be well below the total vertex count: the
+    // paper's point that "only a fraction of the local data elements
+    // is exchanged" (§6.1.2).
+    EXPECT_LT(w.haloWords(),
+              static_cast<std::uint64_t>(w.mesh().vertexCount()));
+    EXPECT_GT(w.boundaryFraction(), 0.0);
+    EXPECT_LT(w.boundaryFraction(), 0.8);
+}
+
+TEST(FemWorkload, LocalIndicesAreDense)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = FemWorkload::create(m, smallMesh());
+    std::uint64_t total = 0;
+    for (int p = 0; p < m.nodeCount(); ++p)
+        total += w.localCount(p);
+    EXPECT_EQ(total,
+              static_cast<std::uint64_t>(w.mesh().vertexCount()));
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/fft.h"
+
+namespace {
+
+using namespace ct::apps;
+using cd = std::complex<double>;
+
+std::vector<cd>
+naiveDft(const std::vector<cd> &in)
+{
+    std::size_t n = in.size();
+    std::vector<cd> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        cd sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+            sum += in[j] * cd(std::cos(angle), std::sin(angle));
+        }
+        out[k] = sum;
+    }
+    return out;
+}
+
+TEST(Fft, MatchesNaiveDft)
+{
+    std::vector<cd> data;
+    for (int i = 0; i < 16; ++i)
+        data.emplace_back(std::sin(0.3 * i), std::cos(0.7 * i));
+    auto expect = naiveDft(data);
+    fft(data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_LT(std::abs(data[i] - expect[i]), 1e-9) << i;
+}
+
+TEST(Fft, InverseRoundTrip)
+{
+    std::vector<cd> data;
+    for (int i = 0; i < 64; ++i)
+        data.emplace_back(i * 0.25, -i * 0.5);
+    auto original = data;
+    fft(data);
+    ifft(data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_LT(std::abs(data[i] - original[i]), 1e-9);
+}
+
+TEST(Fft, DeltaGivesFlatSpectrum)
+{
+    std::vector<cd> data(8, 0.0);
+    data[0] = 1.0;
+    fft(data);
+    for (const auto &x : data)
+        EXPECT_LT(std::abs(x - cd(1.0, 0.0)), 1e-12);
+}
+
+TEST(Fft, ConstantGivesDeltaSpectrum)
+{
+    std::vector<cd> data(8, 1.0);
+    fft(data);
+    EXPECT_LT(std::abs(data[0] - cd(8.0, 0.0)), 1e-12);
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_LT(std::abs(data[i]), 1e-12);
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    std::vector<cd> data;
+    for (int i = 0; i < 32; ++i)
+        data.emplace_back(std::cos(i), std::sin(2 * i));
+    double time_energy = 0.0;
+    for (const auto &x : data)
+        time_energy += std::norm(x);
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &x : data)
+        freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-9);
+}
+
+TEST(Fft, RowsTransformIndependently)
+{
+    // Two rows; second is a delta.
+    std::vector<cd> matrix(16, 0.0);
+    for (int i = 0; i < 8; ++i)
+        matrix[static_cast<std::size_t>(i)] = 1.0;
+    matrix[8] = 1.0;
+    fftRows(matrix, 8);
+    EXPECT_LT(std::abs(matrix[0] - cd(8.0, 0.0)), 1e-12);
+    for (std::size_t i = 8; i < 16; ++i)
+        EXPECT_LT(std::abs(matrix[i] - cd(1.0, 0.0)), 1e-12);
+}
+
+TEST(FftDeath, NonPowerOfTwo)
+{
+    std::vector<cd> data(12, 0.0);
+    EXPECT_EXIT(fft(data), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/irregular.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::apps;
+
+IrregularConfig
+smallConfig(double locality = 0.5)
+{
+    IrregularConfig cfg;
+    cfg.n = 1 << 10;
+    cfg.locality = locality;
+    return cfg;
+}
+
+TEST(IrregularGather, PermutationIsValid)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig());
+    auto x = w.permutation();
+    std::sort(x.begin(), x.end());
+    for (std::uint64_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(x[i], i);
+}
+
+TEST(IrregularGather, LocalityKnobControlsTraffic)
+{
+    sim::Machine m1(sim::t3dConfig({2, 2, 1}));
+    sim::Machine m2(sim::t3dConfig({2, 2, 1}));
+    auto local = IrregularGatherWorkload::create(m1, smallConfig(0.9));
+    auto remote = IrregularGatherWorkload::create(m2, smallConfig(0.1));
+    EXPECT_LT(local.remoteWords(), remote.remoteWords());
+    EXPECT_GT(local.measuredLocality(), remote.measuredLocality());
+    EXPECT_GT(local.measuredLocality(), 0.6);
+    EXPECT_LT(remote.measuredLocality(), 0.6);
+}
+
+TEST(IrregularGather, FullLocalityNeedsNoCommunication)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig(1.0));
+    EXPECT_TRUE(w.op().flows.empty());
+    // The gather is already complete, straight from the inspector.
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(IrregularGather, FlowsAreIrregular)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig(0.3));
+    ASSERT_FALSE(w.op().flows.empty());
+    std::size_t indexed = 0;
+    for (const auto &flow : w.op().flows)
+        indexed += flow.srcWalk.pattern.isIndexed() ||
+                   flow.dstWalk.pattern.isIndexed();
+    // A random permutation produces overwhelmingly indexed walks.
+    EXPECT_GT(indexed, w.op().flows.size() / 2);
+}
+
+TEST(IrregularGather, ChainedExecutorProducesA)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig(0.4));
+    rt::ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(IrregularGather, PackingExecutorProducesA)
+{
+    sim::Machine m(sim::paragonConfig({4, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig(0.4));
+    rt::PackingLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(IrregularGather, VerifyFailsBeforeExecution)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = IrregularGatherWorkload::create(m, smallConfig(0.2));
+    // Remote elements have not arrived yet.
+    EXPECT_GT(w.verify(m), 0u);
+}
+
+TEST(IrregularGather, DeterministicForSeed)
+{
+    sim::Machine m1(sim::t3dConfig({2, 2, 1}));
+    sim::Machine m2(sim::t3dConfig({2, 2, 1}));
+    auto a = IrregularGatherWorkload::create(m1, smallConfig());
+    auto b = IrregularGatherWorkload::create(m2, smallConfig());
+    EXPECT_EQ(a.permutation(), b.permutation());
+    EXPECT_EQ(a.remoteWords(), b.remoteWords());
+}
+
+TEST(IrregularGatherDeath, BadLocality)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    IrregularConfig cfg;
+    cfg.locality = 1.5;
+    EXPECT_EXIT((void)IrregularGatherWorkload::create(m, cfg),
+                testing::ExitedWithCode(1), "locality");
+}
+
+} // namespace

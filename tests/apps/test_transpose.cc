@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "apps/transpose.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::apps;
+
+TEST(Transpose, FlowShapesStridedStores)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    cfg.variant = TransposeVariant::StridedStores;
+    auto w = TransposeWorkload::create(m, cfg);
+    // P=4: 4*3 patches x 16 rows each.
+    EXPECT_EQ(w.op().flows.size(), 4u * 3u * 16u);
+    for (const auto &flow : w.op().flows) {
+        EXPECT_TRUE(flow.srcWalk.pattern.isContiguous());
+        EXPECT_EQ(flow.dstWalk.pattern.stride(), 64u);
+        EXPECT_EQ(flow.words, 16u);
+    }
+}
+
+TEST(Transpose, FlowShapesStridedLoads)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    cfg.variant = TransposeVariant::StridedLoads;
+    auto w = TransposeWorkload::create(m, cfg);
+    for (const auto &flow : w.op().flows) {
+        EXPECT_EQ(flow.srcWalk.pattern.stride(), 64u);
+        EXPECT_TRUE(flow.dstWalk.pattern.isContiguous());
+    }
+}
+
+TEST(Transpose, RotationSchedulePreventsHotReceivers)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    auto w = TransposeWorkload::create(m, cfg);
+    // First group of every sender must target distinct receivers.
+    std::set<int> first_targets;
+    int last_src = -1;
+    for (const auto &flow : w.op().flows) {
+        if (flow.src != last_src) {
+            first_targets.insert(flow.dst);
+            last_src = flow.src;
+        }
+    }
+    EXPECT_EQ(first_targets.size(), 4u);
+}
+
+class TransposeBothVariants
+    : public testing::TestWithParam<TransposeVariant>
+{};
+
+TEST_P(TransposeBothVariants, ChainedTransposesCorrectly)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    cfg.variant = GetParam();
+    auto w = TransposeWorkload::create(m, cfg);
+    w.fillInput(m);
+    rt::ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST_P(TransposeBothVariants, PackingTransposesCorrectly)
+{
+    sim::Machine m(sim::paragonConfig({4, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    cfg.variant = GetParam();
+    auto w = TransposeWorkload::create(m, cfg);
+    w.fillInput(m);
+    rt::PackingLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TransposeBothVariants,
+                         testing::Values(
+                             TransposeVariant::StridedStores,
+                             TransposeVariant::StridedLoads));
+
+TEST(Transpose, VerifyDetectsCorruption)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    TransposeConfig cfg;
+    cfg.n = 32;
+    auto w = TransposeWorkload::create(m, cfg);
+    w.fillInput(m);
+    rt::ChainedLayer layer;
+    layer.run(m, w.op());
+    ASSERT_EQ(w.verify(m), 0u);
+    // Corrupt one delivered word.
+    const auto &flow = w.op().flows.front();
+    auto &ram = m.node(flow.dst).ram();
+    sim::Addr addr = flow.dstWalk.elementAddr(ram, 0);
+    ram.writeWord(addr, ram.readWord(addr) ^ 1);
+    EXPECT_EQ(w.verify(m), 1u);
+}
+
+TEST(Transpose, TotalBytesMatchOffDiagonalVolume)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    TransposeConfig cfg;
+    cfg.n = 64;
+    auto w = TransposeWorkload::create(m, cfg);
+    // n^2 minus the 4 diagonal blocks of 16x16.
+    EXPECT_EQ(w.op().totalBytes(), (64u * 64u - 4u * 16u * 16u) * 8u);
+}
+
+TEST(TransposeDeath, IndivisibleMatrix)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    TransposeConfig cfg;
+    cfg.n = 100; // not divisible by 8
+    EXPECT_EXIT((void)TransposeWorkload::create(m, cfg),
+                testing::ExitedWithCode(1), "divisible");
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/datatype.h"
+
+namespace {
+
+using namespace ct::core;
+using T = Datatype;
+
+TEST(Datatype, ContiguousOffsets)
+{
+    auto t = T::contiguous(4);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.extent(), 4u);
+    EXPECT_EQ(t.offsets(), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    EXPECT_TRUE(t.pattern().isContiguous());
+}
+
+TEST(Datatype, VectorOffsets)
+{
+    auto t = T::vector(3, 2, 8); // 3 blocks of 2, stride 8
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.extent(), 18u);
+    EXPECT_EQ(t.offsets(),
+              (std::vector<std::uint64_t>{0, 1, 8, 9, 16, 17}));
+    auto p = t.pattern();
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 8u);
+    EXPECT_EQ(p.block(), 2u);
+}
+
+TEST(Datatype, VectorUnitBlockIsPlainStrided)
+{
+    auto p = T::vector(5, 1, 16).pattern();
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 16u);
+    EXPECT_EQ(p.block(), 1u);
+}
+
+TEST(Datatype, VectorDegeneratesToContiguous)
+{
+    EXPECT_TRUE(T::vector(4, 2, 2).pattern().isContiguous());
+}
+
+TEST(Datatype, IndexedBlock)
+{
+    auto t = T::indexedBlock(2, {0, 10, 3});
+    EXPECT_EQ(t.offsets(),
+              (std::vector<std::uint64_t>{0, 1, 10, 11, 3, 4}));
+    EXPECT_TRUE(t.pattern().isIndexed());
+    EXPECT_FALSE(t.isMonotone());
+}
+
+TEST(Datatype, IndexedGeneral)
+{
+    auto t = T::indexed({1, 3}, {0, 5});
+    EXPECT_EQ(t.offsets(), (std::vector<std::uint64_t>{0, 5, 6, 7}));
+    EXPECT_TRUE(t.pattern().isIndexed());
+    EXPECT_TRUE(t.isMonotone());
+}
+
+TEST(Datatype, ReplicateTiles)
+{
+    // A complex column of a 4-column matrix: 2 words every 8.
+    auto column = T::vector(2, 2, 8);
+    auto tiled = T::replicate(column, 2, 1024);
+    EXPECT_EQ(tiled.size(), 8u);
+    EXPECT_EQ(tiled.offsets()[4], 1024u);
+    EXPECT_EQ(tiled.offsets()[7], 1024u + 9u);
+}
+
+TEST(Datatype, ReplicateOfContiguousStaysRegular)
+{
+    auto t = T::replicate(T::contiguous(2), 4, 8);
+    auto p = t.pattern();
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 8u);
+    EXPECT_EQ(p.block(), 2u);
+}
+
+TEST(Datatype, ComplexColumnUseCase)
+{
+    // The paper's §2.2 example: complex numbers are 2-word blocks; a
+    // column of an n x n complex matrix is block-strided with stride
+    // 2n. The model classifies it without an index array.
+    constexpr std::uint64_t n = 64;
+    auto column = T::vector(n, 2, 2 * n);
+    auto p = column.pattern();
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 2 * n);
+    EXPECT_EQ(p.block(), 2u);
+}
+
+TEST(Datatype, Equality)
+{
+    EXPECT_EQ(T::contiguous(4), T::vector(1, 4, 4));
+    EXPECT_EQ(T::vector(2, 1, 4), T::indexedBlock(1, {0, 4}));
+    EXPECT_NE(T::contiguous(4), T::contiguous(5));
+}
+
+TEST(DatatypeDeath, BadArgs)
+{
+    EXPECT_EXIT((void)T::contiguous(0), testing::ExitedWithCode(1),
+                "zero count");
+    EXPECT_EXIT((void)T::vector(2, 4, 2), testing::ExitedWithCode(1),
+                "stride smaller");
+    EXPECT_EXIT((void)T::indexed({1}, {0, 1}),
+                testing::ExitedWithCode(1), "length mismatch");
+    EXPECT_EXIT((void)T::replicate(T::contiguous(1), 0, 4),
+                testing::ExitedWithCode(1), "zero count");
+}
+
+} // namespace

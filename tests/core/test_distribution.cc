@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/distribution.h"
+
+namespace {
+
+using namespace ct::core;
+using D = Distribution;
+
+// ---------------------------------------------------------------------
+// Ownership arithmetic.
+// ---------------------------------------------------------------------
+
+TEST(Distribution, BlockOwnership)
+{
+    auto d = D::block(16, 4);
+    EXPECT_EQ(d.ownerOf(0), 0);
+    EXPECT_EQ(d.ownerOf(3), 0);
+    EXPECT_EQ(d.ownerOf(4), 1);
+    EXPECT_EQ(d.ownerOf(15), 3);
+    EXPECT_EQ(d.localIndexOf(5), 1u);
+    EXPECT_EQ(d.localCount(2), 4u);
+}
+
+TEST(Distribution, BlockWithRemainder)
+{
+    auto d = D::block(10, 4); // chunks of 3: 3,3,3,1
+    EXPECT_EQ(d.localCount(0), 3u);
+    EXPECT_EQ(d.localCount(3), 1u);
+    EXPECT_EQ(d.ownerOf(9), 3);
+}
+
+TEST(Distribution, CyclicOwnership)
+{
+    auto d = D::cyclic(16, 4);
+    EXPECT_EQ(d.ownerOf(0), 0);
+    EXPECT_EQ(d.ownerOf(1), 1);
+    EXPECT_EQ(d.ownerOf(5), 1);
+    EXPECT_EQ(d.localIndexOf(5), 1u);
+    EXPECT_EQ(d.localIndexOf(13), 3u);
+    EXPECT_EQ(d.localCount(0), 4u);
+}
+
+TEST(Distribution, CyclicUnevenCounts)
+{
+    auto d = D::cyclic(10, 4); // nodes 0,1 get 3; nodes 2,3 get 2
+    EXPECT_EQ(d.localCount(0), 3u);
+    EXPECT_EQ(d.localCount(1), 3u);
+    EXPECT_EQ(d.localCount(2), 2u);
+    EXPECT_EQ(d.localCount(3), 2u);
+}
+
+TEST(Distribution, BlockCyclicOwnership)
+{
+    auto d = D::blockCyclic(24, 3, 2); // blocks of 2 dealt to 3 nodes
+    EXPECT_EQ(d.ownerOf(0), 0);
+    EXPECT_EQ(d.ownerOf(1), 0);
+    EXPECT_EQ(d.ownerOf(2), 1);
+    EXPECT_EQ(d.ownerOf(6), 0); // second round
+    EXPECT_EQ(d.localIndexOf(6), 2u);
+    EXPECT_EQ(d.localCount(0), 8u);
+}
+
+// Property: ownership partitions the index space, and
+// globalIndexOf inverts (ownerOf, localIndexOf), for every kind.
+class DistributionRoundTrip : public testing::TestWithParam<D>
+{};
+
+TEST_P(DistributionRoundTrip, PartitionAndInverse)
+{
+    const D &d = GetParam();
+    std::uint64_t total = 0;
+    for (int node = 0; node < d.nodes(); ++node)
+        total += d.localCount(node);
+    EXPECT_EQ(total, d.elements());
+
+    for (std::uint64_t g = 0; g < d.elements(); ++g) {
+        int owner = d.ownerOf(g);
+        std::uint64_t li = d.localIndexOf(g);
+        EXPECT_LT(li, d.localCount(owner)) << g;
+        EXPECT_EQ(d.globalIndexOf(owner, li), g) << g;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DistributionRoundTrip,
+    testing::Values(D::block(64, 4), D::block(61, 4), D::cyclic(64, 4),
+                    D::cyclic(61, 4), D::blockCyclic(64, 4, 4),
+                    D::blockCyclic(61, 4, 4), D::blockCyclic(60, 3, 7),
+                    D::block(7, 8), D::cyclic(3, 8)));
+
+TEST(Distribution, Names)
+{
+    EXPECT_EQ(D::block(8, 2).name(), "BLOCK");
+    EXPECT_EQ(D::cyclic(8, 2).name(), "CYCLIC");
+    EXPECT_EQ(D::blockCyclic(8, 2, 2).name(), "BLOCK-CYCLIC(2)");
+}
+
+TEST(DistributionDeath, BadArgs)
+{
+    EXPECT_EXIT((void)D::block(0, 4), testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT((void)D::cyclic(8, 0), testing::ExitedWithCode(1),
+                "at least one node");
+    EXPECT_EXIT((void)D::blockCyclic(8, 2, 0),
+                testing::ExitedWithCode(1), "zero block");
+}
+
+// ---------------------------------------------------------------------
+// Pattern classification.
+// ---------------------------------------------------------------------
+
+TEST(ClassifyIndices, Contiguous)
+{
+    EXPECT_TRUE(classifyIndices({5, 6, 7, 8}).isContiguous());
+    EXPECT_TRUE(classifyIndices({0}).isContiguous());
+}
+
+TEST(ClassifyIndices, Strided)
+{
+    auto p = classifyIndices({0, 4, 8, 12});
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 4u);
+    EXPECT_EQ(p.block(), 1u);
+}
+
+TEST(ClassifyIndices, BlockStrided)
+{
+    auto p = classifyIndices({0, 1, 8, 9, 16, 17});
+    EXPECT_TRUE(p.isStrided());
+    EXPECT_EQ(p.stride(), 8u);
+    EXPECT_EQ(p.block(), 2u);
+}
+
+TEST(ClassifyIndices, Irregular)
+{
+    EXPECT_TRUE(classifyIndices({0, 1, 5, 6, 7}).isIndexed());
+    EXPECT_TRUE(classifyIndices({0, 3, 4, 9}).isIndexed());
+    EXPECT_TRUE(classifyIndices({3, 1, 2}).isIndexed()); // unsorted
+}
+
+TEST(ClassifyIndices, RedistributionPatterns)
+{
+    // BLOCK -> CYCLIC over p nodes: the sender reads every p-th
+    // element of its block (strided loads), the receiver stores
+    // contiguously. This is the paper's compiler view in action.
+    auto from = D::block(64, 4);
+    auto to = D::cyclic(64, 4);
+    auto moved = redistributionIndices(from, to, /*sender=*/0,
+                                       /*receiver=*/1);
+    ASSERT_FALSE(moved.empty());
+    std::vector<std::uint64_t> src_locals, dst_locals;
+    for (auto g : moved) {
+        src_locals.push_back(from.localIndexOf(g));
+        dst_locals.push_back(to.localIndexOf(g));
+    }
+    auto x = classifyIndices(src_locals);
+    auto y = classifyIndices(dst_locals);
+    EXPECT_TRUE(x.isStrided());
+    EXPECT_EQ(x.stride(), 4u);
+    EXPECT_TRUE(y.isContiguous());
+}
+
+TEST(RedistributionIndices, CoversEveryElementOnce)
+{
+    auto from = D::blockCyclic(48, 4, 3);
+    auto to = D::cyclic(48, 4);
+    std::vector<int> seen(48, 0);
+    for (int s = 0; s < 4; ++s)
+        for (int r = 0; r < 4; ++r)
+            for (auto g : redistributionIndices(from, to, s, r)) {
+                EXPECT_EQ(from.ownerOf(g), s);
+                EXPECT_EQ(to.ownerOf(g), r);
+                ++seen[static_cast<std::size_t>(g)];
+            }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+} // namespace

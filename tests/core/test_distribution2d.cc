@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/distribution2d.h"
+
+namespace {
+
+using namespace ct::core;
+using D = Distribution;
+
+Distribution2d
+rowBlock(std::uint64_t n, int p)
+{
+    return {DimSpec::dist(D::block(n, p)), DimSpec::whole(n)};
+}
+
+Distribution2d
+colBlock(std::uint64_t n, int p)
+{
+    return {DimSpec::whole(n), DimSpec::dist(D::block(n, p))};
+}
+
+TEST(Distribution2d, RowBlockOwnership)
+{
+    auto d = rowBlock(16, 4);
+    EXPECT_EQ(d.nodes(), 4);
+    EXPECT_EQ(d.ownerOf(0, 7), 0);
+    EXPECT_EQ(d.ownerOf(5, 0), 1);
+    EXPECT_EQ(d.ownerOf(15, 15), 3);
+    EXPECT_EQ(d.localWords(0), 4u * 16u);
+}
+
+TEST(Distribution2d, RowBlockLocalLayoutIsRowMajor)
+{
+    auto d = rowBlock(16, 4);
+    EXPECT_EQ(d.localOffsetOf(4, 0), 0u);  // node 1's first element
+    EXPECT_EQ(d.localOffsetOf(4, 3), 3u);
+    EXPECT_EQ(d.localOffsetOf(5, 0), 16u); // second local row
+}
+
+TEST(Distribution2d, GridDistribution)
+{
+    // 2x2 node grid over a 8x8 array.
+    Distribution2d d{DimSpec::dist(D::block(8, 2)),
+                     DimSpec::dist(D::block(8, 2))};
+    EXPECT_EQ(d.nodes(), 4);
+    EXPECT_EQ(d.ownerOf(0, 0), 0);
+    EXPECT_EQ(d.ownerOf(0, 7), 1);
+    EXPECT_EQ(d.ownerOf(7, 0), 2);
+    EXPECT_EQ(d.ownerOf(7, 7), 3);
+    EXPECT_EQ(d.localWords(3), 16u);
+    EXPECT_EQ(d.localOffsetOf(4, 4), 0u);
+    EXPECT_EQ(d.localOffsetOf(4, 5), 1u);
+    EXPECT_EQ(d.localOffsetOf(5, 4), 4u);
+}
+
+TEST(Distribution2d, Names)
+{
+    EXPECT_EQ(rowBlock(8, 2).name(), "(BLOCK, *)");
+    EXPECT_EQ(colBlock(8, 2).name(), "(*, BLOCK)");
+    Distribution2d cyc{DimSpec::dist(D::cyclic(8, 2)),
+                       DimSpec::whole(8)};
+    EXPECT_EQ(cyc.name(), "(CYCLIC, *)");
+}
+
+TEST(Distribution2d, LocalWordsPartitionTheArray)
+{
+    for (auto d : {rowBlock(12, 4), colBlock(12, 4)}) {
+        std::uint64_t total = 0;
+        for (int node = 0; node < d.nodes(); ++node)
+            total += d.localWords(node);
+        EXPECT_EQ(total, 12u * 12u);
+    }
+}
+
+TEST(Redistribution2d, TransposePairListsMatchDefinition)
+{
+    // (BLOCK, *) -> transpose -> (BLOCK, *): the Figure 9 exchange.
+    auto from = rowBlock(8, 2);
+    auto to = rowBlock(8, 2);
+    auto pair = redistribution2dIndices(from, to, 0, 1, true);
+    // Node 0 owns rows 0..3 of A; node 1 owns rows 4..7 of B.
+    // B[i][j] = A[j][i]: node 1 needs A[j][i] for i in 4..7 and
+    // j with owner(A row j) == 0, i.e. j in 0..3: a 4x4 patch.
+    EXPECT_EQ(pair.srcOffsets.size(), 16u);
+    // First destination element is B[4][0] <- A[0][4]:
+    EXPECT_EQ(pair.dstOffsets[0], to.localOffsetOf(4, 0));
+    EXPECT_EQ(pair.srcOffsets[0], from.localOffsetOf(0, 4));
+}
+
+TEST(Redistribution2d, EveryRemoteElementCoveredOnce)
+{
+    auto from = rowBlock(8, 4);
+    auto to = colBlock(8, 4);
+    std::vector<int> seen(64, 0);
+    for (int s = 0; s < 4; ++s) {
+        for (int r = 0; r < 4; ++r) {
+            auto pair =
+                redistribution2dIndices(from, to, s, r, false);
+            for (std::size_t k = 0; k < pair.dstOffsets.size(); ++k)
+                ++seen[static_cast<std::size_t>(r) * 16 +
+                       pair.dstOffsets[k] % 16]; // 8x2 local cols
+        }
+    }
+    // Totals: every element moved exactly once across all pairs.
+    std::uint64_t total = 0;
+    for (int c : seen)
+        total += static_cast<std::uint64_t>(c);
+    EXPECT_EQ(total, 64u);
+}
+
+TEST(Redistribution2dDeath, ShapeMismatch)
+{
+    auto a = rowBlock(8, 2);
+    Distribution2d b{DimSpec::dist(D::block(16, 2)),
+                     DimSpec::whole(16)};
+    EXPECT_EXIT(
+        (void)redistribution2dIndices(a, b, 0, 1, false),
+        testing::ExitedWithCode(1), "shape mismatch");
+}
+
+TEST(DimSpecDeath, WholeNeedsExtent)
+{
+    EXPECT_EXIT((void)DimSpec::whole(0), testing::ExitedWithCode(1),
+                "empty");
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+
+namespace {
+
+using ct::core::AccessPattern;
+using ct::core::PatternKind;
+
+TEST(AccessPattern, Factories)
+{
+    EXPECT_TRUE(AccessPattern::fixed().isFixed());
+    EXPECT_TRUE(AccessPattern::contiguous().isContiguous());
+    EXPECT_TRUE(AccessPattern::strided(7).isStrided());
+    EXPECT_TRUE(AccessPattern::indexed().isIndexed());
+}
+
+TEST(AccessPattern, StrideOneIsContiguous)
+{
+    EXPECT_EQ(AccessPattern::strided(1), AccessPattern::contiguous());
+}
+
+TEST(AccessPattern, DefaultIsContiguous)
+{
+    AccessPattern p;
+    EXPECT_TRUE(p.isContiguous());
+    EXPECT_EQ(p.stride(), 1u);
+}
+
+TEST(AccessPattern, Labels)
+{
+    EXPECT_EQ(AccessPattern::fixed().label(), "0");
+    EXPECT_EQ(AccessPattern::contiguous().label(), "1");
+    EXPECT_EQ(AccessPattern::strided(64).label(), "64");
+    EXPECT_EQ(AccessPattern::indexed().label(), "w");
+}
+
+TEST(AccessPattern, ParseRoundTrip)
+{
+    for (const char *label : {"0", "1", "2", "16", "64", "w"}) {
+        auto p = AccessPattern::parse(label);
+        ASSERT_TRUE(p.has_value()) << label;
+        EXPECT_EQ(p->label(), label);
+    }
+}
+
+TEST(AccessPattern, ParseAliases)
+{
+    EXPECT_TRUE(AccessPattern::parse("omega")->isIndexed());
+    EXPECT_TRUE(AccessPattern::parse("W")->isIndexed());
+    EXPECT_TRUE(AccessPattern::parse(" 16 ")->isStrided());
+}
+
+TEST(AccessPattern, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(AccessPattern::parse("").has_value());
+    EXPECT_FALSE(AccessPattern::parse("x").has_value());
+    EXPECT_FALSE(AccessPattern::parse("-1").has_value());
+    EXPECT_FALSE(AccessPattern::parse("1.5").has_value());
+}
+
+TEST(AccessPattern, TouchesMemory)
+{
+    EXPECT_FALSE(AccessPattern::fixed().touchesMemory());
+    EXPECT_TRUE(AccessPattern::contiguous().touchesMemory());
+    EXPECT_TRUE(AccessPattern::strided(4).touchesMemory());
+    EXPECT_TRUE(AccessPattern::indexed().touchesMemory());
+}
+
+TEST(AccessPattern, OrderingIsStrictWeak)
+{
+    ct::core::PatternLess less;
+    auto a = AccessPattern::strided(2);
+    auto b = AccessPattern::strided(3);
+    EXPECT_TRUE(less(a, b));
+    EXPECT_FALSE(less(b, a));
+    EXPECT_FALSE(less(a, a));
+    EXPECT_TRUE(less(AccessPattern::fixed(), AccessPattern::indexed()));
+}
+
+TEST(AccessPatternDeath, ZeroStride)
+{
+    EXPECT_EXIT((void)AccessPattern::strided(0),
+                testing::ExitedWithCode(1), "zero stride");
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace {
+
+using namespace ct::core;
+using P = AccessPattern;
+
+TEST(SizedPlanner, LargeMessagesAgreeWithSteadyStatePlanner)
+{
+    auto sized = planForSize(MachineId::T3d, P::contiguous(),
+                             P::strided(64), 8 << 20);
+    PlanQuery q{MachineId::T3d, P::contiguous(), P::strided(64), 0.0};
+    auto steady = bestPlan(q);
+    ASSERT_FALSE(sized.empty());
+    EXPECT_EQ(sized.front().style, steady.strategy.style);
+    EXPECT_NEAR(sized.front().effective, steady.estimate, 1.5);
+}
+
+TEST(SizedPlanner, SmallMessagesFlipTheContiguousRanking)
+{
+    // At steady state chained contiguous wins 69 vs 28; below the
+    // crossover the heavier chained synchronization makes buffer
+    // packing the right choice -- the §6.2 SOR regime.
+    auto large = planForSize(MachineId::T3d, P::contiguous(),
+                             P::contiguous(), 1 << 20);
+    EXPECT_EQ(large.front().style, Style::Chained);
+
+    auto tiny = planForSize(MachineId::T3d, P::contiguous(),
+                            P::contiguous(), 256);
+    EXPECT_NE(tiny.front().style, Style::Chained);
+}
+
+TEST(SizedPlanner, CrossoverSizeIsPlausible)
+{
+    auto bytes = styleCrossoverBytes(MachineId::T3d, P::contiguous(),
+                                     P::contiguous(), Style::Chained,
+                                     Style::BufferPacking);
+    // Chained overtakes packing somewhere in the hundreds of bytes
+    // to few-KB range (sync difference 5000 cycles at 150 MHz
+    // against a 28-vs-69 MB/s rate difference).
+    EXPECT_GT(bytes, 200u);
+    EXPECT_LT(bytes, 8192u);
+
+    // Above the crossover chained wins, below packing wins.
+    auto above = planForSize(MachineId::T3d, P::contiguous(),
+                             P::contiguous(), bytes * 4);
+    auto below = planForSize(MachineId::T3d, P::contiguous(),
+                             P::contiguous(), bytes / 4);
+    EXPECT_EQ(above.front().style, Style::Chained);
+    EXPECT_NE(below.front().style, Style::Chained);
+}
+
+TEST(SizedPlanner, DominatingStyleHasNoCrossover)
+{
+    // Chained strided beats packing at every size on the T3D: the
+    // asymptotic gap (38 vs 25) outweighs the sync difference even
+    // for the smallest messages... unless it doesn't; either way the
+    // function must be consistent with the rankings it implies.
+    auto bytes = styleCrossoverBytes(MachineId::T3d, P::contiguous(),
+                                     P::strided(64), Style::Chained,
+                                     Style::BufferPacking);
+    auto at = [&](ct::util::Bytes n) {
+        return planForSize(MachineId::T3d, P::contiguous(),
+                           P::strided(64), n)
+            .front()
+            .style;
+    };
+    if (bytes == 0) {
+        EXPECT_EQ(at(256), at(1 << 20));
+    } else {
+        EXPECT_NE(at(bytes / 4), at(bytes * 4));
+    }
+}
+
+TEST(SizedPlanner, RanksEveryAvailableStyle)
+{
+    auto plans = planForSize(MachineId::Paragon, P::contiguous(),
+                             P::contiguous(), 1 << 16);
+    // DmaDirect, Chained, BufferPacking, Pvm all exist for 1Q1.
+    EXPECT_EQ(plans.size(), 4u);
+    for (std::size_t i = 1; i < plans.size(); ++i)
+        EXPECT_GE(plans[i - 1].effective, plans[i].effective);
+}
+
+TEST(SizedPlanner, HalfPowerPointsReported)
+{
+    auto plans = planForSize(MachineId::T3d, P::contiguous(),
+                             P::contiguous(), 4096);
+    for (const auto &p : plans) {
+        EXPECT_GT(p.halfPower, 0u);
+        EXPECT_GT(p.asymptotic, p.effective * 0.99);
+    }
+}
+
+TEST(SizedPlannerDeath, UnavailableStyle)
+{
+    EXPECT_EXIT((void)styleCrossoverBytes(
+                    MachineId::T3d, P::contiguous(), P::strided(4),
+                    Style::DmaDirect, Style::Chained),
+                testing::ExitedWithCode(1), "unavailable");
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/basic_transfer.h"
+
+namespace {
+
+using namespace ct::core;
+using P = AccessPattern;
+
+ThroughputTable
+smallTable()
+{
+    ThroughputTable t;
+    t.setMachineName("test");
+    t.set(localCopy(P::contiguous(), P::contiguous()), 100.0);
+    t.set(localCopy(P::contiguous(), P::strided(4)), 80.0);
+    t.set(localCopy(P::contiguous(), P::strided(64)), 40.0);
+    t.set(localCopy(P::strided(4), P::contiguous()), 60.0);
+    t.set(localCopy(P::strided(64), P::contiguous()), 30.0);
+    t.set(localCopy(P::indexed(), P::contiguous()), 25.0);
+    t.setNetwork(TransferOp::NetData, 1, 160.0);
+    t.setNetwork(TransferOp::NetData, 2, 80.0);
+    t.setNetwork(TransferOp::NetData, 4, 40.0);
+    return t;
+}
+
+TEST(ThroughputTable, ExactLookup)
+{
+    auto t = smallTable();
+    auto v = t.lookup(localCopy(P::contiguous(), P::strided(64)));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 40.0);
+}
+
+TEST(ThroughputTable, MissingEntryIsNullopt)
+{
+    auto t = smallTable();
+    EXPECT_FALSE(t.lookup(fetchSend(P::contiguous())).has_value());
+    EXPECT_FALSE(
+        t.lookup(localCopy(P::contiguous(), P::indexed())).has_value());
+}
+
+TEST(ThroughputTable, StrideInterpolationIsMonotone)
+{
+    auto t = smallTable();
+    // Between samples at strides 4 (80) and 64 (40).
+    auto v8 = t.lookup(localCopy(P::contiguous(), P::strided(8)));
+    auto v16 = t.lookup(localCopy(P::contiguous(), P::strided(16)));
+    auto v32 = t.lookup(localCopy(P::contiguous(), P::strided(32)));
+    ASSERT_TRUE(v8 && v16 && v32);
+    EXPECT_GT(*v8, *v16);
+    EXPECT_GT(*v16, *v32);
+    EXPECT_LT(*v8, 80.0);
+    EXPECT_GT(*v32, 40.0);
+}
+
+TEST(ThroughputTable, InterpolationIsLinearInLogStride)
+{
+    auto t = smallTable();
+    // Stride 16 is exactly halfway between 4 and 64 in log2.
+    auto v = t.lookup(localCopy(P::contiguous(), P::strided(16)));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NEAR(*v, (80.0 + 40.0) / 2.0, 1e-9);
+}
+
+TEST(ThroughputTable, LargeStridesClampToLastSample)
+{
+    auto t = smallTable();
+    auto v = t.lookup(localCopy(P::contiguous(), P::strided(4096)));
+    ASSERT_TRUE(v.has_value());
+    // Paper: "the throughput for stride 64 applies to any larger
+    // stride".
+    EXPECT_DOUBLE_EQ(*v, 40.0);
+}
+
+TEST(ThroughputTable, TwoSidedCopyCombinesLoadAndStoreCosts)
+{
+    auto t = smallTable();
+    // 1/|4C64| = 1/|4C1| + 1/|1C64| - 1/|1C1|
+    auto v = t.lookup(localCopy(P::strided(4), P::strided(64)));
+    ASSERT_TRUE(v.has_value());
+    double expect = 1.0 / (1.0 / 60.0 + 1.0 / 40.0 - 1.0 / 100.0);
+    EXPECT_NEAR(*v, expect, 1e-9);
+}
+
+TEST(ThroughputTable, TwoSidedCombinationBelowBothSides)
+{
+    auto t = smallTable();
+    auto v = t.lookup(localCopy(P::strided(4), P::strided(64)));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_LT(*v, 60.0);
+    EXPECT_LT(*v, 40.0);
+}
+
+TEST(ThroughputTable, NetworkExactCongestion)
+{
+    auto t = smallTable();
+    EXPECT_DOUBLE_EQ(*t.lookupNetwork(TransferOp::NetData, 2.0), 80.0);
+}
+
+TEST(ThroughputTable, NetworkGeometricInterpolation)
+{
+    auto t = smallTable();
+    auto v = t.lookupNetwork(TransferOp::NetData, 3.0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GT(*v, 40.0);
+    EXPECT_LT(*v, 80.0);
+}
+
+TEST(ThroughputTable, NetworkExtrapolatesInverseToCongestion)
+{
+    auto t = smallTable();
+    auto v = t.lookupNetwork(TransferOp::NetData, 8.0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NEAR(*v, 20.0, 1e-9);
+}
+
+TEST(ThroughputTable, NetworkBelowFirstSampleClamps)
+{
+    auto t = smallTable();
+    EXPECT_DOUBLE_EQ(*t.lookupNetwork(TransferOp::NetData, 1.0), 160.0);
+}
+
+TEST(ThroughputTable, UnknownNetworkOpIsNullopt)
+{
+    auto t = smallTable();
+    EXPECT_FALSE(
+        t.lookupNetwork(TransferOp::NetAddrData, 2.0).has_value());
+}
+
+TEST(ThroughputTableDeath, SetRejectsNetworkOps)
+{
+    ThroughputTable t;
+    EXPECT_EXIT(t.set(netData(), 100.0), testing::ExitedWithCode(1),
+                "setNetwork");
+}
+
+TEST(ThroughputTableDeath, NonPositiveRate)
+{
+    ThroughputTable t;
+    EXPECT_EXIT(t.set(loadSend(P::contiguous()), 0.0),
+                testing::ExitedWithCode(1), "non-positive");
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+#include "rt/redistribute2d.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::rt;
+using D = core::Distribution;
+using core::DimSpec;
+using core::Distribution2d;
+
+Distribution2d
+rowBlock(std::uint64_t n, int p)
+{
+    return {DimSpec::dist(D::block(n, p)), DimSpec::whole(n)};
+}
+
+TEST(SplitAffineRuns, SingleAffineListIsOneRun)
+{
+    auto runs = splitAffineRuns({0, 4, 8, 12}, {0, 1, 2, 3});
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+}
+
+TEST(SplitAffineRuns, BreaksWhereDeltasChange)
+{
+    // src jumps at index 2; dst stays affine.
+    auto runs = splitAffineRuns({0, 4, 100, 104}, {0, 1, 2, 3});
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].second, 2u);
+    EXPECT_EQ(runs[1].first, 2u);
+}
+
+TEST(SplitAffineRuns, SingletonLists)
+{
+    auto runs = splitAffineRuns({7}, {9});
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].second, 1u);
+}
+
+TEST(Redistribute2d, TransposeRecoversFigure9Decomposition)
+{
+    // (BLOCK, *) -> transposed (BLOCK, *) must fall apart into flows
+    // that are contiguous on one side and strided by the matrix
+    // dimension on the other -- the paper's 1Qn / nQ1 choice.
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = Redistribution2dWorkload::create(m, rowBlock(64, 4),
+                                              rowBlock(64, 4), true);
+    ASSERT_FALSE(w.op().flows.empty());
+    for (const auto &flow : w.op().flows) {
+        bool src_strided = flow.srcWalk.pattern.isStrided() &&
+                           flow.srcWalk.pattern.stride() == 64;
+        bool dst_contig = flow.dstWalk.pattern.isContiguous();
+        bool src_contig = flow.srcWalk.pattern.isContiguous();
+        bool dst_strided = flow.dstWalk.pattern.isStrided() &&
+                           flow.dstWalk.pattern.stride() == 64;
+        EXPECT_TRUE((src_strided && dst_contig) ||
+                    (src_contig && dst_strided))
+            << flow.srcWalk.pattern.label() << " -> "
+            << flow.dstWalk.pattern.label();
+    }
+}
+
+TEST(Redistribute2d, TransposeDeliversExactly)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = Redistribution2dWorkload::create(m, rowBlock(64, 4),
+                                              rowBlock(64, 4), true);
+    w.fillInput(m);
+    ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(Redistribute2d, RowToColumnBlocksWithoutTranspose)
+{
+    // (BLOCK, *) -> (*, BLOCK): each node keeps its rows' slice of
+    // the new column block; sources are strided row segments.
+    sim::Machine m(sim::paragonConfig({4, 1}));
+    Distribution2d from = rowBlock(32, 4);
+    Distribution2d to{DimSpec::whole(32),
+                      DimSpec::dist(D::block(32, 4))};
+    auto w = Redistribution2dWorkload::create(m, from, to, false);
+    w.fillInput(m);
+    PackingLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(Redistribute2d, CyclicRowsToBlockRows)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    Distribution2d from{DimSpec::dist(D::cyclic(32, 4)),
+                        DimSpec::whole(32)};
+    Distribution2d to = rowBlock(32, 4);
+    auto w = Redistribution2dWorkload::create(m, from, to, false);
+    w.fillInput(m);
+    ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(Redistribute2d, GridToRowBlocks)
+{
+    // A 2x2 grid distribution redistributed to row blocks.
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    Distribution2d from{DimSpec::dist(D::block(16, 2)),
+                        DimSpec::dist(D::block(16, 2))};
+    Distribution2d to = rowBlock(16, 4);
+    auto w = Redistribution2dWorkload::create(m, from, to, false);
+    w.fillInput(m);
+    ChainedLayer layer;
+    layer.run(m, w.op());
+    EXPECT_EQ(w.verify(m), 0u);
+}
+
+TEST(Redistribute2d, DominantPatternsForTranspose)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = Redistribution2dWorkload::create(m, rowBlock(64, 4),
+                                              rowBlock(64, 4), true);
+    auto [x, y] = w.dominantPatterns();
+    // One of the two sides carries the stride-64 pattern.
+    EXPECT_TRUE((x.isStrided() && x.stride() == 64) ||
+                (y.isStrided() && y.stride() == 64));
+}
+
+TEST(Redistribute2d, NameDescribesTheAssignment)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    auto w = Redistribution2dWorkload::create(m, rowBlock(32, 4),
+                                              rowBlock(32, 4), true);
+    EXPECT_EQ(w.op().name, "(BLOCK, *) = transpose (BLOCK, *)");
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests of the MPI-style typed flows: sending one derived datatype
+ * layout into another through both communication styles, including
+ * the paper's complex-column use case, plus randomized round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
+#include "rt/workload.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::rt;
+using T = core::Datatype;
+
+template <typename Layer>
+std::uint64_t
+sendTyped(const T &src_type, const T &dst_type)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    CommOp op;
+    op.flows.push_back(makeTypedFlow(m, 0, 1, src_type, dst_type));
+    seedSources(m, op);
+    Layer layer;
+    layer.run(m, op);
+    return verifyDelivery(m, op);
+}
+
+TEST(TypedFlows, ContiguousToVector)
+{
+    EXPECT_EQ(sendTyped<ChainedLayer>(T::contiguous(64),
+                                      T::vector(64, 1, 16)),
+              0u);
+    EXPECT_EQ(sendTyped<PackingLayer>(T::contiguous(64),
+                                      T::vector(64, 1, 16)),
+              0u);
+}
+
+TEST(TypedFlows, ComplexColumnExchange)
+{
+    // A complex column (2-word blocks, stride 2n) into a contiguous
+    // receive buffer -- the §2.2 complex-number scenario.
+    auto column = T::vector(64, 2, 128);
+    EXPECT_EQ(sendTyped<ChainedLayer>(column, T::contiguous(128)), 0u);
+    EXPECT_EQ(sendTyped<PackingLayer>(column, T::contiguous(128)), 0u);
+}
+
+TEST(TypedFlows, IndexedToIndexed)
+{
+    auto scatter = T::indexedBlock(1, {0, 7, 3, 12, 9, 30});
+    auto gather = T::indexed({2, 2, 2}, {0, 10, 20});
+    EXPECT_EQ(sendTyped<ChainedLayer>(gather, scatter), 0u);
+    EXPECT_EQ(sendTyped<PackingLayer>(gather, scatter), 0u);
+}
+
+TEST(TypedFlows, WalkPatternsFollowClassification)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    auto flow = makeTypedFlow(m, 0, 1, T::vector(8, 2, 16),
+                              T::contiguous(16));
+    EXPECT_TRUE(flow.srcWalk.pattern.isStrided());
+    EXPECT_EQ(flow.srcWalk.pattern.stride(), 16u);
+    EXPECT_EQ(flow.srcWalk.pattern.block(), 2u);
+    EXPECT_TRUE(flow.dstWalk.pattern.isContiguous());
+}
+
+TEST(TypedFlows, IrregularTypeGetsIndexArray)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    auto flow = makeTypedFlow(m, 0, 1,
+                              T::indexedBlock(1, {0, 3, 4, 9}),
+                              T::contiguous(4));
+    EXPECT_TRUE(flow.srcWalk.pattern.isIndexed());
+    EXPECT_NE(flow.srcWalk.indexBase, 0u);
+}
+
+TEST(TypedFlows, SenderSideIndexReplica)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    auto flow = makeTypedFlow(m, 0, 1, T::contiguous(4),
+                              T::indexedBlock(1, {0, 3, 4, 9}));
+    ASSERT_TRUE(flow.dstWalk.pattern.isIndexed());
+    // The sender's replica addresses must match the receiver's.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(flow.dstWalkOnSender.elementAddr(m.node(0).ram(), i),
+                  flow.dstWalk.elementAddr(m.node(1).ram(), i));
+}
+
+TEST(TypedFlowsDeath, SignatureMismatch)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    EXPECT_EXIT((void)makeTypedFlow(m, 0, 1, T::contiguous(4),
+                                    T::contiguous(5)),
+                testing::ExitedWithCode(1), "signatures differ");
+}
+
+TEST(TypedFlowsDeath, OverlappingType)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    EXPECT_EXIT((void)makeTypedFlow(m, 0, 1,
+                                    T::indexedBlock(2, {0, 1}),
+                                    T::contiguous(4)),
+                testing::ExitedWithCode(1), "overlapping");
+}
+
+// ---------------------------------------------------------------------
+// Randomized round trips: arbitrary monotone datatypes through both
+// layers must always deliver bit-exactly.
+// ---------------------------------------------------------------------
+
+class TypedFlowFuzz : public testing::TestWithParam<std::uint64_t>
+{};
+
+core::Datatype
+randomMonotoneType(util::Rng &rng, std::uint64_t words)
+{
+    std::vector<std::uint64_t> displs;
+    std::uint64_t cursor = 0;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        cursor += rng.nextBelow(5); // gaps of 0..4 words
+        displs.push_back(cursor);
+        cursor += 1;
+    }
+    return core::Datatype::indexedBlock(1, displs);
+}
+
+TEST_P(TypedFlowFuzz, RandomLayoutsRoundTrip)
+{
+    util::Rng rng(GetParam());
+    std::uint64_t words = 32 + rng.nextBelow(200);
+    auto src_type = randomMonotoneType(rng, words);
+    auto dst_type = randomMonotoneType(rng, words);
+
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    CommOp op;
+    op.flows.push_back(makeTypedFlow(m, 0, 1, src_type, dst_type));
+    op.flows.push_back(makeTypedFlow(m, 1, 0, dst_type, src_type));
+    seedSources(m, op);
+    ChainedLayer chained;
+    chained.run(m, op);
+    EXPECT_EQ(verifyDelivery(m, op), 0u);
+
+    sim::Machine m2(sim::paragonConfig({2, 1}));
+    CommOp op2;
+    op2.flows.push_back(makeTypedFlow(m2, 0, 1, src_type, dst_type));
+    op2.flows.push_back(makeTypedFlow(m2, 1, 0, dst_type, src_type));
+    seedSources(m2, op2);
+    PackingLayer packing;
+    packing.run(m2, op2);
+    EXPECT_EQ(verifyDelivery(m2, op2), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypedFlowFuzz,
+                         testing::Range<std::uint64_t>(1, 13));
+
+} // namespace

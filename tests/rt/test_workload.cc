@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "rt/workload.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::rt;
+using P = core::AccessPattern;
+
+TEST(Workload, AllocWalkShapes)
+{
+    sim::Node node(sim::t3dNodeConfig());
+    util::Rng rng(5);
+    auto c = allocWalk(node, P::contiguous(), 64, rng);
+    EXPECT_TRUE(c.pattern.isContiguous());
+    auto s = allocWalk(node, P::strided(16), 64, rng);
+    EXPECT_EQ(s.pattern.stride(), 16u);
+    auto w = allocWalk(node, P::indexed(), 64, rng);
+    EXPECT_TRUE(w.pattern.isIndexed());
+}
+
+TEST(Workload, IndexedWalkIsPermutation)
+{
+    sim::Node node(sim::t3dNodeConfig());
+    util::Rng rng(5);
+    auto w = allocWalk(node, P::indexed(), 128, rng);
+    std::set<sim::Addr> addresses;
+    for (std::uint64_t i = 0; i < 128; ++i)
+        addresses.insert(w.elementAddr(node.ram(), i));
+    EXPECT_EQ(addresses.size(), 128u);
+    EXPECT_EQ(*addresses.begin(), w.base);
+}
+
+TEST(Workload, ReplicateIndexArrayMatchesOriginal)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    util::Rng rng(9);
+    auto w = allocWalk(m.node(1), P::indexed(), 64, rng);
+    auto replica =
+        replicateIndexArray(w, 64, m.node(1).ram(), m.node(0));
+    EXPECT_EQ(replica.base, w.base);
+    EXPECT_NE(replica.indexBase, w.indexBase);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(replica.elementAddr(m.node(0).ram(), i),
+                  w.elementAddr(m.node(1).ram(), i));
+}
+
+TEST(Workload, ReplicateIsIdentityForNonIndexed)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    util::Rng rng(9);
+    auto w = allocWalk(m.node(1), P::strided(4), 64, rng);
+    auto replica =
+        replicateIndexArray(w, 64, m.node(1).ram(), m.node(0));
+    EXPECT_EQ(replica.base, w.base);
+    EXPECT_EQ(replica.indexBase, w.indexBase);
+}
+
+TEST(Workload, PairExchangeCoversAllNodes)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    auto op = pairExchange(m, P::contiguous(), P::contiguous(), 32);
+    EXPECT_EQ(op.flows.size(), 8u); // 4 pairs x 2 directions
+    std::set<int> senders;
+    for (const auto &flow : op.flows) {
+        senders.insert(flow.src);
+        EXPECT_EQ(flow.dst ^ 1, flow.src); // partner pairing
+    }
+    EXPECT_EQ(senders.size(), 8u);
+}
+
+TEST(Workload, PairExchangeDeterministicPerSeed)
+{
+    sim::Machine m1(sim::t3dConfig({2, 1, 1}));
+    sim::Machine m2(sim::t3dConfig({2, 1, 1}));
+    auto op1 = pairExchange(m1, P::indexed(), P::indexed(), 32, 7);
+    auto op2 = pairExchange(m2, P::indexed(), P::indexed(), 32, 7);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        EXPECT_EQ(op1.flows[0].srcWalk.elementAddr(m1.node(0).ram(), i),
+                  op2.flows[0].srcWalk.elementAddr(m2.node(0).ram(),
+                                                   i));
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace {
+
+using namespace ct::sim;
+
+CacheConfig
+directMapped()
+{
+    return {1024, 32, 1, WritePolicy::WriteAround, false};
+}
+
+CacheConfig
+fourWayThrough()
+{
+    return {1024, 32, 4, WritePolicy::WriteThrough, false};
+}
+
+TEST(Cache, ColdLoadMissesThenHits)
+{
+    Cache c(directMapped());
+    auto m = c.load(0);
+    EXPECT_FALSE(m.hit);
+    EXPECT_TRUE(m.fill);
+    auto h = c.load(8);
+    EXPECT_TRUE(h.hit);
+    EXPECT_EQ(c.stats().loadHits, 1u);
+    EXPECT_EQ(c.stats().loadMisses, 1u);
+}
+
+TEST(Cache, LineGranularity)
+{
+    Cache c(directMapped());
+    c.load(0);
+    EXPECT_TRUE(c.load(24).hit);  // same 32-byte line
+    EXPECT_FALSE(c.load(32).hit); // next line
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    Cache c(directMapped());
+    c.load(0);
+    c.load(1024); // same set, evicts
+    EXPECT_FALSE(c.load(0).hit);
+}
+
+TEST(Cache, SetAssociativeAvoidsConflict)
+{
+    Cache c(fourWayThrough());
+    // Sets span size/assoc = 256 bytes; these 4 lines share a set.
+    c.load(0);
+    c.load(256);
+    c.load(512);
+    c.load(768);
+    EXPECT_TRUE(c.load(0).hit);
+    EXPECT_TRUE(c.load(256).hit);
+    EXPECT_TRUE(c.load(512).hit);
+    EXPECT_TRUE(c.load(768).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(fourWayThrough());
+    c.load(0);   // A
+    c.load(256); // B
+    c.load(512); // C
+    c.load(768); // D
+    c.load(0);   // touch A again
+    c.load(1024); // E evicts LRU = B
+    EXPECT_TRUE(c.load(0).hit);
+    EXPECT_FALSE(c.load(256).hit);
+}
+
+TEST(Cache, WriteAroundInvalidatesOnStoreHit)
+{
+    Cache c(directMapped());
+    c.load(0);
+    auto s = c.store(0);
+    EXPECT_TRUE(s.hit);
+    EXPECT_TRUE(s.toMemory);
+    // The stale copy must be gone.
+    EXPECT_FALSE(c.load(0).hit);
+}
+
+TEST(Cache, WriteAroundMissGoesStraightToMemory)
+{
+    Cache c(directMapped());
+    auto s = c.store(64);
+    EXPECT_FALSE(s.hit);
+    EXPECT_TRUE(s.toMemory);
+    EXPECT_FALSE(s.fill);
+    EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, WriteThroughKeepsLineValid)
+{
+    Cache c(fourWayThrough());
+    c.load(0);
+    auto s = c.store(0);
+    EXPECT_TRUE(s.hit);
+    EXPECT_TRUE(s.toMemory);
+    EXPECT_TRUE(c.load(0).hit);
+}
+
+TEST(Cache, WriteBackDirtiesAndWritesBackOnEviction)
+{
+    CacheConfig cfg{1024, 32, 1, WritePolicy::WriteBack, true};
+    Cache c(cfg);
+    auto s = c.store(0);
+    EXPECT_TRUE(s.fill); // write-allocate
+    EXPECT_FALSE(s.toMemory);
+    // Conflict load evicts the dirty line.
+    auto m = c.load(1024);
+    EXPECT_TRUE(m.writeBack);
+    EXPECT_EQ(m.writeBackLine, 0u);
+    EXPECT_EQ(c.stats().writeBacks, 1u);
+}
+
+TEST(Cache, WriteBackNoAllocatePassesThrough)
+{
+    CacheConfig cfg{1024, 32, 1, WritePolicy::WriteBack, false};
+    Cache c(cfg);
+    auto s = c.store(0);
+    EXPECT_TRUE(s.toMemory);
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, InvalidateLine)
+{
+    Cache c(directMapped());
+    c.load(0);
+    c.invalidateLine(8);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_GE(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(directMapped());
+    c.load(0);
+    c.load(32);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(32));
+}
+
+TEST(CacheDeath, BadGeometry)
+{
+    CacheConfig cfg{1000, 32, 1, WritePolicy::WriteAround, false};
+    EXPECT_EXIT(Cache{cfg}, testing::ExitedWithCode(1),
+                "powers of two");
+}
+
+// Property: a repeated scan of a working set no larger than the
+// cache always hits after the first pass, at any associativity.
+class CacheSweep : public testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CacheSweep, ResidentWorkingSetAlwaysHits)
+{
+    CacheConfig cfg{1024, 32, GetParam(), WritePolicy::WriteThrough,
+                    false};
+    Cache c(cfg);
+    for (Addr a = 0; a < 1024; a += 8)
+        c.load(a);
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < 1024; a += 8)
+            EXPECT_TRUE(c.load(a).hit) << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheSweep,
+                         testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+namespace {
+
+using namespace ct::sim;
+
+DramConfig
+cfg()
+{
+    DramConfig c;
+    c.rowBytes = 1024;
+    c.banks = 4;
+    c.bankSpanBytes = 1024;
+    c.rowHitCycles = 5;
+    c.rowMissCycles = 20;
+    c.writeHitCycles = 4;
+    c.writeMissCycles = 15;
+    c.beatBytes = 8;
+    c.burstBeatCycles = 1;
+    return c;
+}
+
+TEST(Dram, FirstAccessIsRowMiss)
+{
+    Dram d(cfg());
+    auto a = d.access(0, 8, false, 0);
+    EXPECT_FALSE(a.rowHit);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.complete, 21u); // miss 20 + 1 beat
+    EXPECT_EQ(d.stats().rowMisses, 1u);
+}
+
+TEST(Dram, SecondAccessSameRowHits)
+{
+    Dram d(cfg());
+    d.access(0, 8, false, 0);
+    auto a = d.access(64, 8, false, 100);
+    EXPECT_TRUE(a.rowHit);
+    EXPECT_EQ(a.complete - a.start, 6u); // hit 5 + 1 beat
+}
+
+TEST(Dram, DifferentRowSameBankMisses)
+{
+    Dram d(cfg());
+    d.access(0, 8, false, 0);
+    // Same bank: rows repeat every banks * span = 4096 bytes.
+    auto a = d.access(4096, 8, false, 100);
+    EXPECT_FALSE(a.rowHit);
+}
+
+TEST(Dram, BanksKeepIndependentRows)
+{
+    Dram d(cfg());
+    d.access(0, 8, false, 0);    // bank 0 row 0
+    d.access(1024, 8, false, 0); // bank 1 row 0
+    auto a = d.access(8, 8, false, 100); // bank 0 again
+    EXPECT_TRUE(a.rowHit);
+}
+
+TEST(Dram, WriteTimingIsSeparate)
+{
+    Dram d(cfg());
+    auto w = d.access(0, 8, true, 0);
+    EXPECT_EQ(w.complete, 16u); // writeMiss 15 + 1 beat
+    auto w2 = d.access(8, 8, true, 100);
+    EXPECT_EQ(w2.complete - w2.start, 5u); // writeHit 4 + 1 beat
+}
+
+TEST(Dram, BurstBeatsCharged)
+{
+    Dram d(cfg());
+    auto a = d.access(0, 32, false, 0);
+    EXPECT_EQ(a.complete, 24u); // miss 20 + 4 beats
+}
+
+TEST(Dram, RequestCrossingRowsPaysBothRows)
+{
+    Dram d(cfg());
+    // 16 bytes spanning the row boundary at 1024.
+    auto a = d.access(1016, 16, false, 0);
+    // Two rows, both cold: 20 + 20 activations + 2 beats.
+    EXPECT_EQ(a.complete, 42u);
+    EXPECT_EQ(d.stats().rowMisses, 2u);
+}
+
+TEST(Dram, DemandLaneSerializes)
+{
+    Dram d(cfg());
+    auto a1 = d.access(0, 8, false, 0);
+    auto a2 = d.access(4096, 8, false, 0); // same bank, queued
+    EXPECT_GE(a2.start, a1.complete);
+}
+
+TEST(Dram, ActivationsOverlapAcrossBanks)
+{
+    Dram d(cfg());
+    auto a1 = d.access(0, 8, false, 0);    // bank 0
+    auto a2 = d.access(1024, 8, false, 0); // bank 1
+    // Bank 1's activation may start immediately; only the data beat
+    // serializes behind a1's transfer.
+    EXPECT_LT(a2.complete, a1.complete + a2.complete - a2.start);
+    EXPECT_EQ(a2.complete, std::max<Cycles>(20, a1.complete) + 1);
+}
+
+TEST(Dram, BackgroundLaneDoesNotBlockDemand)
+{
+    Dram d(cfg());
+    // A long background write burst...
+    d.accessBackground(0, 512, true, 0);
+    // ...must not delay a demand read in another bank.
+    auto a = d.access(1024, 8, false, 0);
+    EXPECT_EQ(a.start, 0u);
+}
+
+TEST(Dram, CloseRowsForcesMisses)
+{
+    Dram d(cfg());
+    d.access(0, 8, false, 0);
+    d.closeRows();
+    auto a = d.access(8, 8, false, 100);
+    EXPECT_FALSE(a.rowHit);
+}
+
+TEST(Dram, StatsCountReadsAndWrites)
+{
+    Dram d(cfg());
+    d.access(0, 8, false, 0);
+    d.access(0, 8, true, 0);
+    d.accessBackground(0, 8, true, 0);
+    EXPECT_EQ(d.stats().reads, 1u);
+    EXPECT_EQ(d.stats().writes, 2u);
+}
+
+TEST(DramDeath, ZeroBytes)
+{
+    Dram d(cfg());
+    EXPECT_EXIT(d.access(0, 0, false, 0), testing::ExitedWithCode(1),
+                "zero-byte");
+}
+
+TEST(DramDeath, BadGeometry)
+{
+    DramConfig c = cfg();
+    c.rowBytes = 1000; // not a power of two
+    EXPECT_EXIT(Dram{c}, testing::ExitedWithCode(1), "powers of two");
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "sim/engines.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace ct::sim;
+
+Packet
+dataPacket(Addr dest, std::size_t words)
+{
+    Packet p;
+    p.framing = Framing::DataOnly;
+    p.destBase = dest;
+    for (std::size_t i = 0; i < words; ++i)
+        p.words.push_back(100 + i);
+    return p;
+}
+
+Packet
+adpPacket(const std::vector<Addr> &addrs)
+{
+    Packet p;
+    p.framing = Framing::AddrDataPair;
+    p.addrs = addrs;
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        p.words.push_back(200 + i);
+    return p;
+}
+
+struct T3dNode
+{
+    Node node;
+    T3dNode() : node(t3dNodeConfig()) {}
+};
+
+struct ParagonNode
+{
+    Node node;
+    ParagonNode() : node(paragonNodeConfig()) {}
+};
+
+TEST(DepositEngine, WritesDataOnlyBlock)
+{
+    T3dNode f;
+    Addr dst = f.node.ram().alloc(1024);
+    Cycles done =
+        f.node.depositEngine().deposit(dataPacket(dst, 16), 0);
+    EXPECT_GT(done, 0u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(f.node.ram().readWord(dst + 8 * i), 100u + i);
+}
+
+TEST(DepositEngine, WritesAddressDataPairs)
+{
+    T3dNode f;
+    Addr dst = f.node.ram().alloc(4096);
+    std::vector<Addr> addrs{dst + 8, dst + 800, dst + 16, dst + 2400};
+    f.node.depositEngine().deposit(adpPacket(addrs), 0);
+    EXPECT_EQ(f.node.ram().readWord(dst + 8), 200u);
+    EXPECT_EQ(f.node.ram().readWord(dst + 800), 201u);
+    EXPECT_EQ(f.node.ram().readWord(dst + 16), 202u);
+    EXPECT_EQ(f.node.ram().readWord(dst + 2400), 203u);
+}
+
+TEST(DepositEngine, AdpSlowerThanDataOnly)
+{
+    T3dNode f;
+    Addr dst = f.node.ram().alloc(65536);
+    Cycles data_done =
+        f.node.depositEngine().deposit(dataPacket(dst, 64), 0);
+
+    T3dNode g;
+    Addr dst2 = g.node.ram().alloc(65536);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 64; ++i)
+        addrs.push_back(dst2 + 8 * i);
+    Cycles adp_done =
+        g.node.depositEngine().deposit(adpPacket(addrs), 0);
+    EXPECT_GT(adp_done, data_done);
+}
+
+TEST(DepositEngine, SerializesPackets)
+{
+    T3dNode f;
+    Addr dst = f.node.ram().alloc(4096);
+    Cycles first =
+        f.node.depositEngine().deposit(dataPacket(dst, 64), 0);
+    Cycles second =
+        f.node.depositEngine().deposit(dataPacket(dst + 512, 64), 0);
+    EXPECT_GT(second, first);
+    EXPECT_EQ(f.node.depositEngine().busyUntil(), second);
+}
+
+TEST(DepositEngine, InvalidatesCachedLines)
+{
+    T3dNode f;
+    NodeRam &ram = f.node.ram();
+    Addr dst = ram.alloc(1024);
+    // Warm the cache with a load of the target line.
+    f.node.memory().load(dst, 0);
+    EXPECT_TRUE(f.node.memory().cache().contains(dst));
+    f.node.depositEngine().deposit(dataPacket(dst, 4), 1000);
+    EXPECT_FALSE(f.node.memory().cache().contains(dst));
+}
+
+TEST(DepositEngine, ParagonAcceptsOnlyContiguous)
+{
+    ParagonNode f;
+    Addr dst = f.node.ram().alloc(1024);
+    EXPECT_TRUE(f.node.depositEngine().accepts(dataPacket(dst, 4)));
+    EXPECT_FALSE(
+        f.node.depositEngine().accepts(adpPacket({dst, dst + 8})));
+}
+
+TEST(DepositEngineDeath, RejectedPacketIsFatal)
+{
+    ParagonNode f;
+    Addr dst = f.node.ram().alloc(1024);
+    EXPECT_EXIT(f.node.depositEngine().deposit(
+                    adpPacket({dst, dst + 8}), 0),
+                testing::ExitedWithCode(1), "cannot deposit");
+}
+
+TEST(FetchEngine, StreamsAtConfiguredRate)
+{
+    FetchEngine fe({true, 3.2, 50, 4096, 30});
+    Cycles t = fe.fetch(0, 3200);
+    EXPECT_EQ(t, 50u + 1000u); // setup + 3200/3.2
+}
+
+TEST(FetchEngine, PageBoundaryKicks)
+{
+    FetchEngine fe({true, 3.2, 0, 4096, 30});
+    Cycles within = fe.fetch(0, 4096);
+    Cycles crossing = fe.fetch(4090, 4096);
+    EXPECT_EQ(crossing - within, 30u);
+    EXPECT_EQ(fe.stats().pageKicks, 1u);
+}
+
+TEST(FetchEngine, ZeroBytesFree)
+{
+    FetchEngine fe({true, 3.2, 50, 4096, 30});
+    EXPECT_EQ(fe.fetch(0, 0), 0u);
+}
+
+TEST(FetchEngineDeath, DisabledEngine)
+{
+    FetchEngine fe({false, 0.0, 0, 4096, 0});
+    EXPECT_EXIT((void)fe.fetch(0, 64), testing::ExitedWithCode(1),
+                "not present");
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/event.h"
+
+namespace {
+
+using namespace ct::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 10)
+            q.scheduleAfter(5, chain);
+    };
+    q.schedule(0, chain);
+    auto executed = q.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(executed, 10u);
+    EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue q;
+    Cycles when = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(11, [&] { when = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(when, 111u);
+}
+
+TEST(EventQueue, PendingCount)
+{
+    EventQueue q;
+    EXPECT_EQ(q.pending(), 0u);
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, MaxEventsGuardStops)
+{
+    EventQueue q;
+    std::function<void()> forever = [&]() {
+        q.scheduleAfter(1, forever);
+    };
+    q.schedule(0, forever);
+    auto executed = q.run(100);
+    EXPECT_EQ(executed, 100u);
+}
+
+TEST(EventQueueDeath, PastScheduling)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.run();
+    EXPECT_EXIT(q.schedule(10, [] {}), testing::ExitedWithCode(1),
+                "in the past");
+}
+
+TEST(EventQueueDeath, NullCallback)
+{
+    EventQueue q;
+    EXPECT_EXIT(q.schedule(1, EventQueue::Callback()),
+                testing::ExitedWithCode(1), "null callback");
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace {
+
+using namespace ct::sim;
+
+TEST(Machine, T3dConfigShape)
+{
+    auto cfg = t3dConfig({2, 2, 2});
+    EXPECT_EQ(cfg.name, "T3D");
+    EXPECT_EQ(cfg.clockHz, 150e6);
+    EXPECT_TRUE(cfg.topology.torus);
+    EXPECT_EQ(cfg.topology.nodesPerPort, 2);
+    EXPECT_TRUE(cfg.node.deposit.anyPattern);
+    EXPECT_FALSE(cfg.node.hasCoProcessor);
+    EXPECT_FALSE(cfg.node.fetch.enabled);
+    EXPECT_EQ(cfg.node.memory.cache.writePolicy,
+              WritePolicy::WriteAround);
+}
+
+TEST(Machine, ParagonConfigShape)
+{
+    auto cfg = paragonConfig({4, 2});
+    EXPECT_EQ(cfg.name, "Paragon");
+    EXPECT_EQ(cfg.clockHz, 50e6);
+    EXPECT_FALSE(cfg.topology.torus);
+    EXPECT_TRUE(cfg.node.hasCoProcessor);
+    EXPECT_TRUE(cfg.node.fetch.enabled);
+    EXPECT_FALSE(cfg.node.deposit.anyPattern);
+    EXPECT_TRUE(cfg.node.deposit.enabled);
+    EXPECT_EQ(cfg.node.memory.cache.writePolicy,
+              WritePolicy::WriteThrough);
+    EXPECT_TRUE(cfg.node.memory.loadPipeline.enabled);
+    EXPECT_GT(cfg.node.memory.bus.bytesPerCycle, 0u);
+}
+
+TEST(Machine, BuildsAllNodes)
+{
+    Machine m(t3dConfig({2, 2, 2}));
+    EXPECT_EQ(m.nodeCount(), 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(m.node(i).ram().size(), 0u);
+}
+
+TEST(Machine, NodesAreIndependent)
+{
+    Machine m(t3dConfig({2, 1, 1}));
+    m.node(0).ram().writeWord(0, 123);
+    EXPECT_EQ(m.node(1).ram().readWord(0), 0u);
+}
+
+TEST(Machine, ToMBpsUsesClock)
+{
+    Machine m(t3dConfig({2, 1, 1}));
+    // 150e6 cycles at 150 MHz = 1 s; 150 MB in 1 s = 150 MB/s.
+    EXPECT_DOUBLE_EQ(m.toMBps(150'000'000, 150'000'000), 150.0);
+}
+
+TEST(Machine, ConfigForDispatch)
+{
+    EXPECT_EQ(configFor(ct::core::MachineId::T3d).name, "T3D");
+    EXPECT_EQ(configFor(ct::core::MachineId::Paragon).name, "Paragon");
+}
+
+TEST(MachineDeath, BadNodeId)
+{
+    Machine m(t3dConfig({2, 1, 1}));
+    EXPECT_EXIT((void)m.node(2), testing::ExitedWithCode(1), "bad id");
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/memory.h"
+
+namespace {
+
+using namespace ct::sim;
+
+TEST(MemorySystem, CacheHitIsFast)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    Cycles miss = mem.load(0, 0);
+    Cycles hit = mem.load(8, miss);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(hit, mem.config().cacheHitCycles);
+}
+
+TEST(MemorySystem, StoreIsCheapThroughWriteQueue)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    Cycles cost = mem.store(0, 0);
+    EXPECT_LE(cost, mem.config().storeIssueCycles + 1);
+}
+
+TEST(MemorySystem, EngineWriteInvalidatesCache)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    mem.load(128, 0);
+    EXPECT_TRUE(mem.cache().contains(128));
+    mem.engineWrite(128, 8, 100);
+    EXPECT_FALSE(mem.cache().contains(128));
+}
+
+TEST(MemorySystem, EngineReadReturnsServiceTime)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    EXPECT_GT(mem.engineRead(0, 512, 0), 0u);
+}
+
+TEST(MemorySystem, FenceDrainsWrites)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    Cycles now = 0;
+    for (int i = 0; i < 32; ++i)
+        now += mem.store(4096 + 8 * i, now);
+    Cycles wait = mem.fence(now);
+    EXPECT_EQ(mem.fence(now + wait), 0u);
+}
+
+TEST(MemorySystem, PipelinedLoadsBypassCache)
+{
+    MemorySystem mem(paragonNodeConfig().memory);
+    mem.load(0, 0);
+    // pfld does not allocate a line.
+    EXPECT_FALSE(mem.cache().contains(0));
+    // The cached path (streaming = false) does.
+    mem.load(4096, 100, BusMaster::Processor, false);
+    EXPECT_TRUE(mem.cache().contains(4096));
+}
+
+TEST(MemorySystem, SequentialLoadsFasterThanRandomOnT3d)
+{
+    auto run = [&](bool sequential) {
+        MemorySystem mem(t3dNodeConfig().memory);
+        Cycles now = 0;
+        for (int i = 0; i < 512; ++i) {
+            Addr a = sequential
+                         ? static_cast<Addr>(8 * i)
+                         : static_cast<Addr>((i * 7919) % 4096) * 512;
+            now += mem.load(a, now);
+        }
+        return now;
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(MemorySystem, SynchronizeResetsStreams)
+{
+    MemorySystem mem(t3dNodeConfig().memory);
+    Cycles now = 0;
+    for (int i = 0; i < 64; ++i)
+        now += mem.load(32 * i, now);
+    mem.synchronize(); // must not crash and resets prefetch state
+    now += mem.load(32 * 64, now);
+    SUCCEED();
+}
+
+TEST(MemorySystemDeath, MismatchedReadAheadLine)
+{
+    MemoryConfig cfg = t3dNodeConfig().memory;
+    cfg.readAhead.lineBytes = 64;
+    EXPECT_EXIT(MemorySystem{cfg}, testing::ExitedWithCode(1),
+                "must match");
+}
+
+} // namespace

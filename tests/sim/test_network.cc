@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace {
+
+using namespace ct::sim;
+
+struct Fixture
+{
+    Topology topo;
+    EventQueue events;
+    Network net;
+    std::vector<std::pair<Packet, Cycles>> delivered;
+
+    explicit Fixture(NetworkConfig cfg = {1.0, 16, 16, 2},
+                     TopologyConfig tcfg = {{8}, true, 1})
+        : topo(tcfg), net(cfg, topo, events)
+    {
+        net.setDeliver([this](Packet &&p, Cycles t) {
+            delivered.emplace_back(std::move(p), t);
+        });
+    }
+
+    Packet
+    makePacket(NodeId src, NodeId dst, std::size_t words,
+               Framing framing = Framing::DataOnly)
+    {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.framing = framing;
+        p.words.assign(words, 42);
+        if (framing == Framing::AddrDataPair)
+            p.addrs.assign(words, 0);
+        return p;
+    }
+};
+
+TEST(Network, DeliversPayloadIntact)
+{
+    Fixture f;
+    auto p = f.makePacket(0, 3, 16);
+    p.words[0] = 7;
+    p.words[15] = 9;
+    f.net.send(std::move(p));
+    f.events.run();
+    ASSERT_EQ(f.delivered.size(), 1u);
+    EXPECT_EQ(f.delivered[0].first.words[0], 7u);
+    EXPECT_EQ(f.delivered[0].first.words[15], 9u);
+}
+
+TEST(Network, WireBytesFraming)
+{
+    Fixture f;
+    auto data = f.makePacket(0, 1, 64, Framing::DataOnly);
+    auto adp = f.makePacket(0, 1, 64, Framing::AddrDataPair);
+    EXPECT_EQ(f.net.wireBytesOf(data), 16u + 64u * 8u);
+    EXPECT_EQ(f.net.wireBytesOf(adp), 16u + 64u * 16u);
+}
+
+TEST(Network, FartherDestinationsTakeLonger)
+{
+    Fixture f;
+    f.net.send(f.makePacket(0, 1, 64));
+    f.net.send(f.makePacket(0, 4, 64));
+    f.events.run();
+    ASSERT_EQ(f.delivered.size(), 2u);
+    Cycles near = 0, far = 0;
+    for (auto &[p, t] : f.delivered)
+        (p.dst == 1 ? near : far) = t;
+    EXPECT_GT(far, near);
+}
+
+TEST(Network, LocalDeliveryBypassesWires)
+{
+    Fixture f;
+    f.net.send(f.makePacket(2, 2, 64));
+    f.events.run();
+    ASSERT_EQ(f.delivered.size(), 1u);
+    EXPECT_EQ(f.delivered[0].second, 0u);
+}
+
+TEST(Network, SharedLinkHalvesThroughput)
+{
+    // Two flows over the same links take ~2x as long as one.
+    auto last_delivery = [](int flows) {
+        Fixture f;
+        for (int k = 0; k < flows; ++k)
+            for (int c = 0; c < 64; ++c)
+                f.net.send(f.makePacket(0, 4, 64));
+        f.events.run();
+        Cycles last = 0;
+        for (auto &[p, t] : f.delivered)
+            last = std::max(last, t);
+        return last;
+    };
+    Cycles one = last_delivery(1);
+    Cycles two = last_delivery(2);
+    double ratio = static_cast<double>(two) / static_cast<double>(one);
+    EXPECT_GT(ratio, 1.7);
+    EXPECT_LT(ratio, 2.3);
+}
+
+TEST(Network, DisjointRoutesDoNotInterfere)
+{
+    Fixture f;
+    f.net.send(f.makePacket(0, 1, 64));
+    Cycles t01 = 0;
+    f.events.run();
+    t01 = f.delivered[0].second;
+
+    Fixture g;
+    g.net.send(g.makePacket(0, 1, 64));
+    g.net.send(g.makePacket(4, 5, 64));
+    g.events.run();
+    Cycles t01_with_traffic = 0;
+    for (auto &[p, t] : g.delivered)
+        if (p.dst == 1)
+            t01_with_traffic = t;
+    EXPECT_EQ(t01, t01_with_traffic);
+}
+
+TEST(Network, StatsAccumulate)
+{
+    Fixture f;
+    f.net.send(f.makePacket(0, 1, 64));
+    f.net.send(f.makePacket(1, 2, 32));
+    f.events.run();
+    EXPECT_EQ(f.net.stats().packets, 2u);
+    EXPECT_EQ(f.net.stats().payloadBytes, (64u + 32u) * 8u);
+}
+
+TEST(NetworkDeath, AdpWithoutAddresses)
+{
+    Fixture f;
+    Packet p = f.makePacket(0, 1, 8, Framing::AddrDataPair);
+    p.addrs.clear();
+    EXPECT_EXIT(f.net.send(std::move(p)), testing::ExitedWithCode(1),
+                "without addresses");
+}
+
+TEST(NetworkDeath, NoDeliverySink)
+{
+    Topology topo({{4}, true, 1});
+    EventQueue events;
+    Network net({1.0, 16, 16, 2}, topo, events);
+    Packet p;
+    p.src = 0;
+    p.dst = 1;
+    p.words.assign(4, 0);
+    EXPECT_EXIT(net.send(std::move(p)), testing::ExitedWithCode(1),
+                "no delivery sink");
+}
+
+} // namespace

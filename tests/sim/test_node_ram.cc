@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/node_ram.h"
+
+namespace {
+
+using namespace ct::sim;
+
+TEST(NodeRam, WordRoundTrip)
+{
+    NodeRam ram(4096);
+    ram.writeWord(8, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(ram.readWord(8), 0xdeadbeefcafef00dULL);
+}
+
+TEST(NodeRam, DoubleRoundTrip)
+{
+    NodeRam ram(4096);
+    ram.writeDouble(16, 3.25);
+    EXPECT_DOUBLE_EQ(ram.readDouble(16), 3.25);
+}
+
+TEST(NodeRam, ZeroInitialized)
+{
+    NodeRam ram(4096);
+    EXPECT_EQ(ram.readWord(0), 0u);
+    EXPECT_EQ(ram.readWord(4088), 0u);
+}
+
+TEST(NodeRam, AllocAligns)
+{
+    NodeRam ram(4096);
+    ram.alloc(10, 64);
+    Addr second = ram.alloc(8, 64);
+    EXPECT_EQ(second % 64, 0u);
+}
+
+TEST(NodeRam, AllocSkewSeparatesArrays)
+{
+    NodeRam ram(1 << 20, 1000);
+    Addr a = ram.alloc(4096, 64);
+    Addr b = ram.alloc(4096, 64);
+    EXPECT_GE(b - (a + 4096), 1000u - 64u);
+}
+
+TEST(NodeRam, ResetReclaimsAndClears)
+{
+    NodeRam ram(4096);
+    Addr a = ram.alloc(1024);
+    ram.writeWord(a, 7);
+    ram.reset();
+    EXPECT_EQ(ram.readWord(a), 0u);
+    EXPECT_EQ(ram.alloc(1024), a);
+}
+
+TEST(NodeRamDeath, OutOfMemory)
+{
+    NodeRam ram(1024);
+    EXPECT_EXIT(ram.alloc(2048), testing::ExitedWithCode(1),
+                "out of memory");
+}
+
+TEST(NodeRamDeath, OutOfRangeAccess)
+{
+    NodeRam ram(64);
+    EXPECT_EXIT(ram.readWord(60), testing::ExitedWithCode(1),
+                "beyond size");
+}
+
+TEST(NodeRamDeath, BadAlignment)
+{
+    NodeRam ram(1024);
+    EXPECT_EXIT(ram.alloc(8, 48), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "sim/prefetch.h"
+
+namespace {
+
+using namespace ct::sim;
+
+DramConfig
+dramCfg()
+{
+    DramConfig c;
+    c.rowBytes = 2048;
+    c.banks = 1;
+    c.bankSpanBytes = 2048;
+    c.rowHitCycles = 10;
+    c.rowMissCycles = 20;
+    c.writeHitCycles = 10;
+    c.writeMissCycles = 20;
+    return c;
+}
+
+TEST(ReadAhead, DisabledJustFetches)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({false, 32, 3}, d);
+    Cycles cost = ra.fill(0, 0);
+    EXPECT_EQ(cost, 24u); // miss 20 + 4 beats
+}
+
+TEST(ReadAhead, StreamDetectionNeedsTwoSequentialMisses)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({true, 32, 3}, d);
+    ra.fill(0, 0);
+    EXPECT_EQ(ra.stats().prefetchesIssued, 0u);
+    ra.fill(32, 100); // second sequential miss starts the stream
+    EXPECT_EQ(ra.stats().prefetchesIssued, 1u);
+}
+
+TEST(ReadAhead, StreamHitsAreCheap)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({true, 32, 3}, d);
+    ra.fill(0, 0);
+    ra.fill(32, 1000); // stream starts, prefetch of line 64 issued
+    Cycles cost = ra.fill(64, 2000);
+    EXPECT_EQ(cost, 3u); // buffer hit
+    EXPECT_EQ(ra.stats().streamHits, 1u);
+}
+
+TEST(ReadAhead, EarlyConsumerWaitsForPrefetch)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({true, 32, 3}, d);
+    ra.fill(0, 0);
+    Cycles second = ra.fill(32, 100);
+    // Demand the prefetched line immediately: its fetch is still in
+    // flight, so the visible cost exceeds the buffer-hit cost.
+    Cycles cost = ra.fill(64, 100 + second);
+    EXPECT_GT(cost, 3u);
+}
+
+TEST(ReadAhead, StridedMissesDoNotPrefetch)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({true, 32, 3}, d);
+    ra.fill(0, 0);
+    ra.fill(512, 100);
+    ra.fill(1024, 200);
+    EXPECT_EQ(ra.stats().prefetchesIssued, 0u);
+    EXPECT_EQ(ra.stats().streamMisses, 3u);
+}
+
+TEST(ReadAhead, ResetDropsStream)
+{
+    Dram d(dramCfg());
+    ReadAhead ra({true, 32, 3}, d);
+    ra.fill(0, 0);
+    ra.fill(32, 100);
+    ra.reset();
+    Cycles cost = ra.fill(64, 1000);
+    EXPECT_GT(cost, 3u); // demand fetch, not a buffer hit
+}
+
+TEST(ReadAhead, SpeedupOnContiguousStream)
+{
+    // The paper reports ~60% improvement from RDAL on contiguous
+    // streams; check the model delivers a clear speedup.
+    auto stream_cost = [&](bool enabled) {
+        Dram d(dramCfg());
+        ReadAhead ra({enabled, 32, 3}, d);
+        Cycles now = 0;
+        for (Addr line = 0; line < 64 * 32; line += 32)
+            now += ra.fill(line, now) + 8; // consumer work per line
+        return now;
+    };
+    Cycles off = stream_cost(false);
+    Cycles on = stream_cost(true);
+    EXPECT_LT(on, off);
+    EXPECT_GT(static_cast<double>(off) / static_cast<double>(on), 1.3);
+}
+
+TEST(LoadPipeline, DisabledStallsForCompletion)
+{
+    LoadPipeline lp({false, 0, 2});
+    EXPECT_EQ(lp.load(50, 0), 52u);
+}
+
+TEST(LoadPipeline, HidesLatencyUpToDepth)
+{
+    LoadPipeline lp({true, 3, 0});
+    // Three loads completing at 30/60/90 issue without stalling.
+    EXPECT_EQ(lp.load(30, 0), 0u);
+    EXPECT_EQ(lp.load(60, 0), 0u);
+    EXPECT_EQ(lp.load(90, 0), 0u);
+    // The fourth must wait for the first to complete.
+    EXPECT_EQ(lp.load(120, 0), 30u);
+}
+
+TEST(LoadPipeline, CompletedLoadsFreeSlots)
+{
+    LoadPipeline lp({true, 2, 0});
+    lp.load(10, 0);
+    lp.load(20, 0);
+    EXPECT_EQ(lp.load(40, 30), 0u); // both already done at t=30
+}
+
+TEST(LoadPipeline, DrainTime)
+{
+    LoadPipeline lp({true, 3, 0});
+    lp.load(100, 0);
+    EXPECT_EQ(lp.drainTime(0), 100u);
+    EXPECT_EQ(lp.drainTime(100), 0u);
+    lp.reset();
+    EXPECT_EQ(lp.drainTime(0), 0u);
+}
+
+TEST(LoadPipelineDeath, ZeroDepth)
+{
+    EXPECT_EXIT(LoadPipeline({true, 0, 0}),
+                testing::ExitedWithCode(1), "zero depth");
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Reference-model fuzz tests: the optimized tag-store cache and the
+ * occupancy-based DRAM are checked against trivially-correct
+ * reference implementations on random access streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ct::sim;
+
+/** Obviously-correct LRU set-associative cache. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(Bytes size, Bytes line, unsigned assoc)
+        : lineBytes(line), sets(size / line / assoc), ways(assoc)
+    {
+    }
+
+    /** Returns true on hit; inserts on miss. */
+    bool
+    access(Addr addr)
+    {
+        Addr tag = addr / lineBytes;
+        std::size_t set = static_cast<std::size_t>(tag) % sets;
+        auto &lru = contents[set];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == tag) {
+                lru.erase(it);
+                lru.push_front(tag);
+                return true;
+            }
+        }
+        lru.push_front(tag);
+        if (lru.size() > ways)
+            lru.pop_back();
+        return false;
+    }
+
+  private:
+    Bytes lineBytes;
+    std::size_t sets;
+    unsigned ways;
+    std::map<std::size_t, std::list<Addr>> contents;
+};
+
+class CacheFuzz : public testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CacheFuzz, LoadsMatchReferenceLru)
+{
+    ct::util::Rng rng(GetParam());
+    unsigned assoc = 1u << rng.nextBelow(4); // 1..8 ways
+    CacheConfig cfg{4096, 32, assoc, WritePolicy::WriteThrough,
+                    false};
+    Cache cache(cfg);
+    ReferenceCache ref(4096, 32, assoc);
+
+    // A mix of sequential runs and random jumps over 4x the cache.
+    Addr cursor = 0;
+    for (int i = 0; i < 4000; ++i) {
+        if (rng.nextBelow(8) == 0)
+            cursor = rng.nextBelow(16384) & ~7ull;
+        else
+            cursor = (cursor + 8) % 16384;
+        bool hit = cache.load(cursor).hit;
+        bool ref_hit = ref.access(cursor);
+        ASSERT_EQ(hit, ref_hit)
+            << "step " << i << " addr " << cursor << " assoc "
+            << assoc;
+    }
+}
+
+TEST_P(CacheFuzz, WriteThroughStoresTouchMemoryEveryTime)
+{
+    ct::util::Rng rng(GetParam() + 100);
+    CacheConfig cfg{4096, 32, 2, WritePolicy::WriteThrough, false};
+    Cache cache(cfg);
+    for (int i = 0; i < 1000; ++i) {
+        Addr addr = rng.nextBelow(16384) & ~7ull;
+        EXPECT_TRUE(cache.store(addr).toMemory);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz,
+                         testing::Range<std::uint64_t>(1, 9));
+
+class DramFuzz : public testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DramFuzz, CompletionsAreCausalAndMonotonePerLane)
+{
+    ct::util::Rng rng(GetParam());
+    DramConfig cfg;
+    cfg.rowBytes = 512;
+    cfg.banks = 4;
+    cfg.bankSpanBytes = 1024;
+    cfg.rowHitCycles = 3;
+    cfg.rowMissCycles = 11;
+    cfg.writeHitCycles = 5;
+    cfg.writeMissCycles = 9;
+    Dram dram(cfg);
+
+    Cycles now = 0;
+    Cycles last_complete = 0;
+    for (int i = 0; i < 3000; ++i) {
+        now += rng.nextBelow(6);
+        Addr addr = rng.nextBelow(1 << 20) & ~7ull;
+        Bytes bytes = 8u << rng.nextBelow(4);
+        bool write = rng.nextBelow(2) == 1;
+        auto access = dram.access(addr, bytes, write, now);
+        // Causality: service starts no earlier than the request.
+        ASSERT_GE(access.start, now);
+        ASSERT_GT(access.complete, access.start);
+        // The demand lane's data phase is totally ordered.
+        ASSERT_GE(access.complete, last_complete);
+        last_complete = access.complete;
+    }
+}
+
+TEST_P(DramFuzz, RowHitsNeverSlowerThanMisses)
+{
+    ct::util::Rng rng(GetParam() + 50);
+    DramConfig cfg;
+    cfg.rowHitCycles = 3;
+    cfg.rowMissCycles = 11;
+    Dram dram(cfg);
+    for (int i = 0; i < 500; ++i) {
+        // Keep addr and addr+8 within one row.
+        Addr row = rng.nextBelow(1 << 9) * cfg.rowBytes;
+        Addr addr = row + rng.nextBelow(cfg.rowBytes / 8 - 1) * 8;
+        auto first = dram.access(addr, 8, false, 1u << 30);
+        auto second =
+            dram.access(addr + 8, 8, false, first.complete);
+        ASSERT_TRUE(second.rowHit);
+        ASSERT_LE(second.complete - second.start,
+                  first.complete - first.start);
+    }
+}
+
+TEST_P(DramFuzz, StatsBalance)
+{
+    ct::util::Rng rng(GetParam() + 77);
+    Dram dram(DramConfig{});
+    std::uint64_t reads = 0, writes = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool write = rng.nextBelow(2) == 1;
+        dram.access(rng.nextBelow(1 << 16) & ~7ull, 8, write, 0);
+        ++(write ? writes : reads);
+    }
+    EXPECT_EQ(dram.stats().reads, reads);
+    EXPECT_EQ(dram.stats().writes, writes);
+    EXPECT_EQ(dram.stats().rowHits + dram.stats().rowMisses,
+              reads + writes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramFuzz,
+                         testing::Range<std::uint64_t>(1, 7));
+
+} // namespace

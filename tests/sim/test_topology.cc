@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace {
+
+using namespace ct::sim;
+
+TEST(Topology, NodeCountFromDims)
+{
+    Topology t({{4, 4, 4}, true, 1});
+    EXPECT_EQ(t.nodeCount(), 64);
+    Topology m({{8, 2}, false, 1});
+    EXPECT_EQ(m.nodeCount(), 16);
+}
+
+TEST(Topology, CoordsRoundTrip)
+{
+    Topology t({{3, 4, 5}, true, 1});
+    for (NodeId n = 0; n < t.nodeCount(); ++n)
+        EXPECT_EQ(t.nodeAt(t.coords(n)), n);
+}
+
+TEST(Topology, SelfRouteIsEmpty)
+{
+    Topology t({{4, 4}, true, 1});
+    EXPECT_TRUE(t.route(5, 5).empty());
+    EXPECT_EQ(t.hopCount(5, 5), 0);
+}
+
+TEST(Topology, RouteHasInjectionAndEjection)
+{
+    Topology t({{4}, false, 1});
+    auto r = t.route(0, 3);
+    // injection + 3 hops + ejection
+    EXPECT_EQ(r.size(), 5u);
+    EXPECT_EQ(t.hopCount(0, 3), 3);
+}
+
+TEST(Topology, TorusTakesShortWayAround)
+{
+    Topology ring({{8}, true, 1});
+    EXPECT_EQ(ring.hopCount(0, 7), 1); // wrap
+    EXPECT_EQ(ring.hopCount(0, 3), 3);
+    Topology line({{8}, false, 1});
+    EXPECT_EQ(line.hopCount(0, 7), 7); // no wrap
+}
+
+TEST(Topology, DimensionOrderIsDeterministic)
+{
+    Topology t({{4, 4}, false, 1});
+    auto r1 = t.route(0, 15);
+    auto r2 = t.route(0, 15);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(t.hopCount(0, 15), 6); // 3 hops x, 3 hops y
+}
+
+TEST(Topology, SharedPortsReduceInjectionLinks)
+{
+    Topology shared({{8}, true, 2});
+    // Nodes 0 and 1 share an injection link.
+    auto r0 = shared.route(0, 4);
+    auto r1 = shared.route(1, 5);
+    EXPECT_EQ(r0.front(), r1.front());
+    Topology priv({{8}, true, 1});
+    auto p0 = priv.route(0, 4);
+    auto p1 = priv.route(1, 5);
+    EXPECT_NE(p0.front(), p1.front());
+}
+
+TEST(Topology, ShiftPatternCongestionIsOneWithPrivatePorts)
+{
+    Topology t({{8}, true, 1});
+    std::vector<TrafficDemand> shift;
+    for (int n = 0; n < 8; ++n)
+        shift.push_back({n, (n + 1) % 8, 1024});
+    EXPECT_DOUBLE_EQ(t.congestionOf(shift), 1.0);
+}
+
+TEST(Topology, SharedPortMakesMinimalCongestionTwo)
+{
+    // The T3D quirk (§4.3): two PEs share a network port, so even a
+    // neighbour shift sees congestion two at the port.
+    Topology t({{8}, true, 2});
+    std::vector<TrafficDemand> shift;
+    for (int n = 0; n < 8; ++n)
+        shift.push_back({n, (n + 1) % 8, 1024});
+    EXPECT_GE(t.congestionOf(shift), 2.0);
+}
+
+TEST(Topology, ConvergingFlowsCongestEjection)
+{
+    Topology t({{8}, true, 1});
+    std::vector<TrafficDemand> fan_in{{0, 4, 100},
+                                      {1, 4, 100},
+                                      {2, 4, 100}};
+    EXPECT_GE(t.congestionOf(fan_in), 3.0);
+}
+
+TEST(Topology, MiddleLinkCongestion)
+{
+    // The measurement pattern of measure.cc: senders 0,2,4,6 to
+    // 8,10,12,14 share the middle links.
+    Topology t({{16}, true, 1});
+    for (int k = 1; k <= 4; ++k) {
+        std::vector<TrafficDemand> flows;
+        for (int f = 0; f < k; ++f)
+            flows.push_back({2 * f, 8 + 2 * f, 4096});
+        EXPECT_DOUBLE_EQ(t.congestionOf(flows),
+                         static_cast<double>(k))
+            << k;
+    }
+}
+
+TEST(Topology, EmptyDemandsCongestionOne)
+{
+    Topology t({{4}, true, 1});
+    EXPECT_DOUBLE_EQ(t.congestionOf({}), 1.0);
+    EXPECT_DOUBLE_EQ(t.congestionOf({{2, 2, 100}}), 1.0);
+}
+
+TEST(TopologyDeath, BadNode)
+{
+    Topology t({{4}, true, 1});
+    EXPECT_EXIT((void)t.coords(4), testing::ExitedWithCode(1),
+                "bad node");
+    EXPECT_EXIT((void)t.route(0, -1), testing::ExitedWithCode(1),
+                "bad endpoint");
+}
+
+} // namespace

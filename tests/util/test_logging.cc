@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace {
+
+using namespace ct::util;
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("boom ", 42), testing::ExitedWithCode(1),
+                "fatal: boom 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", "broken"), "panic: invariant");
+}
+
+TEST(Logging, LevelGatesOutput)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    testing::internal::CaptureStderr();
+    warn("should be hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    warn("now visible");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("now visible"),
+              std::string::npos);
+    setLogLevel(old);
+}
+
+TEST(Logging, DebugHiddenAtInfoLevel)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    debug("hidden");
+    inform("shown");
+    auto out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("shown"), std::string::npos);
+    setLogLevel(old);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace {
+
+using ct::util::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit with 500 draws
+}
+
+TEST(Rng, NextDoubleIsUnitInterval)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(3);
+    auto perm = rng.permutation(257);
+    std::set<std::uint64_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 257u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationIsNotIdentity)
+{
+    Rng rng(3);
+    auto perm = rng.permutation(1000);
+    std::size_t fixed_points = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        fixed_points += perm[i] == i;
+    EXPECT_LT(fixed_points, 20u);
+}
+
+TEST(Rng, ShuffleKeepsElements)
+{
+    Rng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5, 6};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace {
+
+using ct::util::Accumulator;
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Population variance is 4; the sample variance is 32/7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.add(-3.0);
+    a.add(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(HarmonicMean, MatchesClosedForm)
+{
+    // 2 values a, b: harmonic mean = 2ab/(a+b).
+    EXPECT_NEAR(ct::util::harmonicMean({40.0, 60.0}),
+                2.0 * 40.0 * 60.0 / 100.0, 1e-12);
+}
+
+TEST(HarmonicMean, EmptyIsZero)
+{
+    EXPECT_EQ(ct::util::harmonicMean({}), 0.0);
+}
+
+TEST(HarmonicMean, DominatedBySmallest)
+{
+    double hm = ct::util::harmonicMean({1.0, 1000.0, 1000.0});
+    EXPECT_LT(hm, 3.1);
+    EXPECT_GT(hm, 1.0);
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(ct::util::relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(ct::util::relativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(ct::util::relativeError(100.0, 100.0), 0.0);
+}
+
+TEST(Percentile, SortedInterpolation)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ct::util::percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ct::util::percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(ct::util::percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(ct::util::percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero)
+{
+    EXPECT_EQ(ct::util::percentile({}, 50.0), 0.0);
+}
+
+} // namespace

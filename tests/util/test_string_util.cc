@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ct::util;
+
+TEST(Trim, StripsBothEnds)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, KeepsEmptyFields)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(Split, SingleField)
+{
+    auto v = split("abc", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Split, TrailingSeparator)
+{
+    auto v = split("a,", ',');
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1], "");
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("Nadp@2", "Nadp"));
+    EXPECT_FALSE(startsWith("Nd", "Nadp"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(IsAllDigits, Basics)
+{
+    EXPECT_TRUE(isAllDigits("0123"));
+    EXPECT_FALSE(isAllDigits(""));
+    EXPECT_FALSE(isAllDigits("12a"));
+    EXPECT_FALSE(isAllDigits("-1"));
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace {
+
+using ct::util::TextTable;
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"machine", "1C1"});
+    t.addRow({"T3D", "93.0"});
+    t.addRow({"Paragon", "67.6"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| machine | 1C1  |"), std::string::npos);
+    EXPECT_NE(out.find("| T3D     | 93.0 |"), std::string::npos);
+    EXPECT_NE(out.find("| Paragon | 67.6 |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorUnderHeader)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    auto out = t.render();
+    auto first_newline = out.find('\n');
+    auto second_line = out.substr(first_newline + 1);
+    EXPECT_EQ(second_line.substr(0, 5), "|---|");
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(93.0), "93.0");
+    EXPECT_EQ(TextTable::num(25.25, 2), "25.25");
+    EXPECT_EQ(TextTable::num(25.25, 0), "25");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTableDeath, RowWidthMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), testing::ExitedWithCode(1),
+                "addRow");
+}
+
+} // namespace

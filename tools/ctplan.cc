@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ctplan -- command-line front end to the copy-transfer model.
+ *
+ * Usage:
+ *   ctplan <machine> <xQy> [bytes]    plan an operation (optionally
+ *                                     for a given message size)
+ *   ctplan <machine> eval <formula>   rate a formula
+ *   ctplan <machine> table            print the paper's tables
+ *   ctplan <machine> sim-table        measure the tables on the
+ *                                     simulator (the §4 campaign)
+ *
+ * Examples:
+ *   ctplan t3d 1Q64
+ *   ctplan t3d 1Q1 2048               the SOR message size
+ *   ctplan paragon wQw
+ *   ctplan t3d eval "1C1 o (1S0 || Nd || 0D1) o 1C64"
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/parser.h"
+#include "core/planner.h"
+#include "sim/measure.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ct;
+using P = core::AccessPattern;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ctplan <t3d|paragon> <xQy | eval <formula> | table>\n"
+        "  ctplan t3d 1Q64\n"
+        "  ctplan paragon wQw\n"
+        "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n");
+    return 2;
+}
+
+void
+printTable(core::MachineId id, bool simulated)
+{
+    auto table = simulated
+                     ? sim::measuredTable(sim::configFor(id))
+                     : core::paperTable(id);
+    util::TextTable out({"transfer", "MB/s"});
+    auto add = [&](const core::BasicTransfer &t) {
+        if (auto v = table.lookup(t))
+            out.addRow({t.name(), util::TextTable::num(*v)});
+    };
+    for (auto p : {P::contiguous(), P::strided(16), P::strided(64),
+                   P::indexed()}) {
+        add(core::localCopy(P::contiguous(), p));
+        if (!p.isContiguous())
+            add(core::localCopy(p, P::contiguous()));
+        add(core::loadSend(p));
+        add(core::fetchSend(p));
+        add(core::receiveStore(p));
+        add(core::receiveDeposit(p));
+    }
+    std::printf("%s basic transfers:\n%s", table.machineName().c_str(),
+                out.render().c_str());
+    util::TextTable net({"network", "@1", "@2", "@4"});
+    for (auto op : {core::TransferOp::NetData,
+                    core::TransferOp::NetAddrData}) {
+        std::vector<std::string> row{core::opName(op)};
+        for (int c : {1, 2, 4}) {
+            auto v = table.lookupNetwork(op, c);
+            row.push_back(v ? util::TextTable::num(*v) : "-");
+        }
+        net.addRow(row);
+    }
+    std::printf("%s", net.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+
+    core::MachineId machine;
+    if (std::strcmp(argv[1], "t3d") == 0)
+        machine = core::MachineId::T3d;
+    else if (std::strcmp(argv[1], "paragon") == 0)
+        machine = core::MachineId::Paragon;
+    else
+        return usage();
+
+    std::string cmd = argv[2];
+    if (cmd == "table") {
+        printTable(machine, false);
+        return 0;
+    }
+    if (cmd == "sim-table") {
+        printTable(machine, true);
+        return 0;
+    }
+
+    if (cmd == "eval") {
+        if (argc < 4)
+            return usage();
+        auto parsed = core::parse(argv[3]);
+        if (auto *err = std::get_if<core::ParseError>(&parsed)) {
+            std::fprintf(stderr, "parse error at %zu: %s\n",
+                         err->position, err->message.c_str());
+            return 1;
+        }
+        auto expr = std::get<core::ExprPtr>(parsed);
+        auto table = core::paperTable(machine);
+        core::EvalContext ctx;
+        ctx.table = &table;
+        ctx.congestion = core::paperCaps(machine).defaultCongestion;
+        std::printf("%s", core::explain(expr, ctx).c_str());
+        return 0;
+    }
+
+    // xQy form: split at 'Q'.
+    auto q = cmd.find('Q');
+    if (q == std::string::npos)
+        return usage();
+    auto x = P::parse(cmd.substr(0, q));
+    auto y = P::parse(cmd.substr(q + 1));
+    if (!x || !y || x->isFixed() || y->isFixed()) {
+        std::fprintf(stderr, "bad operation '%s'\n", cmd.c_str());
+        return 1;
+    }
+    core::PlanQuery query{machine, *x, *y, 0.0};
+    auto plans = core::plan(query);
+    std::printf("%s", core::formatPlan(query, plans).c_str());
+
+    if (argc >= 4) {
+        // Size-aware ranking via the latency-extended model.
+        auto bytes = static_cast<ct::util::Bytes>(
+            std::strtoull(argv[3], nullptr, 10));
+        if (bytes == 0) {
+            std::fprintf(stderr, "bad message size '%s'\n", argv[3]);
+            return 1;
+        }
+        std::printf("\nat %llu-byte messages (latency-extended "
+                    "model):\n",
+                    static_cast<unsigned long long>(bytes));
+        for (const auto &p :
+             core::planForSize(machine, *x, *y, bytes)) {
+            std::printf("  %-15s %6.1f MB/s effective "
+                        "(asymptotic %.1f, n1/2 = %llu B)\n",
+                        core::styleName(p.style).c_str(), p.effective,
+                        p.asymptotic,
+                        static_cast<unsigned long long>(p.halfPower));
+        }
+    }
+    return 0;
+}
