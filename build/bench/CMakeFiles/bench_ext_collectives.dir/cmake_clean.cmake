@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cc.o"
+  "CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cc.o.d"
+  "bench_ext_collectives"
+  "bench_ext_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

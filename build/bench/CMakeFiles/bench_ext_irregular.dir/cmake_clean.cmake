@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_irregular.dir/bench_ext_irregular.cc.o"
+  "CMakeFiles/bench_ext_irregular.dir/bench_ext_irregular.cc.o.d"
+  "bench_ext_irregular"
+  "bench_ext_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

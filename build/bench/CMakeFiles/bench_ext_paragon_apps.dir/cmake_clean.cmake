@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_paragon_apps.dir/bench_ext_paragon_apps.cc.o"
+  "CMakeFiles/bench_ext_paragon_apps.dir/bench_ext_paragon_apps.cc.o.d"
+  "bench_ext_paragon_apps"
+  "bench_ext_paragon_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_paragon_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_redistribution.dir/bench_ext_redistribution.cc.o"
+  "CMakeFiles/bench_ext_redistribution.dir/bench_ext_redistribution.cc.o.d"
+  "bench_ext_redistribution"
+  "bench_ext_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_t3d_styles.dir/bench_fig7_t3d_styles.cc.o"
+  "CMakeFiles/bench_fig7_t3d_styles.dir/bench_fig7_t3d_styles.cc.o.d"
+  "bench_fig7_t3d_styles"
+  "bench_fig7_t3d_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_t3d_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

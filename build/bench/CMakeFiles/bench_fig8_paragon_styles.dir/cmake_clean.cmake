@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_paragon_styles.dir/bench_fig8_paragon_styles.cc.o"
+  "CMakeFiles/bench_fig8_paragon_styles.dir/bench_fig8_paragon_styles.cc.o.d"
+  "bench_fig8_paragon_styles"
+  "bench_fig8_paragon_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_paragon_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_local_copies.dir/bench_tab1_local_copies.cc.o"
+  "CMakeFiles/bench_tab1_local_copies.dir/bench_tab1_local_copies.cc.o.d"
+  "bench_tab1_local_copies"
+  "bench_tab1_local_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_local_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

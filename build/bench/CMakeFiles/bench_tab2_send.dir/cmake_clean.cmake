@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_send.dir/bench_tab2_send.cc.o"
+  "CMakeFiles/bench_tab2_send.dir/bench_tab2_send.cc.o.d"
+  "bench_tab2_send"
+  "bench_tab2_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

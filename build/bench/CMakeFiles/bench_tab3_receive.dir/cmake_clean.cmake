@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_receive.dir/bench_tab3_receive.cc.o"
+  "CMakeFiles/bench_tab3_receive.dir/bench_tab3_receive.cc.o.d"
+  "bench_tab3_receive"
+  "bench_tab3_receive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_receive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_network.dir/bench_tab4_network.cc.o"
+  "CMakeFiles/bench_tab4_network.dir/bench_tab4_network.cc.o.d"
+  "bench_tab4_network"
+  "bench_tab4_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab5_load_vs_store.cc" "bench/CMakeFiles/bench_tab5_load_vs_store.dir/bench_tab5_load_vs_store.cc.o" "gcc" "bench/CMakeFiles/bench_tab5_load_vs_store.dir/bench_tab5_load_vs_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ct_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ct_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_load_vs_store.dir/bench_tab5_load_vs_store.cc.o"
+  "CMakeFiles/bench_tab5_load_vs_store.dir/bench_tab5_load_vs_store.cc.o.d"
+  "bench_tab5_load_vs_store"
+  "bench_tab5_load_vs_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_load_vs_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

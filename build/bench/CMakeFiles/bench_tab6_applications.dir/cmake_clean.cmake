@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_applications.dir/bench_tab6_applications.cc.o"
+  "CMakeFiles/bench_tab6_applications.dir/bench_tab6_applications.cc.o.d"
+  "bench_tab6_applications"
+  "bench_tab6_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ct_bench_util.dir/bench_util.cc.o.d"
+  "libct_bench_util.a"
+  "libct_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_solver.dir/earthquake_solver.cpp.o"
+  "CMakeFiles/earthquake_solver.dir/earthquake_solver.cpp.o.d"
+  "earthquake_solver"
+  "earthquake_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d.dir/fft2d.cpp.o"
+  "CMakeFiles/fft2d.dir/fft2d.cpp.o.d"
+  "fft2d"
+  "fft2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

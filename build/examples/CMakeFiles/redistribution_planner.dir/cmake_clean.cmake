@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribution_planner.dir/redistribution_planner.cpp.o"
+  "CMakeFiles/redistribution_planner.dir/redistribution_planner.cpp.o.d"
+  "redistribution_planner"
+  "redistribution_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribution_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fem.cc" "src/apps/CMakeFiles/ct_apps.dir/fem.cc.o" "gcc" "src/apps/CMakeFiles/ct_apps.dir/fem.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/apps/CMakeFiles/ct_apps.dir/fft.cc.o" "gcc" "src/apps/CMakeFiles/ct_apps.dir/fft.cc.o.d"
+  "/root/repo/src/apps/irregular.cc" "src/apps/CMakeFiles/ct_apps.dir/irregular.cc.o" "gcc" "src/apps/CMakeFiles/ct_apps.dir/irregular.cc.o.d"
+  "/root/repo/src/apps/sor.cc" "src/apps/CMakeFiles/ct_apps.dir/sor.cc.o" "gcc" "src/apps/CMakeFiles/ct_apps.dir/sor.cc.o.d"
+  "/root/repo/src/apps/transpose.cc" "src/apps/CMakeFiles/ct_apps.dir/transpose.cc.o" "gcc" "src/apps/CMakeFiles/ct_apps.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/ct_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_apps.dir/fem.cc.o"
+  "CMakeFiles/ct_apps.dir/fem.cc.o.d"
+  "CMakeFiles/ct_apps.dir/fft.cc.o"
+  "CMakeFiles/ct_apps.dir/fft.cc.o.d"
+  "CMakeFiles/ct_apps.dir/irregular.cc.o"
+  "CMakeFiles/ct_apps.dir/irregular.cc.o.d"
+  "CMakeFiles/ct_apps.dir/sor.cc.o"
+  "CMakeFiles/ct_apps.dir/sor.cc.o.d"
+  "CMakeFiles/ct_apps.dir/transpose.cc.o"
+  "CMakeFiles/ct_apps.dir/transpose.cc.o.d"
+  "libct_apps.a"
+  "libct_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algebra.cc" "src/core/CMakeFiles/ct_core.dir/algebra.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/algebra.cc.o.d"
+  "/root/repo/src/core/basic_transfer.cc" "src/core/CMakeFiles/ct_core.dir/basic_transfer.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/basic_transfer.cc.o.d"
+  "/root/repo/src/core/datatype.cc" "src/core/CMakeFiles/ct_core.dir/datatype.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/datatype.cc.o.d"
+  "/root/repo/src/core/distribution.cc" "src/core/CMakeFiles/ct_core.dir/distribution.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/distribution.cc.o.d"
+  "/root/repo/src/core/distribution2d.cc" "src/core/CMakeFiles/ct_core.dir/distribution2d.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/distribution2d.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/ct_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/latency_model.cc" "src/core/CMakeFiles/ct_core.dir/latency_model.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/latency_model.cc.o.d"
+  "/root/repo/src/core/machine_params.cc" "src/core/CMakeFiles/ct_core.dir/machine_params.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/machine_params.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/ct_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/ct_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/ct_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/ct_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/ct_core.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/algebra.cc.o"
+  "CMakeFiles/ct_core.dir/algebra.cc.o.d"
+  "CMakeFiles/ct_core.dir/basic_transfer.cc.o"
+  "CMakeFiles/ct_core.dir/basic_transfer.cc.o.d"
+  "CMakeFiles/ct_core.dir/datatype.cc.o"
+  "CMakeFiles/ct_core.dir/datatype.cc.o.d"
+  "CMakeFiles/ct_core.dir/distribution.cc.o"
+  "CMakeFiles/ct_core.dir/distribution.cc.o.d"
+  "CMakeFiles/ct_core.dir/distribution2d.cc.o"
+  "CMakeFiles/ct_core.dir/distribution2d.cc.o.d"
+  "CMakeFiles/ct_core.dir/expr.cc.o"
+  "CMakeFiles/ct_core.dir/expr.cc.o.d"
+  "CMakeFiles/ct_core.dir/latency_model.cc.o"
+  "CMakeFiles/ct_core.dir/latency_model.cc.o.d"
+  "CMakeFiles/ct_core.dir/machine_params.cc.o"
+  "CMakeFiles/ct_core.dir/machine_params.cc.o.d"
+  "CMakeFiles/ct_core.dir/parser.cc.o"
+  "CMakeFiles/ct_core.dir/parser.cc.o.d"
+  "CMakeFiles/ct_core.dir/pattern.cc.o"
+  "CMakeFiles/ct_core.dir/pattern.cc.o.d"
+  "CMakeFiles/ct_core.dir/planner.cc.o"
+  "CMakeFiles/ct_core.dir/planner.cc.o.d"
+  "CMakeFiles/ct_core.dir/strategies.cc.o"
+  "CMakeFiles/ct_core.dir/strategies.cc.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/chained_layer.cc" "src/rt/CMakeFiles/ct_rt.dir/chained_layer.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/chained_layer.cc.o.d"
+  "/root/repo/src/rt/collectives.cc" "src/rt/CMakeFiles/ct_rt.dir/collectives.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/collectives.cc.o.d"
+  "/root/repo/src/rt/comm_op.cc" "src/rt/CMakeFiles/ct_rt.dir/comm_op.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/comm_op.cc.o.d"
+  "/root/repo/src/rt/packing_layer.cc" "src/rt/CMakeFiles/ct_rt.dir/packing_layer.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/packing_layer.cc.o.d"
+  "/root/repo/src/rt/redistribute.cc" "src/rt/CMakeFiles/ct_rt.dir/redistribute.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/redistribute.cc.o.d"
+  "/root/repo/src/rt/redistribute2d.cc" "src/rt/CMakeFiles/ct_rt.dir/redistribute2d.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/redistribute2d.cc.o.d"
+  "/root/repo/src/rt/traffic_planner.cc" "src/rt/CMakeFiles/ct_rt.dir/traffic_planner.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/traffic_planner.cc.o.d"
+  "/root/repo/src/rt/workload.cc" "src/rt/CMakeFiles/ct_rt.dir/workload.cc.o" "gcc" "src/rt/CMakeFiles/ct_rt.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

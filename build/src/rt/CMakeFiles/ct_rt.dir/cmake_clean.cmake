@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_rt.dir/chained_layer.cc.o"
+  "CMakeFiles/ct_rt.dir/chained_layer.cc.o.d"
+  "CMakeFiles/ct_rt.dir/collectives.cc.o"
+  "CMakeFiles/ct_rt.dir/collectives.cc.o.d"
+  "CMakeFiles/ct_rt.dir/comm_op.cc.o"
+  "CMakeFiles/ct_rt.dir/comm_op.cc.o.d"
+  "CMakeFiles/ct_rt.dir/packing_layer.cc.o"
+  "CMakeFiles/ct_rt.dir/packing_layer.cc.o.d"
+  "CMakeFiles/ct_rt.dir/redistribute.cc.o"
+  "CMakeFiles/ct_rt.dir/redistribute.cc.o.d"
+  "CMakeFiles/ct_rt.dir/redistribute2d.cc.o"
+  "CMakeFiles/ct_rt.dir/redistribute2d.cc.o.d"
+  "CMakeFiles/ct_rt.dir/traffic_planner.cc.o"
+  "CMakeFiles/ct_rt.dir/traffic_planner.cc.o.d"
+  "CMakeFiles/ct_rt.dir/workload.cc.o"
+  "CMakeFiles/ct_rt.dir/workload.cc.o.d"
+  "libct_rt.a"
+  "libct_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cc" "src/sim/CMakeFiles/ct_sim.dir/bus.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/bus.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ct_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/ct_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/engines.cc" "src/sim/CMakeFiles/ct_sim.dir/engines.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/engines.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/ct_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ct_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/measure.cc" "src/sim/CMakeFiles/ct_sim.dir/measure.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/measure.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/ct_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/ct_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/ct_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/node.cc.o.d"
+  "/root/repo/src/sim/node_ram.cc" "src/sim/CMakeFiles/ct_sim.dir/node_ram.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/node_ram.cc.o.d"
+  "/root/repo/src/sim/prefetch.cc" "src/sim/CMakeFiles/ct_sim.dir/prefetch.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/prefetch.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/ct_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/ct_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/ct_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/topology.cc.o.d"
+  "/root/repo/src/sim/walk.cc" "src/sim/CMakeFiles/ct_sim.dir/walk.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/walk.cc.o.d"
+  "/root/repo/src/sim/write_buffer.cc" "src/sim/CMakeFiles/ct_sim.dir/write_buffer.cc.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

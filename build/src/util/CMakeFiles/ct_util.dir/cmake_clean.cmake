@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_util.dir/logging.cc.o"
+  "CMakeFiles/ct_util.dir/logging.cc.o.d"
+  "CMakeFiles/ct_util.dir/rng.cc.o"
+  "CMakeFiles/ct_util.dir/rng.cc.o.d"
+  "CMakeFiles/ct_util.dir/stats.cc.o"
+  "CMakeFiles/ct_util.dir/stats.cc.o.d"
+  "CMakeFiles/ct_util.dir/string_util.cc.o"
+  "CMakeFiles/ct_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ct_util.dir/table.cc.o"
+  "CMakeFiles/ct_util.dir/table.cc.o.d"
+  "CMakeFiles/ct_util.dir/units.cc.o"
+  "CMakeFiles/ct_util.dir/units.cc.o.d"
+  "libct_util.a"
+  "libct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_fem.cc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_fem.cc.o" "gcc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_fem.cc.o.d"
+  "/root/repo/tests/apps/test_fft.cc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_fft.cc.o" "gcc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_fft.cc.o.d"
+  "/root/repo/tests/apps/test_irregular.cc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_irregular.cc.o" "gcc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_irregular.cc.o.d"
+  "/root/repo/tests/apps/test_sor.cc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_sor.cc.o" "gcc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_sor.cc.o.d"
+  "/root/repo/tests/apps/test_transpose.cc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_transpose.cc.o" "gcc" "tests/apps/CMakeFiles/ct_apps_tests.dir/test_transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ct_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

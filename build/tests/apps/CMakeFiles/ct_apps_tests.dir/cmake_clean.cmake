@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_apps_tests.dir/test_fem.cc.o"
+  "CMakeFiles/ct_apps_tests.dir/test_fem.cc.o.d"
+  "CMakeFiles/ct_apps_tests.dir/test_fft.cc.o"
+  "CMakeFiles/ct_apps_tests.dir/test_fft.cc.o.d"
+  "CMakeFiles/ct_apps_tests.dir/test_irregular.cc.o"
+  "CMakeFiles/ct_apps_tests.dir/test_irregular.cc.o.d"
+  "CMakeFiles/ct_apps_tests.dir/test_sor.cc.o"
+  "CMakeFiles/ct_apps_tests.dir/test_sor.cc.o.d"
+  "CMakeFiles/ct_apps_tests.dir/test_transpose.cc.o"
+  "CMakeFiles/ct_apps_tests.dir/test_transpose.cc.o.d"
+  "ct_apps_tests"
+  "ct_apps_tests.pdb"
+  "ct_apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

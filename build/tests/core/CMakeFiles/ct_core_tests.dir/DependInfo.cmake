@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_algebra.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_algebra.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_algebra.cc.o.d"
+  "/root/repo/tests/core/test_datatype.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_datatype.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_datatype.cc.o.d"
+  "/root/repo/tests/core/test_distribution.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_distribution.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_distribution.cc.o.d"
+  "/root/repo/tests/core/test_distribution2d.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_distribution2d.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_distribution2d.cc.o.d"
+  "/root/repo/tests/core/test_expr.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_expr.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_expr.cc.o.d"
+  "/root/repo/tests/core/test_latency_model.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_latency_model.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_latency_model.cc.o.d"
+  "/root/repo/tests/core/test_machine_params.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_machine_params.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_machine_params.cc.o.d"
+  "/root/repo/tests/core/test_parser.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_parser.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/core/test_parser_fuzz.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_parser_fuzz.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_parser_fuzz.cc.o.d"
+  "/root/repo/tests/core/test_pattern.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_pattern.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_pattern.cc.o.d"
+  "/root/repo/tests/core/test_planner.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_planner.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_planner.cc.o.d"
+  "/root/repo/tests/core/test_sized_planner.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_sized_planner.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_sized_planner.cc.o.d"
+  "/root/repo/tests/core/test_strategies.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_strategies.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_strategies.cc.o.d"
+  "/root/repo/tests/core/test_throughput_table.cc" "tests/core/CMakeFiles/ct_core_tests.dir/test_throughput_table.cc.o" "gcc" "tests/core/CMakeFiles/ct_core_tests.dir/test_throughput_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

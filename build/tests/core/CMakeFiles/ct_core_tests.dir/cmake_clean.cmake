@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core_tests.dir/test_algebra.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_algebra.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_datatype.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_datatype.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_distribution.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_distribution.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_distribution2d.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_distribution2d.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_expr.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_expr.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_latency_model.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_latency_model.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_machine_params.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_machine_params.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_parser.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_parser.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_parser_fuzz.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_parser_fuzz.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_pattern.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_pattern.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_planner.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_planner.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_sized_planner.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_sized_planner.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_strategies.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_strategies.cc.o.d"
+  "CMakeFiles/ct_core_tests.dir/test_throughput_table.cc.o"
+  "CMakeFiles/ct_core_tests.dir/test_throughput_table.cc.o.d"
+  "ct_core_tests"
+  "ct_core_tests.pdb"
+  "ct_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

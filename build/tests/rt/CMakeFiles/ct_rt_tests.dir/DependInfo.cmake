@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/test_chained_layer.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_chained_layer.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_chained_layer.cc.o.d"
+  "/root/repo/tests/rt/test_closed_loop.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_closed_loop.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_closed_loop.cc.o.d"
+  "/root/repo/tests/rt/test_collectives.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_collectives.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_collectives.cc.o.d"
+  "/root/repo/tests/rt/test_comm_op.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_comm_op.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_comm_op.cc.o.d"
+  "/root/repo/tests/rt/test_fuzz_layers.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_fuzz_layers.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_fuzz_layers.cc.o.d"
+  "/root/repo/tests/rt/test_layers_vs_model.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_layers_vs_model.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_layers_vs_model.cc.o.d"
+  "/root/repo/tests/rt/test_packing_layer.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_packing_layer.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_packing_layer.cc.o.d"
+  "/root/repo/tests/rt/test_redistribute.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_redistribute.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_redistribute.cc.o.d"
+  "/root/repo/tests/rt/test_redistribute2d.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_redistribute2d.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_redistribute2d.cc.o.d"
+  "/root/repo/tests/rt/test_report.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_report.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/rt/test_traffic_planner.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_traffic_planner.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_traffic_planner.cc.o.d"
+  "/root/repo/tests/rt/test_typed_flows.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_typed_flows.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_typed_flows.cc.o.d"
+  "/root/repo/tests/rt/test_workload.cc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_workload.cc.o" "gcc" "tests/rt/CMakeFiles/ct_rt_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ct_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

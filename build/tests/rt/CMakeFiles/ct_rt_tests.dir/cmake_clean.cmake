@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_rt_tests.dir/test_chained_layer.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_chained_layer.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_closed_loop.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_closed_loop.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_collectives.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_collectives.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_comm_op.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_comm_op.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_fuzz_layers.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_fuzz_layers.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_layers_vs_model.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_layers_vs_model.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_packing_layer.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_packing_layer.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_redistribute.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_redistribute.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_redistribute2d.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_redistribute2d.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_report.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_report.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_traffic_planner.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_traffic_planner.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_typed_flows.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_typed_flows.cc.o.d"
+  "CMakeFiles/ct_rt_tests.dir/test_workload.cc.o"
+  "CMakeFiles/ct_rt_tests.dir/test_workload.cc.o.d"
+  "ct_rt_tests"
+  "ct_rt_tests.pdb"
+  "ct_rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

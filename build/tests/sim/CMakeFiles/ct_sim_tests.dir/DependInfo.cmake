@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_bus.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_bus.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/sim/test_cache.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_cache.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_dram.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_dram.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/sim/test_engines.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_engines.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_engines.cc.o.d"
+  "/root/repo/tests/sim/test_event.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_event.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_event.cc.o.d"
+  "/root/repo/tests/sim/test_machine.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_machine.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/sim/test_measure.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_measure.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_measure.cc.o.d"
+  "/root/repo/tests/sim/test_memory.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_memory.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/sim/test_network.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_network.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/sim/test_node_ram.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_node_ram.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_node_ram.cc.o.d"
+  "/root/repo/tests/sim/test_prefetch.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_prefetch.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_prefetch.cc.o.d"
+  "/root/repo/tests/sim/test_processor.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_processor.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_processor.cc.o.d"
+  "/root/repo/tests/sim/test_reference_fuzz.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_reference_fuzz.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_reference_fuzz.cc.o.d"
+  "/root/repo/tests/sim/test_topology.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_topology.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/sim/test_walk.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_walk.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_walk.cc.o.d"
+  "/root/repo/tests/sim/test_write_buffer.cc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_write_buffer.cc.o" "gcc" "tests/sim/CMakeFiles/ct_sim_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

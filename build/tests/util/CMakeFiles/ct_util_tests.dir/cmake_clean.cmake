@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_util_tests.dir/test_logging.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_logging.cc.o.d"
+  "CMakeFiles/ct_util_tests.dir/test_rng.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_rng.cc.o.d"
+  "CMakeFiles/ct_util_tests.dir/test_stats.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_stats.cc.o.d"
+  "CMakeFiles/ct_util_tests.dir/test_string_util.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_string_util.cc.o.d"
+  "CMakeFiles/ct_util_tests.dir/test_table.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_table.cc.o.d"
+  "CMakeFiles/ct_util_tests.dir/test_units.cc.o"
+  "CMakeFiles/ct_util_tests.dir/test_units.cc.o.d"
+  "ct_util_tests"
+  "ct_util_tests.pdb"
+  "ct_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

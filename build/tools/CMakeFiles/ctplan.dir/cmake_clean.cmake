@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctplan.dir/ctplan.cc.o"
+  "CMakeFiles/ctplan.dir/ctplan.cc.o.d"
+  "ctplan"
+  "ctplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

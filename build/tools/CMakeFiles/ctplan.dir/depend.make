@@ -1,0 +1,2 @@
+# Empty dependencies file for ctplan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ctplan_plan "/root/repo/build/tools/ctplan" "t3d" "1Q64")
+set_tests_properties(ctplan_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctplan_sized "/root/repo/build/tools/ctplan" "t3d" "1Q1" "2048")
+set_tests_properties(ctplan_sized PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctplan_eval "/root/repo/build/tools/ctplan" "paragon" "eval" "wS0 || Nadp || 0Rw")
+set_tests_properties(ctplan_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctplan_table "/root/repo/build/tools/ctplan" "t3d" "table")
+set_tests_properties(ctplan_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ctplan_usage_error "/root/repo/build/tools/ctplan" "bogus")
+set_tests_properties(ctplan_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
