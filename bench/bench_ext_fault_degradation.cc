@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension bench (not a paper table): goodput of the reliable
+ * chained layer as the wire degrades. Sweeps packet-drop rate x
+ * message size; reports delivered goodput, total wire bytes (every
+ * retransmission and ack included), retransmission count, and
+ * whether the run had to degrade to the buffer-packing path.
+ * Goodput must fall monotonically as the drop rate rises: the
+ * payload is fixed while timeouts and retransmissions stretch the
+ * makespan and burn extra wire bandwidth.
+ */
+
+#include "bench_util.h"
+#include "rt/reliable_layer.h"
+#include "rt/workload.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::bench;
+using P = core::AccessPattern;
+
+void
+faultRow(benchmark::State &state)
+{
+    // drop rate in 1/10000ths so the integer Args stay readable.
+    double drop = static_cast<double>(state.range(0)) / 10000.0;
+    auto words = static_cast<std::uint64_t>(state.range(1));
+
+    double mbps = 0.0;
+    double wire_bytes = 0.0;
+    double retransmits = 0.0;
+    double drops = 0.0;
+    double degraded = 0.0;
+    for (auto _ : state) {
+        auto cfg = sim::t3dConfig({2, 1, 1});
+        if (drop > 0.0)
+            cfg.faults = sim::FaultSpec::parse(
+                "drop=" + std::to_string(drop) + ",seed=1");
+        sim::Machine m(cfg);
+        auto op =
+            rt::pairExchange(m, P::strided(4), P::strided(4), words);
+        rt::seedSources(m, op);
+        auto layer = rt::makeReliableChained();
+        auto r = layer->run(m, op);
+        if (rt::verifyDelivery(m, op) != 0)
+            state.SkipWithError("corrupted delivery");
+        mbps = r.perNodeMBps(m);
+        wire_bytes = static_cast<double>(m.network().stats().wireBytes);
+        retransmits =
+            static_cast<double>(layer->stats().retransmits);
+        drops =
+            static_cast<double>(m.network().stats().droppedPackets);
+        degraded = r.degraded ? 1.0 : 0.0;
+    }
+    setCounter(state, "goodput_MBps", mbps);
+    setCounter(state, "wire_bytes", wire_bytes);
+    setCounter(state, "retransmits", retransmits);
+    setCounter(state, "dropped", drops);
+    setCounter(state, "degraded", degraded);
+}
+
+void
+engineFailRow(benchmark::State &state)
+{
+    auto words = static_cast<std::uint64_t>(state.range(0));
+    double mbps = 0.0;
+    double degraded = 0.0;
+    for (auto _ : state) {
+        auto cfg = sim::t3dConfig({2, 1, 1});
+        cfg.faults = sim::FaultSpec::parse("engine_fail=1,seed=1");
+        sim::Machine m(cfg);
+        auto op =
+            rt::pairExchange(m, P::strided(4), P::strided(4), words);
+        rt::seedSources(m, op);
+        auto layer = rt::makeReliableChained();
+        auto r = layer->run(m, op);
+        if (rt::verifyDelivery(m, op) != 0)
+            state.SkipWithError("corrupted delivery");
+        mbps = r.perNodeMBps(m);
+        degraded = r.degraded ? 1.0 : 0.0;
+    }
+    setCounter(state, "goodput_MBps", mbps);
+    setCounter(state, "degraded", degraded);
+}
+
+void
+registerAll()
+{
+    auto *b = benchmark::RegisterBenchmark(
+        "reliable_chained_goodput/drop_x10000/words", faultRow);
+    b->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (std::int64_t words : {1024, 8192}) {
+        // 0, 0.1%, 1%, 5%, 10% packet loss.
+        for (std::int64_t drop : {0, 10, 100, 500, 1000})
+            b->Args({drop, words});
+    }
+
+    auto *e = benchmark::RegisterBenchmark(
+        "reliable_chained_engine_fail/words", engineFailRow);
+    e->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (std::int64_t words : {1024, 8192})
+        e->Arg(words);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

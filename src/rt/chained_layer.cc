@@ -39,6 +39,7 @@ struct Ctx
     std::vector<Cycles> coprocFreeAt;
     std::vector<bool> coprocBusy;
     Cycles lastDone = 0;
+    bool refusalWarned = false;
 
     Ctx(Machine &machine, const CommOp &op, const ChainedOptions &opts)
         : machine(machine), op(op), opts(opts), groups(groupFlows(op)),
@@ -208,6 +209,20 @@ Ctx::deliver(Packet &&pkt, Cycles time)
         }
         sim::DepositEngine &engine =
             machine.node(node).depositEngine();
+        if (!engine.admit(pkt)) {
+            // Permanent ADP-datapath failure (fault injection): the
+            // chunk is lost and its credit is withheld, so the sender
+            // winds down instead of crashing. A reliable wrapper
+            // detects the dead engine afterwards and degrades the
+            // whole step to buffer packing.
+            if (!refusalWarned) {
+                util::warn("ChainedLayer: deposit engine refused a "
+                           "chunk on node ",
+                           node, "; winding down this flow");
+                refusalWarned = true;
+            }
+            return;
+        }
         std::size_t group_idx = pkt.seq;
         Cycles done = engine.deposit(pkt, time);
         machine.events().schedule(done, [this, group_idx]() {

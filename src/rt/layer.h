@@ -13,6 +13,7 @@
 #include <string>
 
 #include "rt/comm_op.h"
+#include "util/logging.h"
 
 namespace ct::rt {
 
@@ -23,6 +24,12 @@ struct RunResult
     Bytes payloadBytes = 0;
     /** Largest payload injected by one node (basis of per-node MB/s). */
     Bytes maxBytesPerSender = 0;
+    /**
+     * True when the run completed on a fallback path (e.g. chained
+     * transfers downgraded to buffer packing after a permanent
+     * deposit-engine failure). Reports label such rows "degraded".
+     */
+    bool degraded = false;
 
     /**
      * Per-node throughput as the paper reports it: the data one node
@@ -30,12 +37,20 @@ struct RunResult
      */
     util::MBps perNodeMBps(const sim::Machine &machine) const
     {
+        if (makespan == 0) {
+            util::warn("RunResult: zero makespan, reporting 0 MB/s");
+            return 0.0;
+        }
         return machine.toMBps(maxBytesPerSender, makespan);
     }
 
     /** Aggregate throughput of the whole step. */
     util::MBps totalMBps(const sim::Machine &machine) const
     {
+        if (makespan == 0) {
+            util::warn("RunResult: zero makespan, reporting 0 MB/s");
+            return 0.0;
+        }
         return machine.toMBps(payloadBytes, makespan);
     }
 };

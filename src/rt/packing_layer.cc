@@ -287,7 +287,7 @@ Ctx::deliver(Packet &&pkt, Cycles time)
 {
     NodeId node = pkt.dst;
     sim::DepositEngine &engine = machine.node(node).depositEngine();
-    if (!engine.accepts(pkt))
+    if (!engine.admit(pkt))
         util::fatal("PackingLayer: deposit engine rejected a "
                     "contiguous block");
     std::size_t group_idx = pkt.flow;

@@ -1,0 +1,320 @@
+#include "reliable_layer.h"
+
+#include <cmath>
+#include <map>
+
+#include "rt/chained_layer.h"
+#include "util/logging.h"
+
+namespace ct::rt {
+
+namespace {
+
+using sim::Cycles;
+using sim::Machine;
+using sim::NodeId;
+using sim::Packet;
+using sim::PacketKind;
+
+/**
+ * Per-run transport state. Interposed on the network via the
+ * send/deliver taps; all traffic of the wrapped layer flows through
+ * it, its own control traffic (acks, nacks, retransmissions) bypasses
+ * the taps via sendRaw/deliverDirect.
+ */
+struct Transport
+{
+    /** One retained outbound packet awaiting acknowledgment. */
+    struct Pending
+    {
+        Packet packet;
+        int retries = 0;
+        /** Bumped on every (re)transmission; a timeout event only
+         *  acts if its captured generation is still current. */
+        std::uint64_t generation = 0;
+    };
+
+    /** Sender + receiver state of one directed (src,dst) channel. */
+    struct Channel
+    {
+        // Sender side.
+        std::uint32_t nextSeq = 0;
+        std::map<std::uint32_t, Pending> pending;
+        // Receiver side.
+        std::uint32_t expected = 0;
+        std::map<std::uint32_t, Packet> reorder;
+    };
+
+    Machine &machine;
+    const ReliableOptions &opts;
+    ReliableStats &stats;
+    std::vector<Channel> channels;
+
+    Transport(Machine &machine, const ReliableOptions &opts,
+              ReliableStats &stats)
+        : machine(machine), opts(opts), stats(stats),
+          channels(static_cast<std::size_t>(machine.nodeCount()) *
+                   static_cast<std::size_t>(machine.nodeCount()))
+    {
+    }
+
+    Channel &
+    channel(NodeId src, NodeId dst)
+    {
+        return channels[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(
+                                machine.nodeCount()) +
+                        static_cast<std::size_t>(dst)];
+    }
+
+    /** Drop all per-channel state (between phases of a run). */
+    void
+    reset()
+    {
+        for (Channel &c : channels)
+            c = Channel{};
+    }
+
+    Cycles
+    timeoutAfter(int retries) const
+    {
+        double t = static_cast<double>(opts.retransmitTimeout) *
+                   std::pow(opts.backoff, retries);
+        return static_cast<Cycles>(t);
+    }
+
+    void
+    scheduleTimeout(NodeId src, NodeId dst, std::uint32_t rseq,
+                    std::uint64_t generation, Cycles delay)
+    {
+        machine.events().scheduleAfter(
+            delay, [this, src, dst, rseq, generation]() {
+                onTimeout(src, dst, rseq, generation);
+            });
+    }
+
+    /** Outbound tap: sequence, checksum, retain, arm the timer. */
+    bool
+    onSend(Packet &p)
+    {
+        Channel &c = channel(p.src, p.dst);
+        p.kind = PacketKind::Data;
+        p.rseq = c.nextSeq++;
+        sim::sealChecksum(p);
+        ++stats.dataPackets;
+        Pending &entry = c.pending[p.rseq];
+        entry.packet = p;
+        scheduleTimeout(p.src, p.dst, p.rseq, entry.generation,
+                        timeoutAfter(0));
+        return true; // network transmits the sealed packet
+    }
+
+    void
+    retransmit(NodeId src, NodeId dst, std::uint32_t rseq)
+    {
+        Channel &c = channel(src, dst);
+        auto it = c.pending.find(rseq);
+        if (it == c.pending.end())
+            return; // acknowledged in the meantime
+        Pending &entry = it->second;
+        ++entry.retries;
+        if (entry.retries > opts.maxRetries) {
+            ++stats.abandoned;
+            util::warn("ReliableLayer: abandoning packet rseq=", rseq,
+                       " on channel ", src, "->", dst, " after ",
+                       opts.maxRetries, " retries");
+            c.pending.erase(it);
+            return;
+        }
+        ++entry.generation;
+        ++stats.retransmits;
+        Packet copy = entry.packet;
+        scheduleTimeout(src, dst, rseq, entry.generation,
+                        timeoutAfter(entry.retries));
+        machine.network().sendRaw(std::move(copy));
+    }
+
+    void
+    onTimeout(NodeId src, NodeId dst, std::uint32_t rseq,
+              std::uint64_t generation)
+    {
+        Channel &c = channel(src, dst);
+        auto it = c.pending.find(rseq);
+        if (it == c.pending.end())
+            return; // acknowledged
+        if (it->second.generation != generation)
+            return; // a newer transmission armed its own timer
+        retransmit(src, dst, rseq);
+    }
+
+    void
+    sendControl(PacketKind kind, NodeId from, NodeId to,
+                std::uint32_t ctrl)
+    {
+        Packet p;
+        p.kind = kind;
+        p.src = from;
+        p.dst = to;
+        p.ctrl = ctrl;
+        if (kind == PacketKind::Ack)
+            ++stats.acksSent;
+        else
+            ++stats.nacksSent;
+        machine.network().sendRaw(std::move(p));
+    }
+
+    /** Cumulative ack: everything below @p upto has been received. */
+    void
+    onAck(NodeId sender, NodeId receiver, std::uint32_t upto)
+    {
+        Channel &c = channel(sender, receiver);
+        auto it = c.pending.begin();
+        while (it != c.pending.end() && it->first < upto)
+            it = c.pending.erase(it);
+    }
+
+    void
+    onNack(NodeId sender, NodeId receiver, std::uint32_t rseq)
+    {
+        retransmit(sender, receiver, rseq);
+    }
+
+    /** Inbound tap; returns false when the transport consumed it. */
+    bool
+    onArrive(Packet &&p, Cycles time)
+    {
+        if (p.kind == PacketKind::Ack) {
+            // The ack arrived at the data sender (p.dst); the data
+            // channel it refers to runs the other way.
+            onAck(p.dst, p.src, p.ctrl);
+            return false;
+        }
+        if (p.kind == PacketKind::Nack) {
+            onNack(p.dst, p.src, p.ctrl);
+            return false;
+        }
+
+        Channel &c = channel(p.src, p.dst);
+        if (!sim::checksumOk(p)) {
+            ++stats.checksumFailures;
+            sendControl(PacketKind::Nack, p.dst, p.src, p.rseq);
+            return false;
+        }
+        if (p.rseq < c.expected) {
+            // Duplicate of an already-released packet (network dup or
+            // retransmission whose ack was lost): re-ack, drop.
+            ++stats.duplicatesDropped;
+            sendControl(PacketKind::Ack, p.dst, p.src, c.expected);
+            return false;
+        }
+        if (p.rseq > c.expected) {
+            ++stats.outOfOrder;
+            if (c.reorder.find(p.rseq) != c.reorder.end())
+                ++stats.duplicatesDropped;
+            else
+                c.reorder.emplace(p.rseq, std::move(p));
+            // Dup-ack keeps the sender's view of progress current.
+            sendControl(PacketKind::Ack, p.dst, p.src, c.expected);
+            return false;
+        }
+
+        // In order: release to the wrapped layer, then drain every
+        // buffered successor that is now in sequence.
+        NodeId src = p.src, dst = p.dst;
+        machine.network().deliverDirect(std::move(p), time);
+        ++c.expected;
+        auto next = c.reorder.find(c.expected);
+        while (next != c.reorder.end()) {
+            machine.network().deliverDirect(std::move(next->second),
+                                            time);
+            c.reorder.erase(next);
+            ++c.expected;
+            next = c.reorder.find(c.expected);
+        }
+        sendControl(PacketKind::Ack, dst, src, c.expected);
+        return false;
+    }
+};
+
+} // namespace
+
+ReliableLayer::ReliableLayer(std::unique_ptr<MessageLayer> inner,
+                             ReliableOptions options)
+    : inner(std::move(inner)), opts(options)
+{
+    if (!this->inner)
+        util::fatal("ReliableLayer: no inner layer");
+    if (opts.maxRetries < 0)
+        util::fatal("ReliableLayer: maxRetries must be >= 0");
+    if (opts.backoff < 1.0)
+        util::fatal("ReliableLayer: backoff must be >= 1");
+    if (opts.retransmitTimeout == 0)
+        util::fatal("ReliableLayer: retransmitTimeout must be "
+                    "positive");
+}
+
+std::string
+ReliableLayer::name() const
+{
+    return "reliable+" + inner->name();
+}
+
+RunResult
+ReliableLayer::run(sim::Machine &machine, const CommOp &op)
+{
+    counters = ReliableStats{};
+    Transport transport(machine, opts, counters);
+    sim::Network &net = machine.network();
+    net.setSendTap(
+        [&transport](Packet &p) { return transport.onSend(p); });
+    net.setDeliverTap([&transport](Packet &&p, Cycles time) {
+        return transport.onArrive(std::move(p), time);
+    });
+
+    RunResult result = inner->run(machine, op);
+
+    bool engine_failed = false;
+    for (NodeId n = 0; n < machine.nodeCount(); ++n)
+        engine_failed |=
+            machine.node(n).depositEngine().adpFailed();
+
+    if (engine_failed && opts.degradeToPacking) {
+        // The wrapped layer lost its deposit engine mid-step. Re-run
+        // the whole operation through the buffer-packing path, which
+        // needs only contiguous deposits; sources are untouched, so
+        // the rerun rewrites every destination correctly. The
+        // transport stays interposed: the recovery phase runs under
+        // the same wire faults.
+        util::warn("ReliableLayer: permanent deposit-engine failure "
+                   "during '",
+                   inner->name(),
+                   "'; degrading to the buffer-packing path");
+        counters.degraded = true;
+        transport.reset();
+        PackingLayer fallback(opts.fallback);
+        result = fallback.run(machine, op);
+        // The packing makespan is measured on the machine's absolute
+        // clock, so it already contains the aborted chained phase.
+        result.degraded = true;
+    }
+
+    net.setSendTap(nullptr);
+    net.setDeliverTap(nullptr);
+    return result;
+}
+
+std::unique_ptr<ReliableLayer>
+makeReliableChained(ReliableOptions options)
+{
+    return std::make_unique<ReliableLayer>(
+        std::make_unique<ChainedLayer>(), options);
+}
+
+std::unique_ptr<ReliableLayer>
+makeReliablePacking(ReliableOptions options)
+{
+    return std::make_unique<ReliableLayer>(
+        std::make_unique<PackingLayer>(), options);
+}
+
+} // namespace ct::rt

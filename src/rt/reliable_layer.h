@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reliable delivery on an unreliable interconnect. ReliableLayer
+ * wraps any MessageLayer with an end-to-end transport interposed at
+ * the network boundary:
+ *
+ *  - every outbound data packet gets a per-(src,dst)-channel sequence
+ *    number and a word-sum checksum, and a copy is retained for
+ *    retransmission;
+ *  - the receiver verifies the checksum (NACKing corrupted packets),
+ *    suppresses duplicates, reorders out-of-order arrivals, releases
+ *    packets to the wrapped layer strictly in sequence order, and
+ *    returns cumulative ACKs;
+ *  - the sender retransmits on NACK or on a simulated-cycle timeout
+ *    with exponential backoff and a bounded retry budget.
+ *
+ * On a permanent deposit-engine (ADP-datapath) failure the wrapped
+ * chained layer cannot finish: its address-data-pair chunks are
+ * refused. Instead of erroring, ReliableLayer gracefully degrades,
+ * re-running the whole operation through the buffer-packing path
+ * (xC1 o (1S0 || Nd || 0D1) o 1Cy), which only needs contiguous
+ * deposits. The result is flagged `degraded` and the downgrade is
+ * logged; the makespan includes both the aborted chained phase and
+ * the packing recovery.
+ */
+
+#ifndef CT_RT_RELIABLE_LAYER_H
+#define CT_RT_RELIABLE_LAYER_H
+
+#include "rt/layer.h"
+#include "rt/packing_layer.h"
+
+namespace ct::rt {
+
+/** Transport tunables. */
+struct ReliableOptions
+{
+    /** Initial retransmission timeout in simulated cycles. */
+    Cycles retransmitTimeout = 30000;
+    /** Timeout multiplier per retry (exponential backoff). */
+    double backoff = 2.0;
+    /** Retransmissions per packet before it is abandoned. */
+    int maxRetries = 12;
+    /** Degrade to buffer packing on permanent engine failure. */
+    bool degradeToPacking = true;
+    /** Options of the fallback packing layer. */
+    PackingOptions fallback;
+};
+
+/** Transport counters for one run. */
+struct ReliableStats
+{
+    std::uint64_t dataPackets = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acksSent = 0;
+    std::uint64_t nacksSent = 0;
+    std::uint64_t duplicatesDropped = 0;
+    std::uint64_t checksumFailures = 0;
+    std::uint64_t outOfOrder = 0;
+    /** Packets given up after the retry budget (should stay 0). */
+    std::uint64_t abandoned = 0;
+    bool degraded = false;
+};
+
+/** Reliability wrapper around any message layer. */
+class ReliableLayer : public MessageLayer
+{
+  public:
+    explicit ReliableLayer(std::unique_ptr<MessageLayer> inner,
+                           ReliableOptions options = {});
+
+    std::string name() const override;
+
+    RunResult run(sim::Machine &machine, const CommOp &op) override;
+
+    /** Counters of the most recent run. */
+    const ReliableStats &stats() const { return counters; }
+
+    const ReliableOptions &options() const { return opts; }
+
+  private:
+    std::unique_ptr<MessageLayer> inner;
+    ReliableOptions opts;
+    ReliableStats counters;
+};
+
+/** Convenience: reliable transport over a default chained layer. */
+std::unique_ptr<ReliableLayer>
+makeReliableChained(ReliableOptions options = {});
+
+/** Convenience: reliable transport over a default packing layer. */
+std::unique_ptr<ReliableLayer>
+makeReliablePacking(ReliableOptions options = {});
+
+} // namespace ct::rt
+
+#endif // CT_RT_RELIABLE_LAYER_H

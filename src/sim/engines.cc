@@ -10,6 +10,14 @@ DepositEngine::DepositEngine(const DepositEngineConfig &config,
                              MemorySystem &mem, NodeRam &ram)
     : cfg(config), mem(mem), ram(ram)
 {
+    if (cfg.enabled && cfg.dataWordCycles <= 0.0)
+        util::fatal("DepositEngine: dataWordCycles must be positive, "
+                    "got ",
+                    cfg.dataWordCycles);
+    if (cfg.enabled && cfg.anyPattern && cfg.adpWordCycles <= 0.0)
+        util::fatal("DepositEngine: adpWordCycles must be positive "
+                    "for an any-pattern engine, got ",
+                    cfg.adpWordCycles);
 }
 
 bool
@@ -18,8 +26,24 @@ DepositEngine::accepts(const Packet &packet) const
     if (!cfg.enabled)
         return false;
     if (packet.framing == Framing::AddrDataPair)
-        return cfg.anyPattern;
+        return cfg.anyPattern && !adpDead;
     return true;
+}
+
+bool
+DepositEngine::admit(const Packet &packet)
+{
+    if (packet.framing == Framing::AddrDataPair && cfg.anyPattern &&
+        !adpDead && faults && faults->rollEngineFailure()) {
+        adpDead = true;
+        util::warn("DepositEngine: permanent ADP-datapath failure "
+                   "injected; falling back to contiguous deposits "
+                   "only");
+    }
+    bool ok = accepts(packet);
+    if (!ok)
+        ++counters.refusedPackets;
+    return ok;
 }
 
 Cycles
@@ -31,6 +55,15 @@ DepositEngine::deposit(const Packet &packet, Cycles arrival)
     counters.words += packet.words.size();
 
     Cycles start = std::max(arrival, freeAt);
+    if (faults) {
+        // Transient stall: the engine pauses before serving.
+        Cycles stall = faults->rollEngineStall();
+        if (stall > 0) {
+            ++counters.faultStalls;
+            counters.faultStallCycles += stall;
+            start += stall;
+        }
+    }
     Cycles now = start + cfg.perPacketCycles;
 
     if (packet.framing == Framing::DataOnly) {
@@ -72,6 +105,9 @@ FetchEngine::FetchEngine(const FetchEngineConfig &config) : cfg(config)
 {
     if (cfg.enabled && cfg.bytesPerCycle <= 0.0)
         util::fatal("FetchEngine: non-positive bandwidth");
+    if (cfg.enabled && cfg.pageBytes == 0)
+        util::fatal("FetchEngine: pageBytes must be positive (page-"
+                    "kick accounting divides by it)");
 }
 
 Cycles
@@ -84,6 +120,15 @@ FetchEngine::fetch(Addr addr, Bytes bytes)
     ++counters.transfers;
     counters.bytes += bytes;
 
+    Cycles stall = 0;
+    if (faults) {
+        stall = faults->rollEngineStall();
+        if (stall > 0) {
+            ++counters.faultStalls;
+            counters.faultStallCycles += stall;
+        }
+    }
+
     auto stream = static_cast<Cycles>(std::llround(
         std::ceil(static_cast<double>(bytes) / cfg.bytesPerCycle)));
 
@@ -94,7 +139,7 @@ FetchEngine::fetch(Addr addr, Bytes bytes)
     auto kicks = static_cast<std::uint64_t>(last_page - first_page);
     counters.pageKicks += kicks;
 
-    return cfg.setupCycles + stream + kicks * cfg.pageKickCycles;
+    return cfg.setupCycles + stall + stream + kicks * cfg.pageKickCycles;
 }
 
 } // namespace ct::sim

@@ -16,6 +16,7 @@
 #ifndef CT_SIM_ENGINES_H
 #define CT_SIM_ENGINES_H
 
+#include "sim/fault.h"
 #include "sim/memory.h"
 #include "sim/node_ram.h"
 #include "sim/packet.h"
@@ -42,6 +43,11 @@ struct DepositEngineStats
     std::uint64_t packets = 0;
     std::uint64_t words = 0;
     Cycles busyCycles = 0;
+    /** Injected transient stalls (fault model). */
+    std::uint64_t faultStalls = 0;
+    Cycles faultStallCycles = 0;
+    /** Packets refused after the ADP datapath failed. */
+    std::uint64_t refusedPackets = 0;
 };
 
 /**
@@ -58,8 +64,23 @@ class DepositEngine
 
     bool enabled() const { return cfg.enabled; }
 
+    /** Attach the machine's fault injector (nullptr = fault-free). */
+    void setFaults(FaultInjector *injector) { faults = injector; }
+
     /** True if the engine can deposit @p packet at all. */
     bool accepts(const Packet &packet) const;
+
+    /**
+     * Admission check performed once per arriving packet. For
+     * address-data-pair packets this is where a permanent ADP-
+     * datapath failure can trigger (fault model); after a failure
+     * the engine refuses adp packets while the simpler contiguous
+     * datapath keeps working. Returns accepts(packet).
+     */
+    bool admit(const Packet &packet);
+
+    /** True once the ADP datapath has failed permanently. */
+    bool adpFailed() const { return adpDead; }
 
     /**
      * Deposit @p packet arriving at @p arrival.
@@ -75,8 +96,10 @@ class DepositEngine
     DepositEngineConfig cfg;
     MemorySystem &mem;
     NodeRam &ram;
+    FaultInjector *faults = nullptr;
     DepositEngineStats counters;
     Cycles freeAt = 0;
+    bool adpDead = false;
 };
 
 /** Sending-side DMA parameters. */
@@ -99,6 +122,9 @@ struct FetchEngineStats
     std::uint64_t transfers = 0;
     std::uint64_t bytes = 0;
     std::uint64_t pageKicks = 0;
+    /** Injected transient stalls (fault model). */
+    std::uint64_t faultStalls = 0;
+    Cycles faultStallCycles = 0;
 };
 
 /**
@@ -112,6 +138,9 @@ class FetchEngine
 
     bool enabled() const { return cfg.enabled; }
 
+    /** Attach the machine's fault injector (nullptr = fault-free). */
+    void setFaults(FaultInjector *injector) { faults = injector; }
+
     /** Cycles to fetch-and-inject [addr, addr+bytes). */
     Cycles fetch(Addr addr, Bytes bytes);
 
@@ -120,6 +149,7 @@ class FetchEngine
 
   private:
     FetchEngineConfig cfg;
+    FaultInjector *faults = nullptr;
     FetchEngineStats counters;
 };
 

@@ -1,0 +1,218 @@
+#include "fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ct::sim {
+
+namespace {
+
+/** Derive an independent stream seed for one fault class. */
+std::uint64_t
+streamSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // splitmix64-style mixing keeps the per-class streams decorrelated
+    // even for small consecutive seeds.
+    std::uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double rate = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        util::fatal("FaultSpec: bad value '", value, "' for ", key);
+    if (rate < 0.0 || rate > 1.0)
+        util::fatal("FaultSpec: ", key, "=", value,
+                    " outside [0, 1]");
+    return rate;
+}
+
+std::uint64_t
+parseCount(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        util::fatal("FaultSpec: bad value '", value, "' for ", key);
+    return n;
+}
+
+} // namespace
+
+bool
+FaultSpec::any() const
+{
+    return drop > 0.0 || corrupt > 0.0 || dup > 0.0 ||
+           (delayMax > 0 && delayRate > 0.0) || engineStall > 0.0 ||
+           engineFail > 0.0;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &spec)
+{
+    FaultSpec out;
+    bool delay_rate_given = false;
+    for (const std::string &field : util::split(spec, ',')) {
+        std::string_view item = util::trim(field);
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string_view::npos)
+            util::fatal("FaultSpec: expected key=value, got '", item,
+                        "'");
+        std::string key(util::trim(item.substr(0, eq)));
+        std::string value(util::trim(item.substr(eq + 1)));
+        if (key == "drop")
+            out.drop = parseRate(key, value);
+        else if (key == "corrupt")
+            out.corrupt = parseRate(key, value);
+        else if (key == "dup")
+            out.dup = parseRate(key, value);
+        else if (key == "delay")
+            out.delayMax = parseCount(key, value);
+        else if (key == "delay_rate") {
+            out.delayRate = parseRate(key, value);
+            delay_rate_given = true;
+        } else if (key == "engine_stall")
+            out.engineStall = parseRate(key, value);
+        else if (key == "engine_stall_cycles")
+            out.engineStallCycles = parseCount(key, value);
+        else if (key == "engine_fail")
+            out.engineFail = parseRate(key, value);
+        else if (key == "seed")
+            out.seed = parseCount(key, value);
+        else
+            util::fatal("FaultSpec: unknown key '", key,
+                        "' (expected drop, corrupt, dup, delay, "
+                        "delay_rate, engine_stall, "
+                        "engine_stall_cycles, engine_fail, seed)");
+    }
+    if (out.delayMax > 0 && !delay_rate_given)
+        out.delayRate = 0.01;
+    return out;
+}
+
+std::string
+FaultSpec::summary() const
+{
+    std::ostringstream os;
+    const char *sep = "";
+    auto field = [&](const char *name, double v) {
+        if (v > 0.0) {
+            os << sep << name << '=' << v;
+            sep = ",";
+        }
+    };
+    field("drop", drop);
+    field("corrupt", corrupt);
+    field("dup", dup);
+    if (delayMax > 0 && delayRate > 0.0) {
+        os << sep << "delay=" << delayMax
+           << ",delay_rate=" << delayRate;
+        sep = ",";
+    }
+    field("engine_stall", engineStall);
+    field("engine_fail", engineFail);
+    if (sep[0] == '\0')
+        return "none";
+    os << sep << "seed=" << seed;
+    return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec)
+    : cfg(spec), dropRng(streamSeed(spec.seed, 1)),
+      corruptRng(streamSeed(spec.seed, 2)),
+      dupRng(streamSeed(spec.seed, 3)),
+      delayRng(streamSeed(spec.seed, 4)),
+      engineRng(streamSeed(spec.seed, 5))
+{
+}
+
+bool
+FaultInjector::rollDrop()
+{
+    if (cfg.drop <= 0.0)
+        return false;
+    bool hit = dropRng.nextDouble() < cfg.drop;
+    if (hit)
+        ++counters.drops;
+    return hit;
+}
+
+bool
+FaultInjector::rollCorrupt()
+{
+    if (cfg.corrupt <= 0.0)
+        return false;
+    bool hit = corruptRng.nextDouble() < cfg.corrupt;
+    if (hit)
+        ++counters.corruptions;
+    return hit;
+}
+
+bool
+FaultInjector::rollDuplicate()
+{
+    if (cfg.dup <= 0.0)
+        return false;
+    bool hit = dupRng.nextDouble() < cfg.dup;
+    if (hit)
+        ++counters.duplicates;
+    return hit;
+}
+
+Cycles
+FaultInjector::rollDelay()
+{
+    if (cfg.delayMax == 0 || cfg.delayRate <= 0.0)
+        return 0;
+    if (delayRng.nextDouble() >= cfg.delayRate)
+        return 0;
+    Cycles extra = 1 + delayRng.nextBelow(cfg.delayMax);
+    ++counters.delays;
+    counters.delayCycles += extra;
+    return extra;
+}
+
+void
+FaultInjector::corruptPayload(Packet &packet)
+{
+    if (packet.words.empty())
+        return;
+    std::uint64_t word = corruptRng.nextBelow(packet.words.size());
+    std::uint64_t bit = corruptRng.nextBelow(64);
+    packet.words[word] ^= 1ULL << bit;
+}
+
+Cycles
+FaultInjector::rollEngineStall()
+{
+    if (cfg.engineStall <= 0.0 || cfg.engineStallCycles == 0)
+        return 0;
+    if (engineRng.nextDouble() >= cfg.engineStall)
+        return 0;
+    ++counters.engineStalls;
+    counters.engineStallCycles += cfg.engineStallCycles;
+    return cfg.engineStallCycles;
+}
+
+bool
+FaultInjector::rollEngineFailure()
+{
+    if (cfg.engineFail <= 0.0)
+        return false;
+    bool hit = engineRng.nextDouble() < cfg.engineFail;
+    if (hit)
+        ++counters.engineFailures;
+    return hit;
+}
+
+} // namespace ct::sim

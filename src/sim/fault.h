@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic fault injection. A FaultInjector perturbs the wire
+ * path (packet drop / payload corruption / duplication / delay) and
+ * the background engines (transient stalls, permanent loss of the
+ * deposit engine's address-data-pair capability). Every decision is
+ * drawn from seeded per-fault-class xoshiro streams, so the same
+ * seed and spec reproduce a bit-identical fault schedule on the same
+ * traffic.
+ *
+ * The model corrupts payload words only: packet headers are assumed
+ * to be protected by a separate hardware CRC and always arrive
+ * intact, which is what lets the reliable transport NACK a corrupted
+ * packet by sequence number.
+ */
+
+#ifndef CT_SIM_FAULT_H
+#define CT_SIM_FAULT_H
+
+#include <string>
+
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+
+/**
+ * Fault rates and magnitudes, parsed from a comma-separated spec
+ * string such as
+ *
+ *     drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200,engine_stall=1e-4
+ *
+ * Recognized keys:
+ *   drop=P                per-packet drop probability
+ *   corrupt=P             per-packet payload-corruption probability
+ *   dup=P                 per-packet duplication probability
+ *   delay=N               max extra delivery delay in cycles
+ *   delay_rate=P          probability a packet is delayed
+ *                         (default 0.01 when delay > 0)
+ *   engine_stall=P        per-engine-operation transient-stall
+ *                         probability (deposit and fetch engines)
+ *   engine_stall_cycles=N stall duration (default 1000)
+ *   engine_fail=P         per-ADP-deposit probability that the
+ *                         deposit engine's address-data-pair
+ *                         datapath fails permanently; the simpler
+ *                         contiguous-block datapath survives
+ *   seed=N                RNG seed (default 1)
+ */
+struct FaultSpec
+{
+    double drop = 0.0;
+    double corrupt = 0.0;
+    double dup = 0.0;
+    Cycles delayMax = 0;
+    double delayRate = 0.0;
+    double engineStall = 0.0;
+    Cycles engineStallCycles = 1000;
+    double engineFail = 0.0;
+    std::uint64_t seed = 1;
+
+    /** True if any fault class has a non-zero rate. */
+    bool any() const;
+
+    /** Parse a spec string; fatal on unknown keys or bad values. */
+    static FaultSpec parse(const std::string &spec);
+
+    /** Canonical one-line rendering of the active fault classes. */
+    std::string summary() const;
+};
+
+/** Per-fault-class injection counters. */
+struct FaultStats
+{
+    std::uint64_t drops = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t delays = 0;
+    Cycles delayCycles = 0;
+    std::uint64_t engineStalls = 0;
+    Cycles engineStallCycles = 0;
+    std::uint64_t engineFailures = 0;
+};
+
+/**
+ * Draws fault decisions. The network consults it once per wire
+ * transmission, the engines once per operation. Each fault class
+ * consumes its own RNG stream (derived from the seed), so enabling
+ * one class never shifts the schedule of another.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec);
+
+    const FaultSpec &spec() const { return cfg; }
+    const FaultStats &stats() const { return counters; }
+
+    // Wire rolls, one set per transmitted packet.
+
+    /** True if this packet is lost in the network. */
+    bool rollDrop();
+
+    /** True if this packet's payload is corrupted in flight. */
+    bool rollCorrupt();
+
+    /** True if the network delivers this packet twice. */
+    bool rollDuplicate();
+
+    /** Extra delivery delay in cycles (0 = on time). */
+    Cycles rollDelay();
+
+    /** Flip one random payload bit of @p packet (no-op if empty). */
+    void corruptPayload(Packet &packet);
+
+    // Engine rolls, one per engine operation.
+
+    /** Transient engine stall in cycles (0 = none). */
+    Cycles rollEngineStall();
+
+    /** True if the ADP datapath fails permanently on this deposit. */
+    bool rollEngineFailure();
+
+  private:
+    FaultSpec cfg;
+    FaultStats counters;
+    util::Rng dropRng;
+    util::Rng corruptRng;
+    util::Rng dupRng;
+    util::Rng delayRng;
+    util::Rng engineRng;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_FAULT_H

@@ -1,15 +1,68 @@
 #include "machine.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace ct::sim {
 
-Machine::Machine(const MachineConfig &config)
-    : cfg(config), topo(cfg.topology), net(cfg.network, topo, queue)
+void
+validateMachineConfig(const MachineConfig &config)
 {
+    if (config.clockHz <= 0.0 || !std::isfinite(config.clockHz))
+        util::fatal("MachineConfig '", config.name,
+                    "': clockHz must be a positive finite number, "
+                    "got ",
+                    config.clockHz);
+    if (config.topology.dims.empty())
+        util::fatal("MachineConfig '", config.name,
+                    "': topology needs at least one dimension");
+    for (int d : config.topology.dims)
+        if (d < 1)
+            util::fatal("MachineConfig '", config.name,
+                        "': topology dimension must be >= 1, got ",
+                        d);
+    if (config.topology.nodesPerPort < 1)
+        util::fatal("MachineConfig '", config.name,
+                    "': nodesPerPort must be >= 1, got ",
+                    config.topology.nodesPerPort);
+    if (config.network.wireBytesPerCycle <= 0.0 ||
+        !std::isfinite(config.network.wireBytesPerCycle))
+        util::fatal("MachineConfig '", config.name,
+                    "': network wireBytesPerCycle must be a positive "
+                    "finite number, got ",
+                    config.network.wireBytesPerCycle);
+    if (config.network.adpBytesPerWord < 8)
+        util::fatal("MachineConfig '", config.name,
+                    "': network adpBytesPerWord must cover the 8 "
+                    "data bytes of a word, got ",
+                    config.network.adpBytesPerWord);
+    if (config.node.ramBytes == 0)
+        util::fatal("MachineConfig '", config.name,
+                    "': node ramBytes must be positive");
+    if (config.node.processor.loopCyclesPerElem < 0.0 ||
+        !std::isfinite(config.node.processor.loopCyclesPerElem))
+        util::fatal("MachineConfig '", config.name,
+                    "': processor loopCyclesPerElem must be "
+                    "non-negative and finite, got ",
+                    config.node.processor.loopCyclesPerElem);
+}
+
+Machine::Machine(const MachineConfig &config)
+    : cfg((validateMachineConfig(config), config)),
+      topo(cfg.topology),
+      injector(cfg.faults.any()
+                   ? std::make_unique<FaultInjector>(cfg.faults)
+                   : nullptr),
+      net(cfg.network, topo, queue)
+{
+    net.setFaults(injector.get());
     nodes.reserve(static_cast<std::size_t>(topo.nodeCount()));
-    for (int i = 0; i < topo.nodeCount(); ++i)
+    for (int i = 0; i < topo.nodeCount(); ++i) {
         nodes.push_back(std::make_unique<Node>(cfg.node));
+        nodes.back()->depositEngine().setFaults(injector.get());
+        nodes.back()->fetchEngine().setFaults(injector.get());
+    }
 }
 
 Node &

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/machine_params.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/node.h"
 
@@ -31,7 +32,17 @@ struct MachineConfig
     TopologyConfig topology;
     NetworkConfig network;
     NodeConfig node;
+    /** Fault-injection spec; the default injects nothing. */
+    FaultSpec faults;
 };
+
+/**
+ * Sanity-check a machine configuration, with clear error messages
+ * instead of silent NaNs or divide-by-zero downstream. fatal()s on
+ * the first violation. Called by the Machine constructor; exposed for
+ * tools that want to validate user input before building a machine.
+ */
+void validateMachineConfig(const MachineConfig &config);
 
 /** Nodes + network, ready to run communication operations. */
 class Machine
@@ -47,6 +58,10 @@ class Machine
     const Topology &topology() const { return topo; }
     const MachineConfig &config() const { return cfg; }
 
+    /** Fault injector, or nullptr when the machine is fault-free. */
+    FaultInjector *faults() { return injector.get(); }
+    const FaultInjector *faults() const { return injector.get(); }
+
     /** Payload throughput of @p bytes moved in @p cycles. */
     util::MBps toMBps(Bytes bytes, Cycles cycles) const;
 
@@ -54,6 +69,7 @@ class Machine
     MachineConfig cfg;
     Topology topo;
     EventQueue queue;
+    std::unique_ptr<FaultInjector> injector;
     Network net;
     std::vector<std::unique_ptr<Node>> nodes;
 };

@@ -11,14 +11,39 @@ Network::Network(const NetworkConfig &config, const Topology &topology,
     : cfg(config), topo(topology), events(queue),
       linkFreeAt(static_cast<std::size_t>(topology.linkCount()), 0)
 {
-    if (cfg.wireBytesPerCycle <= 0.0)
-        util::fatal("Network: non-positive wire bandwidth");
+    if (cfg.wireBytesPerCycle <= 0.0 ||
+        !std::isfinite(cfg.wireBytesPerCycle))
+        util::fatal("Network: wireBytesPerCycle must be a positive "
+                    "finite number, got ",
+                    cfg.wireBytesPerCycle);
+    if (cfg.adpBytesPerWord < 8)
+        util::fatal("Network: adpBytesPerWord must cover the 8 data "
+                    "bytes of a word, got ",
+                    cfg.adpBytesPerWord);
 }
 
 void
 Network::setDeliver(Deliver deliver)
 {
     deliverFn = std::move(deliver);
+}
+
+void
+Network::setSendTap(SendTap tap)
+{
+    sendTap = std::move(tap);
+}
+
+void
+Network::setDeliverTap(DeliverTap tap)
+{
+    deliverTap = std::move(tap);
+}
+
+void
+Network::setFaults(FaultInjector *injector)
+{
+    faults = injector;
 }
 
 Bytes
@@ -40,22 +65,78 @@ Network::send(Packet &&packet)
         packet.addrs.size() != packet.words.size())
         util::fatal("Network::send: adp packet without addresses");
 
+    if (sendTap && !sendTap(packet))
+        return;
+    transmit(std::move(packet));
+}
+
+void
+Network::sendRaw(Packet &&packet)
+{
+    if (!deliverFn)
+        util::fatal("Network::sendRaw: no delivery sink installed");
+    transmit(std::move(packet));
+}
+
+void
+Network::deliverDirect(Packet &&packet, Cycles time)
+{
+    deliverFn(std::move(packet), time);
+}
+
+void
+Network::transmit(Packet &&packet)
+{
     ++counters.packets;
     counters.payloadBytes += packet.payloadBytes();
-    Bytes wire = wireBytesOf(packet);
-    counters.wireBytes += wire;
+    counters.wireBytes += wireBytesOf(packet);
 
-    Cycles serialize = static_cast<Cycles>(std::llround(
-        std::ceil(static_cast<double>(wire) / cfg.wireBytesPerCycle)));
-
-    // Local delivery bypasses the wires.
+    // Local delivery bypasses the wires (and therefore wire faults).
     if (packet.src == packet.dst) {
         Packet p = std::move(packet);
         events.scheduleAfter(0, [this, p = std::move(p)]() mutable {
-            deliverFn(std::move(p), events.now());
+            arrive(std::move(p), events.now());
         });
         return;
     }
+
+    if (faults) {
+        // A dropped packet still occupied the wires; charge it the
+        // full route's bandwidth (the counters above already did) but
+        // never schedule its delivery.
+        if (faults->rollDrop()) {
+            ++counters.droppedPackets;
+            reserveRoute(packet);
+            return;
+        }
+        if (faults->rollCorrupt()) {
+            ++counters.corruptedPackets;
+            faults->corruptPayload(packet);
+        }
+        if (faults->rollDuplicate()) {
+            ++counters.duplicatedPackets;
+            Packet copy = packet;
+            ++counters.packets;
+            counters.payloadBytes += copy.payloadBytes();
+            counters.wireBytes += wireBytesOf(copy);
+            reserveAndSchedule(std::move(copy), 0);
+        }
+        Cycles extra = faults->rollDelay();
+        if (extra > 0)
+            ++counters.delayedPackets;
+        reserveAndSchedule(std::move(packet), extra);
+        return;
+    }
+
+    reserveAndSchedule(std::move(packet), 0);
+}
+
+Cycles
+Network::reserveRoute(const Packet &packet)
+{
+    Cycles serialize = static_cast<Cycles>(std::llround(
+        std::ceil(static_cast<double>(wireBytesOf(packet)) /
+                  cfg.wireBytesPerCycle)));
 
     Cycles cursor = events.now();
     auto route = topo.route(packet.src, packet.dst);
@@ -66,11 +147,25 @@ Network::send(Packet &&packet)
         linkFreeAt[idx] = done;
         cursor = done + cfg.hopLatencyCycles;
     }
+    return cursor;
+}
 
+void
+Network::reserveAndSchedule(Packet &&packet, Cycles extra_delay)
+{
+    Cycles arrival = reserveRoute(packet) + extra_delay;
     Packet p = std::move(packet);
-    events.schedule(cursor, [this, p = std::move(p)]() mutable {
-        deliverFn(std::move(p), events.now());
+    events.schedule(arrival, [this, p = std::move(p)]() mutable {
+        arrive(std::move(p), events.now());
     });
+}
+
+void
+Network::arrive(Packet &&packet, Cycles time)
+{
+    if (deliverTap && !deliverTap(std::move(packet), time))
+        return;
+    deliverFn(std::move(packet), time);
 }
 
 } // namespace ct::sim

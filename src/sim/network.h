@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "sim/event.h"
+#include "sim/fault.h"
 #include "sim/topology.h"
 
 namespace ct::sim {
@@ -39,6 +40,11 @@ struct NetworkStats
     std::uint64_t packets = 0;
     std::uint64_t payloadBytes = 0;
     std::uint64_t wireBytes = 0;
+    // Injected wire faults (non-zero only when faults are active).
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t corruptedPackets = 0;
+    std::uint64_t duplicatedPackets = 0;
+    std::uint64_t delayedPackets = 0;
 };
 
 /**
@@ -46,11 +52,24 @@ struct NetworkStats
  * of the packet's route (reservations are made in event-time order,
  * so FIFO link occupancy is consistent) and schedules a single
  * delivery callback at the arrival time.
+ *
+ * A reliable transport can interpose on both directions: the send tap
+ * sees every outbound layer packet before it hits the wire (to assign
+ * sequence numbers and keep retransmission copies), the deliver tap
+ * sees every arrival before the layer sink (to verify, reorder, and
+ * acknowledge). sendRaw() and deliverDirect() bypass the taps so the
+ * transport's own control traffic and in-order releases do not
+ * re-enter it.
  */
 class Network
 {
   public:
     using Deliver = std::function<void(Packet &&packet, Cycles time)>;
+    /** Outbound interposer; return false to swallow the packet. */
+    using SendTap = std::function<bool(Packet &packet)>;
+    /** Inbound interposer; return false to consume the packet. */
+    using DeliverTap =
+        std::function<bool(Packet &&packet, Cycles time)>;
 
     Network(const NetworkConfig &config, const Topology &topology,
             EventQueue &queue);
@@ -58,20 +77,42 @@ class Network
     /** Install the delivery sink (dispatches on packet.dst). */
     void setDeliver(Deliver deliver);
 
+    /** Install or clear (pass nullptr) the transport interposers. */
+    void setSendTap(SendTap tap);
+    void setDeliverTap(DeliverTap tap);
+
+    /** Attach the machine's fault injector (nullptr = fault-free). */
+    void setFaults(FaultInjector *injector);
+
     /** Wire bytes a packet occupies on each link it crosses. */
     Bytes wireBytesOf(const Packet &packet) const;
 
     /** Inject @p packet at the current event time. */
     void send(Packet &&packet);
 
+    /** Transmit bypassing the send tap (transport control traffic). */
+    void sendRaw(Packet &&packet);
+
+    /** Hand a packet to the sink bypassing the deliver tap. */
+    void deliverDirect(Packet &&packet, Cycles time);
+
     const NetworkStats &stats() const { return counters; }
     const NetworkConfig &config() const { return cfg; }
 
   private:
+    void transmit(Packet &&packet);
+    /** Reserve link slots along the route; returns the arrival time. */
+    Cycles reserveRoute(const Packet &packet);
+    void reserveAndSchedule(Packet &&packet, Cycles extra_delay);
+    void arrive(Packet &&packet, Cycles time);
+
     NetworkConfig cfg;
     const Topology &topo;
     EventQueue &events;
     Deliver deliverFn;
+    SendTap sendTap;
+    DeliverTap deliverTap;
+    FaultInjector *faults = nullptr;
     NetworkStats counters;
     /** Time each directed link becomes free. */
     std::vector<Cycles> linkFreeAt;

@@ -24,6 +24,13 @@ enum class Framing {
     AddrDataPair, ///< every word carries its remote store address
 };
 
+/** Transport-level role of a packet. */
+enum class PacketKind : std::uint8_t {
+    Data, ///< carries payload for a message layer
+    Ack,  ///< reliable transport: cumulative acknowledgment
+    Nack, ///< reliable transport: checksum failure report
+};
+
 /** One chunk in flight. */
 struct Packet
 {
@@ -41,8 +48,44 @@ struct Packet
     /** Chunk sequence number within the flow. */
     std::uint32_t seq = 0;
 
+    // Reliable-transport header (ignored by the raw layers).
+
+    PacketKind kind = PacketKind::Data;
+    /** Per-(src,dst)-channel transport sequence number. */
+    std::uint32_t rseq = 0;
+    /** Control argument: the rseq an Ack/Nack refers to. */
+    std::uint32_t ctrl = 0;
+    /** Word-sum payload checksum (see sealChecksum). */
+    std::uint64_t checksum = 0;
+
     Bytes payloadBytes() const { return words.size() * 8; }
 };
+
+/** Word-sum over the payload (addresses included for adp framing). */
+inline std::uint64_t
+payloadSum(const Packet &packet)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t w : packet.words)
+        sum += w;
+    for (Addr a : packet.addrs)
+        sum += a;
+    return sum;
+}
+
+/** Stamp the packet's checksum field from its current payload. */
+inline void
+sealChecksum(Packet &packet)
+{
+    packet.checksum = payloadSum(packet);
+}
+
+/** True if the payload still matches the sealed checksum. */
+inline bool
+checksumOk(const Packet &packet)
+{
+    return packet.checksum == payloadSum(packet);
+}
 
 } // namespace ct::sim
 

@@ -63,11 +63,20 @@ collectReport(Machine &machine)
         r.depositPackets += deposit.packets;
         r.depositWords += deposit.words;
         r.depositBusyCycles += deposit.busyCycles;
+        r.engineRefusals += deposit.refusedPackets;
     }
     const auto &net = machine.network().stats();
     r.networkPackets = net.packets;
     r.payloadBytes = net.payloadBytes;
     r.wireBytes = net.wireBytes;
+    r.faultDrops = net.droppedPackets;
+    r.faultCorruptions = net.corruptedPackets;
+    r.faultDuplicates = net.duplicatedPackets;
+    r.faultDelays = net.delayedPackets;
+    if (const auto *faults = machine.faults()) {
+        r.engineStalls = faults->stats().engineStalls;
+        r.engineFailures = faults->stats().engineFailures;
+    }
     return r;
 }
 
@@ -96,6 +105,17 @@ formatReport(const MachineReport &r)
     os << "  network: " << r.networkPackets << " packets, "
        << r.payloadBytes << " payload bytes, wire overhead "
        << r.wireOverhead() << "x\n";
+    if (r.faultDrops + r.faultCorruptions + r.faultDuplicates +
+            r.faultDelays + r.engineStalls + r.engineFailures +
+            r.engineRefusals >
+        0) {
+        os << "  faults:  " << r.faultDrops << " drops, "
+           << r.faultCorruptions << " corruptions, "
+           << r.faultDuplicates << " dups, " << r.faultDelays
+           << " delays, " << r.engineStalls << " engine stalls, "
+           << r.engineFailures << " engine failures, "
+           << r.engineRefusals << " refusals\n";
+    }
     return os.str();
 }
 
@@ -107,7 +127,9 @@ csvHeader()
            "wbq_stall_cycles,bus_transactions,bus_switches,"
            "bus_wait_cycles,deposit_packets,deposit_words,"
            "deposit_busy_cycles,network_packets,payload_bytes,"
-           "wire_bytes";
+           "wire_bytes,fault_drops,fault_corruptions,"
+           "fault_duplicates,fault_delays,engine_stalls,"
+           "engine_failures,engine_refusals";
 }
 
 std::string
@@ -122,7 +144,10 @@ toCsv(const MachineReport &r)
        << r.busOwnerSwitches << ',' << r.busWaitCycles << ','
        << r.depositPackets << ',' << r.depositWords << ','
        << r.depositBusyCycles << ',' << r.networkPackets << ','
-       << r.payloadBytes << ',' << r.wireBytes;
+       << r.payloadBytes << ',' << r.wireBytes << ',' << r.faultDrops
+       << ',' << r.faultCorruptions << ',' << r.faultDuplicates << ','
+       << r.faultDelays << ',' << r.engineStalls << ','
+       << r.engineFailures << ',' << r.engineRefusals;
     return os.str();
 }
 

@@ -52,6 +52,15 @@ struct MachineReport
     std::uint64_t payloadBytes = 0;
     std::uint64_t wireBytes = 0;
 
+    // Injected faults (all zero on a fault-free machine).
+    std::uint64_t faultDrops = 0;
+    std::uint64_t faultCorruptions = 0;
+    std::uint64_t faultDuplicates = 0;
+    std::uint64_t faultDelays = 0;
+    std::uint64_t engineStalls = 0;
+    std::uint64_t engineFailures = 0;
+    std::uint64_t engineRefusals = 0;
+
     /** Load hit fraction; 0 when no loads happened. */
     double loadHitRate() const;
 

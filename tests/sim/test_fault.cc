@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "sim/fault.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace ct;
+using sim::FaultInjector;
+using sim::FaultSpec;
+using sim::Packet;
+
+TEST(FaultSpec, ParsesFullSpec)
+{
+    auto spec = FaultSpec::parse(
+        "drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200,"
+        "engine_stall=1e-4,engine_fail=0.5,seed=7");
+    EXPECT_DOUBLE_EQ(spec.drop, 1e-3);
+    EXPECT_DOUBLE_EQ(spec.corrupt, 1e-4);
+    EXPECT_DOUBLE_EQ(spec.dup, 1e-5);
+    EXPECT_EQ(spec.delayMax, 200u);
+    EXPECT_DOUBLE_EQ(spec.delayRate, 0.01); // default when delay set
+    EXPECT_DOUBLE_EQ(spec.engineStall, 1e-4);
+    EXPECT_DOUBLE_EQ(spec.engineFail, 0.5);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, EmptySpecInjectsNothing)
+{
+    auto spec = FaultSpec::parse("");
+    EXPECT_FALSE(spec.any());
+    EXPECT_EQ(spec.summary(), "none");
+}
+
+TEST(FaultSpec, ExplicitDelayRateWins)
+{
+    auto spec = FaultSpec::parse("delay=100,delay_rate=0.5");
+    EXPECT_DOUBLE_EQ(spec.delayRate, 0.5);
+}
+
+TEST(FaultSpec, RejectsUnknownKey)
+{
+    EXPECT_EXIT(FaultSpec::parse("frobnicate=1"),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(FaultSpec, RejectsOutOfRangeRate)
+{
+    EXPECT_EXIT(FaultSpec::parse("drop=1.5"),
+                testing::ExitedWithCode(1), "outside");
+}
+
+TEST(FaultSpec, RejectsMalformedField)
+{
+    EXPECT_EXIT(FaultSpec::parse("drop"),
+                testing::ExitedWithCode(1), "key=value");
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    auto spec = FaultSpec::parse(
+        "drop=0.1,corrupt=0.05,dup=0.02,delay=50,delay_rate=0.2,"
+        "engine_stall=0.1,engine_fail=0.01,seed=99");
+    FaultInjector a(spec), b(spec);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.rollDrop(), b.rollDrop());
+        EXPECT_EQ(a.rollCorrupt(), b.rollCorrupt());
+        EXPECT_EQ(a.rollDuplicate(), b.rollDuplicate());
+        EXPECT_EQ(a.rollDelay(), b.rollDelay());
+        EXPECT_EQ(a.rollEngineStall(), b.rollEngineStall());
+        EXPECT_EQ(a.rollEngineFailure(), b.rollEngineFailure());
+    }
+    EXPECT_EQ(a.stats().drops, b.stats().drops);
+    EXPECT_EQ(a.stats().corruptions, b.stats().corruptions);
+    EXPECT_EQ(a.stats().delayCycles, b.stats().delayCycles);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    auto spec1 = FaultSpec::parse("drop=0.5,seed=1");
+    auto spec2 = FaultSpec::parse("drop=0.5,seed=2");
+    FaultInjector a(spec1), b(spec2);
+    int differing = 0;
+    for (int i = 0; i < 1000; ++i)
+        differing += a.rollDrop() != b.rollDrop();
+    EXPECT_GT(differing, 100);
+}
+
+TEST(FaultInjector, RatesAreApproximatelyHonored)
+{
+    auto spec = FaultSpec::parse("drop=0.25,seed=3");
+    FaultInjector inj(spec);
+    for (int i = 0; i < 10000; ++i)
+        inj.rollDrop();
+    EXPECT_GT(inj.stats().drops, 2200u);
+    EXPECT_LT(inj.stats().drops, 2800u);
+}
+
+TEST(FaultInjector, CorruptionFlipsExactlyOneBit)
+{
+    auto spec = FaultSpec::parse("corrupt=1,seed=5");
+    FaultInjector inj(spec);
+    Packet p;
+    p.words = {0, 0, 0, 0};
+    sim::sealChecksum(p);
+    inj.corruptPayload(p);
+    int set_bits = 0;
+    for (std::uint64_t w : p.words)
+        set_bits += __builtin_popcountll(w);
+    EXPECT_EQ(set_bits, 1);
+    EXPECT_FALSE(sim::checksumOk(p));
+}
+
+TEST(FaultInjector, CorruptionOfEmptyPacketIsNoop)
+{
+    auto spec = FaultSpec::parse("corrupt=1,seed=5");
+    FaultInjector inj(spec);
+    Packet p;
+    sim::sealChecksum(p);
+    inj.corruptPayload(p);
+    EXPECT_TRUE(sim::checksumOk(p));
+}
+
+// Network integration: the injector hooks into the wire path.
+
+Packet
+makePacket(sim::NodeId src, sim::NodeId dst, std::size_t words)
+{
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.words.assign(words, 0x0123456789abcdefULL);
+    sim::sealChecksum(p);
+    return p;
+}
+
+TEST(FaultNetwork, CertainDropNeverDelivers)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.faults = FaultSpec::parse("drop=1,seed=11");
+    sim::Machine m(cfg);
+    int delivered = 0;
+    m.network().setDeliver(
+        [&](Packet &&, sim::Cycles) { ++delivered; });
+    for (int i = 0; i < 10; ++i)
+        m.network().send(makePacket(0, 1, 16));
+    m.events().run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(m.network().stats().droppedPackets, 10u);
+    // Dropped packets still burned wire bandwidth.
+    EXPECT_GT(m.network().stats().wireBytes, 0u);
+}
+
+TEST(FaultNetwork, CertainDuplicationDeliversTwice)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.faults = FaultSpec::parse("dup=1,seed=11");
+    sim::Machine m(cfg);
+    int delivered = 0;
+    m.network().setDeliver(
+        [&](Packet &&, sim::Cycles) { ++delivered; });
+    m.network().send(makePacket(0, 1, 16));
+    m.events().run();
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(m.network().stats().duplicatedPackets, 1u);
+    EXPECT_EQ(m.network().stats().packets, 2u);
+}
+
+TEST(FaultNetwork, DelayPostponesArrival)
+{
+    auto base_cfg = sim::t3dConfig({2, 1, 1});
+    sim::Cycles clean_arrival = 0;
+    {
+        sim::Machine m(base_cfg);
+        m.network().setDeliver([&](Packet &&, sim::Cycles t) {
+            clean_arrival = t;
+        });
+        m.network().send(makePacket(0, 1, 16));
+        m.events().run();
+    }
+    auto cfg = base_cfg;
+    cfg.faults =
+        FaultSpec::parse("delay=5000,delay_rate=1,seed=11");
+    sim::Machine m(cfg);
+    sim::Cycles delayed_arrival = 0;
+    m.network().setDeliver([&](Packet &&, sim::Cycles t) {
+        delayed_arrival = t;
+    });
+    m.network().send(makePacket(0, 1, 16));
+    m.events().run();
+    EXPECT_GT(delayed_arrival, clean_arrival);
+    EXPECT_EQ(m.network().stats().delayedPackets, 1u);
+}
+
+TEST(FaultNetwork, LocalDeliveryBypassesWireFaults)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.faults = FaultSpec::parse("drop=1,seed=11");
+    sim::Machine m(cfg);
+    int delivered = 0;
+    m.network().setDeliver(
+        [&](Packet &&, sim::Cycles) { ++delivered; });
+    m.network().send(makePacket(0, 0, 16));
+    m.events().run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(m.network().stats().droppedPackets, 0u);
+}
+
+TEST(FaultNetwork, CorruptionBreaksChecksumInFlight)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.faults = FaultSpec::parse("corrupt=1,seed=11");
+    sim::Machine m(cfg);
+    bool checksum_ok = true;
+    m.network().setDeliver([&](Packet &&p, sim::Cycles) {
+        checksum_ok = sim::checksumOk(p);
+    });
+    m.network().send(makePacket(0, 1, 16));
+    m.events().run();
+    EXPECT_FALSE(checksum_ok);
+    EXPECT_EQ(m.network().stats().corruptedPackets, 1u);
+}
+
+// Config validation (fatal with a clear message, not NaN downstream).
+
+TEST(MachineValidation, RejectsNonPositiveWireBandwidth)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.network.wireBytesPerCycle = 0.0;
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "wireBytesPerCycle");
+}
+
+TEST(MachineValidation, RejectsNonPositiveClock)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.clockHz = -1.0;
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "clockHz");
+}
+
+TEST(MachineValidation, RejectsEmptyTopology)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.topology.dims.clear();
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "dimension");
+}
+
+TEST(MachineValidation, RejectsZeroDimension)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.topology.dims = {2, 0, 1};
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "dimension");
+}
+
+TEST(MachineValidation, RejectsZeroRam)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.node.ramBytes = 0;
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "ramBytes");
+}
+
+TEST(MachineValidation, RejectsTinyAdpFraming)
+{
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    cfg.network.adpBytesPerWord = 4;
+    EXPECT_EXIT(sim::Machine m(cfg), testing::ExitedWithCode(1),
+                "adpBytesPerWord");
+}
+
+TEST(MachineValidation, AcceptsStockConfigs)
+{
+    sim::Machine t3d(sim::t3dConfig({2, 1, 1}));
+    sim::Machine paragon(sim::paragonConfig({2, 1}));
+    EXPECT_EQ(t3d.nodeCount(), 2);
+    EXPECT_EQ(paragon.nodeCount(), 2);
+}
+
+} // namespace

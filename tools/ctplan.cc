@@ -9,12 +9,21 @@
  *   ctplan <machine> table            print the paper's tables
  *   ctplan <machine> sim-table        measure the tables on the
  *                                     simulator (the §4 campaign)
+ *   ctplan <machine> sim <xQy> [words]
+ *                                     run a pairwise exchange on the
+ *                                     simulator behind the reliable
+ *                                     transport
+ *
+ * The sim subcommand accepts --faults=SPEC to degrade the machine,
+ * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
+ * docs/FAULTS.md for the full key list).
  *
  * Examples:
  *   ctplan t3d 1Q64
  *   ctplan t3d 1Q1 2048               the SOR message size
  *   ctplan paragon wQw
  *   ctplan t3d eval "1C1 o (1S0 || Nd || 0D1) o 1C64"
+ *   ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7
  */
 
 #include <cstdio>
@@ -24,6 +33,8 @@
 
 #include "core/parser.h"
 #include "core/planner.h"
+#include "rt/reliable_layer.h"
+#include "rt/workload.h"
 #include "sim/measure.h"
 #include "util/table.h"
 
@@ -37,10 +48,13 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: ctplan <t3d|paragon> <xQy | eval <formula> | table>\n"
+        "usage: ctplan <t3d|paragon> "
+        "<xQy | eval <formula> | table | sim <xQy> [words]>\n"
+        "       [--faults=SPEC]\n"
         "  ctplan t3d 1Q64\n"
         "  ctplan paragon wQw\n"
-        "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n");
+        "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n"
+        "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n");
     return 2;
 }
 
@@ -80,11 +94,77 @@ printTable(core::MachineId id, bool simulated)
     std::printf("%s", net.render().c_str());
 }
 
+/**
+ * Run a pairwise exchange of @p words elements on the simulator, the
+ * chained layer wrapped by the reliable transport, optionally under
+ * an injected fault load.
+ */
+int
+runSim(core::MachineId machine, const std::string &xqy,
+       std::uint64_t words, const sim::FaultSpec &faults)
+{
+    auto q = xqy.find('Q');
+    if (q == std::string::npos) {
+        std::fprintf(stderr, "bad operation '%s'\n", xqy.c_str());
+        return 1;
+    }
+    auto x = P::parse(xqy.substr(0, q));
+    auto y = P::parse(xqy.substr(q + 1));
+    if (!x || !y || x->isFixed() || y->isFixed()) {
+        std::fprintf(stderr, "bad operation '%s'\n", xqy.c_str());
+        return 1;
+    }
+
+    auto cfg = sim::configFor(machine);
+    cfg.faults = faults;
+    sim::Machine m(cfg);
+    auto op = rt::pairExchange(m, *x, *y, words);
+    rt::seedSources(m, op);
+    auto layer = rt::makeReliableChained();
+    auto result = layer->run(m, op);
+    std::uint64_t bad = rt::verifyDelivery(m, op);
+
+    const auto &t = layer->stats();
+    const auto &n = m.network().stats();
+    std::printf("%s %s, %llu words/node, faults: %s\n",
+                cfg.name.c_str(), xqy.c_str(),
+                static_cast<unsigned long long>(words),
+                faults.summary().c_str());
+    std::printf("  layer           %s%s\n", layer->name().c_str(),
+                result.degraded ? "  [DEGRADED to packing]" : "");
+    std::printf("  goodput         %.2f MB/s per node\n",
+                result.perNodeMBps(m));
+    std::printf("  makespan        %llu cycles\n",
+                static_cast<unsigned long long>(result.makespan));
+    std::printf("  wire bytes      %llu\n",
+                static_cast<unsigned long long>(n.wireBytes));
+    std::printf("  data packets    %llu  (+%llu retransmits)\n",
+                static_cast<unsigned long long>(t.dataPackets),
+                static_cast<unsigned long long>(t.retransmits));
+    std::printf("  dropped/corrupt %llu/%llu on the wire\n",
+                static_cast<unsigned long long>(n.droppedPackets),
+                static_cast<unsigned long long>(n.corruptedPackets));
+    std::printf("  delivery        %s\n",
+                bad == 0 ? "bit-exact" : "CORRUPTED");
+    return bad == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Peel off --faults=SPEC wherever it appears.
+    sim::FaultSpec faults;
+    int nargs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--faults=", 9) == 0)
+            faults = sim::FaultSpec::parse(argv[i] + 9);
+        else
+            argv[nargs++] = argv[i];
+    }
+    argc = nargs;
+
     if (argc < 3)
         return usage();
 
@@ -104,6 +184,20 @@ main(int argc, char **argv)
     if (cmd == "sim-table") {
         printTable(machine, true);
         return 0;
+    }
+    if (cmd == "sim") {
+        if (argc < 4)
+            return usage();
+        std::uint64_t words = 1024;
+        if (argc >= 5) {
+            words = std::strtoull(argv[4], nullptr, 10);
+            if (words == 0) {
+                std::fprintf(stderr, "bad word count '%s'\n",
+                             argv[4]);
+                return 1;
+            }
+        }
+        return runSim(machine, argv[3], words, faults);
     }
 
     if (cmd == "eval") {
