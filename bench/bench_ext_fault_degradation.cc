@@ -10,7 +10,11 @@
  * makespan and burn extra wire bandwidth.
  */
 
+#include <cstring>
+#include <vector>
+
 #include "bench_util.h"
+#include "rt/collectives.h"
 #include "rt/reliable_layer.h"
 #include "rt/workload.h"
 
@@ -85,6 +89,33 @@ engineFailRow(benchmark::State &state)
 }
 
 void
+outageRow(benchmark::State &state)
+{
+    // All-to-all on a 2x2x2 torus with one network link downed from
+    // cycle 0: every packet that would have crossed it detours.
+    bool down = state.range(0) != 0;
+    auto words = static_cast<std::uint64_t>(state.range(1));
+    double mbps = 0.0;
+    double rerouted = 0.0;
+    double rerouted_links = 0.0;
+    for (auto _ : state) {
+        auto cfg = sim::t3dConfig({2, 2, 2});
+        if (down)
+            cfg.faults = sim::FaultSpec::parse("link_down=0@0");
+        sim::Machine m(cfg);
+        auto layer = rt::makeReliableChained();
+        auto r = rt::allToAll(m, *layer, words);
+        mbps = r.perNodeMBps(m);
+        rerouted = static_cast<double>(
+            m.network().stats().reroutedPackets);
+        rerouted_links = static_cast<double>(r.reroutedLinks);
+    }
+    setCounter(state, "goodput_MBps", mbps);
+    setCounter(state, "rerouted_packets", rerouted);
+    setCounter(state, "rerouted_links", rerouted_links);
+}
+
+void
 registerAll()
 {
     auto *b = benchmark::RegisterBenchmark(
@@ -101,6 +132,12 @@ registerAll()
     e->Iterations(1)->Unit(benchmark::kMillisecond);
     for (std::int64_t words : {1024, 8192})
         e->Arg(words);
+
+    auto *o = benchmark::RegisterBenchmark(
+        "reliable_chained_link_outage/down/words", outageRow);
+    o->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (std::int64_t down : {0, 1})
+        o->Args({down, 512});
 }
 
 } // namespace
@@ -109,7 +146,22 @@ int
 main(int argc, char **argv)
 {
     registerAll();
-    benchmark::Initialize(&argc, argv);
+    // Emit a machine-readable JSON dump by default so CI can archive
+    // the fault-degradation curves; any explicit --benchmark_out
+    // flag wins.
+    std::vector<char *> args(argv, argv + argc);
+    std::string out = "--benchmark_out=BENCH_fault.json";
+    std::string fmt = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |=
+            std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

@@ -1,0 +1,168 @@
+#include "checkpoint.h"
+
+#include "util/logging.h"
+
+namespace ct::rt {
+
+void
+Checkpoint::begin(const std::string &name, int rounds)
+{
+    if (opName == name && totalRounds == rounds &&
+        done.size() == static_cast<std::size_t>(rounds))
+        return; // resuming: keep recorded progress
+    opName = name;
+    totalRounds = rounds;
+    done.assign(static_cast<std::size_t>(rounds), false);
+    owners.clear();
+}
+
+int
+Checkpoint::completedRounds() const
+{
+    int count = 0;
+    for (bool d : done)
+        count += d;
+    return count;
+}
+
+int
+Checkpoint::resumePoint() const
+{
+    for (int r = 0; r < totalRounds; ++r)
+        if (!done[static_cast<std::size_t>(r)])
+            return r;
+    return totalRounds;
+}
+
+void
+Checkpoint::markDone(int round)
+{
+    if (round < 0 || round >= totalRounds)
+        util::fatal("Checkpoint::markDone: bad round ", round);
+    done[static_cast<std::size_t>(round)] = true;
+}
+
+namespace {
+
+/**
+ * The round-by-round driver, generic over the two workload kinds
+ * (both expose totalSteps / stepOp / op). Each pending round is
+ * re-planned under the current ownership map, executed, and verified
+ * against the still-live flow endpoints. A mid-round node death
+ * leaves the round unrecorded and returns `interrupted`; the next
+ * call re-plans it under the new map and re-runs it (delivery never
+ * touches sources, so the re-run is idempotent).
+ */
+template <typename Workload>
+RecoveryResult
+runCheckpointed(sim::Machine &machine, MessageLayer &layer,
+                Workload &work, Checkpoint &ckpt)
+{
+    ckpt.begin(work.op().name, work.totalSteps());
+    RecoveryResult result;
+    result.resumedFromRound = ckpt.resumePoint();
+    Cycles start = machine.events().now();
+
+    OwnerMap owners = OwnerMap::fromMachine(machine);
+    if (ckpt.owners.empty())
+        ckpt.owners = OwnerMap::identity(machine.nodeCount()).owner;
+
+    // Repair pass: ownership moved since the recorded rounds ran, so
+    // their flows to affected receivers sit in RAM that is now dead
+    // (or in a spill buffer whose host died). Sources are untouched
+    // by delivery -- re-send exactly those flows into the new owner's
+    // spill buffer before resuming the pending rounds.
+    if (owners.owner != ckpt.owners) {
+        OwnerMap before;
+        before.owner = ckpt.owners;
+        for (int round = 0; round < ckpt.totalRounds; ++round) {
+            if (!ckpt.done[static_cast<std::size_t>(round)])
+                continue;
+            CommOp op = work.repairOp(machine, round, before, owners,
+                                      &result.lostWords);
+            if (op.flows.empty())
+                continue;
+            layer.run(machine, op);
+            OwnerMap after = OwnerMap::fromMachine(machine);
+            if (after.owner != owners.owner) {
+                // Another death mid-repair: the checkpoint still
+                // records the old map, so the next call restarts the
+                // (idempotent) repair against the newest owners.
+                util::warn("checkpoint '", ckpt.opName,
+                           "': node failure while repairing round ",
+                           round, "; interrupting");
+                result.interrupted = true;
+                break;
+            }
+            if (verifyDelivery(machine, op) != 0)
+                util::fatal("checkpoint '", ckpt.opName,
+                            "': corrupted re-delivery of round ",
+                            round);
+            ++result.repairedRounds;
+        }
+        if (!result.interrupted)
+            ckpt.owners = owners.owner;
+    }
+
+    for (int round = 0;
+         !result.interrupted && round < ckpt.totalRounds; ++round) {
+        if (ckpt.done[static_cast<std::size_t>(round)])
+            continue;
+        CommOp op =
+            work.stepOp(machine, round, owners, &result.lostWords);
+        if (op.flows.empty()) {
+            ckpt.markDone(round);
+            ++result.rounds;
+            continue;
+        }
+        layer.run(machine, op);
+
+        OwnerMap after = OwnerMap::fromMachine(machine);
+        if (after.owner != owners.owner) {
+            // A node died during this round: some of its flows can
+            // not have delivered. Leave the round unrecorded; the
+            // resume call re-plans it under the new ownership.
+            util::warn("checkpoint '", ckpt.opName,
+                       "': node failure during round ", round,
+                       " (", ckpt.completedRounds(), "/",
+                       ckpt.totalRounds,
+                       " rounds checkpointed); interrupting");
+            result.interrupted = true;
+            break;
+        }
+
+        if (verifyDelivery(machine, op) != 0)
+            util::fatal("checkpoint '", ckpt.opName,
+                        "': corrupted delivery in round ", round);
+        ckpt.markDone(round);
+        ++result.rounds;
+    }
+
+    result.makespan = machine.events().now() - start;
+    result.lostNodes = OwnerMap::fromMachine(machine).lostNodes();
+    result.reroutedLinks =
+        machine.network().stats().reroutedLinks;
+    return result;
+}
+
+} // namespace
+
+RecoveryResult
+runRedistributionCheckpointed(sim::Machine &machine,
+                              MessageLayer &layer,
+                              RedistributionWorkload &work,
+                              Checkpoint &ckpt)
+{
+    return runCheckpointed(machine, layer, work, ckpt);
+}
+
+RecoveryResult
+runRedistribution2dCheckpointed(sim::Machine &machine,
+                                MessageLayer &layer,
+                                Redistribution2dWorkload &work,
+                                Checkpoint &ckpt)
+{
+    return runCheckpointed(machine, layer, work, ckpt);
+}
+
+} // namespace ct::rt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Checkpointed recovery of long redistributions. A full
+ * redistribution is a rotation schedule of P steps; running it as
+ * one monolithic operation means a node failure anywhere loses the
+ * whole run. The checkpointed driver executes the schedule round by
+ * round, verifying and recording each completed round in a
+ * Checkpoint, and re-plans the remaining rounds around dead nodes
+ * (the next live node takes over a dead node's block ownership, see
+ * OwnerMap). When a node dies mid-round the driver returns with
+ * `interrupted` set and the round unrecorded; calling it again
+ * resumes from the last completed round under the new ownership map
+ * -- sources are untouched by delivery, so re-running a round is
+ * idempotent.
+ *
+ * Rounds that completed *before* a node died delivered their share
+ * of the dead node's blocks into RAM that is now unreachable. The
+ * checkpoint therefore also records the ownership map its rounds ran
+ * under; on resume, the driver re-delivers exactly those flows of
+ * completed rounds whose receiver's ownership moved (a repair pass),
+ * so the takeover node's spill buffer ends up holding the dead
+ * node's complete block set, not just the post-failure part.
+ */
+
+#ifndef CT_RT_CHECKPOINT_H
+#define CT_RT_CHECKPOINT_H
+
+#include <string>
+#include <vector>
+
+#include "rt/layer.h"
+#include "rt/redistribute.h"
+#include "rt/redistribute2d.h"
+
+namespace ct::rt {
+
+/** Per-round progress record of one checkpointed operation. */
+struct Checkpoint
+{
+    std::string opName;
+    int totalRounds = 0;
+    /** done[r]: round r ran to completion and verified. */
+    std::vector<bool> done;
+    /** Ownership map the recorded rounds delivered under (empty
+     *  until the driver first runs; maintained by the driver). */
+    std::vector<NodeId> owners;
+
+    /**
+     * Bind the checkpoint to an operation. A checkpoint already
+     * bound to the same (name, rounds) keeps its progress (that is
+     * the resume path); anything else resets it to all-pending.
+     */
+    void begin(const std::string &name, int rounds);
+
+    int completedRounds() const;
+
+    /** First round still pending (== totalRounds when complete). */
+    int resumePoint() const;
+
+    bool complete() const { return completedRounds() == totalRounds; }
+
+    void markDone(int round);
+};
+
+/** Outcome of one (possibly partial) checkpointed run. */
+struct RecoveryResult
+{
+    /** Simulated cycles this call consumed. */
+    Cycles makespan = 0;
+    /** Rounds this call completed. */
+    int rounds = 0;
+    /** Completed rounds whose lost flows were re-delivered to the
+     *  new owners on resume. */
+    int repairedRounds = 0;
+    /** First pending round when this call started. */
+    int resumedFromRound = 0;
+    /** A node died mid-round; call again to resume and re-plan. */
+    bool interrupted = false;
+    /** Nodes dead when this call returned. */
+    int lostNodes = 0;
+    /** Words lost with dead senders (unrecoverable data). */
+    std::uint64_t lostWords = 0;
+    /** Distinct dead links the network detoured around so far. */
+    std::uint64_t reroutedLinks = 0;
+};
+
+/**
+ * Run (or resume) @p work round by round under @p layer, recording
+ * progress in @p ckpt. Returns with `interrupted` when a node death
+ * is detected mid-round; the caller re-invokes to resume from the
+ * last completed round. Fatal on data corruption that is not
+ * explained by a failure.
+ */
+RecoveryResult
+runRedistributionCheckpointed(sim::Machine &machine,
+                              MessageLayer &layer,
+                              RedistributionWorkload &work,
+                              Checkpoint &ckpt);
+
+/** 2-D / transpose variant of runRedistributionCheckpointed. */
+RecoveryResult
+runRedistribution2dCheckpointed(sim::Machine &machine,
+                                MessageLayer &layer,
+                                Redistribution2dWorkload &work,
+                                Checkpoint &ckpt);
+
+} // namespace ct::rt
+
+#endif // CT_RT_CHECKPOINT_H

@@ -6,7 +6,32 @@ namespace ct::rt {
 
 namespace {
 
-/** Run one CommOp, verify it, and fold it into the summary. */
+/** Is @p node able to inject/drain traffic right now? */
+bool
+nodeLive(sim::Machine &machine, NodeId node)
+{
+    const sim::Topology &topo = machine.topology();
+    return !topo.anyOutages() ||
+           topo.nodeAlive(node, machine.events().now());
+}
+
+/** Fold the machine's outage view into the collective summary. */
+void
+noteOutages(sim::Machine &machine, CollectiveResult &total)
+{
+    total.reroutedLinks = machine.network().stats().reroutedLinks;
+    if (machine.topology().anyOutages())
+        total.lostNodes = machine.topology().downedNodes(
+            machine.events().now());
+}
+
+/**
+ * Run one CommOp, verify it, and fold it into the summary. Flows
+ * whose endpoint died (before or during the round) cannot have
+ * delivered and are excluded from verification; their words are
+ * counted lost. Any other mismatch is a genuine corruption and
+ * fatal.
+ */
 void
 runRound(sim::Machine &machine, MessageLayer &layer, CommOp &op,
          CollectiveResult &total)
@@ -15,7 +40,16 @@ runRound(sim::Machine &machine, MessageLayer &layer, CommOp &op,
         return;
     seedSources(machine, op);
     RunResult r = layer.run(machine, op);
-    if (verifyDelivery(machine, op) != 0)
+    CommOp check;
+    check.name = op.name;
+    for (const Flow &flow : op.flows) {
+        if (nodeLive(machine, flow.src) &&
+            nodeLive(machine, flow.dst))
+            check.flows.push_back(flow);
+        else
+            total.lostWords += flow.words;
+    }
+    if (verifyDelivery(machine, check) != 0)
         util::fatal("collective '", op.name, "': corrupted delivery");
     total.makespan += r.makespan;
     total.bytesPerNode += r.maxBytesPerSender;
@@ -49,12 +83,17 @@ shift(sim::Machine &machine, MessageLayer &layer, std::uint64_t words,
         util::fatal("shift: displacement must move data");
     CommOp op;
     op.name = "shift(" + std::to_string(displacement) + ")";
+    CollectiveResult total;
     for (NodeId node = 0; node < p; ++node) {
         NodeId dst = (node + displacement % p + p) % p;
+        if (!nodeLive(machine, node) || !nodeLive(machine, dst)) {
+            total.lostWords += words;
+            continue;
+        }
         op.flows.push_back(contiguousFlow(machine, node, dst, words));
     }
-    CollectiveResult total;
     runRound(machine, layer, op, total);
+    noteOutages(machine, total);
     return total;
 }
 
@@ -65,17 +104,27 @@ allToAll(sim::Machine &machine, MessageLayer &layer,
     int p = machine.nodeCount();
     CommOp op;
     op.name = "all-to-all";
+    CollectiveResult total;
     for (NodeId src = 0; src < p; ++src) {
+        if (!nodeLive(machine, src)) {
+            total.lostWords +=
+                words_per_pair * static_cast<std::uint64_t>(p - 1);
+            continue;
+        }
         // Rotation schedule: partner p+1, p+2, ... avoids hot
         // receivers (reference [8] of the paper).
         for (int step = 1; step < p; ++step) {
             NodeId dst = (src + step) % p;
+            if (!nodeLive(machine, dst)) {
+                total.lostWords += words_per_pair;
+                continue;
+            }
             op.flows.push_back(
                 contiguousFlow(machine, src, dst, words_per_pair));
         }
     }
-    CollectiveResult total;
     runRound(machine, layer, op, total);
+    noteOutages(machine, total);
     return total;
 }
 
@@ -86,13 +135,20 @@ allToAllNaive(sim::Machine &machine, MessageLayer &layer,
     int p = machine.nodeCount();
     CommOp op;
     op.name = "all-to-all (naive order)";
-    for (NodeId src = 0; src < p; ++src)
-        for (NodeId dst = 0; dst < p; ++dst)
-            if (dst != src)
-                op.flows.push_back(contiguousFlow(machine, src, dst,
-                                                  words_per_pair));
     CollectiveResult total;
+    for (NodeId src = 0; src < p; ++src)
+        for (NodeId dst = 0; dst < p; ++dst) {
+            if (dst == src)
+                continue;
+            if (!nodeLive(machine, src) || !nodeLive(machine, dst)) {
+                total.lostWords += words_per_pair;
+                continue;
+            }
+            op.flows.push_back(contiguousFlow(machine, src, dst,
+                                              words_per_pair));
+        }
     runRound(machine, layer, op, total);
+    noteOutages(machine, total);
     return total;
 }
 
@@ -105,11 +161,18 @@ allToAllPhased(sim::Machine &machine, MessageLayer &layer,
     for (int step = 1; step < p; ++step) {
         CommOp op;
         op.name = "all-to-all phase " + std::to_string(step);
-        for (NodeId src = 0; src < p; ++src)
-            op.flows.push_back(contiguousFlow(
-                machine, src, (src + step) % p, words_per_pair));
+        for (NodeId src = 0; src < p; ++src) {
+            NodeId dst = (src + step) % p;
+            if (!nodeLive(machine, src) || !nodeLive(machine, dst)) {
+                total.lostWords += words_per_pair;
+                continue;
+            }
+            op.flows.push_back(
+                contiguousFlow(machine, src, dst, words_per_pair));
+        }
         runRound(machine, layer, op, total);
     }
+    noteOutages(machine, total);
     return total;
 }
 
@@ -120,29 +183,53 @@ broadcast(sim::Machine &machine, MessageLayer &layer,
     int p = machine.nodeCount();
     if (root != 0)
         util::fatal("broadcast: only root 0 is supported");
+    if (!nodeLive(machine, root))
+        util::fatal("broadcast: root node ", root, " is down");
+
+    // The tree spans the nodes alive at the start. A node that dies
+    // mid-broadcast stops receiving (its words are counted lost) and
+    // its pending forwards are re-sourced from the root, so live
+    // descendants still get the data.
+    std::vector<NodeId> live;
+    for (NodeId node = 0; node < p; ++node)
+        if (nodeLive(machine, node))
+            live.push_back(node);
+    int ranks = static_cast<int>(live.size());
 
     // One broadcast buffer per node; the tree forwards through them.
     std::vector<Addr> buffer;
     for (NodeId node = 0; node < p; ++node)
         buffer.push_back(machine.node(node).ram().alloc(words * 8));
     for (std::uint64_t w = 0; w < words; ++w)
-        machine.node(root).ram().writeWord(buffer[0] + w * 8,
-                                           0xB0000 + w);
+        machine.node(root).ram().writeWord(
+            buffer[static_cast<std::size_t>(root)] + w * 8,
+            0xB0000 + w);
 
-    // Binomial tree: in round r, nodes < 2^r forward to node + 2^r.
+    // Binomial tree over live ranks: in round r, ranks < 2^r forward
+    // to rank + 2^r.
     CollectiveResult total;
-    for (int round = 1; round < p; round <<= 1) {
+    for (int round = 1; round < ranks; round <<= 1) {
         CommOp op;
         op.name = "broadcast round";
-        for (NodeId src = 0; src < round && src + round < p; ++src) {
+        for (int rank = 0; rank < round && rank + round < ranks;
+             ++rank) {
+            NodeId src = live[static_cast<std::size_t>(rank)];
+            NodeId dst =
+                live[static_cast<std::size_t>(rank + round)];
+            if (!nodeLive(machine, dst)) {
+                total.lostWords += words;
+                continue;
+            }
+            if (!nodeLive(machine, src))
+                src = root; // parent died: re-source from the root
             Flow flow;
             flow.src = src;
-            flow.dst = src + round;
+            flow.dst = dst;
             flow.words = words;
             flow.srcWalk = sim::contiguousWalk(
                 buffer[static_cast<std::size_t>(src)]);
             flow.dstWalk = sim::contiguousWalk(
-                buffer[static_cast<std::size_t>(src + round)]);
+                buffer[static_cast<std::size_t>(dst)]);
             flow.dstWalkOnSender = flow.dstWalk;
             op.flows.push_back(flow);
         }
@@ -154,14 +241,18 @@ broadcast(sim::Machine &machine, MessageLayer &layer,
         ++total.rounds;
     }
 
-    // Every node must now hold the root's data.
-    for (NodeId node = 0; node < p; ++node)
+    // Every still-live node must now hold the root's data.
+    for (NodeId node : live) {
+        if (!nodeLive(machine, node))
+            continue;
         for (std::uint64_t w = 0; w < words; w += 17)
             if (machine.node(node).ram().readWord(
                     buffer[static_cast<std::size_t>(node)] + w * 8) !=
                 0xB0000 + w)
                 util::fatal("broadcast: node ", node,
                             " missing data at word ", w);
+    }
+    noteOutages(machine, total);
     return total;
 }
 
@@ -172,11 +263,18 @@ gatherTo(sim::Machine &machine, MessageLayer &layer,
     int p = machine.nodeCount();
     CommOp op;
     op.name = "gather";
+    if (!nodeLive(machine, root))
+        util::fatal("gatherTo: root node ", root, " is down");
+    CollectiveResult total;
     Addr buffer = machine.node(root).ram().alloc(
         words_per_node * static_cast<std::uint64_t>(p) * 8);
     for (NodeId src = 0; src < p; ++src) {
         if (src == root)
             continue;
+        if (!nodeLive(machine, src)) {
+            total.lostWords += words_per_node;
+            continue;
+        }
         Flow flow;
         flow.src = src;
         flow.dst = root;
@@ -189,11 +287,11 @@ gatherTo(sim::Machine &machine, MessageLayer &layer,
         flow.dstWalkOnSender = flow.dstWalk;
         op.flows.push_back(flow);
     }
-    CollectiveResult total;
     runRound(machine, layer, op, total);
     // The gather is root-limited: report the root's receive volume.
-    total.bytesPerNode =
-        words_per_node * static_cast<std::uint64_t>(p - 1) * 8;
+    total.bytesPerNode = static_cast<Bytes>(op.flows.size()) *
+                         words_per_node * 8;
+    noteOutages(machine, total);
     return total;
 }
 

@@ -23,6 +23,20 @@ struct CollectiveResult
     Bytes bytesPerNode = 0;
     int rounds = 0;
 
+    // Failure handling (all zero on a healthy machine). Collectives
+    // re-plan around nodes that are dead when the flow set is built
+    // and exclude flows whose endpoint dies mid-operation from
+    // verification; link outages are invisible at this level beyond
+    // the detours they force.
+    /** Distinct dead links the network detoured around. */
+    std::uint64_t reroutedLinks = 0;
+    /** Nodes dead by the end of the collective. */
+    int lostNodes = 0;
+    /** Words not delivered because an endpoint node was/went dead. */
+    std::uint64_t lostWords = 0;
+    /** First round this call executed (checkpointed resumption). */
+    int resumedFromRound = 0;
+
     util::MBps
     perNodeMBps(const sim::Machine &machine) const
     {

@@ -2,7 +2,50 @@
 
 #include <map>
 
+#include "util/logging.h"
+
 namespace ct::rt {
+
+OwnerMap
+OwnerMap::identity(int nodes)
+{
+    OwnerMap map;
+    map.owner.resize(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n)
+        map.owner[static_cast<std::size_t>(n)] = n;
+    return map;
+}
+
+OwnerMap
+OwnerMap::fromMachine(sim::Machine &machine)
+{
+    const sim::Topology &topo = machine.topology();
+    sim::Cycles now = machine.events().now();
+    int nodes = machine.nodeCount();
+    OwnerMap map;
+    map.owner.resize(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+        NodeId candidate = n;
+        int probed = 0;
+        while (topo.anyOutages() &&
+               !topo.nodeAlive(candidate, now)) {
+            candidate = (candidate + 1) % nodes;
+            if (++probed > nodes)
+                util::fatal("OwnerMap: no live node left");
+        }
+        map.owner[static_cast<std::size_t>(n)] = candidate;
+    }
+    return map;
+}
+
+int
+OwnerMap::lostNodes() const
+{
+    int lost = 0;
+    for (std::size_t n = 0; n < owner.size(); ++n)
+        lost += owner[n] != static_cast<NodeId>(n);
+    return lost;
+}
 
 Bytes
 CommOp::totalBytes() const

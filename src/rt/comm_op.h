@@ -62,6 +62,39 @@ struct CommOp
 };
 
 /**
+ * Block-ownership remap for failure-aware redistribution. When a
+ * node dies, the next live node (in cyclic order) takes over its
+ * block ownership: data that should have landed on the dead node is
+ * redirected to a spill buffer on the takeover node, so the
+ * redistribution still completes and no surviving data is lost.
+ */
+struct OwnerMap
+{
+    /** owner[n]: the live node owning n's blocks (n itself if live). */
+    std::vector<NodeId> owner;
+
+    /** Every node owns itself (the healthy mapping). */
+    static OwnerMap identity(int nodes);
+
+    /**
+     * Derive the map from @p machine's liveness at the current event
+     * time: dead nodes hand their blocks to the next live node in
+     * cyclic order. Fatal when no node is left alive.
+     */
+    static OwnerMap fromMachine(sim::Machine &machine);
+
+    NodeId of(NodeId n) const
+    {
+        return owner[static_cast<std::size_t>(n)];
+    }
+
+    bool alive(NodeId n) const { return of(n) == n; }
+
+    /** Number of nodes whose ownership moved. */
+    int lostNodes() const;
+};
+
+/**
  * Flows of one (src, dst) pair, as aggregated by the runtime layers:
  * buffer packing packs all of a partner's data into one message
  * stream, and chained transfers switch the annex once per partner.

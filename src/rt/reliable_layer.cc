@@ -110,16 +110,65 @@ struct Transport
     }
 
     void
+    noteAbandonedChannel(NodeId src, NodeId dst)
+    {
+        for (const auto &ch : stats.abandonedChannels)
+            if (ch.first == src && ch.second == dst)
+                return;
+        stats.abandonedChannels.emplace_back(src, dst);
+    }
+
+    /**
+     * Watchdog: a retransmission timeout is the transport's failure
+     * detector. Before spending another retry, ask the topology
+     * whether this channel can still deliver at all. A dead endpoint
+     * swallows every (re)transmission and a partitioned route has no
+     * live path, so in both cases further retries are pointless:
+     * drop the channel's pending traffic and let the operation wind
+     * down (a checkpointed driver re-plans around the loss).
+     * Returns true when the channel was written off.
+     */
+    bool
+    routeDead(Channel &c, NodeId src, NodeId dst)
+    {
+        sim::Topology &topo = machine.topology();
+        if (!topo.anyOutages())
+            return false;
+        Cycles now = machine.events().now();
+        if (!topo.nodeAlive(src, now) || !topo.nodeAlive(dst, now)) {
+            stats.deadEndpointDrops += c.pending.size();
+            util::warn("ReliableLayer: endpoint died on channel ",
+                       src, "->", dst, "; dropping ",
+                       c.pending.size(), " pending packet(s)");
+            c.pending.clear();
+            return true;
+        }
+        if (!topo.healthyRoute(src, dst, now).ok) {
+            stats.routeSuspects += c.pending.size();
+            util::warn("ReliableLayer: no live route on channel ",
+                       src, "->", dst, "; dropping ",
+                       c.pending.size(), " pending packet(s)");
+            noteAbandonedChannel(src, dst);
+            c.pending.clear();
+            return true;
+        }
+        return false;
+    }
+
+    void
     retransmit(NodeId src, NodeId dst, std::uint32_t rseq)
     {
         Channel &c = channel(src, dst);
         auto it = c.pending.find(rseq);
         if (it == c.pending.end())
             return; // acknowledged in the meantime
+        if (routeDead(c, src, dst))
+            return;
         Pending &entry = it->second;
         ++entry.retries;
         if (entry.retries > opts.maxRetries) {
             ++stats.abandoned;
+            noteAbandonedChannel(src, dst);
             util::warn("ReliableLayer: abandoning packet rseq=", rseq,
                        " on channel ", src, "->", dst, " after ",
                        opts.maxRetries, " retries");

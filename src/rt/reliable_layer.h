@@ -5,7 +5,7 @@
  * the network boundary:
  *
  *  - every outbound data packet gets a per-(src,dst)-channel sequence
- *    number and a word-sum checksum, and a copy is retained for
+ *    number and a CRC32C checksum, and a copy is retained for
  *    retransmission;
  *  - the receiver verifies the checksum (NACKing corrupted packets),
  *    suppresses duplicates, reorders out-of-order arrivals, releases
@@ -26,6 +26,9 @@
 
 #ifndef CT_RT_RELIABLE_LAYER_H
 #define CT_RT_RELIABLE_LAYER_H
+
+#include <utility>
+#include <vector>
 
 #include "rt/layer.h"
 #include "rt/packing_layer.h"
@@ -59,6 +62,17 @@ struct ReliableStats
     std::uint64_t outOfOrder = 0;
     /** Packets given up after the retry budget (should stay 0). */
     std::uint64_t abandoned = 0;
+    /** Pending packets dropped because an endpoint node died. The
+     *  watchdog clears them so the run can wind down; a checkpointed
+     *  driver re-plans the lost traffic around the dead node. */
+    std::uint64_t deadEndpointDrops = 0;
+    /** Pending packets written off because no live route existed
+     *  (the channel is route-suspect: partition or dead port). */
+    std::uint64_t routeSuspects = 0;
+    /** Channels on which delivery was given up (deduplicated).
+     *  Dead-endpoint drops are expected losses and not listed. */
+    std::vector<std::pair<sim::NodeId, sim::NodeId>>
+        abandonedChannels;
     bool degraded = false;
 };
 

@@ -45,6 +45,19 @@ parseCount(const std::string &key, const std::string &value)
     return n;
 }
 
+/** Parse "ID@CYCLE" (the "@CYCLE" part optional, default 0). */
+FaultSpec::Outage
+parseOutage(const std::string &key, const std::string &value)
+{
+    FaultSpec::Outage outage;
+    auto at = value.find('@');
+    std::string id = value.substr(0, at);
+    outage.id = static_cast<std::int32_t>(parseCount(key, id));
+    if (at != std::string::npos)
+        outage.at = parseCount(key, value.substr(at + 1));
+    return outage;
+}
+
 } // namespace
 
 bool
@@ -52,7 +65,8 @@ FaultSpec::any() const
 {
     return drop > 0.0 || corrupt > 0.0 || dup > 0.0 ||
            (delayMax > 0 && delayRate > 0.0) || engineStall > 0.0 ||
-           engineFail > 0.0;
+           engineFail > 0.0 || !linkDown.empty() ||
+           !nodeDown.empty() || linkFailRate > 0.0;
 }
 
 FaultSpec
@@ -87,13 +101,21 @@ FaultSpec::parse(const std::string &spec)
             out.engineStallCycles = parseCount(key, value);
         else if (key == "engine_fail")
             out.engineFail = parseRate(key, value);
+        else if (key == "link_down")
+            out.linkDown.push_back(parseOutage(key, value));
+        else if (key == "node_down")
+            out.nodeDown.push_back(parseOutage(key, value));
+        else if (key == "link_fail_rate")
+            out.linkFailRate = parseRate(key, value);
         else if (key == "seed")
             out.seed = parseCount(key, value);
         else
             util::fatal("FaultSpec: unknown key '", key,
                         "' (expected drop, corrupt, dup, delay, "
                         "delay_rate, engine_stall, "
-                        "engine_stall_cycles, engine_fail, seed)");
+                        "engine_stall_cycles, engine_fail, "
+                        "link_down, node_down, link_fail_rate, "
+                        "seed)");
     }
     if (out.delayMax > 0 && !delay_rate_given)
         out.delayRate = 0.01;
@@ -121,6 +143,15 @@ FaultSpec::summary() const
     }
     field("engine_stall", engineStall);
     field("engine_fail", engineFail);
+    for (const Outage &o : linkDown) {
+        os << sep << "link_down=" << o.id << '@' << o.at;
+        sep = ",";
+    }
+    for (const Outage &o : nodeDown) {
+        os << sep << "node_down=" << o.id << '@' << o.at;
+        sep = ",";
+    }
+    field("link_fail_rate", linkFailRate);
     if (sep[0] == '\0')
         return "none";
     os << sep << "seed=" << seed;
@@ -132,7 +163,8 @@ FaultInjector::FaultInjector(const FaultSpec &spec)
       corruptRng(streamSeed(spec.seed, 2)),
       dupRng(streamSeed(spec.seed, 3)),
       delayRng(streamSeed(spec.seed, 4)),
-      engineRng(streamSeed(spec.seed, 5))
+      engineRng(streamSeed(spec.seed, 5)),
+      linkRng(streamSeed(spec.seed, 6))
 {
 }
 
@@ -213,6 +245,23 @@ FaultInjector::rollEngineFailure()
     if (hit)
         ++counters.engineFailures;
     return hit;
+}
+
+bool
+FaultInjector::rollLinkFailure()
+{
+    if (cfg.linkFailRate <= 0.0)
+        return false;
+    bool hit = linkRng.nextDouble() < cfg.linkFailRate;
+    if (hit)
+        ++counters.linkFailures;
+    return hit;
+}
+
+std::uint64_t
+FaultInjector::pickFailingLink(std::uint64_t route_links)
+{
+    return linkRng.nextBelow(route_links);
 }
 
 } // namespace ct::sim

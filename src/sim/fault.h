@@ -18,8 +18,10 @@
 #define CT_SIM_FAULT_H
 
 #include <string>
+#include <vector>
 
 #include "sim/packet.h"
+#include "sim/topology.h"
 #include "util/rng.h"
 
 namespace ct::sim {
@@ -44,10 +46,24 @@ namespace ct::sim {
  *                         deposit engine's address-data-pair
  *                         datapath fails permanently; the simpler
  *                         contiguous-block datapath survives
+ *   link_down=ID@CYCLE    directed link ID dies at CYCLE (repeatable;
+ *                         "@CYCLE" defaults to @0)
+ *   node_down=N@CYCLE     node N stops injecting/draining at CYCLE
+ *                         (repeatable; "@CYCLE" defaults to @0)
+ *   link_fail_rate=P      per-packet probability that one network
+ *                         link on the packet's route fails
+ *                         permanently (the packet riding it is lost)
  *   seed=N                RNG seed (default 1)
  */
 struct FaultSpec
 {
+    /** One scheduled topology outage (a link or a node). */
+    struct Outage
+    {
+        std::int32_t id = 0; ///< LinkId or NodeId
+        Cycles at = 0;       ///< first dead cycle
+    };
+
     double drop = 0.0;
     double corrupt = 0.0;
     double dup = 0.0;
@@ -56,6 +72,9 @@ struct FaultSpec
     double engineStall = 0.0;
     Cycles engineStallCycles = 1000;
     double engineFail = 0.0;
+    std::vector<Outage> linkDown;
+    std::vector<Outage> nodeDown;
+    double linkFailRate = 0.0;
     std::uint64_t seed = 1;
 
     /** True if any fault class has a non-zero rate. */
@@ -79,6 +98,8 @@ struct FaultStats
     std::uint64_t engineStalls = 0;
     Cycles engineStallCycles = 0;
     std::uint64_t engineFailures = 0;
+    /** Probabilistic permanent link failures (link_fail_rate). */
+    std::uint64_t linkFailures = 0;
 };
 
 /**
@@ -120,6 +141,14 @@ class FaultInjector
     /** True if the ADP datapath fails permanently on this deposit. */
     bool rollEngineFailure();
 
+    // Topology rolls, one per transmitted packet.
+
+    /** True if a link on this packet's route fails permanently. */
+    bool rollLinkFailure();
+
+    /** Which route position dies (drawn from the link-fault stream). */
+    std::uint64_t pickFailingLink(std::uint64_t route_links);
+
   private:
     FaultSpec cfg;
     FaultStats counters;
@@ -128,6 +157,7 @@ class FaultInjector
     util::Rng dupRng;
     util::Rng delayRng;
     util::Rng engineRng;
+    util::Rng linkRng;
 };
 
 } // namespace ct::sim

@@ -57,6 +57,12 @@ Machine::Machine(const MachineConfig &config)
       net(cfg.network, topo, queue)
 {
     net.setFaults(injector.get());
+    // Apply scheduled topology outages from the fault spec. IDs are
+    // validated by downLink/downNode against this machine's geometry.
+    for (const FaultSpec::Outage &o : cfg.faults.linkDown)
+        topo.downLink(o.id, o.at);
+    for (const FaultSpec::Outage &o : cfg.faults.nodeDown)
+        topo.downNode(o.id, o.at);
     nodes.reserve(static_cast<std::size_t>(topo.nodeCount()));
     for (int i = 0; i < topo.nodeCount(); ++i) {
         nodes.push_back(std::make_unique<Node>(cfg.node));

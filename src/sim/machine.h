@@ -55,6 +55,7 @@ class Machine
 
     EventQueue &events() { return queue; }
     Network &network() { return net; }
+    Topology &topology() { return topo; }
     const Topology &topology() const { return topo; }
     const MachineConfig &config() const { return cfg; }
 

@@ -6,10 +6,12 @@
 
 namespace ct::sim {
 
-Network::Network(const NetworkConfig &config, const Topology &topology,
+Network::Network(const NetworkConfig &config, Topology &topology,
                  EventQueue &queue)
     : cfg(config), topo(topology), events(queue),
-      linkFreeAt(static_cast<std::size_t>(topology.linkCount()), 0)
+      linkFreeAt(static_cast<std::size_t>(topology.linkCount()), 0),
+      reroutedLinkSeen(static_cast<std::size_t>(topology.linkCount()),
+                       false)
 {
     if (cfg.wireBytesPerCycle <= 0.0 ||
         !std::isfinite(cfg.wireBytesPerCycle))
@@ -85,14 +87,61 @@ Network::deliverDirect(Packet &&packet, Cycles time)
 }
 
 void
+Network::noteAvoidedLinks(const std::vector<LinkId> &avoided)
+{
+    for (LinkId link : avoided) {
+        auto idx = static_cast<std::size_t>(link);
+        if (!reroutedLinkSeen[idx]) {
+            reroutedLinkSeen[idx] = true;
+            ++counters.reroutedLinks;
+        }
+    }
+}
+
+bool
+Network::routeFor(const Packet &packet, std::vector<LinkId> &links)
+{
+    if (!topo.anyOutages()) {
+        links = topo.route(packet.src, packet.dst);
+        return true;
+    }
+    Cycles now = events.now();
+    // A dead node neither injects nor drains: the packet vanishes and
+    // the reliable transport's watchdog notices the silence.
+    if (!topo.nodeAlive(packet.src, now) ||
+        !topo.nodeAlive(packet.dst, now)) {
+        ++counters.deadNodePackets;
+        return false;
+    }
+    RouteInfo info = topo.healthyRoute(packet.src, packet.dst, now);
+    if (!info.ok) {
+        ++counters.unroutablePackets;
+        noteAvoidedLinks(info.avoided);
+        return false;
+    }
+    if (info.rerouted) {
+        ++counters.reroutedPackets;
+        noteAvoidedLinks(info.avoided);
+    }
+    links = std::move(info.links);
+    return true;
+}
+
+void
 Network::transmit(Packet &&packet)
 {
     ++counters.packets;
     counters.payloadBytes += packet.payloadBytes();
     counters.wireBytes += wireBytesOf(packet);
 
-    // Local delivery bypasses the wires (and therefore wire faults).
+    // Local delivery bypasses the wires (and therefore wire faults),
+    // but a dead node does not loop traffic back to itself either.
     if (packet.src == packet.dst) {
+        if (topo.anyOutages() &&
+            !topo.nodeAlive(packet.src, events.now())) {
+            ++counters.deadNodePackets;
+            return;
+        }
         Packet p = std::move(packet);
         events.scheduleAfter(0, [this, p = std::move(p)]() mutable {
             arrive(std::move(p), events.now());
@@ -100,13 +149,31 @@ Network::transmit(Packet &&packet)
         return;
     }
 
+    std::vector<LinkId> route;
+    if (!routeFor(packet, route))
+        return;
+
     if (faults) {
+        // A permanent probabilistic link failure takes down one
+        // network link on this packet's route; the packet riding it
+        // is lost (its bandwidth was spent) and every later packet
+        // must detour.
+        if (faults->rollLinkFailure() && route.size() > 2) {
+            // Positions 0 and size-1 are the injection/ejection
+            // ports; only inter-router links can fail this way.
+            std::uint64_t pos =
+                1 + faults->pickFailingLink(route.size() - 2);
+            topo.downLink(route[pos], events.now());
+            ++counters.linkFailures;
+            reserveRoute(route, packet);
+            return;
+        }
         // A dropped packet still occupied the wires; charge it the
         // full route's bandwidth (the counters above already did) but
         // never schedule its delivery.
         if (faults->rollDrop()) {
             ++counters.droppedPackets;
-            reserveRoute(packet);
+            reserveRoute(route, packet);
             return;
         }
         if (faults->rollCorrupt()) {
@@ -119,27 +186,27 @@ Network::transmit(Packet &&packet)
             ++counters.packets;
             counters.payloadBytes += copy.payloadBytes();
             counters.wireBytes += wireBytesOf(copy);
-            reserveAndSchedule(std::move(copy), 0);
+            reserveAndSchedule(route, std::move(copy), 0);
         }
         Cycles extra = faults->rollDelay();
         if (extra > 0)
             ++counters.delayedPackets;
-        reserveAndSchedule(std::move(packet), extra);
+        reserveAndSchedule(std::move(route), std::move(packet), extra);
         return;
     }
 
-    reserveAndSchedule(std::move(packet), 0);
+    reserveAndSchedule(std::move(route), std::move(packet), 0);
 }
 
 Cycles
-Network::reserveRoute(const Packet &packet)
+Network::reserveRoute(const std::vector<LinkId> &route,
+                      const Packet &packet)
 {
     Cycles serialize = static_cast<Cycles>(std::llround(
         std::ceil(static_cast<double>(wireBytesOf(packet)) /
                   cfg.wireBytesPerCycle)));
 
     Cycles cursor = events.now();
-    auto route = topo.route(packet.src, packet.dst);
     for (LinkId link : route) {
         auto idx = static_cast<std::size_t>(link);
         Cycles start = std::max(cursor, linkFreeAt[idx]);
@@ -151,9 +218,10 @@ Network::reserveRoute(const Packet &packet)
 }
 
 void
-Network::reserveAndSchedule(Packet &&packet, Cycles extra_delay)
+Network::reserveAndSchedule(std::vector<LinkId> route,
+                            Packet &&packet, Cycles extra_delay)
 {
-    Cycles arrival = reserveRoute(packet) + extra_delay;
+    Cycles arrival = reserveRoute(route, packet) + extra_delay;
     Packet p = std::move(packet);
     events.schedule(arrival, [this, p = std::move(p)]() mutable {
         arrive(std::move(p), events.now());
@@ -163,6 +231,11 @@ Network::reserveAndSchedule(Packet &&packet, Cycles extra_delay)
 void
 Network::arrive(Packet &&packet, Cycles time)
 {
+    // The destination may have died while the packet was in flight.
+    if (topo.anyOutages() && !topo.nodeAlive(packet.dst, time)) {
+        ++counters.deadNodePackets;
+        return;
+    }
     if (deliverTap && !deliverTap(std::move(packet), time))
         return;
     deliverFn(std::move(packet), time);

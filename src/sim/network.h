@@ -7,6 +7,13 @@
  * forward slightly overstates latency compared with wormhole routing
  * but leaves sustained bandwidth -- the quantity the paper's model is
  * built on -- unchanged.
+ *
+ * Topology outages are enforced here: a packet to or from a downed
+ * node is swallowed (a dead node neither injects nor drains), routes
+ * detour around dead links via Topology::healthyRoute, and when no
+ * live path remains the packet is counted unroutable and dropped --
+ * the reliable transport's watchdog turns that into a route-suspect
+ * verdict instead of retrying forever.
  */
 
 #ifndef CT_SIM_NETWORK_H
@@ -45,6 +52,12 @@ struct NetworkStats
     std::uint64_t corruptedPackets = 0;
     std::uint64_t duplicatedPackets = 0;
     std::uint64_t delayedPackets = 0;
+    // Topology outages (non-zero only when outages are active).
+    std::uint64_t reroutedPackets = 0;   ///< detoured around dead links
+    std::uint64_t reroutedLinks = 0;     ///< distinct dead links detoured
+    std::uint64_t unroutablePackets = 0; ///< no live path existed
+    std::uint64_t deadNodePackets = 0;   ///< src or dst node was down
+    std::uint64_t linkFailures = 0;      ///< link_fail_rate firings
 };
 
 /**
@@ -71,7 +84,7 @@ class Network
     using DeliverTap =
         std::function<bool(Packet &&packet, Cycles time)>;
 
-    Network(const NetworkConfig &config, const Topology &topology,
+    Network(const NetworkConfig &config, Topology &topology,
             EventQueue &queue);
 
     /** Install the delivery sink (dispatches on packet.dst). */
@@ -101,13 +114,18 @@ class Network
 
   private:
     void transmit(Packet &&packet);
-    /** Reserve link slots along the route; returns the arrival time. */
-    Cycles reserveRoute(const Packet &packet);
-    void reserveAndSchedule(Packet &&packet, Cycles extra_delay);
+    /** Routing with outage handling; false = packet swallowed. */
+    bool routeFor(const Packet &packet, std::vector<LinkId> &links);
+    /** Reserve link slots along @p route; returns the arrival time. */
+    Cycles reserveRoute(const std::vector<LinkId> &route,
+                        const Packet &packet);
+    void reserveAndSchedule(std::vector<LinkId> route,
+                            Packet &&packet, Cycles extra_delay);
     void arrive(Packet &&packet, Cycles time);
+    void noteAvoidedLinks(const std::vector<LinkId> &avoided);
 
     NetworkConfig cfg;
-    const Topology &topo;
+    Topology &topo;
     EventQueue &events;
     Deliver deliverFn;
     SendTap sendTap;
@@ -116,6 +134,8 @@ class Network
     NetworkStats counters;
     /** Time each directed link becomes free. */
     std::vector<Cycles> linkFreeAt;
+    /** Dead links already counted in stats().reroutedLinks. */
+    std::vector<bool> reroutedLinkSeen;
 };
 
 } // namespace ct::sim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/addr.h"
+#include "sim/crc32c.h"
 
 namespace ct::sim {
 
@@ -55,22 +56,28 @@ struct Packet
     std::uint32_t rseq = 0;
     /** Control argument: the rseq an Ack/Nack refers to. */
     std::uint32_t ctrl = 0;
-    /** Word-sum payload checksum (see sealChecksum). */
+    /** CRC32C payload checksum (see sealChecksum). */
     std::uint64_t checksum = 0;
 
     Bytes payloadBytes() const { return words.size() * 8; }
 };
 
-/** Word-sum over the payload (addresses included for adp framing). */
+/**
+ * CRC32C over the payload (addresses included for adp framing). A
+ * word sum would miss reordered words and offsetting-pair
+ * corruptions; the CRC catches both, plus any burst up to 32 bits.
+ */
 inline std::uint64_t
 payloadSum(const Packet &packet)
 {
-    std::uint64_t sum = 0;
-    for (std::uint64_t w : packet.words)
-        sum += w;
-    for (Addr a : packet.addrs)
-        sum += a;
-    return sum;
+    std::uint32_t state = 0xFFFFFFFFu;
+    if (!packet.words.empty())
+        state = crc32cUpdate(state, packet.words.data(),
+                             packet.words.size() * 8);
+    if (!packet.addrs.empty())
+        state = crc32cUpdate(state, packet.addrs.data(),
+                             packet.addrs.size() * sizeof(Addr));
+    return state ^ 0xFFFFFFFFu;
 }
 
 /** Stamp the packet's checksum field from its current payload. */

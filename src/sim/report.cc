@@ -77,6 +77,16 @@ collectReport(Machine &machine)
         r.engineStalls = faults->stats().engineStalls;
         r.engineFailures = faults->stats().engineFailures;
     }
+    r.reroutedPackets = net.reroutedPackets;
+    r.reroutedLinks = net.reroutedLinks;
+    r.unroutablePackets = net.unroutablePackets;
+    r.deadNodePackets = net.deadNodePackets;
+    r.linkFailures = net.linkFailures;
+    const Topology &topo = machine.topology();
+    if (topo.anyOutages()) {
+        r.downedLinks = topo.downedLinks();
+        r.downedNodes = topo.downedNodes();
+    }
     return r;
 }
 
@@ -116,6 +126,18 @@ formatReport(const MachineReport &r)
            << r.engineFailures << " engine failures, "
            << r.engineRefusals << " refusals\n";
     }
+    if (r.downedLinks + r.downedNodes > 0 ||
+        r.reroutedPackets + r.unroutablePackets + r.deadNodePackets +
+                r.linkFailures >
+            0) {
+        os << "  outages: " << r.downedLinks << " links down, "
+           << r.downedNodes << " nodes down, " << r.reroutedPackets
+           << " rerouted packets (" << r.reroutedLinks
+           << " links detoured), " << r.unroutablePackets
+           << " unroutable, " << r.deadNodePackets
+           << " to/from dead nodes, " << r.linkFailures
+           << " wire link failures\n";
+    }
     return os.str();
 }
 
@@ -129,7 +151,9 @@ csvHeader()
            "deposit_busy_cycles,network_packets,payload_bytes,"
            "wire_bytes,fault_drops,fault_corruptions,"
            "fault_duplicates,fault_delays,engine_stalls,"
-           "engine_failures,engine_refusals";
+           "engine_failures,engine_refusals,rerouted_packets,"
+           "rerouted_links,unroutable_packets,dead_node_packets,"
+           "link_failures,downed_links,downed_nodes";
 }
 
 std::string
@@ -147,7 +171,11 @@ toCsv(const MachineReport &r)
        << r.payloadBytes << ',' << r.wireBytes << ',' << r.faultDrops
        << ',' << r.faultCorruptions << ',' << r.faultDuplicates << ','
        << r.faultDelays << ',' << r.engineStalls << ','
-       << r.engineFailures << ',' << r.engineRefusals;
+       << r.engineFailures << ',' << r.engineRefusals << ','
+       << r.reroutedPackets << ',' << r.reroutedLinks << ','
+       << r.unroutablePackets << ',' << r.deadNodePackets << ','
+       << r.linkFailures << ',' << r.downedLinks << ','
+       << r.downedNodes;
     return os.str();
 }
 

@@ -61,6 +61,15 @@ struct MachineReport
     std::uint64_t engineFailures = 0;
     std::uint64_t engineRefusals = 0;
 
+    // Topology outages (all zero on a healthy fabric).
+    std::uint64_t reroutedPackets = 0;
+    std::uint64_t reroutedLinks = 0;
+    std::uint64_t unroutablePackets = 0;
+    std::uint64_t deadNodePackets = 0;
+    std::uint64_t linkFailures = 0;
+    int downedLinks = 0;
+    int downedNodes = 0;
+
     /** Load hit fraction; 0 when no loads happened. */
     double loadHitRate() const;
 

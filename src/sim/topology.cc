@@ -1,6 +1,7 @@
 #include "topology.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "util/logging.h"
 
@@ -22,6 +23,8 @@ Topology::Topology(const TopologyConfig &config) : cfg(config)
         numNodes * static_cast<int>(cfg.dims.size()) * 2;
     injectionPorts = numNodes / cfg.nodesPerPort;
     numLinks = networkLinksCount + 2 * injectionPorts;
+    linkDownAt.assign(static_cast<std::size_t>(numLinks), kNeverDown);
+    nodeDownAt.assign(static_cast<std::size_t>(numNodes), kNeverDown);
 }
 
 std::vector<int>
@@ -72,6 +75,16 @@ Topology::ejectionLink(NodeId node) const
            node / cfg.nodesPerPort;
 }
 
+LinkId
+Topology::stepLink(std::vector<int> &coords, std::size_t dim,
+                   bool positive) const
+{
+    int radix = cfg.dims[dim];
+    LinkId link = networkLink(nodeAt(coords), dim, positive);
+    coords[dim] = (coords[dim] + (positive ? 1 : radix - 1)) % radix;
+    return link;
+}
+
 std::vector<LinkId>
 Topology::route(NodeId src, NodeId dst) const
 {
@@ -95,8 +108,7 @@ Topology::route(NodeId src, NodeId dst) const
                 positive = forward <= backward;
             else
                 positive = goal[d] > cur[d];
-            links.push_back(networkLink(nodeAt(cur), d, positive));
-            cur[d] = (cur[d] + (positive ? 1 : radix - 1)) % radix;
+            links.push_back(stepLink(cur, d, positive));
         }
     }
     links.push_back(ejectionLink(dst));
@@ -112,8 +124,192 @@ Topology::hopCount(NodeId src, NodeId dst) const
     return static_cast<int>(route(src, dst).size()) - 2;
 }
 
+void
+Topology::downLink(LinkId link, Cycles at)
+{
+    if (link < 0 || link >= numLinks)
+        util::fatal("Topology::downLink: bad link ", link,
+                    " (have ", numLinks, ")");
+    auto idx = static_cast<std::size_t>(link);
+    linkDownAt[idx] = std::min(linkDownAt[idx], at);
+    outagesRegistered = true;
+}
+
+void
+Topology::downNode(NodeId node, Cycles at)
+{
+    if (node < 0 || node >= numNodes)
+        util::fatal("Topology::downNode: bad node ", node);
+    auto idx = static_cast<std::size_t>(node);
+    nodeDownAt[idx] = std::min(nodeDownAt[idx], at);
+    outagesRegistered = true;
+}
+
+bool
+Topology::linkAlive(LinkId link, Cycles now) const
+{
+    return now < linkDownAt[static_cast<std::size_t>(link)];
+}
+
+bool
+Topology::nodeAlive(NodeId node, Cycles now) const
+{
+    return now < nodeDownAt[static_cast<std::size_t>(node)];
+}
+
+int
+Topology::downedLinks(Cycles now) const
+{
+    int count = 0;
+    for (Cycles at : linkDownAt)
+        count += at <= now;
+    return count;
+}
+
+int
+Topology::downedNodes(Cycles now) const
+{
+    int count = 0;
+    for (Cycles at : nodeDownAt)
+        count += at <= now;
+    return count;
+}
+
+std::vector<LinkId>
+Topology::bfsRoute(NodeId src, NodeId dst, Cycles now) const
+{
+    // Breadth-first search over live network links, so the detour is
+    // a shortest live path. Parent links reconstruct the route.
+    std::vector<LinkId> parentLink(static_cast<std::size_t>(numNodes),
+                                   -1);
+    std::vector<NodeId> parentNode(static_cast<std::size_t>(numNodes),
+                                   -1);
+    std::vector<bool> seen(static_cast<std::size_t>(numNodes), false);
+    std::deque<NodeId> frontier{src};
+    seen[static_cast<std::size_t>(src)] = true;
+
+    while (!frontier.empty()) {
+        NodeId here = frontier.front();
+        frontier.pop_front();
+        if (here == dst)
+            break;
+        auto c = coords(here);
+        for (std::size_t d = 0; d < cfg.dims.size(); ++d) {
+            for (bool positive : {true, false}) {
+                // A mesh has no wrap links; skip moves off the edge.
+                if (!cfg.torus &&
+                    ((positive && c[d] + 1 >= cfg.dims[d]) ||
+                     (!positive && c[d] == 0)))
+                    continue;
+                if (cfg.dims[d] == 1)
+                    continue;
+                auto next = c;
+                LinkId link = stepLink(next, d, positive);
+                NodeId there = nodeAt(next);
+                if (seen[static_cast<std::size_t>(there)] ||
+                    !linkAlive(link, now))
+                    continue;
+                seen[static_cast<std::size_t>(there)] = true;
+                parentLink[static_cast<std::size_t>(there)] = link;
+                parentNode[static_cast<std::size_t>(there)] = here;
+                frontier.push_back(there);
+            }
+        }
+    }
+    if (!seen[static_cast<std::size_t>(dst)])
+        return {};
+
+    std::vector<LinkId> links;
+    for (NodeId n = dst; n != src;
+         n = parentNode[static_cast<std::size_t>(n)])
+        links.push_back(parentLink[static_cast<std::size_t>(n)]);
+    std::reverse(links.begin(), links.end());
+    return links;
+}
+
+RouteInfo
+Topology::healthyRoute(NodeId src, NodeId dst, Cycles now) const
+{
+    if (src < 0 || src >= numNodes || dst < 0 || dst >= numNodes)
+        util::fatal("Topology::healthyRoute: bad endpoint");
+    RouteInfo info;
+    if (src == dst)
+        return info;
+
+    if (!linkAlive(injectionLink(src), now) ||
+        !linkAlive(ejectionLink(dst), now)) {
+        if (!linkAlive(injectionLink(src), now))
+            info.avoided.push_back(injectionLink(src));
+        else
+            info.avoided.push_back(ejectionLink(dst));
+        info.ok = false;
+        return info;
+    }
+    info.links.push_back(injectionLink(src));
+
+    auto cur = coords(src);
+    auto goal = coords(dst);
+    for (std::size_t d = 0; d < cfg.dims.size(); ++d) {
+        int radix = cfg.dims[d];
+        if (cur[d] == goal[d])
+            continue;
+        int forward = (goal[d] - cur[d] + radix) % radix;
+        int backward = radix - forward;
+        bool preferPositive =
+            cfg.torus ? forward <= backward : goal[d] > cur[d];
+
+        // Try the preferred direction, then (torus only) the long way
+        // around the ring; commit whichever path is fully alive.
+        bool resolved = false;
+        for (int attempt = 0; attempt < (cfg.torus ? 2 : 1);
+             ++attempt) {
+            bool positive = attempt == 0 ? preferPositive
+                                         : !preferPositive;
+            auto probe = cur;
+            std::vector<LinkId> segment;
+            bool alive = true;
+            while (probe[d] != goal[d]) {
+                LinkId link = stepLink(probe, d, positive);
+                if (!linkAlive(link, now)) {
+                    info.avoided.push_back(link);
+                    alive = false;
+                    break;
+                }
+                segment.push_back(link);
+            }
+            if (alive) {
+                if (attempt > 0)
+                    info.rerouted = true;
+                info.links.insert(info.links.end(), segment.begin(),
+                                  segment.end());
+                cur[d] = goal[d];
+                resolved = true;
+                break;
+            }
+        }
+        if (!resolved) {
+            // No single-dimension detour: breadth-first search from
+            // the current position over all live links.
+            auto rest = bfsRoute(nodeAt(cur), dst, now);
+            if (rest.empty()) {
+                info.ok = false;
+                info.links.clear();
+                return info;
+            }
+            info.rerouted = true;
+            info.links.insert(info.links.end(), rest.begin(),
+                              rest.end());
+            info.links.push_back(ejectionLink(dst));
+            return info;
+        }
+    }
+    info.links.push_back(ejectionLink(dst));
+    return info;
+}
+
 double
-Topology::congestionOf(const std::vector<TrafficDemand> &demands) const
+Topology::congestionOf(const std::vector<TrafficDemand> &demands,
+                       Cycles now) const
 {
     std::vector<double> load(static_cast<std::size_t>(numLinks), 0.0);
     double total = 0.0;
@@ -121,9 +317,18 @@ Topology::congestionOf(const std::vector<TrafficDemand> &demands) const
     for (const auto &demand : demands) {
         if (demand.bytes == 0 || demand.src == demand.dst)
             continue;
+        std::vector<LinkId> links;
+        if (outagesRegistered) {
+            auto info = healthyRoute(demand.src, demand.dst, now);
+            if (!info.ok)
+                continue; // unroutable demand carries no load
+            links = std::move(info.links);
+        } else {
+            links = route(demand.src, demand.dst);
+        }
         ++active;
         total += static_cast<double>(demand.bytes);
-        for (LinkId link : route(demand.src, demand.dst))
+        for (LinkId link : links)
             load[static_cast<std::size_t>(link)] +=
                 static_cast<double>(demand.bytes);
     }

@@ -5,12 +5,27 @@
  * Paragon (2-D mesh). Provides routes for the link-level network
  * model and static link-load analysis from which the congestion
  * factor of a traffic pattern is derived (paper §4.3).
+ *
+ * The topology also carries an outage model: any directed link or
+ * any node can be marked down from a given cycle onward. Routing
+ * queries are health-aware -- healthyRoute() misroutes around dead
+ * links (the other way around the ring of the affected dimension,
+ * falling back to a breadth-first search when no per-dimension
+ * detour exists) -- and the static link-load analysis recomputes
+ * congestion over the detoured routes, so the §4.3 numbers degrade
+ * honestly when the fabric does.
+ *
+ * A downed *node* stops injecting and draining traffic; its router
+ * keeps forwarding (on the T3D the switch is physically separate
+ * from the PE and survives processor death). Killing the routing
+ * through a position is expressed by downing its links instead.
  */
 
 #ifndef CT_SIM_TOPOLOGY_H
 #define CT_SIM_TOPOLOGY_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/packet.h"
@@ -19,6 +34,10 @@ namespace ct::sim {
 
 /** Identifies one directed inter-router channel. */
 using LinkId = std::int32_t;
+
+/** "Never": the down-cycle of a healthy link or node. */
+inline constexpr Cycles kNeverDown =
+    std::numeric_limits<Cycles>::max();
 
 /** Geometry of the direct network. */
 struct TopologyConfig
@@ -41,6 +60,18 @@ struct TrafficDemand
     Bytes bytes;
 };
 
+/** A health-aware route plus how it was obtained. */
+struct RouteInfo
+{
+    std::vector<LinkId> links;
+    /** False when no live path exists (partition or dead port). */
+    bool ok = true;
+    /** True when the route deviates from plain dimension order. */
+    bool rerouted = false;
+    /** Dead links encountered while probing (the detour's cause). */
+    std::vector<LinkId> avoided;
+};
+
 /** Dimension-order-routed topology with link enumeration. */
 class Topology
 {
@@ -52,6 +83,9 @@ class Topology
     /** Total number of directed links (network + injection/ejection). */
     int linkCount() const { return numLinks; }
 
+    /** Directed network links only (excludes injection/ejection). */
+    int networkLinkCount() const { return networkLinksCount; }
+
     /** Coordinates of @p node. */
     std::vector<int> coords(NodeId node) const;
 
@@ -61,12 +95,42 @@ class Topology
     /**
      * Dimension-order route from @p src to @p dst: the injection
      * link, every traversed network link, and the ejection link, in
-     * order. A self-send returns an empty route.
+     * order. A self-send returns an empty route. Ignores outages;
+     * use healthyRoute() for the fault-tolerant path.
      */
     std::vector<LinkId> route(NodeId src, NodeId dst) const;
 
     /** Number of network hops between two nodes. */
     int hopCount(NodeId src, NodeId dst) const;
+
+    // Outage model.
+
+    /** Mark a directed link down from cycle @p at onward. */
+    void downLink(LinkId link, Cycles at);
+
+    /** Mark a node down (no inject/drain) from cycle @p at onward. */
+    void downNode(NodeId node, Cycles at);
+
+    /** True once any outage has been registered (even a future one). */
+    bool anyOutages() const { return outagesRegistered; }
+
+    bool linkAlive(LinkId link, Cycles now) const;
+    bool nodeAlive(NodeId node, Cycles now) const;
+
+    /** Number of links / nodes down at @p now. */
+    int downedLinks(Cycles now = kNeverDown - 1) const;
+    int downedNodes(Cycles now = kNeverDown - 1) const;
+
+    /**
+     * Fault-tolerant route at time @p now. Starts from dimension
+     * order; when the preferred direction of a dimension crosses a
+     * dead link, tries the other way around that dimension's ring
+     * (torus only), and falls back to a breadth-first search over
+     * live links when no per-dimension detour exists. Injection and
+     * ejection ports must be alive for the route to exist. Endpoint
+     * liveness is *not* checked here -- the network gates that.
+     */
+    RouteInfo healthyRoute(NodeId src, NodeId dst, Cycles now) const;
 
     /**
      * Static congestion analysis of a traffic pattern: route every
@@ -75,8 +139,13 @@ class Topology
      * times the busiest link is traversed relative to a single
      * demand. This matches the paper's notion that "a network link is
      * traversed by twice as much data as it can support" (§4.3).
+     *
+     * Routes are health-aware at time @p now (default: all
+     * registered outages applied), so the congestion factor reflects
+     * detoured traffic; unroutable demands are excluded.
      */
-    double congestionOf(const std::vector<TrafficDemand> &demands) const;
+    double congestionOf(const std::vector<TrafficDemand> &demands,
+                        Cycles now = kNeverDown - 1) const;
 
     const TopologyConfig &config() const { return cfg; }
 
@@ -86,11 +155,23 @@ class Topology
     LinkId injectionLink(NodeId node) const;
     LinkId ejectionLink(NodeId node) const;
 
+    /** Step from @p coords one hop along @p dim; returns the link. */
+    LinkId stepLink(std::vector<int> &coords, std::size_t dim,
+                    bool positive) const;
+
+    /** BFS over live network links; empty when unreachable. */
+    std::vector<LinkId> bfsRoute(NodeId src, NodeId dst,
+                                 Cycles now) const;
+
     TopologyConfig cfg;
     int numNodes = 0;
     int numLinks = 0;
     int networkLinksCount = 0;
     int injectionPorts = 0;
+    bool outagesRegistered = false;
+    /** Cycle each link/node goes down (kNeverDown = healthy). */
+    std::vector<Cycles> linkDownAt;
+    std::vector<Cycles> nodeDownAt;
 };
 
 } // namespace ct::sim

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "rt/checkpoint.h"
+#include "rt/collectives.h"
+#include "rt/reliable_layer.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace ct;
+using namespace ct::rt;
+using D = core::Distribution;
+
+TEST(Checkpoint, TracksRoundsAndResumePoint)
+{
+    Checkpoint ckpt;
+    ckpt.begin("op", 4);
+    EXPECT_EQ(ckpt.completedRounds(), 0);
+    EXPECT_EQ(ckpt.resumePoint(), 0);
+    EXPECT_FALSE(ckpt.complete());
+    ckpt.markDone(0);
+    ckpt.markDone(2);
+    EXPECT_EQ(ckpt.completedRounds(), 2);
+    EXPECT_EQ(ckpt.resumePoint(), 1);
+    ckpt.markDone(1);
+    EXPECT_EQ(ckpt.resumePoint(), 3);
+    ckpt.markDone(3);
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_EQ(ckpt.resumePoint(), 4);
+}
+
+TEST(Checkpoint, RebindingSameOpKeepsProgress)
+{
+    Checkpoint ckpt;
+    ckpt.begin("op", 3);
+    ckpt.markDone(0);
+    ckpt.begin("op", 3); // resume path: progress survives
+    EXPECT_EQ(ckpt.completedRounds(), 1);
+    ckpt.begin("other", 3); // different binding resets
+    EXPECT_EQ(ckpt.completedRounds(), 0);
+    ckpt.markDone(1);
+    ckpt.begin("other", 5); // different round count resets too
+    EXPECT_EQ(ckpt.completedRounds(), 0);
+    EXPECT_EQ(ckpt.totalRounds, 5);
+}
+
+TEST(Checkpoint, MarkDoneBoundsAreFatal)
+{
+    Checkpoint ckpt;
+    ckpt.begin("op", 2);
+    EXPECT_EXIT(ckpt.markDone(2), testing::ExitedWithCode(1),
+                "bad round");
+    EXPECT_EXIT(ckpt.markDone(-1), testing::ExitedWithCode(1),
+                "bad round");
+}
+
+TEST(OwnerMap, IdentityWhenHealthy)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    auto owners = OwnerMap::fromMachine(m);
+    EXPECT_EQ(owners.owner, OwnerMap::identity(8).owner);
+    EXPECT_EQ(owners.lostNodes(), 0);
+    for (NodeId n = 0; n < 8; ++n)
+        EXPECT_TRUE(owners.alive(n));
+}
+
+TEST(OwnerMap, NextLiveNodeTakesOverCyclically)
+{
+    auto cfg = sim::t3dConfig({2, 2, 2});
+    // 7 wraps to 0; 2 and 3 both land on 4 (3's next live is 4 too).
+    cfg.faults = sim::FaultSpec::parse(
+        "node_down=7@0,node_down=2@0,node_down=3@0");
+    sim::Machine m(cfg);
+    auto owners = OwnerMap::fromMachine(m);
+    EXPECT_EQ(owners.of(7), 0);
+    EXPECT_EQ(owners.of(2), 4);
+    EXPECT_EQ(owners.of(3), 4);
+    EXPECT_EQ(owners.of(0), 0);
+    EXPECT_EQ(owners.lostNodes(), 3);
+    EXPECT_FALSE(owners.alive(2));
+    EXPECT_TRUE(owners.alive(4));
+}
+
+// -------------------------------------------------------------------
+// Acceptance: allToAll on a 4x4x4 torus with one link downed mid-run
+// completes with correct payloads and reports the detour.
+// -------------------------------------------------------------------
+TEST(OutageRecovery, AllToAllSurvivesMidRunLinkFailureOn4x4x4)
+{
+    const std::uint64_t words = 8;
+
+    // Dry run on a healthy machine to learn the makespan, so the
+    // outage can be planted squarely mid-run.
+    sim::Machine healthy(sim::t3dConfig({4, 4, 4}));
+    auto probe = makeReliableChained();
+    auto clean = allToAll(healthy, *probe, words);
+    ASSERT_GT(clean.makespan, 0u);
+    EXPECT_EQ(clean.reroutedLinks, 0u);
+    EXPECT_EQ(clean.lostNodes, 0);
+    EXPECT_EQ(clean.lostWords, 0u);
+
+    // Link 0 is node 0's +x channel, on the dimension-order route of
+    // every 0 -> (1..2, *, *) flow; kill it a third of the way in.
+    auto cfg = sim::t3dConfig({4, 4, 4});
+    cfg.faults = sim::FaultSpec::parse(
+        "link_down=0@" + std::to_string(clean.makespan / 3));
+    sim::Machine m(cfg);
+    auto layer = makeReliableChained();
+    // allToAll verifies delivery internally (fatal on corruption), so
+    // returning at all means every payload landed bit-exactly.
+    auto r = allToAll(m, *layer, words);
+    EXPECT_GE(r.reroutedLinks, 1u);
+    EXPECT_GE(m.network().stats().reroutedPackets, 1u);
+    EXPECT_EQ(r.lostNodes, 0);
+    EXPECT_EQ(r.lostWords, 0u);
+    // The detour costs time, never data.
+    EXPECT_GE(r.makespan, clean.makespan);
+}
+
+// -------------------------------------------------------------------
+// Acceptance: a node killed during a checkpointed redistribution
+// interrupts the run; calling again resumes from the last completed
+// round under the new ownership map and finishes.
+// -------------------------------------------------------------------
+TEST(OutageRecovery, CheckpointedRedistributionResumesAfterNodeDeath)
+{
+    const auto from = D::block(1024, 8);
+    const auto to = D::cyclic(1024, 8);
+
+    // Healthy timing run: the whole schedule in one call.
+    sim::Machine healthy(sim::t3dConfig({2, 2, 2}));
+    auto hw = RedistributionWorkload::create(healthy, from, to);
+    hw.fillInput(healthy);
+    auto hlayer = makeReliableChained();
+    Checkpoint hckpt;
+    auto hr = runRedistributionCheckpointed(healthy, *hlayer, hw,
+                                            hckpt);
+    ASSERT_FALSE(hr.interrupted);
+    EXPECT_EQ(hr.resumedFromRound, 0);
+    EXPECT_EQ(hr.rounds, hw.totalSteps());
+    EXPECT_TRUE(hckpt.complete());
+    EXPECT_EQ(hw.verify(healthy), 0u);
+    ASSERT_GT(hr.makespan, 0u);
+
+    // Same redistribution, node 3 dies halfway through.
+    auto cfg = sim::t3dConfig({2, 2, 2});
+    cfg.faults = sim::FaultSpec::parse(
+        "node_down=3@" + std::to_string(hr.makespan / 2));
+    sim::Machine m(cfg);
+    auto work = RedistributionWorkload::create(m, from, to);
+    work.fillInput(m);
+    auto layer = makeReliableChained();
+    Checkpoint ckpt;
+
+    auto first = runRedistributionCheckpointed(m, *layer, work, ckpt);
+    ASSERT_TRUE(first.interrupted);
+    EXPECT_EQ(first.resumedFromRound, 0);
+    int at = ckpt.completedRounds();
+    EXPECT_GT(at, 0);                   // some rounds checkpointed
+    EXPECT_LT(at, work.totalSteps());   // but not all
+    EXPECT_EQ(first.rounds, at);
+    EXPECT_EQ(first.lostNodes, 1);
+
+    auto second = runRedistributionCheckpointed(m, *layer, work, ckpt);
+    EXPECT_FALSE(second.interrupted);
+    EXPECT_EQ(second.resumedFromRound, at); // resumed, not restarted
+    EXPECT_EQ(second.rounds, work.totalSteps() - at);
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_EQ(second.lostNodes, 1);
+    // Completed rounds had delivered into node 3's now-dead RAM; the
+    // resume re-delivers those flows into the takeover spill buffer.
+    EXPECT_GE(second.repairedRounds, 1);
+    // Rounds with the dead sender can only lose its (dead-RAM) data.
+    EXPECT_GT(second.lostWords, 0u);
+
+    // Every surviving element is bit-exact: live destinations hold
+    // their values and node 3's blocks landed in the takeover node's
+    // spill buffer.
+    auto owners = OwnerMap::fromMachine(m);
+    EXPECT_EQ(owners.of(3), 4);
+    EXPECT_EQ(work.verify(m, owners), 0u);
+    // The naive (failure-blind) verify must see the holes.
+    EXPECT_GT(work.verify(m), 0u);
+}
+
+TEST(OutageRecovery, CompletedCheckpointIsIdempotent)
+{
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    auto work = RedistributionWorkload::create(m, D::block(256, 2),
+                                               D::cyclic(256, 2));
+    work.fillInput(m);
+    auto layer = makeReliableChained();
+    Checkpoint ckpt;
+    auto r1 = runRedistributionCheckpointed(m, *layer, work, ckpt);
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_EQ(r1.rounds, work.totalSteps());
+    // Calling again finds nothing pending and moves no data.
+    auto r2 = runRedistributionCheckpointed(m, *layer, work, ckpt);
+    EXPECT_EQ(r2.rounds, 0);
+    EXPECT_EQ(r2.resumedFromRound, work.totalSteps());
+    EXPECT_FALSE(r2.interrupted);
+    EXPECT_EQ(r2.makespan, 0u);
+    EXPECT_EQ(work.verify(m), 0u);
+}
+
+TEST(OutageRecovery, PreexistingDeadNodeIsPlannedAround)
+{
+    // Node 5 is dead before the run starts: no interruption, its
+    // blocks spill to node 6, its source data is lost.
+    auto cfg = sim::t3dConfig({2, 2, 2});
+    cfg.faults = sim::FaultSpec::parse("node_down=5@0");
+    sim::Machine m(cfg);
+    auto work = RedistributionWorkload::create(m, D::block(512, 8),
+                                               D::cyclic(512, 8));
+    work.fillInput(m);
+    auto layer = makeReliableChained();
+    Checkpoint ckpt;
+    auto r = runRedistributionCheckpointed(m, *layer, work, ckpt);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_EQ(r.lostNodes, 1);
+    EXPECT_GT(r.lostWords, 0u);
+    auto owners = OwnerMap::fromMachine(m);
+    EXPECT_EQ(owners.of(5), 6);
+    EXPECT_EQ(work.verify(m, owners), 0u);
+}
+
+TEST(OutageRecovery, Checkpointed2dTransposeCompletes)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 1}));
+    core::Distribution2d dist{core::DimSpec::dist(D::block(32, 4)),
+                              core::DimSpec::whole(32)};
+    auto work = Redistribution2dWorkload::create(m, dist, dist, true);
+    work.fillInput(m);
+    auto layer = makeReliableChained();
+    Checkpoint ckpt;
+    auto r = runRedistribution2dCheckpointed(m, *layer, work, ckpt);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_EQ(r.rounds, work.totalSteps());
+    EXPECT_EQ(work.verify(m), 0u);
+}
+
+TEST(OutageRecovery, CollectivesSkipDeadNodes)
+{
+    auto cfg = sim::t3dConfig({2, 2, 2});
+    cfg.faults = sim::FaultSpec::parse("node_down=2@0");
+    sim::Machine m(cfg);
+    auto layer = makeReliableChained();
+
+    auto a2a = allToAll(m, *layer, 32);
+    EXPECT_EQ(a2a.lostNodes, 1);
+    EXPECT_GT(a2a.lostWords, 0u);
+
+    // A node dead at the start is excluded from the broadcast span
+    // entirely, so nothing is sent to it (and nothing lost).
+    auto bc = broadcast(m, *layer, 64);
+    EXPECT_EQ(bc.lostNodes, 1);
+    EXPECT_EQ(bc.lostWords, 0u);
+
+    auto sh = shift(m, *layer, 64);
+    EXPECT_EQ(sh.lostNodes, 1);
+    // The dead node neither sends to 3 nor receives from 1.
+    EXPECT_EQ(sh.lostWords, 128u);
+}
+
+} // namespace

@@ -217,6 +217,55 @@ TEST(ReliableLayer, DegradationCanBeDisabled)
     EXPECT_GT(verifyDelivery(m, op), 0u);
 }
 
+// Seed sweep: the transport must deliver bit-exactly under a
+// combined drop/duplicate/corrupt/delay soup for every RNG seed, not
+// just the few the other tests happen to pin. Each seed produces a
+// different interleaving of losses, NACKs, reorderings and duplicate
+// suppressions, so this sweeps the retransmission state machine far
+// more broadly than any single schedule.
+TEST(ReliableLayer, SeedSweepBitExactUnderCombinedFaults)
+{
+    // Correctness must hold for every seed; the recovery-path
+    // counters are asserted in aggregate because a single short run
+    // may legitimately roll, say, zero duplicates.
+    ReliableStats sum;
+    for (int seed = 1; seed <= 10; ++seed) {
+        auto spec = "drop=0.08,dup=0.08,corrupt=0.05,delay=3000,"
+                    "delay_rate=0.1,seed=" +
+                    std::to_string(seed);
+        auto run = runReliable(sim::t3dConfig({2, 1, 1}), spec,
+                               P::strided(4), P::indexed(), 400);
+        EXPECT_EQ(run.badWords, 0u) << "seed=" << seed;
+        EXPECT_EQ(run.transport.abandoned, 0u) << "seed=" << seed;
+        EXPECT_FALSE(run.result.degraded) << "seed=" << seed;
+        sum.retransmits += run.transport.retransmits;
+        sum.duplicatesDropped += run.transport.duplicatesDropped;
+        sum.nacksSent += run.transport.nacksSent;
+        sum.checksumFailures += run.transport.checksumFailures;
+        sum.outOfOrder += run.transport.outOfOrder;
+    }
+    // Ten fault soups must have exercised every recovery path.
+    EXPECT_GT(sum.retransmits, 0u);
+    EXPECT_GT(sum.duplicatesDropped, 0u);
+    EXPECT_GT(sum.nacksSent, 0u);
+    EXPECT_GT(sum.checksumFailures, 0u);
+    EXPECT_GT(sum.outOfOrder, 0u);
+}
+
+TEST(ReliableLayer, WatchdogDropsPendingToDeadEndpoint)
+{
+    // The peer dies early in the exchange: its channel's pending
+    // packets must be written off by the watchdog (not retried until
+    // the retry budget abandons them as a transport failure).
+    auto run = runReliable(sim::t3dConfig({2, 1, 1}),
+                           "node_down=1@20000", P::strided(4),
+                           P::strided(4), 2048);
+    EXPECT_GT(run.transport.deadEndpointDrops, 0u);
+    EXPECT_EQ(run.transport.abandoned, 0u);
+    EXPECT_TRUE(run.transport.abandonedChannels.empty());
+    EXPECT_GT(run.network.deadNodePackets, 0u);
+}
+
 TEST(ReliableLayer, NameAdvertisesWrapping)
 {
     auto chained = makeReliableChained();

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace {
+
+using namespace ct::sim;
+
+// Mirror of the documented LinkId layout, so the tests can name
+// links and replay routes without access to Topology internals.
+struct LinkMath
+{
+    const Topology &topo;
+
+    explicit LinkMath(const Topology &t) : topo(t) {}
+
+    std::size_t dims() const { return topo.config().dims.size(); }
+
+    LinkId
+    networkLink(NodeId node, std::size_t dim, bool positive) const
+    {
+        return static_cast<LinkId>(
+            (static_cast<std::size_t>(node) * dims() + dim) * 2 +
+            (positive ? 0 : 1));
+    }
+
+    LinkId
+    injectionLink(NodeId node) const
+    {
+        return topo.networkLinkCount() +
+               node / topo.config().nodesPerPort;
+    }
+
+    LinkId
+    ejectionLink(NodeId node) const
+    {
+        int ports =
+            topo.nodeCount() / topo.config().nodesPerPort;
+        return topo.networkLinkCount() + ports +
+               node / topo.config().nodesPerPort;
+    }
+
+    /** Decode a network link into (node, dim, positive). */
+    void
+    decode(LinkId link, NodeId &node, std::size_t &dim,
+           bool &positive) const
+    {
+        positive = link % 2 == 0;
+        auto rest = static_cast<std::size_t>(link) / 2;
+        dim = rest % dims();
+        node = static_cast<NodeId>(rest / dims());
+    }
+
+    /**
+     * Replay @p route: it must start with src's injection link, end
+     * with dst's ejection link, and every network link in between
+     * must depart from the node the previous link arrived at.
+     * Returns true when the route is a valid src -> dst path.
+     */
+    bool
+    validRoute(const std::vector<LinkId> &route, NodeId src,
+               NodeId dst) const
+    {
+        if (route.size() < 2)
+            return false;
+        if (route.front() != injectionLink(src) ||
+            route.back() != ejectionLink(dst))
+            return false;
+        auto coords = topo.coords(src);
+        for (std::size_t i = 1; i + 1 < route.size(); ++i) {
+            NodeId from;
+            std::size_t dim;
+            bool positive;
+            decode(route[i], from, dim, positive);
+            if (from != topo.nodeAt(coords))
+                return false;
+            int radix = topo.config().dims[dim];
+            coords[dim] =
+                (coords[dim] + (positive ? 1 : radix - 1)) % radix;
+        }
+        return topo.nodeAt(coords) == dst;
+    }
+};
+
+TEST(Outage, HealthyByDefault)
+{
+    Topology t({{4, 4, 4}, true, 2});
+    EXPECT_FALSE(t.anyOutages());
+    EXPECT_EQ(t.downedLinks(), 0);
+    EXPECT_EQ(t.downedNodes(), 0);
+    EXPECT_TRUE(t.linkAlive(0, kNeverDown - 1));
+    EXPECT_TRUE(t.nodeAlive(0, kNeverDown - 1));
+}
+
+TEST(Outage, DownCycleIsInclusive)
+{
+    Topology t({{4, 4}, true, 1});
+    t.downLink(3, 1000);
+    t.downNode(5, 2000);
+    EXPECT_TRUE(t.anyOutages());
+    EXPECT_TRUE(t.linkAlive(3, 999));
+    EXPECT_FALSE(t.linkAlive(3, 1000));
+    EXPECT_TRUE(t.nodeAlive(5, 1999));
+    EXPECT_FALSE(t.nodeAlive(5, 2000));
+    EXPECT_EQ(t.downedLinks(999), 0);
+    EXPECT_EQ(t.downedLinks(1000), 1);
+    EXPECT_EQ(t.downedNodes(), 1);
+}
+
+TEST(Outage, EarliestDownCycleWins)
+{
+    Topology t({{4, 4}, true, 1});
+    t.downLink(0, 5000);
+    t.downLink(0, 100); // earlier report takes precedence
+    t.downLink(0, 9000);
+    EXPECT_TRUE(t.linkAlive(0, 99));
+    EXPECT_FALSE(t.linkAlive(0, 100));
+    EXPECT_EQ(t.downedLinks(), 1);
+}
+
+TEST(Outage, BadIdsAreFatal)
+{
+    Topology t({{2, 2}, true, 1});
+    EXPECT_EXIT(t.downLink(-1, 0), testing::ExitedWithCode(1),
+                "bad link");
+    EXPECT_EXIT(t.downLink(t.linkCount(), 0),
+                testing::ExitedWithCode(1), "bad link");
+    EXPECT_EXIT(t.downNode(4, 0), testing::ExitedWithCode(1),
+                "bad node");
+}
+
+TEST(Outage, HealthyRouteMatchesPlainRouteWhenAllAlive)
+{
+    Topology t({{4, 4, 4}, true, 2});
+    for (NodeId dst = 1; dst < t.nodeCount(); dst += 7) {
+        auto info = t.healthyRoute(0, dst, 0);
+        EXPECT_TRUE(info.ok);
+        EXPECT_FALSE(info.rerouted);
+        EXPECT_TRUE(info.avoided.empty());
+        EXPECT_EQ(info.links, t.route(0, dst));
+    }
+}
+
+// The detour acceptance sweep: on a 4x4x4 torus, kill every network
+// link one at a time; every node pair must still get a valid route
+// that avoids the dead link.
+TEST(Outage, EverySingleLinkFailureStillRoutesOn4x4x4Torus)
+{
+    TopologyConfig cfg{{4, 4, 4}, true, 2};
+    Topology probe(cfg);
+    int network_links = probe.networkLinkCount();
+    int nodes = probe.nodeCount();
+
+    for (LinkId dead = 0; dead < network_links; ++dead) {
+        Topology t(cfg);
+        t.downLink(dead, 0);
+        LinkMath math(t);
+        // All pairs from two representative sources (the dead link's
+        // own node and node 0) keeps the sweep fast but adversarial.
+        NodeId hot;
+        std::size_t dim;
+        bool positive;
+        math.decode(dead, hot, dim, positive);
+        for (NodeId src : {static_cast<NodeId>(0), hot}) {
+            for (NodeId dst = 0; dst < nodes; ++dst) {
+                if (dst == src)
+                    continue;
+                auto info = t.healthyRoute(src, dst, 0);
+                ASSERT_TRUE(info.ok)
+                    << "dead=" << dead << " " << src << "->" << dst;
+                ASSERT_TRUE(math.validRoute(info.links, src, dst))
+                    << "dead=" << dead << " " << src << "->" << dst;
+                for (LinkId link : info.links)
+                    ASSERT_NE(link, dead);
+            }
+        }
+    }
+}
+
+TEST(Outage, MeshDetourFallsBackToBfs)
+{
+    // 4x1 mesh: killing the only forward link 1->2 severs the line;
+    // on a 4x4 mesh the BFS must find the way around.
+    Topology line({{4}, false, 1});
+    LinkMath lm(line);
+    line.downLink(lm.networkLink(1, 0, true), 0);
+    EXPECT_FALSE(line.healthyRoute(0, 3, 0).ok);
+    EXPECT_TRUE(line.healthyRoute(3, 0, 0).ok); // reverse direction
+
+    Topology mesh({{4, 4}, false, 1});
+    LinkMath mm(mesh);
+    mesh.downLink(mm.networkLink(1, 0, true), 0);
+    auto info = mesh.healthyRoute(0, 3, 0);
+    ASSERT_TRUE(info.ok);
+    EXPECT_TRUE(info.rerouted);
+    EXPECT_TRUE(mm.validRoute(info.links, 0, 3));
+}
+
+TEST(Outage, DeadInjectionPortIsUnroutable)
+{
+    Topology t({{4, 4}, true, 1});
+    LinkMath math(t);
+    t.downLink(math.injectionLink(2), 0);
+    auto info = t.healthyRoute(2, 5, 0);
+    EXPECT_FALSE(info.ok);
+    ASSERT_EQ(info.avoided.size(), 1u);
+    EXPECT_EQ(info.avoided[0], math.injectionLink(2));
+    // Other sources still reach node 2 (ejection is a separate port).
+    EXPECT_TRUE(t.healthyRoute(5, 2, 0).ok);
+}
+
+TEST(Outage, CongestionReflectsDetours)
+{
+    // Ring of 8. Demand 0->1 goes forward, demand 7->5 backward;
+    // no link is shared, so congestion is 1.0 healthy. Killing the
+    // forward link 0->1 sends that demand the long way around the
+    // ring -- straight over 7->6 and 6->5, which 7->5 already loads.
+    TopologyConfig cfg{{8}, true, 1};
+    std::vector<TrafficDemand> demands{{0, 1, 1024}, {7, 5, 1024}};
+
+    Topology healthy(cfg);
+    EXPECT_DOUBLE_EQ(healthy.congestionOf(demands), 1.0);
+
+    Topology degraded(cfg);
+    LinkMath math(degraded);
+    degraded.downLink(math.networkLink(0, 0, true), 0);
+    EXPECT_DOUBLE_EQ(degraded.congestionOf(demands), 2.0);
+    // Before the outage cycle the loads are the healthy ones.
+    Topology future(cfg);
+    LinkMath fm(future);
+    future.downLink(fm.networkLink(0, 0, true), 500000);
+    EXPECT_DOUBLE_EQ(future.congestionOf(demands, 0), 1.0);
+}
+
+TEST(Outage, LinkLoadsConsistentUnderDetour)
+{
+    // Static analysis and the actual router must agree on the
+    // detoured routes: route every demand both ways and compare.
+    TopologyConfig cfg{{4, 4}, true, 1};
+    Topology t(cfg);
+    LinkMath math(t);
+    t.downLink(math.networkLink(0, 0, true), 0);
+    t.downLink(math.networkLink(5, 1, true), 0);
+    for (NodeId src = 0; src < t.nodeCount(); ++src) {
+        for (NodeId dst = 0; dst < t.nodeCount(); ++dst) {
+            if (src == dst)
+                continue;
+            auto info = t.healthyRoute(src, dst, 0);
+            ASSERT_TRUE(info.ok);
+            ASSERT_TRUE(math.validRoute(info.links, src, dst))
+                << src << "->" << dst;
+            for (LinkId link : info.links)
+                ASSERT_TRUE(t.linkAlive(link, 0));
+        }
+    }
+}
+
+TEST(Outage, MachineAppliesSpecOutages)
+{
+    auto cfg = t3dConfig({2, 2, 2});
+    cfg.faults = FaultSpec::parse("link_down=3@100,node_down=5@200");
+    Machine m(cfg);
+    EXPECT_TRUE(m.topology().anyOutages());
+    EXPECT_FALSE(m.topology().linkAlive(3, 100));
+    EXPECT_FALSE(m.topology().nodeAlive(5, 200));
+    EXPECT_TRUE(m.topology().nodeAlive(5, 199));
+}
+
+TEST(Outage, MachineRejectsBadOutageIds)
+{
+    auto cfg = t3dConfig({2, 2, 2});
+    cfg.faults = FaultSpec::parse("node_down=64@0");
+    EXPECT_EXIT(Machine m(cfg), testing::ExitedWithCode(1),
+                "bad node");
+}
+
+struct NetFixture
+{
+    Topology topo;
+    EventQueue events;
+    Network net;
+    std::vector<Packet> delivered;
+
+    explicit NetFixture(TopologyConfig tcfg = {{4, 4}, true, 1})
+        : topo(tcfg), net({1.0, 16, 16, 2}, topo, events)
+    {
+        net.setDeliver([this](Packet &&p, Cycles) {
+            delivered.push_back(std::move(p));
+        });
+    }
+
+    Packet
+    packet(NodeId src, NodeId dst)
+    {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.words.assign(4, 7);
+        return p;
+    }
+};
+
+TEST(Outage, NetworkSwallowsTrafficOfDeadNodes)
+{
+    NetFixture f;
+    f.topo.downNode(3, 0);
+    f.net.send(f.packet(3, 1)); // dead source
+    f.net.send(f.packet(1, 3)); // dead destination
+    f.net.send(f.packet(3, 3)); // dead local loopback
+    f.events.run();
+    EXPECT_TRUE(f.delivered.empty());
+    EXPECT_EQ(f.net.stats().deadNodePackets, 3u);
+
+    f.net.send(f.packet(1, 2)); // unrelated pair still works
+    f.events.run();
+    EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(Outage, NetworkSwallowsArrivalAtNodeThatDiedInFlight)
+{
+    NetFixture f;
+    // Packet leaves healthy, node 5 dies before it can arrive.
+    f.topo.downNode(5, 1);
+    f.net.send(f.packet(0, 5));
+    f.events.run();
+    EXPECT_TRUE(f.delivered.empty());
+    EXPECT_EQ(f.net.stats().deadNodePackets, 1u);
+}
+
+TEST(Outage, NetworkReroutesAndCountsDistinctLinks)
+{
+    NetFixture f;
+    LinkMath math(f.topo);
+    f.topo.downLink(math.networkLink(0, 0, true), 0);
+    // 0 -> 2 prefers two +x hops; the first is dead.
+    f.net.send(f.packet(0, 2));
+    f.net.send(f.packet(0, 2));
+    f.events.run();
+    EXPECT_EQ(f.delivered.size(), 2u);
+    EXPECT_EQ(f.net.stats().reroutedPackets, 2u);
+    EXPECT_EQ(f.net.stats().reroutedLinks, 1u); // distinct dead links
+    EXPECT_EQ(f.net.stats().unroutablePackets, 0u);
+}
+
+TEST(Outage, NetworkCountsUnroutablePackets)
+{
+    NetFixture f;
+    LinkMath math(f.topo);
+    f.topo.downLink(math.injectionLink(1), 0);
+    f.net.send(f.packet(1, 2));
+    f.events.run();
+    EXPECT_TRUE(f.delivered.empty());
+    EXPECT_EQ(f.net.stats().unroutablePackets, 1u);
+}
+
+TEST(Outage, LinkFailRateKillsLinksPermanently)
+{
+    // With certainty-one link failure every non-local packet kills
+    // one link on its route and is lost; later packets detour until
+    // the fabric runs out of live paths.
+    auto cfg = t3dConfig({4, 1, 1});
+    cfg.faults = FaultSpec::parse("link_fail_rate=1,seed=9");
+    Machine m(cfg);
+    Packet p;
+    p.src = 0;
+    p.dst = 2;
+    p.words.assign(4, 1);
+    std::vector<Packet> got;
+    m.network().setDeliver(
+        [&](Packet &&pkt, Cycles) { got.push_back(std::move(pkt)); });
+    m.network().send(std::move(p));
+    m.events().run();
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(m.network().stats().linkFailures, 1u);
+    EXPECT_GE(m.topology().downedLinks(), 1);
+    EXPECT_EQ(m.faults()->stats().linkFailures, 1u);
+}
+
+TEST(Outage, FaultSpecParsesOutageGrammar)
+{
+    auto spec = FaultSpec::parse(
+        "link_down=7@123,link_down=9,node_down=2@50,"
+        "link_fail_rate=0.25,seed=3");
+    ASSERT_EQ(spec.linkDown.size(), 2u);
+    EXPECT_EQ(spec.linkDown[0].id, 7);
+    EXPECT_EQ(spec.linkDown[0].at, 123u);
+    EXPECT_EQ(spec.linkDown[1].id, 9);
+    EXPECT_EQ(spec.linkDown[1].at, 0u); // @CYCLE defaults to 0
+    ASSERT_EQ(spec.nodeDown.size(), 1u);
+    EXPECT_EQ(spec.nodeDown[0].id, 2);
+    EXPECT_EQ(spec.nodeDown[0].at, 50u);
+    EXPECT_DOUBLE_EQ(spec.linkFailRate, 0.25);
+    EXPECT_TRUE(spec.any());
+    // The canonical rendering round-trips the outage schedule.
+    auto again = FaultSpec::parse(spec.summary());
+    ASSERT_EQ(again.linkDown.size(), 2u);
+    EXPECT_EQ(again.linkDown[0].at, 123u);
+    ASSERT_EQ(again.nodeDown.size(), 1u);
+    EXPECT_DOUBLE_EQ(again.linkFailRate, 0.25);
+}
+
+} // namespace

@@ -119,10 +119,41 @@ runSim(core::MachineId machine, const std::string &xqy,
     cfg.faults = faults;
     sim::Machine m(cfg);
     auto op = rt::pairExchange(m, *x, *y, words);
+
+    // Flows touching nodes that are down before the run starts can
+    // never deliver; plan around them instead of timing them out.
+    const sim::Topology &topo = m.topology();
+    std::uint64_t planned_out = 0;
+    if (topo.anyOutages()) {
+        std::vector<rt::Flow> live;
+        for (const rt::Flow &flow : op.flows) {
+            if (topo.nodeAlive(flow.src, 0) &&
+                topo.nodeAlive(flow.dst, 0))
+                live.push_back(flow);
+            else
+                planned_out += flow.words;
+        }
+        op.flows = std::move(live);
+    }
+
     rt::seedSources(m, op);
     auto layer = rt::makeReliableChained();
     auto result = layer->run(m, op);
-    std::uint64_t bad = rt::verifyDelivery(m, op);
+
+    // Exclude flows whose endpoint died mid-run from verification;
+    // their loss is a reported outage, not a corruption.
+    std::uint64_t lost_words = planned_out;
+    rt::CommOp check;
+    check.name = op.name;
+    sim::Cycles end = m.events().now();
+    for (const rt::Flow &flow : op.flows) {
+        if (!topo.anyOutages() || (topo.nodeAlive(flow.src, end) &&
+                                   topo.nodeAlive(flow.dst, end)))
+            check.flows.push_back(flow);
+        else
+            lost_words += flow.words;
+    }
+    std::uint64_t bad = rt::verifyDelivery(m, check);
 
     const auto &t = layer->stats();
     const auto &n = m.network().stats();
@@ -144,8 +175,35 @@ runSim(core::MachineId machine, const std::string &xqy,
     std::printf("  dropped/corrupt %llu/%llu on the wire\n",
                 static_cast<unsigned long long>(n.droppedPackets),
                 static_cast<unsigned long long>(n.corruptedPackets));
+    if (topo.anyOutages()) {
+        std::printf(
+            "  outages         %d links / %d nodes down, "
+            "%llu packets rerouted (%llu links detoured), "
+            "%llu unroutable\n",
+            topo.downedLinks(end), topo.downedNodes(end),
+            static_cast<unsigned long long>(n.reroutedPackets),
+            static_cast<unsigned long long>(n.reroutedLinks),
+            static_cast<unsigned long long>(n.unroutablePackets));
+        if (lost_words > 0)
+            std::printf("  lost to outages %llu words "
+                        "(dead endpoints)\n",
+                        static_cast<unsigned long long>(lost_words));
+    }
     std::printf("  delivery        %s\n",
                 bad == 0 ? "bit-exact" : "CORRUPTED");
+
+    // Abandoned delivery that was not absorbed by a degradation path
+    // is a silent data-loss bug; fail loudly and name the channels.
+    if (t.abandoned > 0 && !result.degraded) {
+        std::fprintf(stderr,
+                     "ERROR: reliable transport abandoned %llu "
+                     "packet(s) without degradation; affected "
+                     "channels:\n",
+                     static_cast<unsigned long long>(t.abandoned));
+        for (const auto &[src, dst] : t.abandonedChannels)
+            std::fprintf(stderr, "  %d -> %d\n", src, dst);
+        return 1;
+    }
     return bad == 0 ? 0 : 1;
 }
 
