@@ -72,10 +72,11 @@ depositFlexibility(benchmark::State &state, bool any_pattern)
     double mbps = 0.0;
     for (auto _ : state) {
         if (any_pattern) {
-            mbps = exchangeMBps(MachineId::T3d, LayerKind::Chained,
+            mbps = exchangeMBps(MachineId::T3d, core::Style::Chained,
                                 P::contiguous(), P::strided(64));
         } else {
-            mbps = exchangeMBps(MachineId::T3d, LayerKind::Packing,
+            mbps = exchangeMBps(MachineId::T3d,
+                                core::Style::BufferPacking,
                                 P::contiguous(), P::strided(64));
         }
     }
@@ -108,7 +109,7 @@ chunkSize(benchmark::State &state)
     // the throughput it achieves.
     double mbps = 0.0;
     for (auto _ : state)
-        mbps = exchangeMBps(MachineId::T3d, LayerKind::Chained,
+        mbps = exchangeMBps(MachineId::T3d, core::Style::Chained,
                             P::contiguous(), P::strided(64));
     setCounter(state, "sim_MBps", mbps);
     setCounter(state, "chunk_words",

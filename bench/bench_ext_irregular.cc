@@ -18,7 +18,7 @@ using namespace ct;
 using namespace ct::bench;
 
 void
-gatherRow(benchmark::State &state, LayerKind kind)
+gatherRow(benchmark::State &state, core::Style style)
 {
     double locality =
         static_cast<double>(state.range(0)) / 100.0;
@@ -35,7 +35,7 @@ gatherRow(benchmark::State &state, LayerKind kind)
             mbps = 0.0; // fully local: nothing to communicate
             continue;
         }
-        auto layer = makeLayer(kind);
+        auto layer = makeStyleLayer(MachineId::T3d, style);
         auto r = layer->run(m, w.op());
         if (w.verify(m) != 0)
             state.SkipWithError("corrupted gather");
@@ -49,11 +49,12 @@ gatherRow(benchmark::State &state, LayerKind kind)
 void
 registerAll()
 {
-    for (LayerKind kind : {LayerKind::Chained, LayerKind::Packing}) {
+    for (core::Style style :
+         {core::Style::Chained, core::Style::BufferPacking}) {
         auto *b = benchmark::RegisterBenchmark(
-            (std::string("gather_locality_pct/") + layerName(kind))
+            (std::string("gather_locality_pct/") + benchLabel(style))
                 .c_str(),
-            [kind](benchmark::State &s) { gatherRow(s, kind); });
+            [style](benchmark::State &s) { gatherRow(s, style); });
         b->Iterations(1)->Unit(benchmark::kMillisecond);
         for (int pct : {0, 25, 50, 75, 90})
             b->Arg(pct);

@@ -83,13 +83,13 @@ makeSor(sim::Machine &m)
 
 void
 kernelRow(benchmark::State &state,
-          OpAndVerify (*make)(sim::Machine &), LayerKind kind)
+          OpAndVerify (*make)(sim::Machine &), core::Style style)
 {
     double sim = 0.0;
     for (auto _ : state) {
         sim::Machine m(machineConfig());
         auto [op, verify] = make(m);
-        auto layer = makeLayer(kind);
+        auto layer = makeStyleLayer(MachineId::Paragon, style);
         auto r = layer->run(m, op);
         if (verify(m) != 0)
             util::fatal("bench_ext_paragon_apps: corrupted result");
@@ -112,14 +112,14 @@ registerAll()
         {"sor", makeSor},
     };
     for (const Kernel &kernel : kernels) {
-        for (LayerKind kind :
-             {LayerKind::Packing, LayerKind::Chained}) {
+        for (core::Style style :
+             {core::Style::BufferPacking, core::Style::Chained}) {
             std::string name =
-                std::string(kernel.name) + "/" + layerName(kind);
+                std::string(kernel.name) + "/" + benchLabel(style);
             benchmark::RegisterBenchmark(
                 name.c_str(),
-                [&kernel, kind](benchmark::State &s) {
-                    kernelRow(s, kernel.make, kind);
+                [&kernel, style](benchmark::State &s) {
+                    kernelRow(s, kernel.make, style);
                 })
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);

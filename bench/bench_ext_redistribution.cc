@@ -37,7 +37,7 @@ annotate(benchmark::State &state, const Workload &w, double mbps)
 
 void
 redistRow(benchmark::State &state, const D &from, const D &to,
-          LayerKind kind)
+          core::Style style)
 {
     double mbps = 0.0;
     sim::Machine probe(sim::t3dConfig({2, 2, 2}));
@@ -46,7 +46,7 @@ redistRow(benchmark::State &state, const D &from, const D &to,
         sim::Machine m(sim::t3dConfig({2, 2, 2}));
         auto w = rt::RedistributionWorkload::create(m, from, to);
         w.fillInput(m);
-        auto layer = makeLayer(kind);
+        auto layer = makeStyleLayer(core::MachineId::T3d, style);
         auto r = layer->run(m, w.op());
         if (w.verify(m) != 0)
             state.SkipWithError("corrupted");
@@ -56,7 +56,8 @@ redistRow(benchmark::State &state, const D &from, const D &to,
 }
 
 void
-redist2dRow(benchmark::State &state, bool transpose, LayerKind kind)
+redist2dRow(benchmark::State &state, bool transpose,
+            core::Style style)
 {
     using core::DimSpec;
     core::Distribution2d row_block{DimSpec::dist(D::block(512, P)),
@@ -76,7 +77,7 @@ redist2dRow(benchmark::State &state, bool transpose, LayerKind kind)
         auto w = rt::Redistribution2dWorkload::create(m, row_block,
                                                       to, transpose);
         w.fillInput(m);
-        auto layer = makeLayer(kind);
+        auto layer = makeStyleLayer(core::MachineId::T3d, style);
         auto r = layer->run(m, w.op());
         if (w.verify(m) != 0)
             state.SkipWithError("corrupted");
@@ -103,30 +104,30 @@ registerAll()
          D::cyclic(N, P)},
     };
     for (const Pair &pair : pairs) {
-        for (LayerKind kind :
-             {LayerKind::Chained, LayerKind::Packing}) {
+        for (core::Style style :
+             {core::Style::Chained, core::Style::BufferPacking}) {
             std::string name = std::string(pair.name) + "/" +
-                               layerName(kind);
+                               benchLabel(style);
             benchmark::RegisterBenchmark(
                 name.c_str(),
-                [pair, kind](benchmark::State &s) {
-                    redistRow(s, pair.from, pair.to, kind);
+                [pair, style](benchmark::State &s) {
+                    redistRow(s, pair.from, pair.to, style);
                 })
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }
     }
     for (bool transpose : {true, false}) {
-        for (LayerKind kind :
-             {LayerKind::Chained, LayerKind::Packing}) {
+        for (core::Style style :
+             {core::Style::Chained, core::Style::BufferPacking}) {
             std::string name =
                 std::string(transpose ? "transpose2d"
                                       : "row_to_col_blocks") +
-                "/" + layerName(kind);
+                "/" + benchLabel(style);
             benchmark::RegisterBenchmark(
                 name.c_str(),
-                [transpose, kind](benchmark::State &s) {
-                    redist2dRow(s, transpose, kind);
+                [transpose, style](benchmark::State &s) {
+                    redist2dRow(s, transpose, style);
                 })
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);

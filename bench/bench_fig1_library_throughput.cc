@@ -19,33 +19,20 @@ using namespace ct;
 using namespace ct::bench;
 using P = core::AccessPattern;
 
-core::Style
-styleOf(LayerKind kind)
-{
-    switch (kind) {
-      case LayerKind::Chained:
-        return core::Style::Chained;
-      case LayerKind::Packing:
-        return core::Style::BufferPacking;
-      case LayerKind::Pvm:
-        return core::Style::Pvm;
-    }
-    return core::Style::BufferPacking;
-}
-
 void
-libraryRow(benchmark::State &state, MachineId machine, LayerKind kind)
+libraryRow(benchmark::State &state, MachineId machine,
+           core::Style style)
 {
     auto words = static_cast<std::uint64_t>(state.range(0));
     double sim = 0.0;
     for (auto _ : state)
-        sim = exchangeMBps(machine, kind, P::contiguous(),
+        sim = exchangeMBps(machine, style, P::contiguous(),
                            P::contiguous(), words);
     setCounter(state, "sim_MBps", sim);
     setCounter(state, "message_KB",
                static_cast<double>(words * 8) / 1024.0);
     // The latency-extended model's prediction of the same curve.
-    if (auto m = core::makeMessageCostModel(machine, styleOf(kind),
+    if (auto m = core::makeMessageCostModel(machine, style,
                                             P::contiguous(),
                                             P::contiguous()))
         setCounter(state, "latency_model_MBps",
@@ -59,23 +46,23 @@ registerAll()
     {
         const char *name;
         MachineId machine;
-        LayerKind kind;
+        core::Style style;
     };
     // "Fastest" on the T3D is the chained/remote-store path (libsm);
     // on the Paragon the SUNMOS NX packing path with DMA transfers.
     const Entry entries[] = {
-        {"T3D/pvm", MachineId::T3d, LayerKind::Pvm},
-        {"T3D/libsm_chained", MachineId::T3d, LayerKind::Chained},
-        {"Paragon/pvm", MachineId::Paragon, LayerKind::Pvm},
+        {"T3D/pvm", MachineId::T3d, core::Style::Pvm},
+        {"T3D/libsm_chained", MachineId::T3d, core::Style::Chained},
+        {"Paragon/pvm", MachineId::Paragon, core::Style::Pvm},
         {"Paragon/sunmos_packing", MachineId::Paragon,
-         LayerKind::Packing},
+         core::Style::BufferPacking},
         {"Paragon/sunmos_chained", MachineId::Paragon,
-         LayerKind::Chained},
+         core::Style::Chained},
     };
     for (const Entry &entry : entries) {
         auto *b = benchmark::RegisterBenchmark(
             entry.name, [entry](benchmark::State &s) {
-                libraryRow(s, entry.machine, entry.kind);
+                libraryRow(s, entry.machine, entry.style);
             });
         b->Iterations(1)->Unit(benchmark::kMillisecond);
         for (std::int64_t words = 64; words <= (1 << 16); words *= 4)

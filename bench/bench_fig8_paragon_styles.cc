@@ -34,12 +34,12 @@ const Row rows[] = {
 };
 
 void
-styleRow(benchmark::State &state, const Row &row, LayerKind kind,
-         core::Style style, double paper)
+styleRow(benchmark::State &state, const Row &row, core::Style style,
+         double paper)
 {
     double sim = 0.0;
     for (auto _ : state)
-        sim = exchangeMBps(MachineId::Paragon, kind, row.x, row.y);
+        sim = exchangeMBps(MachineId::Paragon, style, row.x, row.y);
     setCounter(state, "sim_MBps", sim);
     setCounter(state, "model_MBps",
                modelMBps(MachineId::Paragon, style, row.x, row.y));
@@ -52,19 +52,20 @@ registerAll()
 {
     for (const Row &row : rows) {
         benchmark::RegisterBenchmark(
-            (std::string("packing/") + row.name).c_str(),
+            (benchLabel(core::Style::BufferPacking) + "/" + row.name)
+                .c_str(),
             [&row](benchmark::State &s) {
-                styleRow(s, row, LayerKind::Packing,
-                         core::Style::BufferPacking,
+                styleRow(s, row, core::Style::BufferPacking,
                          row.paperPacking);
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
         benchmark::RegisterBenchmark(
-            (std::string("chained/") + row.name).c_str(),
+            (benchLabel(core::Style::Chained) + "/" + row.name)
+                .c_str(),
             [&row](benchmark::State &s) {
-                styleRow(s, row, LayerKind::Chained,
-                         core::Style::Chained, row.paperChained);
+                styleRow(s, row, core::Style::Chained,
+                         row.paperChained);
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);

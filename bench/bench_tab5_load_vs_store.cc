@@ -23,7 +23,6 @@ struct Row
     const char *opName;
     P x;
     P y;
-    LayerKind kind;
     core::Style style;
     double paperModel;
     double paperMeasured;
@@ -32,32 +31,24 @@ struct Row
 const Row rows[] = {
     // T3D, buffer packing.
     {"T3D", MachineId::T3d, "1Q16_packing", P::contiguous(),
-     P::strided(16), LayerKind::Packing, core::Style::BufferPacking,
-     25.4, 20.8},
+     P::strided(16), core::Style::BufferPacking, 25.4, 20.8},
     {"T3D", MachineId::T3d, "16Q1_packing", P::strided(16),
-     P::contiguous(), LayerKind::Packing, core::Style::BufferPacking,
-     18.4, 14.3},
+     P::contiguous(), core::Style::BufferPacking, 18.4, 14.3},
     // T3D, chained.
     {"T3D", MachineId::T3d, "1Q16_chained", P::contiguous(),
-     P::strided(16), LayerKind::Chained, core::Style::Chained, 38.0,
-     31.3},
+     P::strided(16), core::Style::Chained, 38.0, 31.3},
     {"T3D", MachineId::T3d, "16Q1_chained", P::strided(16),
-     P::contiguous(), LayerKind::Chained, core::Style::Chained, 38.0,
-     27.4},
+     P::contiguous(), core::Style::Chained, 38.0, 27.4},
     // Paragon, buffer packing.
     {"Paragon", MachineId::Paragon, "1Q16_packing", P::contiguous(),
-     P::strided(16), LayerKind::Packing, core::Style::BufferPacking,
-     18.3, 20.7},
+     P::strided(16), core::Style::BufferPacking, 18.3, 20.7},
     {"Paragon", MachineId::Paragon, "16Q1_packing", P::strided(16),
-     P::contiguous(), LayerKind::Packing, core::Style::BufferPacking,
-     20.7, 24.2},
+     P::contiguous(), core::Style::BufferPacking, 20.7, 24.2},
     // Paragon, chained.
     {"Paragon", MachineId::Paragon, "1Q16_chained", P::contiguous(),
-     P::strided(16), LayerKind::Chained, core::Style::Chained, 32.0,
-     29.7},
+     P::strided(16), core::Style::Chained, 32.0, 29.7},
     {"Paragon", MachineId::Paragon, "16Q1_chained", P::strided(16),
-     P::contiguous(), LayerKind::Chained, core::Style::Chained, 42.0,
-     39.2},
+     P::contiguous(), core::Style::Chained, 42.0, 39.2},
 };
 
 void
@@ -65,7 +56,7 @@ tableRow(benchmark::State &state, const Row &row)
 {
     double sim = 0.0;
     for (auto _ : state)
-        sim = exchangeMBps(row.machine, row.kind, row.x, row.y);
+        sim = exchangeMBps(row.machine, row.style, row.x, row.y);
     setCounter(state, "sim_MBps", sim);
     setCounter(state, "model_MBps",
                modelMBps(row.machine, row.style, row.x, row.y));

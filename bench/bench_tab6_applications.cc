@@ -31,11 +31,11 @@ constexpr std::array<int, 3> dims{4, 4, 4}; // 64 nodes
 
 template <typename MakeWorkload>
 double
-runKernel(LayerKind kind, MakeWorkload &&make)
+runKernel(core::Style style, MakeWorkload &&make)
 {
     sim::Machine m(sim::t3dConfig({dims[0], dims[1], dims[2]}));
     auto op_and_verify = make(m);
-    auto layer = makeLayer(kind);
+    auto layer = makeStyleLayer(MachineId::T3d, style);
     auto result = layer->run(m, op_and_verify.first);
     if (op_and_verify.second(m) != 0)
         util::fatal("bench_tab6: corrupted kernel result");
@@ -109,29 +109,30 @@ const Kernel kernels[] = {
      P::contiguous()},
 };
 
+// One bench row per (kernel, style); the paper prints the model
+// estimate only for the chained column.
+struct Column
+{
+    core::Style style;
+    double paperMeasured;
+    bool withModel;
+};
+
 void
 kernelRow(benchmark::State &state, const Kernel &kernel,
-          LayerKind kind)
+          const Column &column)
 {
     double sim = 0.0;
     for (auto _ : state)
-        sim = runKernel(kind, kernel.make);
+        sim = runKernel(column.style, kernel.make);
     setCounter(state, "sim_MBps", sim);
-    switch (kind) {
-      case LayerKind::Packing:
-        setCounter(state, "paper_measured_MBps", kernel.paperPacking);
-        break;
-      case LayerKind::Chained:
-        setCounter(state, "paper_measured_MBps", kernel.paperChained);
+    setCounter(state, "paper_measured_MBps", column.paperMeasured);
+    if (column.withModel) {
         setCounter(state, "model_MBps",
-                   modelMBps(MachineId::T3d, core::Style::Chained,
-                             kernel.x, kernel.y));
+                   modelMBps(MachineId::T3d, column.style, kernel.x,
+                             kernel.y));
         setCounter(state, "paper_model_MBps",
                    kernel.paperChainedModel);
-        break;
-      case LayerKind::Pvm:
-        setCounter(state, "paper_measured_MBps", kernel.paperPvm);
-        break;
     }
 }
 
@@ -139,14 +140,18 @@ void
 registerAll()
 {
     for (const Kernel &kernel : kernels) {
-        for (LayerKind kind : {LayerKind::Packing, LayerKind::Chained,
-                               LayerKind::Pvm}) {
-            std::string name =
-                std::string(kernel.name) + "/" + layerName(kind);
+        const Column columns[] = {
+            {core::Style::BufferPacking, kernel.paperPacking, false},
+            {core::Style::Chained, kernel.paperChained, true},
+            {core::Style::Pvm, kernel.paperPvm, false},
+        };
+        for (const Column &column : columns) {
+            std::string name = std::string(kernel.name) + "/" +
+                               benchLabel(column.style);
             benchmark::RegisterBenchmark(
                 name.c_str(),
-                [&kernel, kind](benchmark::State &s) {
-                    kernelRow(s, kernel, kind);
+                [&kernel, column](benchmark::State &s) {
+                    kernelRow(s, kernel, column);
                 })
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);

@@ -5,47 +5,38 @@
 namespace ct::bench {
 
 std::unique_ptr<rt::MessageLayer>
-makeLayer(LayerKind kind)
+makeStyleLayer(MachineId machine, Style style)
 {
-    switch (kind) {
-      case LayerKind::Chained:
-        return std::make_unique<rt::ChainedLayer>();
-      case LayerKind::Packing:
-        return std::make_unique<rt::PackingLayer>();
-      case LayerKind::Pvm:
-        return std::make_unique<rt::PackingLayer>(
-            rt::makePvmLayer());
-    }
-    util::panic("makeLayer: bad kind");
+    auto program =
+        core::buildProgram(machine, style, AccessPattern::contiguous(),
+                           AccessPattern::contiguous());
+    if (!program)
+        util::fatal("makeStyleLayer: style not available on this "
+                    "machine");
+    return rt::lowerProgram(*program);
 }
 
 std::string
-layerName(LayerKind kind)
+benchLabel(Style style)
 {
-    switch (kind) {
-      case LayerKind::Chained:
-        return "chained";
-      case LayerKind::Packing:
-        return "packing";
-      case LayerKind::Pvm:
-        return "pvm";
-    }
-    util::panic("layerName: bad kind");
+    std::string key = core::styleName(style);
+    return key == "buffer-packing" ? "packing" : key;
 }
 
 double
-exchangeMBps(MachineId machine, LayerKind kind, AccessPattern x,
+exchangeMBps(MachineId machine, Style style, AccessPattern x,
              AccessPattern y, std::uint64_t words)
 {
-    sim::Machine m(sim::configFor(machine));
-    auto op = rt::pairExchange(m, x, y, words);
-    rt::seedSources(m, op);
-    auto layer = makeLayer(kind);
-    auto result = layer->run(m, op);
-    if (rt::verifyDelivery(m, op) != 0)
+    auto program = core::buildProgram(machine, style, x, y);
+    if (!program)
+        util::fatal("exchangeMBps: style not available for ",
+                    x.label(), "Q", y.label());
+    rt::SimBackend backend(sim::configFor(machine));
+    rt::SimRun run = backend.exchange(*program, words);
+    if (run.corruptWords != 0)
         util::fatal("exchangeMBps: corrupted delivery for ",
                     x.label(), "Q", y.label());
-    return result.perNodeMBps(m);
+    return run.perNodeMBps;
 }
 
 double

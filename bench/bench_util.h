@@ -7,6 +7,10 @@
  * value printed in the paper), so the "who wins and by how much"
  * comparison is visible directly in the benchmark report.
  *
+ * Both directions run from the same TransferProgram IR: the style
+ * registry builds the program, the analytic backend rates it, the
+ * simulation backend lowers it onto a runtime layer and executes it.
+ *
  * The simulator is deterministic, so benchmarks run one iteration.
  */
 
@@ -18,35 +22,38 @@
 #include "core/strategies.h"
 #include "rt/chained_layer.h"
 #include "rt/packing_layer.h"
+#include "rt/sim_backend.h"
 #include "rt/workload.h"
 
 namespace ct::bench {
 
 using core::AccessPattern;
 using core::MachineId;
+using core::Style;
 
-/** Which runtime layer executes an operation. */
-enum class LayerKind {
-    Chained,
-    Packing,
-    Pvm,
-};
+/**
+ * Lower @p style's TransferProgram onto a runtime layer for executing
+ * arbitrary CommOps on @p machine. The program is built for 1Q1; the
+ * lowering shape (staging copies, software costs, engine use) does
+ * not depend on the patterns.
+ */
+std::unique_ptr<rt::MessageLayer> makeStyleLayer(MachineId machine,
+                                                 Style style);
 
-/** Layer factory. */
-std::unique_ptr<rt::MessageLayer> makeLayer(LayerKind kind);
-
-/** Name used in reports. */
-std::string layerName(LayerKind kind);
+/**
+ * Short label used in bench row names: the style's registry key,
+ * except the historical "packing" for buffer-packing.
+ */
+std::string benchLabel(Style style);
 
 /**
  * Per-node throughput of a pairwise exchange xQy executed with the
- * given layer on a small partition of the machine (every node both
- * sends and receives, as in the paper's measurements). Verifies
- * delivery and aborts on corruption.
+ * given style's program on a small partition of the machine (every
+ * node both sends and receives, as in the paper's measurements).
+ * Verifies delivery and aborts on corruption.
  */
-double exchangeMBps(MachineId machine, LayerKind kind,
-                    AccessPattern x, AccessPattern y,
-                    std::uint64_t words = 1 << 14);
+double exchangeMBps(MachineId machine, Style style, AccessPattern x,
+                    AccessPattern y, std::uint64_t words = 1 << 14);
 
 /** Copy-transfer model estimate from the paper's parameter tables. */
 double modelMBps(MachineId machine, core::Style style,

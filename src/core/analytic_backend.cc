@@ -1,0 +1,183 @@
+#include "analytic_backend.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+namespace {
+
+/** A processor-bound stage: throughput plus the fraction of its
+ *  memory-load stream that is contiguous/cacheable (line fills). */
+struct CpuStage
+{
+    double rate;
+    double sigma;
+};
+
+/**
+ * One endpoint of the pipeline: CPU stages (reciprocal-sum; they
+ * share the processor) plus at most one autonomous interferer (DMA
+ * fetch / deposit engine, or the NI port feed for a co-processor
+ * receive). On a shared-bus machine, the fraction of CPU work doing
+ * contiguous (cacheable, bandwidth-bound) loads serializes with
+ * engine bus bursts (§5.1.4); strided/indexed loads are
+ * latency-bound and leave slack the engine can hide in.
+ */
+double
+endpointRate(const std::vector<CpuStage> &cpu, double engine,
+             bool sharedBus)
+{
+    double invAll = 0.0, invContig = 0.0;
+    for (const CpuStage &s : cpu) {
+        invAll += 1.0 / s.rate;
+        invContig += s.sigma / s.rate;
+    }
+    if (invAll == 0.0)
+        return engine; // engine-only endpoint
+    double r = 1.0 / invAll;
+    if (engine > 0.0) {
+        if (sharedBus) {
+            double sigma = invContig / invAll;
+            r = 1.0 / (invAll + sigma / engine);
+        }
+        r = std::min(r, engine);
+    }
+    return r;
+}
+
+} // namespace
+
+AnalyticBackend::AnalyticBackend(ThroughputTable table,
+                                 ExecutionProfile profile)
+    : table_(std::move(table)), profile_(profile)
+{
+    if (profile_.clockHz <= 0.0)
+        util::fatal("AnalyticBackend: profile needs a clock");
+}
+
+std::optional<util::MBps>
+AnalyticBackend::rate(const TransferProgram &program,
+                      double congestion) const
+{
+    if (!program.expr)
+        return std::nullopt;
+    EvalContext ctx;
+    ctx.table = &table_;
+    ctx.congestion = congestion;
+    ctx.constraints = program.constraints;
+    return evaluate(program.expr, ctx);
+}
+
+std::optional<MessageCostModel>
+AnalyticBackend::costModel(const TransferProgram &program,
+                           double congestion) const
+{
+    std::optional<util::MBps> r = rate(program, congestion);
+    if (!r)
+        return std::nullopt;
+    return MessageCostModel(*r, program.costs.startup(),
+                            program.costs.stepSync,
+                            profile_.clockHz);
+}
+
+std::optional<util::MBps>
+AnalyticBackend::predictRate(const TransferProgram &program,
+                             double congestion) const
+{
+    std::vector<CpuStage> senderCpu, receiverCpu;
+    double senderEngine = 0.0, receiverEngine = 0.0;
+    double wire = 0.0;
+    bool receiverPortFed = false;
+
+    for (const ProgramStage &stage : program.stages) {
+        // The addressCompute stream is not a throughput-table row:
+        // it runs at the machine's load-only bandwidth.
+        if (stage.addressCompute) {
+            if (profile_.indexStreamMBps <= 0.0)
+                return std::nullopt;
+            senderCpu.push_back({profile_.indexStreamMBps,
+                                 stageLoadSigma(stage)});
+            continue;
+        }
+        if (stage.resource == StageResource::Wire) {
+            std::optional<util::MBps> w = table_.lookupNetwork(
+                stage.transfer.op, congestion);
+            if (!w)
+                return std::nullopt;
+            wire = *w;
+            continue;
+        }
+        std::optional<util::MBps> r = table_.lookup(stage.transfer);
+        if (!r)
+            return std::nullopt;
+        switch (stage.resource) {
+          case StageResource::SenderCpu:
+            senderCpu.push_back({*r, stageLoadSigma(stage)});
+            break;
+          case StageResource::SenderEngine: {
+            double rate = *r;
+            if (stage.transfer.op == TransferOp::FetchSend &&
+                profile_.dmaChunkSetupCycles > 0) {
+                // The table measures one whole-block fetch; the
+                // layers kick the engine per chunk, paying the setup
+                // cost each time.
+                double chunkBytes =
+                    static_cast<double>(profile_.chunkWords) * 8.0;
+                double setupSecPerMB =
+                    (static_cast<double>(
+                         profile_.dmaChunkSetupCycles) /
+                     profile_.clockHz) /
+                    (chunkBytes / 1e6);
+                rate = 1.0 / (1.0 / rate + setupSecPerMB);
+            }
+            senderEngine = rate;
+            break;
+          }
+          case StageResource::ReceiverEngine:
+            // Deposit rates need no chunk adjustment: the table
+            // already measures chunked deposits.
+            receiverEngine = *r;
+            break;
+          case StageResource::ReceiverCpu:
+            receiverCpu.push_back({*r, stageLoadSigma(stage)});
+            if (stage.transfer.op == TransferOp::ReceiveStore)
+                receiverPortFed = true;
+            break;
+          case StageResource::Wire:
+            break; // handled above
+        }
+    }
+
+    if (wire <= 0.0)
+        return std::nullopt;
+
+    // A port-fed co-processor receive has no engine of its own, but
+    // the NI feed bursts on the bus just like one.
+    double receiverInterferer =
+        receiverEngine > 0.0 ? receiverEngine
+                             : (receiverPortFed ? wire : 0.0);
+
+    double sender =
+        endpointRate(senderCpu, senderEngine, profile_.sharedBus);
+    double receiver = endpointRate(receiverCpu, receiverInterferer,
+                                   profile_.sharedBus);
+    return std::min({sender, receiver, wire});
+}
+
+std::optional<util::MBps>
+AnalyticBackend::predictThroughputAt(const TransferProgram &program,
+                                     util::Bytes bytes,
+                                     double congestion) const
+{
+    std::optional<util::MBps> r = predictRate(program, congestion);
+    if (!r)
+        return std::nullopt;
+    MessageCostModel model(*r, program.costs.startup(),
+                           program.costs.stepSync, profile_.clockHz);
+    return model.throughputAt(bytes);
+}
+
+} // namespace ct::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The analytic backend: rates a TransferProgram with the paper's
+ * copy-transfer model. Three levels of fidelity:
+ *
+ *  - rate(): the steady-state algebra of §3.3 (sequential stages
+ *    share resources -> reciprocal sum; parallel stages -> min),
+ *    evaluated on the program's expr with its resource constraints.
+ *  - costModel(): the latency extension — rate() plus the program's
+ *    own per-message/per-step software costs, giving throughput as a
+ *    function of message size and the half-power point.
+ *  - predictRate(): the execution-aware predictor used for
+ *    cross-validation against the simulator. It rates the program's
+ *    *stages* grouped by hardware resource, adding the effects the
+ *    steady-state algebra abstracts away: the shared-bus
+ *    interleaving term of §5.1.4 (processor line fills serialize
+ *    with engine bus bursts), per-chunk DMA setup amortization, and
+ *    the sender-side address stream of chained transfers.
+ */
+
+#ifndef CT_CORE_ANALYTIC_BACKEND_H
+#define CT_CORE_ANALYTIC_BACKEND_H
+
+#include "core/latency_model.h"
+#include "core/transfer_program.h"
+
+namespace ct::core {
+
+/**
+ * Execution parameters of a machine beyond its throughput table —
+ * what the execution-aware predictor needs to know about *how* the
+ * runtime layers drive the hardware. rt::executionProfileFor()
+ * derives one from a simulator machine config.
+ */
+struct ExecutionProfile
+{
+    /** Node clock, for converting cycle costs to time. */
+    double clockHz = 0.0;
+    /**
+     * True when processors and engines contend on one memory bus
+     * (Paragon): contiguous processor loads then serialize with
+     * engine bursts instead of overlapping them (§5.1.4).
+     */
+    bool sharedBus = false;
+    /** Words moved per pipelined chunk by the runtime layers. */
+    std::uint64_t chunkWords = 64;
+    /** Per-chunk setup cost of the DMA fetch engine, paid by layers
+     *  that kick the engine once per chunk. */
+    util::Cycles dmaChunkSetupCycles = 0;
+    /** Rate of a pure contiguous index-load stream (the machine's
+     *  load-only bandwidth), used for addressCompute stages. */
+    util::MBps indexStreamMBps = 0.0;
+};
+
+/** Rates TransferPrograms against one machine's throughput table. */
+class AnalyticBackend
+{
+  public:
+    AnalyticBackend(ThroughputTable table, ExecutionProfile profile);
+
+    /** Steady-state model rate (the paper's algebra, with the
+     *  program's resource constraints applied). */
+    std::optional<util::MBps> rate(const TransferProgram &program,
+                                   double congestion) const;
+
+    /** rate() extended with the program's software costs. */
+    std::optional<MessageCostModel>
+    costModel(const TransferProgram &program,
+              double congestion) const;
+
+    /**
+     * Execution-aware steady-state prediction (see file comment).
+     * @p congestion applies to the wire stage only.
+     */
+    std::optional<util::MBps>
+    predictRate(const TransferProgram &program,
+                double congestion) const;
+
+    /** predictRate() pushed through the latency model: effective
+     *  throughput for one message of @p bytes. */
+    std::optional<util::MBps>
+    predictThroughputAt(const TransferProgram &program,
+                        util::Bytes bytes, double congestion) const;
+
+    const ThroughputTable &table() const { return table_; }
+    const ExecutionProfile &profile() const { return profile_; }
+
+  private:
+    ThroughputTable table_;
+    ExecutionProfile profile_;
+};
+
+} // namespace ct::core
+
+#endif // CT_CORE_ANALYTIC_BACKEND_H

@@ -56,29 +56,14 @@ makeMessageCostModel(MachineId id, Style style, AccessPattern x,
     if (!rate)
         return std::nullopt;
 
-    // Software costs, matching the runtime layers' defaults (see
-    // rt::ChainedOptions / rt::PackingOptions): the chained path
-    // pays an annex partner switch per message and a cache-
-    // invalidating synchronization per step; the packing path a
+    // The software costs come from the program itself (set by the
+    // style's registry entry, matching the runtime layers' defaults):
+    // the chained path pays an annex partner switch per message and a
+    // cache-invalidating synchronization per step; the packing path a
     // cheaper library call and barrier; PVM adds protocol work.
-    util::Cycles startup = 0;
-    util::Cycles sync = 0;
-    switch (style) {
-      case Style::Chained:
-        startup = 1500;
-        sync = 8000;
-        break;
-      case Style::BufferPacking:
-      case Style::DmaDirect:
-        startup = 1500; // sender + receiver library calls
-        sync = 3000;
-        break;
-      case Style::Pvm:
-        startup = 6000;
-        sync = 3000;
-        break;
-    }
-    return MessageCostModel(*rate, startup, sync, caps.clockHz);
+    const SoftwareCosts &costs = strategy->program.costs;
+    return MessageCostModel(*rate, costs.startup(), costs.stepSync,
+                            caps.clockHz);
 }
 
 } // namespace ct::core

@@ -17,16 +17,16 @@ plan(const PlanQuery &query)
                                                : caps.defaultCongestion;
 
     std::vector<PlannedStrategy> result;
-    for (Style style : {Style::DmaDirect, Style::Chained,
-                        Style::BufferPacking, Style::Pvm}) {
-        auto strategy =
-            makeStrategy(query.machine, style, query.read, query.write);
-        if (!strategy)
+    for (const StyleInfo &info : styleRegistry()) {
+        auto program = buildProgram(query.machine, info.key,
+                                    query.read, query.write);
+        if (!program)
             continue;
-        auto rate = rateStrategy(*strategy, table, congestion);
+        Strategy strategy = toStrategy(std::move(*program));
+        auto rate = rateStrategy(strategy, table, congestion);
         if (!rate)
             continue;
-        result.push_back({std::move(*strategy), *rate});
+        result.push_back({std::move(strategy), *rate});
     }
     if (result.empty())
         util::panic("plan: no legal strategy for ",
@@ -51,17 +51,27 @@ std::vector<SizedPlan>
 planForSize(MachineId machine, AccessPattern x, AccessPattern y,
             util::Bytes message_bytes)
 {
+    ThroughputTable table = paperTable(machine);
+    MachineCaps caps = paperCaps(machine);
     std::vector<SizedPlan> result;
-    for (Style style : {Style::DmaDirect, Style::Chained,
-                        Style::BufferPacking, Style::Pvm}) {
-        auto model = makeMessageCostModel(machine, style, x, y);
-        if (!model)
+    for (const StyleInfo &info : styleRegistry()) {
+        auto program = buildProgram(machine, info.key, x, y);
+        if (!program)
             continue;
+        Strategy strategy = toStrategy(std::move(*program));
+        auto rate =
+            rateStrategy(strategy, table, caps.defaultCongestion);
+        if (!rate)
+            continue;
+        MessageCostModel model(*rate, strategy.program.costs.startup(),
+                               strategy.program.costs.stepSync,
+                               caps.clockHz);
         SizedPlan plan;
-        plan.style = style;
-        plan.effective = model->throughputAt(message_bytes);
-        plan.asymptotic = model->asymptotic();
-        plan.halfPower = model->halfPowerPoint();
+        plan.style = strategy.style;
+        plan.key = info.key;
+        plan.effective = model.throughputAt(message_bytes);
+        plan.asymptotic = model.asymptotic();
+        plan.halfPower = model.halfPowerPoint();
         result.push_back(plan);
     }
     std::stable_sort(result.begin(), result.end(),
@@ -108,7 +118,7 @@ formatPlan(const PlanQuery &query,
        << caps.name << ":\n";
     for (const auto &p : plans) {
         os << "  " << std::left << std::setw(15)
-           << styleName(p.strategy.style) << std::right << std::fixed
+           << p.strategy.program.styleKey << std::right << std::fixed
            << std::setprecision(1) << std::setw(6) << p.estimate
            << " MB/s   " << p.strategy.expr->format() << "\n";
     }

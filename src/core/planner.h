@@ -52,6 +52,8 @@ std::string formatPlan(const PlanQuery &query,
 struct SizedPlan
 {
     Style style = Style::BufferPacking;
+    /** Registry key, e.g. "chained" (disambiguates Custom styles). */
+    std::string key;
     /** Effective throughput at the queried message size. */
     util::MBps effective = 0.0;
     /** Steady-state rate the style approaches for large messages. */

@@ -1,139 +1,28 @@
 #include "strategies.h"
 
-#include "util/logging.h"
-
 namespace ct::core {
 
-namespace {
-
-using P = AccessPattern;
-using E = TransferExpr;
-
-/** The contiguous middle leg: sender feed || network || deposit. */
-ExprPtr
-contiguousLeg(const MachineCaps &caps)
+Strategy
+toStrategy(TransferProgram program)
 {
-    ExprPtr sender = caps.hasFetchSend
-                         ? E::leaf(fetchSend(P::contiguous()))
-                         : E::leaf(loadSend(P::contiguous()));
-    return E::par(sender, E::leaf(netData()),
-                  E::leaf(receiveDeposit(P::contiguous())));
-}
-
-std::vector<ResourceConstraint>
-packingConstraints(const MachineCaps &caps)
-{
-    // Buffer packing stores every word twice on each node (pack at
-    // the sender, unpack at the receiver); with all nodes sending and
-    // receiving simultaneously the aggregate store traffic must fit
-    // in the store-only memory bandwidth: 2 x |xQy| <= |0C1|.
-    return {{"2x store traffic <= |0C1|", 2.0,
-             caps.storeOnlyBandwidth}};
-}
-
-} // namespace
-
-std::string
-styleName(Style style)
-{
-    switch (style) {
-      case Style::BufferPacking:
-        return "buffer-packing";
-      case Style::Chained:
-        return "chained";
-      case Style::Pvm:
-        return "pvm";
-      case Style::DmaDirect:
-        return "dma-direct";
-    }
-    util::panic("styleName: bad style");
+    Strategy s;
+    s.style = program.style;
+    s.expr = program.expr;
+    s.constraints = program.constraints;
+    s.description = program.description;
+    s.program = std::move(program);
+    return s;
 }
 
 std::optional<Strategy>
 makeStrategy(MachineId id, Style style, AccessPattern x,
              AccessPattern y)
 {
-    if (x.isFixed() || y.isFixed())
-        util::fatal("makeStrategy: xQy patterns must touch memory");
-    MachineCaps caps = paperCaps(id);
-
-    Strategy s;
-    s.style = style;
-    switch (style) {
-      case Style::BufferPacking: {
-        // xQy = xC1 o (feed || Nd || 0D1) o 1Cy. The copies are kept
-        // even for contiguous x and y: the library interface forces
-        // them (§3.4).
-        s.expr = E::seq(E::leaf(localCopy(x, P::contiguous())),
-                        contiguousLeg(caps),
-                        E::leaf(localCopy(P::contiguous(), y)));
-        s.constraints = packingConstraints(caps);
-        s.description = "gather copy, contiguous block transfer, "
-                        "scatter copy";
-        return s;
-      }
-      case Style::Pvm: {
-        // Buffer packing plus one extra copy into a system buffer on
-        // each side (§5.1.1); the per-message constant overhead is a
-        // latency effect outside the throughput model.
-        s.expr = E::seq({E::leaf(localCopy(x, P::contiguous())),
-                         E::leaf(localCopy(P::contiguous(),
-                                           P::contiguous())),
-                         contiguousLeg(caps),
-                         E::leaf(localCopy(P::contiguous(),
-                                           P::contiguous())),
-                         E::leaf(localCopy(P::contiguous(), y))});
-        s.constraints = packingConstraints(caps);
-        s.description = "buffer packing with additional system-buffer "
-                        "copies";
-        return s;
-      }
-      case Style::Chained: {
-        bool contiguous = x.isContiguous() && y.isContiguous();
-        if (contiguous) {
-            // 1Q'1 = 1S0 || Nd || (0D1 or 0R1).
-            ExprPtr recv =
-                caps.depositContiguous
-                    ? E::leaf(receiveDeposit(P::contiguous()))
-                    : (caps.coProcReceive
-                           ? E::leaf(receiveStore(P::contiguous()))
-                           : nullptr);
-            if (!recv)
-                return std::nullopt;
-            s.expr = E::par(E::leaf(loadSend(P::contiguous())),
-                            E::leaf(netData()), recv);
-            s.description = "direct contiguous chained transfer";
-            return s;
-        }
-        // xQ'y = xS0 || Nadp || (0Dy or 0Ry).
-        ExprPtr recv;
-        if (caps.depositAnyPattern)
-            recv = E::leaf(receiveDeposit(y));
-        else if (caps.coProcReceive)
-            recv = E::leaf(receiveStore(y));
-        else if (y.isContiguous() && caps.depositContiguous)
-            recv = E::leaf(receiveDeposit(y));
-        if (!recv)
-            return std::nullopt;
-        s.expr = E::par(E::leaf(loadSend(x)), E::leaf(netAddrData()),
-                        recv);
-        s.description = "remote stores chained through the deposit "
-                        "path (address-data pairs)";
-        return s;
-      }
-      case Style::DmaDirect: {
-        if (!(x.isContiguous() && y.isContiguous()))
-            return std::nullopt;
-        if (!(caps.hasFetchSend && caps.depositContiguous))
-            return std::nullopt;
-        s.expr = E::par(E::leaf(fetchSend(P::contiguous())),
-                        E::leaf(netData()),
-                        E::leaf(receiveDeposit(P::contiguous())));
-        s.description = "DMA-fed contiguous block transfer";
-        return s;
-      }
-    }
-    util::panic("makeStrategy: bad style");
+    std::optional<TransferProgram> program =
+        buildProgram(id, style, x, y);
+    if (!program)
+        return std::nullopt;
+    return toStrategy(std::move(*program));
 }
 
 std::optional<util::MBps>

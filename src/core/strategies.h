@@ -1,8 +1,10 @@
 /**
  * @file
- * Formula builders for the communication-operation implementations the
- * paper compares (§3.4, §5.1): buffer packing, chained transfers, the
- * PVM-style doubly-buffered variant, and direct DMA block transfer.
+ * Strategy view of a style's TransferProgram: the composed formula
+ * plus the resource constraints that apply to it, for code that only
+ * rates formulas. Programs themselves are built by the style registry
+ * (style_registry.h); this header is a thin compatibility layer over
+ * it.
  */
 
 #ifndef CT_CORE_STRATEGIES_H
@@ -14,27 +16,15 @@
 
 #include "core/algebra.h"
 #include "core/machine_params.h"
+#include "core/style_registry.h"
+#include "core/transfer_program.h"
 
 namespace ct::core {
-
-/** Implementation styles for a remote memory copy xQy. */
-enum class Style {
-    /** Gather into a buffer, block transfer, scatter (libsma/NX). */
-    BufferPacking,
-    /** Gather/transfer/scatter in one step via the deposit path. */
-    Chained,
-    /** Buffer packing plus extra system-buffer copies (PVM). */
-    Pvm,
-    /** Contiguous-only direct DMA block transfer, no copies. */
-    DmaDirect,
-};
-
-/** Display name of a style. */
-std::string styleName(Style style);
 
 /**
  * A concrete implementation choice for xQy on one machine: the
  * composed formula plus the resource constraints that apply to it.
+ * `program` carries the full IR the formula was derived from.
  */
 struct Strategy
 {
@@ -42,6 +32,7 @@ struct Strategy
     ExprPtr expr;
     std::vector<ResourceConstraint> constraints;
     std::string description;
+    TransferProgram program;
 };
 
 /**
@@ -56,6 +47,9 @@ struct Strategy
  */
 std::optional<Strategy> makeStrategy(MachineId id, Style style,
                                      AccessPattern x, AccessPattern y);
+
+/** Strategy view of an already-built program. */
+Strategy toStrategy(TransferProgram program);
 
 /** Convenience: evaluate a strategy under the machine's defaults. */
 std::optional<util::MBps> rateStrategy(const Strategy &strategy,

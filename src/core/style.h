@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation styles for a remote memory copy xQy (paper §3.4,
+ * §5.1). The enum only *names* the built-in styles; everything a
+ * style *is* — its stages, formula, constraints and software costs —
+ * lives in the style registry as a `Style -> TransferProgram`
+ * builder (see style_registry.h).
+ */
+
+#ifndef CT_CORE_STYLE_H
+#define CT_CORE_STYLE_H
+
+#include <string>
+
+namespace ct::core {
+
+/** Implementation styles for a remote memory copy xQy. */
+enum class Style {
+    /** Gather into a buffer, block transfer, scatter (libsma/NX). */
+    BufferPacking,
+    /** Gather/transfer/scatter in one step via the deposit path. */
+    Chained,
+    /** Buffer packing plus extra system-buffer copies (PVM). */
+    Pvm,
+    /** Contiguous-only direct DMA block transfer, no copies. */
+    DmaDirect,
+    /** Externally registered style (identified by its registry key). */
+    Custom,
+};
+
+/** Display name of a style (looked up in the style registry). */
+std::string styleName(Style style);
+
+} // namespace ct::core
+
+#endif // CT_CORE_STYLE_H

@@ -1,0 +1,377 @@
+#include "style_registry.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ct::core {
+
+namespace {
+
+using P = AccessPattern;
+using E = TransferExpr;
+using R = StageResource;
+using B = BufferBinding;
+
+/** The contiguous middle leg: sender feed || network || deposit. */
+ExprPtr
+contiguousLeg(const MachineCaps &caps)
+{
+    ExprPtr sender = caps.hasFetchSend
+                         ? E::leaf(fetchSend(P::contiguous()))
+                         : E::leaf(loadSend(P::contiguous()));
+    return E::par(sender, E::leaf(netData()),
+                  E::leaf(receiveDeposit(P::contiguous())));
+}
+
+/** Stage form of the contiguous leg, feeding from @p feedBuffer. */
+void
+appendContiguousLeg(const MachineCaps &caps, B feedBuffer, B landBuffer,
+                    std::vector<ProgramStage> &stages)
+{
+    if (caps.hasFetchSend)
+        stages.push_back({fetchSend(P::contiguous()), R::SenderEngine,
+                          feedBuffer, B::NetworkPort});
+    else
+        stages.push_back({loadSend(P::contiguous()), R::SenderCpu,
+                          feedBuffer, B::NetworkPort});
+    stages.push_back(
+        {netData(), R::Wire, B::NetworkPort, B::NetworkPort});
+    stages.push_back({receiveDeposit(P::contiguous()),
+                      R::ReceiverEngine, B::NetworkPort, landBuffer});
+}
+
+std::vector<ResourceConstraint>
+packingConstraints(const MachineCaps &caps)
+{
+    // Buffer packing stores every word twice on each node (pack at
+    // the sender, unpack at the receiver); with all nodes sending and
+    // receiving simultaneously the aggregate store traffic must fit
+    // in the store-only memory bandwidth: 2 x |xQy| <= |0C1|.
+    return {{"2x store traffic <= |0C1|", 2.0,
+             caps.storeOnlyBandwidth}};
+}
+
+TransferProgram
+baseProgram(Style style, const std::string &key, MachineId id,
+            AccessPattern x, AccessPattern y,
+            const SoftwareCosts &costs)
+{
+    TransferProgram p;
+    p.style = style;
+    p.styleKey = key;
+    p.machine = id;
+    p.x = x;
+    p.y = y;
+    p.costs = costs;
+    return p;
+}
+
+std::optional<TransferProgram>
+buildBufferPacking(MachineId id, AccessPattern x, AccessPattern y,
+                   const SoftwareCosts &costs)
+{
+    MachineCaps caps = paperCaps(id);
+    TransferProgram p =
+        baseProgram(Style::BufferPacking, "buffer-packing", id, x, y,
+                    costs);
+    // xQy = xC1 o (feed || Nd || 0D1) o 1Cy. The copies are kept
+    // even for contiguous x and y: the library interface forces
+    // them (§3.4).
+    p.expr = E::seq(E::leaf(localCopy(x, P::contiguous())),
+                    contiguousLeg(caps),
+                    E::leaf(localCopy(P::contiguous(), y)));
+    p.stages.push_back({localCopy(x, P::contiguous()), R::SenderCpu,
+                        B::SourceArray, B::PackBuffer});
+    appendContiguousLeg(caps, B::PackBuffer, B::ReceiveBuffer,
+                        p.stages);
+    p.stages.push_back({localCopy(P::contiguous(), y), R::ReceiverCpu,
+                        B::ReceiveBuffer, B::DestArray});
+    p.constraints = packingConstraints(caps);
+    p.stagingBuffers = 1;
+    p.description = "gather copy, contiguous block transfer, "
+                    "scatter copy";
+    return p;
+}
+
+std::optional<TransferProgram>
+buildPvm(MachineId id, AccessPattern x, AccessPattern y,
+         const SoftwareCosts &costs)
+{
+    MachineCaps caps = paperCaps(id);
+    TransferProgram p =
+        baseProgram(Style::Pvm, "pvm", id, x, y, costs);
+    // Buffer packing plus one extra copy into a system buffer on
+    // each side (§5.1.1); the per-message constant overhead is a
+    // latency effect outside the throughput model.
+    p.expr = E::seq({E::leaf(localCopy(x, P::contiguous())),
+                     E::leaf(localCopy(P::contiguous(),
+                                       P::contiguous())),
+                     contiguousLeg(caps),
+                     E::leaf(localCopy(P::contiguous(),
+                                       P::contiguous())),
+                     E::leaf(localCopy(P::contiguous(), y))});
+    p.stages.push_back({localCopy(x, P::contiguous()), R::SenderCpu,
+                        B::SourceArray, B::PackBuffer});
+    p.stages.push_back({localCopy(P::contiguous(), P::contiguous()),
+                        R::SenderCpu, B::PackBuffer,
+                        B::SenderSystemBuffer});
+    appendContiguousLeg(caps, B::SenderSystemBuffer,
+                        B::ReceiverSystemBuffer, p.stages);
+    p.stages.push_back({localCopy(P::contiguous(), P::contiguous()),
+                        R::ReceiverCpu, B::ReceiverSystemBuffer,
+                        B::ReceiveBuffer});
+    p.stages.push_back({localCopy(P::contiguous(), y), R::ReceiverCpu,
+                        B::ReceiveBuffer, B::DestArray});
+    p.constraints = packingConstraints(caps);
+    p.stagingBuffers = 2;
+    p.description = "buffer packing with additional system-buffer "
+                    "copies";
+    return p;
+}
+
+std::optional<TransferProgram>
+buildChained(MachineId id, AccessPattern x, AccessPattern y,
+             const SoftwareCosts &costs)
+{
+    MachineCaps caps = paperCaps(id);
+    TransferProgram p =
+        baseProgram(Style::Chained, "chained", id, x, y, costs);
+    bool contiguous = x.isContiguous() && y.isContiguous();
+    if (contiguous) {
+        // 1Q'1 = 1S0 || Nd || (0D1 or 0R1).
+        if (caps.depositContiguous) {
+            p.expr = E::par(E::leaf(loadSend(P::contiguous())),
+                            E::leaf(netData()),
+                            E::leaf(receiveDeposit(P::contiguous())));
+            p.stages = {{loadSend(P::contiguous()), R::SenderCpu,
+                         B::SourceArray, B::NetworkPort},
+                        {netData(), R::Wire, B::NetworkPort,
+                         B::NetworkPort},
+                        {receiveDeposit(P::contiguous()),
+                         R::ReceiverEngine, B::NetworkPort,
+                         B::DestArray}};
+        } else if (caps.coProcReceive) {
+            p.expr = E::par(E::leaf(loadSend(P::contiguous())),
+                            E::leaf(netData()),
+                            E::leaf(receiveStore(P::contiguous())));
+            p.stages = {{loadSend(P::contiguous()), R::SenderCpu,
+                         B::SourceArray, B::NetworkPort},
+                        {netData(), R::Wire, B::NetworkPort,
+                         B::NetworkPort},
+                        {receiveStore(P::contiguous()),
+                         R::ReceiverCpu, B::NetworkPort,
+                         B::DestArray}};
+        } else {
+            return std::nullopt;
+        }
+        p.description = "direct contiguous chained transfer";
+        return p;
+    }
+    // xQ'y = xS0 || Nadp || (0Dy or 0Ry).
+    bool engineRecv = false;
+    if (caps.depositAnyPattern)
+        engineRecv = true;
+    else if (caps.coProcReceive)
+        engineRecv = false;
+    else if (y.isContiguous() && caps.depositContiguous)
+        engineRecv = true;
+    else
+        return std::nullopt;
+    ExprPtr recv = engineRecv ? E::leaf(receiveDeposit(y))
+                              : E::leaf(receiveStore(y));
+    p.expr =
+        E::par(E::leaf(loadSend(x)), E::leaf(netAddrData()), recv);
+    p.stages.push_back({loadSend(x), R::SenderCpu, B::SourceArray,
+                        B::NetworkPort});
+    if (y.isIndexed()) {
+        // The sender walks the destination index vector to frame
+        // address-data pairs: a contiguous index-load stream.
+        ProgramStage addr{loadSend(P::contiguous()), R::SenderCpu,
+                          B::SourceArray, B::NetworkPort};
+        addr.addressCompute = true;
+        p.stages.push_back(addr);
+    }
+    p.stages.push_back(
+        {netAddrData(), R::Wire, B::NetworkPort, B::NetworkPort});
+    if (engineRecv)
+        p.stages.push_back({receiveDeposit(y), R::ReceiverEngine,
+                            B::NetworkPort, B::DestArray});
+    else
+        p.stages.push_back({receiveStore(y), R::ReceiverCpu,
+                            B::NetworkPort, B::DestArray});
+    p.description = "remote stores chained through the deposit "
+                    "path (address-data pairs)";
+    return p;
+}
+
+std::optional<TransferProgram>
+buildDmaDirect(MachineId id, AccessPattern x, AccessPattern y,
+               const SoftwareCosts &costs)
+{
+    MachineCaps caps = paperCaps(id);
+    if (!(x.isContiguous() && y.isContiguous()))
+        return std::nullopt;
+    if (!(caps.hasFetchSend && caps.depositContiguous))
+        return std::nullopt;
+    TransferProgram p =
+        baseProgram(Style::DmaDirect, "dma-direct", id, x, y, costs);
+    p.expr = E::par(E::leaf(fetchSend(P::contiguous())),
+                    E::leaf(netData()),
+                    E::leaf(receiveDeposit(P::contiguous())));
+    p.stages = {{fetchSend(P::contiguous()), R::SenderEngine,
+                 B::SourceArray, B::NetworkPort},
+                {netData(), R::Wire, B::NetworkPort, B::NetworkPort},
+                {receiveDeposit(P::contiguous()), R::ReceiverEngine,
+                 B::NetworkPort, B::DestArray}};
+    p.description = "DMA-fed contiguous block transfer";
+    return p;
+}
+
+/** Builders in the planner's preference order (fastest-first when
+ *  estimates tie; matches the legacy hardcoded list). */
+std::vector<StyleInfo>
+builtinStyles()
+{
+    std::vector<StyleInfo> reg;
+    {
+        StyleInfo info;
+        info.style = Style::DmaDirect;
+        info.key = "dma-direct";
+        info.costs = {1000, 500, 3000};
+        SoftwareCosts costs = info.costs;
+        info.build = [costs](MachineId id, AccessPattern x,
+                             AccessPattern y) {
+            return buildDmaDirect(id, x, y, costs);
+        };
+        reg.push_back(std::move(info));
+    }
+    {
+        StyleInfo info;
+        info.style = Style::Chained;
+        info.key = "chained";
+        info.costs = {1500, 0, 8000};
+        SoftwareCosts costs = info.costs;
+        info.build = [costs](MachineId id, AccessPattern x,
+                             AccessPattern y) {
+            return buildChained(id, x, y, costs);
+        };
+        reg.push_back(std::move(info));
+    }
+    {
+        StyleInfo info;
+        info.style = Style::BufferPacking;
+        info.key = "buffer-packing";
+        info.costs = {1000, 500, 3000};
+        SoftwareCosts costs = info.costs;
+        info.build = [costs](MachineId id, AccessPattern x,
+                             AccessPattern y) {
+            return buildBufferPacking(id, x, y, costs);
+        };
+        reg.push_back(std::move(info));
+    }
+    {
+        StyleInfo info;
+        info.style = Style::Pvm;
+        info.key = "pvm";
+        info.costs = {4000, 2000, 3000};
+        SoftwareCosts costs = info.costs;
+        info.build = [costs](MachineId id, AccessPattern x,
+                             AccessPattern y) {
+            return buildPvm(id, x, y, costs);
+        };
+        reg.push_back(std::move(info));
+    }
+    return reg;
+}
+
+std::vector<StyleInfo> &
+registryStorage()
+{
+    static std::vector<StyleInfo> reg = builtinStyles();
+    return reg;
+}
+
+} // namespace
+
+void
+registerStyle(StyleInfo info)
+{
+    if (info.key.empty())
+        util::fatal("registerStyle: style needs a key");
+    if (!info.build)
+        util::fatal("registerStyle: style needs a builder");
+    std::vector<StyleInfo> &reg = registryStorage();
+    for (StyleInfo &existing : reg) {
+        if (existing.key == info.key) {
+            existing = std::move(info);
+            return;
+        }
+    }
+    reg.push_back(std::move(info));
+}
+
+const std::vector<StyleInfo> &
+styleRegistry()
+{
+    return registryStorage();
+}
+
+const StyleInfo *
+findStyle(Style style)
+{
+    for (const StyleInfo &info : registryStorage())
+        if (info.style == style)
+            return &info;
+    return nullptr;
+}
+
+const StyleInfo *
+findStyle(const std::string &key)
+{
+    for (const StyleInfo &info : registryStorage())
+        if (info.key == key)
+            return &info;
+    return nullptr;
+}
+
+namespace {
+
+std::optional<TransferProgram>
+runBuilder(const StyleInfo *info, MachineId id, AccessPattern x,
+           AccessPattern y)
+{
+    if (!info)
+        return std::nullopt;
+    if (x.isFixed() || y.isFixed())
+        util::fatal("buildProgram: xQy patterns must touch memory");
+    return info->build(id, x, y);
+}
+
+} // namespace
+
+std::optional<TransferProgram>
+buildProgram(MachineId id, Style style, AccessPattern x,
+             AccessPattern y)
+{
+    return runBuilder(findStyle(style), id, x, y);
+}
+
+std::optional<TransferProgram>
+buildProgram(MachineId id, const std::string &key, AccessPattern x,
+             AccessPattern y)
+{
+    return runBuilder(findStyle(key), id, x, y);
+}
+
+std::string
+styleName(Style style)
+{
+    if (style == Style::Custom)
+        return "custom";
+    if (const StyleInfo *info = findStyle(style))
+        return info->key;
+    util::panic("styleName: style not registered");
+}
+
+} // namespace ct::core

@@ -38,6 +38,7 @@ struct Ctx
     std::vector<std::deque<Packet>> coprocQueue;
     std::vector<Cycles> coprocFreeAt;
     std::vector<bool> coprocBusy;
+    std::vector<Cycles> fetchFreeAt;
     Cycles lastDone = 0;
     bool refusalWarned = false;
 
@@ -51,12 +52,24 @@ struct Ctx
           coprocFreeAt(static_cast<std::size_t>(machine.nodeCount()),
                        0),
           coprocBusy(static_cast<std::size_t>(machine.nodeCount()),
-                     false)
+                     false),
+          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()), 0)
     {
         engineReceive = machine.config().node.deposit.anyPattern;
-        if (!engineReceive && !machine.config().node.hasCoProcessor)
+        if (opts.dmaFeed) {
+            // DMA-fed direct transfers land through the contiguous
+            // deposit datapath, never the co-processor.
+            if (!machine.config().node.fetch.enabled)
+                util::fatal("ChainedLayer: DMA feed needs a fetch "
+                            "engine");
+            if (!machine.config().node.deposit.enabled)
+                util::fatal("ChainedLayer: DMA feed needs a deposit "
+                            "engine");
+        } else if (!engineReceive &&
+                   !machine.config().node.hasCoProcessor) {
             util::fatal("ChainedLayer: machine has neither a flexible "
                         "deposit engine nor a receive co-processor");
+        }
         for (std::size_t g = 0; g < groups.size(); ++g)
             senderQueue[static_cast<std::size_t>(groups[g].src)]
                 .push_back(g);
@@ -98,8 +111,9 @@ Ctx::trySend(NodeId node)
         // within the partner group; the co-processor receive path
         // (no engine) needs software framing per flow.
         std::uint64_t limit =
-            engineReceive ? group.totalWords() - run.nextWord
-                          : flow.words - offset;
+            (engineReceive && !opts.dmaFeed)
+                ? group.totalWords() - run.nextWord
+                : flow.words - offset;
         std::uint64_t count =
             std::min<std::uint64_t>(layerChunkWords, limit);
         std::uint64_t chunk_first = run.nextWord;
@@ -127,6 +141,36 @@ Ctx::trySend(NodeId node)
         pkt.framing =
             contiguous ? Framing::DataOnly : Framing::AddrDataPair;
         pkt.destBase = offset; // in-flow first word, see deliver()
+
+        if (opts.dmaFeed) {
+            // 1F0: the fetch engine reads the block and injects it;
+            // the processor only pays the kick-off and is released
+            // while the engine streams.
+            if (!contiguous)
+                util::fatal("ChainedLayer: DMA feed requires "
+                            "contiguous flows");
+            sim::Node &sender = machine.node(node);
+            sim::Addr src_addr = flow.srcWalk.base + offset * 8;
+            for (std::uint64_t i = 0; i < count; ++i)
+                pkt.words.push_back(
+                    sender.ram().readWord(src_addr + i * 8));
+            pkt.destBase = flow.dstWalk.base + offset * 8;
+            Cycles fetch_start =
+                std::max(now + elapsed, fetchFreeAt[n]);
+            Cycles fetch_elapsed =
+                sender.fetchEngine().fetch(src_addr, count * 8);
+            fetchFreeAt[n] = fetch_start + fetch_elapsed;
+            machine.events().schedule(
+                fetchFreeAt[n],
+                [this, pkt = std::move(pkt)]() mutable {
+                    machine.network().send(std::move(pkt));
+                });
+            machine.events().scheduleAfter(elapsed, [this, node]() {
+                procBusy[static_cast<std::size_t>(node)] = false;
+                trySend(node);
+            });
+            return;
+        }
 
         if (pkt.framing == Framing::DataOnly) {
             elapsed += proc.gatherToPort(flow.srcWalk, offset, count,
@@ -203,7 +247,11 @@ void
 Ctx::deliver(Packet &&pkt, Cycles time)
 {
     NodeId node = pkt.dst;
-    if (engineReceive) {
+    // DMA-fed data-only chunks always land through the deposit
+    // engine, even on machines that otherwise receive via the
+    // co-processor.
+    if (engineReceive ||
+        (opts.dmaFeed && pkt.framing == Framing::DataOnly)) {
         if (pkt.framing == Framing::DataOnly) {
             // destBase already holds the absolute address.
         }

@@ -39,6 +39,14 @@ struct ChainedOptions
      * the model's 68 MB/s prediction (§6.2).
      */
     Cycles stepSyncCycles = 8000;
+    /**
+     * Feed the network from the DMA fetch engine instead of processor
+     * loads: the dma-direct style (1F0 || Nd || 0D1). Only legal for
+     * fully contiguous flows on a machine with a fetch engine and a
+     * contiguous deposit path; data-only chunks then bypass the
+     * receive co-processor and land through the deposit engine.
+     */
+    bool dmaFeed = false;
 };
 
 /** Direct user-space to user-space transfers via remote stores. */

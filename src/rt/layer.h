@@ -37,21 +37,24 @@ struct RunResult
      */
     util::MBps perNodeMBps(const sim::Machine &machine) const
     {
-        if (makespan == 0) {
-            util::warn("RunResult: zero makespan, reporting 0 MB/s");
-            return 0.0;
-        }
-        return machine.toMBps(maxBytesPerSender, makespan);
+        return rateOf(machine, maxBytesPerSender);
     }
 
     /** Aggregate throughput of the whole step. */
     util::MBps totalMBps(const sim::Machine &machine) const
     {
+        return rateOf(machine, payloadBytes);
+    }
+
+  private:
+    /** Shared guard: a zero makespan reports 0 MB/s with a warning. */
+    util::MBps rateOf(const sim::Machine &machine, Bytes bytes) const
+    {
         if (makespan == 0) {
             util::warn("RunResult: zero makespan, reporting 0 MB/s");
             return 0.0;
         }
-        return machine.toMBps(payloadBytes, makespan);
+        return machine.toMBps(bytes, makespan);
     }
 };
 

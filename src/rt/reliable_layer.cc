@@ -4,6 +4,7 @@
 #include <map>
 
 #include "rt/chained_layer.h"
+#include "sim/packet.h"
 #include "util/logging.h"
 
 namespace ct::rt {

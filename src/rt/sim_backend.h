@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The simulation backend: lowers a core::TransferProgram onto the
+ * simulator's message layers and actually moves the data.
+ *
+ * Lowering is driven by the program's *shape*, not its style tag:
+ * programs that stage through packing buffers (stagingBuffers >= 1)
+ * become a PackingLayer (with PVM's extra system-buffer copies when
+ * stagingBuffers >= 2); direct programs become a ChainedLayer, in
+ * DMA-feed mode when the program runs a fetch engine on the sender.
+ * The program's software costs flow straight into the layer options,
+ * so the analytic latency model and the simulator charge the same
+ * constants by construction. Reliable programs are wrapped in the
+ * ReliableLayer transport.
+ */
+
+#ifndef CT_RT_SIM_BACKEND_H
+#define CT_RT_SIM_BACKEND_H
+
+#include <memory>
+
+#include "core/analytic_backend.h"
+#include "core/transfer_program.h"
+#include "rt/layer.h"
+
+namespace ct::rt {
+
+/**
+ * Derive the analytic backend's execution profile (clock, shared
+ * bus, chunking, DMA setup cost, index-stream rate) from a simulator
+ * machine configuration, so model and simulator describe the same
+ * hardware.
+ */
+core::ExecutionProfile
+executionProfileFor(const sim::MachineConfig &cfg);
+
+/**
+ * Lower @p program onto a concrete message layer (see file comment).
+ * The returned layer is reusable across runs on fresh machines.
+ */
+std::unique_ptr<MessageLayer>
+lowerProgram(const core::TransferProgram &program);
+
+/** Outcome of one backend execution, with the rates resolved. */
+struct SimRun
+{
+    RunResult result;
+    util::MBps perNodeMBps = 0.0;
+    util::MBps totalMBps = 0.0;
+    /** Words that arrived with the wrong value (0 = verified). */
+    std::uint64_t corruptWords = 0;
+    std::string layerName;
+};
+
+/** Executes TransferPrograms on one simulated machine model. */
+class SimBackend
+{
+  public:
+    explicit SimBackend(sim::MachineConfig config);
+
+    /**
+     * One-directional run: node 0 sends @p words elements to node 1
+     * with the program's patterns (the validation-cell setup).
+     */
+    SimRun execute(const core::TransferProgram &program,
+                   std::uint64_t words, std::uint64_t seed = 42);
+
+    /**
+     * Pairwise exchange across all nodes, every node sending and
+     * receiving (the paper's measurement setup).
+     */
+    SimRun exchange(const core::TransferProgram &program,
+                    std::uint64_t words, std::uint64_t seed = 42);
+
+    const sim::MachineConfig &config() const { return cfg; }
+
+  private:
+    SimRun run(const core::TransferProgram &program, CommOp op,
+               sim::Machine &machine);
+
+    sim::MachineConfig cfg;
+};
+
+} // namespace ct::rt
+
+#endif // CT_RT_SIM_BACKEND_H

@@ -1,0 +1,156 @@
+#include "validation.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/analytic_backend.h"
+#include "core/style_registry.h"
+#include "rt/sim_backend.h"
+#include "sim/measure.h"
+#include "util/logging.h"
+
+namespace ct::rt {
+
+ValidationReport
+crossValidate(ValidationOptions options)
+{
+    ValidationReport report;
+    report.options = options;
+
+    const std::vector<core::AccessPattern> patterns = {
+        core::AccessPattern::contiguous(),
+        core::AccessPattern::strided(16),
+        core::AccessPattern::strided(64),
+        core::AccessPattern::indexed(),
+    };
+
+    for (core::MachineId id :
+         {core::MachineId::T3d, core::MachineId::Paragon}) {
+        sim::MachineConfig cfg = sim::configFor(id);
+        // Feed the model the simulator-measured basic-transfer table,
+        // exactly as the paper feeds measured figures into the model:
+        // the comparison then tests the *composition rules*, not the
+        // table values.
+        core::AnalyticBackend analytic(sim::measuredTable(cfg),
+                                       executionProfileFor(cfg));
+        SimBackend backend(cfg);
+
+        for (const core::StyleInfo &info : core::styleRegistry()) {
+            for (const core::AccessPattern &x : patterns) {
+                for (const core::AccessPattern &y : patterns) {
+                    auto program =
+                        core::buildProgram(id, info.key, x, y);
+                    if (!program)
+                        continue; // illegal cell on this machine
+                    // The cells run one flow 0 -> 1: congestion 1.
+                    auto model = analytic.predictThroughputAt(
+                        *program, options.words * 8, 1.0);
+                    if (!model) {
+                        util::warn("crossValidate: cannot predict ",
+                                   info.key, " ", x.label(), "Q",
+                                   y.label(), " on ", cfg.name,
+                                   "; skipping");
+                        continue;
+                    }
+                    SimRun run =
+                        backend.execute(*program, options.words);
+
+                    ValidationCell cell;
+                    cell.machine = id;
+                    cell.machineName = cfg.name;
+                    cell.style = info.key;
+                    cell.x = x.label();
+                    cell.y = y.label();
+                    cell.formula = program->format();
+                    cell.modelMBps = *model;
+                    cell.simMBps = run.perNodeMBps;
+                    if (run.corruptWords != 0 ||
+                        run.perNodeMBps <= 0.0) {
+                        util::warn("crossValidate: corrupted or "
+                                   "empty run for ",
+                                   info.key, " ", x.label(), "Q",
+                                   y.label(), " on ", cfg.name);
+                        cell.errorPct = 100.0;
+                        cell.pass = false;
+                    } else {
+                        cell.errorPct = (cell.modelMBps -
+                                         cell.simMBps) /
+                                        cell.simMBps * 100.0;
+                        cell.pass = std::abs(cell.errorPct) <=
+                                    options.tolerancePct;
+                    }
+                    report.worstAbsErrPct =
+                        std::max(report.worstAbsErrPct,
+                                 std::abs(cell.errorPct));
+                    report.allPass =
+                        report.allPass && cell.pass;
+                    report.cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+formatValidation(const ValidationReport &report)
+{
+    std::ostringstream os;
+    os << "model vs simulator, one TransferProgram per cell ("
+       << report.options.words << " words, tolerance "
+       << report.options.tolerancePct << "%):\n";
+    os << std::left << std::setw(9) << "machine" << std::setw(15)
+       << "style" << std::setw(8) << "cell" << std::right
+       << std::setw(9) << "model" << std::setw(9) << "sim"
+       << std::setw(9) << "err%"
+       << "\n";
+    for (const ValidationCell &cell : report.cells) {
+        os << std::left << std::setw(9) << cell.machineName
+           << std::setw(15) << cell.style << std::setw(8)
+           << (cell.x + "Q" + cell.y) << std::right << std::fixed
+           << std::setprecision(1) << std::setw(9) << cell.modelMBps
+           << std::setw(9) << cell.simMBps << std::showpos
+           << std::setw(9) << cell.errorPct << std::noshowpos
+           << (cell.pass ? "" : "  FAIL") << "\n";
+    }
+    os << (report.allPass ? "PASS" : "FAIL") << ": "
+       << report.cells.size() << " cells, worst |error| "
+       << std::fixed << std::setprecision(1) << report.worstAbsErrPct
+       << "%\n";
+    return os.str();
+}
+
+std::string
+validationJson(const ValidationReport &report)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << "{\n";
+    os << "  \"words\": " << report.options.words << ",\n";
+    os << "  \"tolerance_pct\": " << report.options.tolerancePct
+       << ",\n";
+    os << "  \"worst_abs_error_pct\": " << report.worstAbsErrPct
+       << ",\n";
+    os << "  \"all_pass\": " << (report.allPass ? "true" : "false")
+       << ",\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const ValidationCell &cell = report.cells[i];
+        os << "    {\"machine\": \"" << cell.machineName
+           << "\", \"style\": \"" << cell.style << "\", \"x\": \""
+           << cell.x << "\", \"y\": \"" << cell.y
+           << "\", \"formula\": \"" << cell.formula
+           << "\", \"model_mbps\": " << cell.modelMBps
+           << ", \"sim_mbps\": " << cell.simMBps
+           << ", \"error_pct\": " << cell.errorPct
+           << ", \"pass\": " << (cell.pass ? "true" : "false")
+           << "}" << (i + 1 < report.cells.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace ct::rt

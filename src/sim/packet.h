@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sim/addr.h"
-#include "sim/crc32c.h"
+#include "util/crc32c.h"
 
 namespace ct::sim {
 
@@ -72,11 +72,11 @@ payloadSum(const Packet &packet)
 {
     std::uint32_t state = 0xFFFFFFFFu;
     if (!packet.words.empty())
-        state = crc32cUpdate(state, packet.words.data(),
-                             packet.words.size() * 8);
+        state = util::crc32cUpdate(state, packet.words.data(),
+                                   packet.words.size() * 8);
     if (!packet.addrs.empty())
-        state = crc32cUpdate(state, packet.addrs.data(),
-                             packet.addrs.size() * sizeof(Addr));
+        state = util::crc32cUpdate(state, packet.addrs.data(),
+                                   packet.addrs.size() * sizeof(Addr));
     return state ^ 0xFFFFFFFFu;
 }
 

@@ -147,4 +147,43 @@ TEST(ParserDeath, ParseOrDieOnGarbage)
                 "parse error");
 }
 
+// ---------------------------------------------------------------------
+// Exhaustive round-trips: parse(format(e)) == format(e) for every
+// basic transfer over every pattern kind, and for composed formulas.
+// ---------------------------------------------------------------------
+
+TEST(Parser, RoundTripsEveryPatternKind)
+{
+    using P = AccessPattern;
+    const std::vector<P> kinds = {P::contiguous(), P::strided(2),
+                                  P::strided(16), P::strided(1024),
+                                  P::indexed()};
+    std::vector<ExprPtr> leaves;
+    for (const P &x : kinds) {
+        for (const P &y : kinds)
+            leaves.push_back(TransferExpr::leaf(localCopy(x, y)));
+        leaves.push_back(TransferExpr::leaf(loadSend(x)));
+        leaves.push_back(TransferExpr::leaf(fetchSend(x)));
+        leaves.push_back(TransferExpr::leaf(receiveStore(x)));
+        leaves.push_back(TransferExpr::leaf(receiveDeposit(x)));
+    }
+    leaves.push_back(TransferExpr::leaf(netData()));
+    leaves.push_back(TransferExpr::leaf(netAddrData()));
+    for (const ExprPtr &leaf : leaves) {
+        auto round = ok(leaf->format());
+        ASSERT_TRUE(round) << leaf->format();
+        EXPECT_EQ(round->format(), leaf->format());
+    }
+    // Composed both ways around every leaf.
+    for (const ExprPtr &leaf : leaves) {
+        auto composed = TransferExpr::seq(
+            TransferExpr::leaf(localCopy(AccessPattern::contiguous(),
+                                         AccessPattern::contiguous())),
+            TransferExpr::par(leaf, TransferExpr::leaf(netData())));
+        auto round = ok(composed->format());
+        ASSERT_TRUE(round) << composed->format();
+        EXPECT_EQ(round->format(), composed->format());
+    }
+}
+
 } // namespace

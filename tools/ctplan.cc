@@ -13,27 +13,38 @@
  *                                     run a pairwise exchange on the
  *                                     simulator behind the reliable
  *                                     transport
+ *   ctplan validate [--out=FILE]      cross-validate the analytic
+ *                                     and simulation backends over
+ *                                     every machine x style x legal
+ *                                     pattern-pair cell; non-zero
+ *                                     exit if any cell misses the
+ *                                     tolerance
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
- * docs/FAULTS.md for the full key list).
+ * docs/FAULTS.md for the full key list). Plan and validate accept
+ * --json for machine-readable output.
  *
  * Examples:
  *   ctplan t3d 1Q64
+ *   ctplan t3d 1Q64 --json
  *   ctplan t3d 1Q1 2048               the SOR message size
  *   ctplan paragon wQw
  *   ctplan t3d eval "1C1 o (1S0 || Nd || 0D1) o 1C64"
  *   ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7
+ *   ctplan validate --out=BENCH_model_vs_sim.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/parser.h"
 #include "core/planner.h"
 #include "rt/reliable_layer.h"
+#include "rt/validation.h"
 #include "rt/workload.h"
 #include "sim/measure.h"
 #include "util/table.h"
@@ -50,11 +61,13 @@ usage()
         stderr,
         "usage: ctplan <t3d|paragon> "
         "<xQy | eval <formula> | table | sim <xQy> [words]>\n"
-        "       [--faults=SPEC]\n"
+        "       [--faults=SPEC] [--json]\n"
+        "       ctplan validate [--json] [--out=FILE]\n"
         "  ctplan t3d 1Q64\n"
         "  ctplan paragon wQw\n"
         "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n"
-        "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n");
+        "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n"
+        "  ctplan validate --out=BENCH_model_vs_sim.json\n");
     return 2;
 }
 
@@ -207,21 +220,98 @@ runSim(core::MachineId machine, const std::string &xqy,
     return bad == 0 ? 0 : 1;
 }
 
+/**
+ * Cross-validate the two backends over every machine x style x legal
+ * pattern-pair cell. Returns non-zero when any cell misses the
+ * tolerance, so CI can gate on it.
+ */
+int
+runValidate(bool json, const std::string &out_file)
+{
+    rt::ValidationReport report = rt::crossValidate();
+    if (json)
+        std::printf("%s", rt::validationJson(report).c_str());
+    else
+        std::printf("%s", rt::formatValidation(report).c_str());
+    if (!out_file.empty()) {
+        std::ofstream out(out_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out_file.c_str());
+            return 1;
+        }
+        out << rt::validationJson(report);
+        std::printf("wrote %s\n", out_file.c_str());
+    }
+    return report.allPass ? 0 : 1;
+}
+
+/** JSON rendering of a planning decision (plan --json). */
+void
+printPlanJson(const core::PlanQuery &query,
+              const std::vector<core::PlannedStrategy> &plans,
+              util::Bytes bytes,
+              const std::vector<core::SizedPlan> &sized)
+{
+    core::MachineCaps caps = core::paperCaps(query.machine);
+    std::printf("{\n");
+    std::printf("  \"machine\": \"%s\",\n", caps.name.c_str());
+    std::printf("  \"x\": \"%s\",\n", query.read.label().c_str());
+    std::printf("  \"y\": \"%s\",\n", query.write.label().c_str());
+    std::printf("  \"plans\": [\n");
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const auto &p = plans[i];
+        std::printf("    {\"style\": \"%s\", \"estimate_mbps\": "
+                    "%.3f, \"formula\": \"%s\"}%s\n",
+                    p.strategy.program.styleKey.c_str(), p.estimate,
+                    p.strategy.expr->format().c_str(),
+                    i + 1 < plans.size() ? "," : "");
+    }
+    std::printf("  ]%s\n", sized.empty() ? "" : ",");
+    if (!sized.empty()) {
+        std::printf("  \"message_bytes\": %llu,\n",
+                    static_cast<unsigned long long>(bytes));
+        std::printf("  \"sized_plans\": [\n");
+        for (std::size_t i = 0; i < sized.size(); ++i) {
+            const auto &p = sized[i];
+            std::printf(
+                "    {\"style\": \"%s\", \"effective_mbps\": %.3f, "
+                "\"asymptotic_mbps\": %.3f, "
+                "\"half_power_bytes\": %llu}%s\n",
+                p.key.c_str(), p.effective, p.asymptotic,
+                static_cast<unsigned long long>(p.halfPower),
+                i + 1 < sized.size() ? "," : "");
+        }
+        std::printf("  ]\n");
+    }
+    std::printf("}\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Peel off --faults=SPEC wherever it appears.
+    // Peel off --faults=SPEC, --json and --out=FILE wherever they
+    // appear.
     sim::FaultSpec faults;
+    bool json = false;
+    std::string out_file;
     int nargs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--faults=", 9) == 0)
             faults = sim::FaultSpec::parse(argv[i] + 9);
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_file = argv[i] + 6;
         else
             argv[nargs++] = argv[i];
     }
     argc = nargs;
+
+    if (argc >= 2 && std::strcmp(argv[1], "validate") == 0)
+        return runValidate(json, out_file);
 
     if (argc < 3)
         return usage();
@@ -288,25 +378,34 @@ main(int argc, char **argv)
     }
     core::PlanQuery query{machine, *x, *y, 0.0};
     auto plans = core::plan(query);
-    std::printf("%s", core::formatPlan(query, plans).c_str());
 
+    util::Bytes bytes = 0;
+    std::vector<core::SizedPlan> sized;
     if (argc >= 4) {
         // Size-aware ranking via the latency-extended model.
-        auto bytes = static_cast<ct::util::Bytes>(
+        bytes = static_cast<ct::util::Bytes>(
             std::strtoull(argv[3], nullptr, 10));
         if (bytes == 0) {
             std::fprintf(stderr, "bad message size '%s'\n", argv[3]);
             return 1;
         }
+        sized = core::planForSize(machine, *x, *y, bytes);
+    }
+
+    if (json) {
+        printPlanJson(query, plans, bytes, sized);
+        return 0;
+    }
+
+    std::printf("%s", core::formatPlan(query, plans).c_str());
+    if (!sized.empty()) {
         std::printf("\nat %llu-byte messages (latency-extended "
                     "model):\n",
                     static_cast<unsigned long long>(bytes));
-        for (const auto &p :
-             core::planForSize(machine, *x, *y, bytes)) {
+        for (const auto &p : sized) {
             std::printf("  %-15s %6.1f MB/s effective "
                         "(asymptotic %.1f, n1/2 = %llu B)\n",
-                        core::styleName(p.style).c_str(), p.effective,
-                        p.asymptotic,
+                        p.key.c_str(), p.effective, p.asymptotic,
                         static_cast<unsigned long long>(p.halfPower));
         }
     }
