@@ -161,7 +161,5 @@ main(int argc, char **argv)
         args.push_back(fmt.data());
     }
     int n = static_cast<int>(args.size());
-    benchmark::Initialize(&n, args.data());
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return ct::bench::runBenchmarks(n, args.data(), "ext_fault_degradation");
 }

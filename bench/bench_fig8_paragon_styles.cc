@@ -78,7 +78,5 @@ int
 main(int argc, char **argv)
 {
     registerAll();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return ct::bench::runBenchmarks(argc, argv, "fig8_paragon_styles");
 }

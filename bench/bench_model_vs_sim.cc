@@ -79,8 +79,7 @@ main(int argc, char **argv)
         args.push_back(fmt.data());
     }
     int n = static_cast<int>(args.size());
-    benchmark::Initialize(&n, args.data());
-    benchmark::RunSpecifiedBenchmarks();
+    ct::bench::runBenchmarks(n, args.data(), "model_vs_sim");
     // The regression gate: fail the binary (and CI) if any cell
     // drifted outside the tolerance.
     return report().allPass ? 0 : 1;

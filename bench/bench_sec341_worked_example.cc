@@ -45,4 +45,8 @@ workedExample(benchmark::State &state)
 
 BENCHMARK(workedExample)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return ct::bench::runBenchmarks(argc, argv, "sec341_worked_example");
+}

@@ -1,8 +1,72 @@
 #include "bench_util.h"
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+
 #include "util/logging.h"
 
 namespace ct::bench {
+
+namespace {
+
+/** Row -> counter -> value; std::map keeps dump order stable. */
+using SummaryRows =
+    std::map<std::string, std::map<std::string, double>>;
+
+/**
+ * Console reporter that also captures every row's user counters, so
+ * the summary holds exactly what the benchmark report printed.
+ */
+class SummaryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    SummaryRows rows;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs)
+            if (run.run_type == Run::RT_Iteration)
+                for (const auto &[name, counter] : run.counters)
+                    rows[run.benchmark_name()][name] = counter.value;
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+void
+writeSummary(const std::string &path, const char *bench_name,
+             const SummaryRows &rows)
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::warn("bench summary: cannot write '", path, "'");
+        return;
+    }
+    // max_digits10 makes the doubles round-trip exactly, so equal
+    // simulations produce byte-identical summaries.
+    out << std::setprecision(17);
+    out << "{\n  \"bench\": \"" << bench_name << "\",\n"
+        << "  \"rows\": {\n";
+    std::size_t r = 0;
+    for (const auto &[row, counters] : rows) {
+        out << "    \"" << row << "\": {";
+        std::size_t c = 0;
+        for (const auto &[name, value] : counters) {
+            out << "\"" << name << "\": " << value;
+            if (++c < counters.size())
+                out << ", ";
+        }
+        out << "}";
+        if (++r < rows.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "  }\n}\n";
+}
+
+} // namespace
 
 std::unique_ptr<rt::MessageLayer>
 makeStyleLayer(MachineId machine, Style style)
@@ -37,6 +101,25 @@ exchangeMBps(MachineId machine, Style style, AccessPattern x,
         util::fatal("exchangeMBps: corrupted delivery for ",
                     x.label(), "Q", y.label());
     return run.perNodeMBps;
+}
+
+void
+setCounter(benchmark::State &state, const char *name, double value)
+{
+    state.counters[name] = benchmark::Counter(value);
+}
+
+int
+runBenchmarks(int argc, char **argv, const char *bench_name)
+{
+    benchmark::Initialize(&argc, argv);
+    SummaryReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const char *env = std::getenv("BENCH_SUMMARY");
+    std::string path = env ? env : "BENCH_summary.json";
+    if (!path.empty())
+        writeSummary(path, bench_name, reporter.rows);
+    return 0;
 }
 
 double

@@ -59,12 +59,29 @@ double exchangeMBps(MachineId machine, Style style, AccessPattern x,
 double modelMBps(MachineId machine, core::Style style,
                  AccessPattern x, AccessPattern y);
 
-/** Attach a rate counter to the current benchmark row. */
-inline void
-setCounter(benchmark::State &state, const char *name, double value)
-{
-    state.counters[name] = benchmark::Counter(value);
-}
+/**
+ * Attach a rate counter to the current benchmark row and record it
+ * in the run's summary (see runBenchmarks). Every value recorded
+ * this way is derived from the deterministic simulator or the
+ * analytic model -- never from wall-clock time -- so the summary is
+ * bit-stable across hosts and fit for committed baselines.
+ */
+void setCounter(benchmark::State &state, const char *name,
+                double value);
+
+/**
+ * Standard bench main body: initialize google-benchmark, run the
+ * registered benchmarks, then write the counters recorded via
+ * setCounter() as a summary JSON
+ *
+ *   {"bench": "<benchName>", "rows": {"<row>": {"<counter>": v}}}
+ *
+ * to BENCH_summary.json (override the path with the BENCH_SUMMARY
+ * environment variable; an empty value disables the dump).
+ * tools/bench_compare.py diffs these summaries against the committed
+ * baselines in bench/baselines/.
+ */
+int runBenchmarks(int argc, char **argv, const char *benchName);
 
 } // namespace ct::bench
 

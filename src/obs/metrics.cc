@@ -1,0 +1,242 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ct::obs {
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+/** Bucket index: log2 of the value (value 0 -> bucket 0). */
+int
+bucketOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : 64 - std::countl_zero(v) - 1;
+}
+
+} // namespace
+
+void
+Histogram::record(std::uint64_t v)
+{
+    if (!cell)
+        return;
+    cell->count.fetch_add(1, std::memory_order_relaxed);
+    cell->sum.fetch_add(v, std::memory_order_relaxed);
+    cell->buckets[bucketOf(v)].fetch_add(1,
+                                         std::memory_order_relaxed);
+    // min/max via CAS loops; contention is negligible at sim rates.
+    std::uint64_t cur = cell->min.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !cell->min.compare_exchange_weak(
+               cur, v, std::memory_order_relaxed))
+        ;
+    cur = cell->max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell->max.compare_exchange_weak(
+               cur, v, std::memory_order_relaxed))
+        ;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.buckets.assign(HistogramCell::kBuckets, 0);
+    if (!cell)
+        return s;
+    s.count = cell->count.load(std::memory_order_relaxed);
+    s.sum = cell->sum.load(std::memory_order_relaxed);
+    std::uint64_t mn = cell->min.load(std::memory_order_relaxed);
+    s.min = s.count == 0 ? 0 : mn;
+    s.max = cell->max.load(std::memory_order_relaxed);
+    for (int i = 0; i < HistogramCell::kBuckets; ++i)
+        s.buckets[static_cast<std::size_t>(i)] =
+            cell->buckets[i].load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    if (!cell)
+        return;
+    cell->count.store(0, std::memory_order_relaxed);
+    cell->sum.store(0, std::memory_order_relaxed);
+    cell->min.store(UINT64_MAX, std::memory_order_relaxed);
+    cell->max.store(0, std::memory_order_relaxed);
+    for (auto &b : cell->buckets)
+        b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Cell &
+MetricsRegistry::getOrCreate(const std::string &name, MetricKind kind)
+{
+    if (name.empty())
+        util::fatal("MetricsRegistry: empty metric name");
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(name);
+    if (it != index.end()) {
+        if (it->second->kind != kind)
+            util::fatal("MetricsRegistry: '", name,
+                        "' already registered as ",
+                        kindName(it->second->kind),
+                        ", requested as ", kindName(kind));
+        return *it->second;
+    }
+    cells.emplace_back();
+    Cell &cell = cells.back();
+    cell.name = name;
+    cell.kind = kind;
+    index.emplace(name, &cell);
+    return cell;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    return Counter(&getOrCreate(name, MetricKind::Counter).counter);
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    return Gauge(&getOrCreate(name, MetricKind::Gauge).gauge);
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name)
+{
+    return Histogram(&getOrCreate(name, MetricKind::Histogram).hist);
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return index.find(name) != index.end();
+}
+
+MetricKind
+MetricsRegistry::kindOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(name);
+    if (it == index.end())
+        util::fatal("MetricsRegistry: unknown metric '", name, "'");
+    return it->second->kind;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(name);
+    if (it == index.end() || it->second->kind != MetricKind::Counter)
+        return 0;
+    return it->second->counter.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(name);
+    if (it == index.end() || it->second->kind != MetricKind::Gauge)
+        return 0;
+    return it->second->gauge.load(std::memory_order_relaxed);
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cells.size();
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    out.reserve(cells.size());
+    for (const auto &[name, cell] : index)
+        out.push_back(name);
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (Cell &cell : cells) {
+        cell.counter.store(0, std::memory_order_relaxed);
+        cell.gauge.store(0, std::memory_order_relaxed);
+        Histogram(&cell.hist).reset();
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto emitGroup = [&](MetricKind kind, const char *label,
+                         bool first_group) {
+        if (!first_group)
+            os << ",\n";
+        os << "  \"" << label << "\": {";
+        bool first = true;
+        for (const auto &[name, cell] : index) {
+            if (cell->kind != kind)
+                continue;
+            os << (first ? "\n" : ",\n") << "    \"" << name
+               << "\": ";
+            first = false;
+            if (kind == MetricKind::Counter) {
+                os << cell->counter.load(std::memory_order_relaxed);
+            } else if (kind == MetricKind::Gauge) {
+                os << cell->gauge.load(std::memory_order_relaxed);
+            } else {
+                HistogramSnapshot s =
+                    Histogram(&cell->hist).snapshot();
+                os << "{\"count\": " << s.count
+                   << ", \"sum\": " << s.sum << ", \"min\": " << s.min
+                   << ", \"max\": " << s.max << "}";
+            }
+        }
+        os << (first ? "}" : "\n  }");
+    };
+    os << "{\n";
+    emitGroup(MetricKind::Counter, "counters", true);
+    emitGroup(MetricKind::Gauge, "gauges", false);
+    emitGroup(MetricKind::Histogram, "histograms", false);
+    os << "\n}\n";
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace ct::obs

@@ -1,0 +1,220 @@
+#include "trace.h"
+
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace ct::obs {
+
+namespace {
+
+/** Fixed-point microsecond rendering without float formatting
+ *  surprises: three decimal places, exact for integer cycles. */
+void
+emitTs(std::ostream &os, TraceClock cycles, double cyclesPerUsec)
+{
+    if (cyclesPerUsec == 1.0) {
+        os << cycles;
+        return;
+    }
+    double us = static_cast<double>(cycles) / cyclesPerUsec;
+    std::uint64_t milli_us =
+        static_cast<std::uint64_t>(us * 1000.0 + 0.5);
+    os << milli_us / 1000 << '.';
+    std::uint64_t frac = milli_us % 1000;
+    os << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + frac / 10 % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+void
+emitArgs(std::ostream &os, const TraceEvent &e)
+{
+    os << "\"args\": {";
+    if (e.key1) {
+        os << "\"" << e.key1 << "\": " << e.val1;
+        if (e.key2)
+            os << ", \"" << e.key2 << "\": " << e.val2;
+    }
+    os << "}";
+}
+
+} // namespace
+
+bool
+parseTraceFormat(const std::string &text, TraceFormat &format)
+{
+    if (text == "chrome") {
+        format = TraceFormat::Chrome;
+        return true;
+    }
+    if (text == "jsonl") {
+        format = TraceFormat::JsonLines;
+        return true;
+    }
+    return false;
+}
+
+Tracer::Tracer(std::size_t capacity)
+{
+    if (capacity == 0)
+        util::fatal("Tracer: capacity must be positive");
+    ring.resize(capacity);
+}
+
+void
+Tracer::record(const TraceEvent &event)
+{
+    ring[static_cast<std::size_t>(total % ring.size())] = event;
+    ++total;
+}
+
+void
+Tracer::span(const char *cat, const char *name, std::int32_t tid,
+             TraceClock ts, TraceClock dur, const char *key1,
+             std::uint64_t val1, const char *key2, std::uint64_t val2)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Span;
+    e.ts = ts;
+    e.dur = dur;
+    e.tid = tid;
+    e.cat = cat;
+    e.name = name;
+    e.key1 = key1;
+    e.val1 = val1;
+    e.key2 = key2;
+    e.val2 = val2;
+    record(e);
+}
+
+void
+Tracer::instant(const char *cat, const char *name, std::int32_t tid,
+                TraceClock ts, const char *key1, std::uint64_t val1,
+                const char *key2, std::uint64_t val2)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Instant;
+    e.ts = ts;
+    e.tid = tid;
+    e.cat = cat;
+    e.name = name;
+    e.key1 = key1;
+    e.val1 = val1;
+    e.key2 = key2;
+    e.val2 = val2;
+    record(e);
+}
+
+void
+Tracer::setTrackName(std::int32_t tid, std::string name)
+{
+    trackNames[tid] = std::move(name);
+}
+
+std::size_t
+Tracer::size() const
+{
+    return total < ring.size() ? static_cast<std::size_t>(total)
+                               : ring.size();
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return total < ring.size() ? 0 : total - ring.size();
+}
+
+const TraceEvent &
+Tracer::event(std::size_t i) const
+{
+    if (i >= size())
+        util::fatal("Tracer::event: index ", i, " out of range (",
+                    size(), " events held)");
+    std::size_t oldest = total < ring.size()
+                             ? 0
+                             : static_cast<std::size_t>(
+                                   total % ring.size());
+    return ring[(oldest + i) % ring.size()];
+}
+
+void
+Tracer::clear()
+{
+    total = 0;
+}
+
+void
+Tracer::write(std::ostream &os, TraceFormat format,
+              double cyclesPerUsec) const
+{
+    if (format == TraceFormat::Chrome)
+        writeChrome(os, cyclesPerUsec);
+    else
+        writeJsonLines(os, cyclesPerUsec);
+}
+
+void
+Tracer::writeChrome(std::ostream &os, double cyclesPerUsec) const
+{
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    // Track-name metadata first, so viewers label every timeline.
+    for (const auto &[tid, name] : trackNames) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 0, \"tid\": "
+           << tid << ", \"args\": {\"name\": \"" << name << "\"}}";
+        os << ",\n{\"name\": \"thread_sort_index\", \"ph\": \"M\", "
+              "\"pid\": 0, \"tid\": "
+           << tid << ", \"args\": {\"sort_index\": " << tid << "}}";
+    }
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceEvent &e = event(i);
+        sep();
+        os << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.cat
+           << "\", \"ph\": \""
+           << (e.kind == TraceEvent::Kind::Span ? "X" : "i")
+           << "\", \"pid\": 0, \"tid\": " << e.tid << ", \"ts\": ";
+        emitTs(os, e.ts, cyclesPerUsec);
+        if (e.kind == TraceEvent::Kind::Span) {
+            os << ", \"dur\": ";
+            emitTs(os, e.dur, cyclesPerUsec);
+        } else {
+            os << ", \"s\": \"t\"";
+        }
+        os << ", ";
+        emitArgs(os, e);
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void
+Tracer::writeJsonLines(std::ostream &os, double cyclesPerUsec) const
+{
+    for (std::size_t i = 0; i < size(); ++i) {
+        const TraceEvent &e = event(i);
+        os << "{\"ts\": ";
+        emitTs(os, e.ts, cyclesPerUsec);
+        os << ", \"cycles\": " << e.ts << ", \"kind\": \""
+           << (e.kind == TraceEvent::Kind::Span ? "span" : "instant")
+           << "\", \"cat\": \"" << e.cat << "\", \"name\": \""
+           << e.name << "\", \"tid\": " << e.tid;
+        auto track = trackNames.find(e.tid);
+        if (track != trackNames.end())
+            os << ", \"track\": \"" << track->second << "\"";
+        if (e.kind == TraceEvent::Kind::Span)
+            os << ", \"dur_cycles\": " << e.dur;
+        os << ", ";
+        emitArgs(os, e);
+        os << "}\n";
+    }
+}
+
+} // namespace ct::obs

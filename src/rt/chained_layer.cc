@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/trace.h"
+#include "sim/trace_tracks.h"
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -12,6 +14,8 @@ using sim::Framing;
 using sim::Machine;
 using sim::NodeId;
 using sim::Packet;
+using sim::TraceTrack;
+using sim::traceTrack;
 
 /** Execution state of the whole operation. */
 struct Ctx
@@ -41,6 +45,7 @@ struct Ctx
     std::vector<Cycles> fetchFreeAt;
     Cycles lastDone = 0;
     bool refusalWarned = false;
+    obs::Tracer *tracer;
 
     Ctx(Machine &machine, const CommOp &op, const ChainedOptions &opts)
         : machine(machine), op(op), opts(opts), groups(groupFlows(op)),
@@ -53,7 +58,9 @@ struct Ctx
                        0),
           coprocBusy(static_cast<std::size_t>(machine.nodeCount()),
                      false),
-          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()), 0)
+          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
+                      0),
+          tracer(machine.tracer())
     {
         engineReceive = machine.config().node.deposit.anyPattern;
         if (opts.dmaFeed) {
@@ -160,6 +167,15 @@ Ctx::trySend(NodeId node)
             Cycles fetch_elapsed =
                 sender.fetchEngine().fetch(src_addr, count * 8);
             fetchFreeAt[n] = fetch_start + fetch_elapsed;
+            if (tracer) {
+                tracer->span("stage", "dma-kick",
+                             traceTrack(node, TraceTrack::Cpu), now,
+                             elapsed, "words", count);
+                tracer->span("resource", "fetch-dma",
+                             traceTrack(node, TraceTrack::Fetch),
+                             fetch_start, fetch_elapsed, "bytes",
+                             count * 8);
+            }
             machine.events().schedule(
                 fetchFreeAt[n],
                 [this, pkt = std::move(pkt)]() mutable {
@@ -195,6 +211,13 @@ Ctx::trySend(NodeId node)
             }
         }
 
+        if (tracer)
+            tracer->span("stage",
+                         pkt.framing == Framing::DataOnly
+                             ? "gather"
+                             : "gather+addr",
+                         traceTrack(node, TraceTrack::Cpu), now,
+                         elapsed, "words", count);
         machine.events().scheduleAfter(
             elapsed, [this, node, pkt = std::move(pkt)]() mutable {
                 machine.network().send(std::move(pkt));
@@ -232,6 +255,10 @@ Ctx::tryReceive(NodeId node)
         coproc.scatterFromPort(flow.dstWalk, first, pkt.words.size(),
                                start, pkt.words.data());
     coprocFreeAt[n] = start + elapsed;
+    if (tracer)
+        tracer->span("stage", "recv-scatter",
+                     traceTrack(node, TraceTrack::CoProc), start,
+                     elapsed, "words", pkt.words.size());
 
     std::size_t group_idx = pkt.seq;
     machine.events().schedule(
@@ -269,10 +296,20 @@ Ctx::deliver(Packet &&pkt, Cycles time)
                            node, "; winding down this flow");
                 refusalWarned = true;
             }
+            if (tracer)
+                tracer->instant(
+                    "resource", "deposit-refused",
+                    traceTrack(node, TraceTrack::Deposit), time);
             return;
         }
         std::size_t group_idx = pkt.seq;
+        Cycles dep_start = std::max(time, engine.busyUntil());
         Cycles done = engine.deposit(pkt, time);
+        if (tracer)
+            tracer->span("resource", "deposit",
+                         traceTrack(node, TraceTrack::Deposit),
+                         dep_start, done - dep_start, "words",
+                         pkt.words.size());
         machine.events().schedule(done, [this, group_idx]() {
             chunkDeposited(group_idx, machine.events().now());
         });
@@ -295,6 +332,7 @@ Ctx::deliver(Packet &&pkt, Cycles time)
 RunResult
 ChainedLayer::run(sim::Machine &machine, const CommOp &op)
 {
+    Cycles op_start = machine.events().now();
     Ctx ctx(machine, op, opts);
     machine.network().setDeliver(
         [&ctx](Packet &&pkt, Cycles time) {
@@ -312,6 +350,12 @@ ChainedLayer::run(sim::Machine &machine, const CommOp &op)
         extra = std::max(extra,
                          machine.node(node).memory().fence(makespan));
     makespan += extra + opts.stepSyncCycles;
+
+    if (auto *t = machine.tracer())
+        t->span("op", opts.dmaFeed ? "chained-dma" : "chained",
+                machine.opTrack(), op_start,
+                makespan > op_start ? makespan - op_start : 0,
+                "bytes", op.totalBytes());
 
     RunResult result;
     result.makespan = makespan;

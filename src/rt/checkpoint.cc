@@ -1,5 +1,6 @@
 #include "checkpoint.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -92,6 +93,11 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                            "': node failure while repairing round ",
                            round, "; interrupting");
                 result.interrupted = true;
+                if (auto *t = machine.tracer())
+                    t->instant("ckpt", "interrupted",
+                               machine.opTrack(),
+                               machine.events().now(), "round",
+                               static_cast<std::uint64_t>(round));
                 break;
             }
             if (verifyDelivery(machine, op) != 0)
@@ -99,6 +105,10 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                             "': corrupted re-delivery of round ",
                             round);
             ++result.repairedRounds;
+            if (auto *t = machine.tracer())
+                t->instant("ckpt", "repair", machine.opTrack(),
+                           machine.events().now(), "round",
+                           static_cast<std::uint64_t>(round));
         }
         if (!result.interrupted)
             ckpt.owners = owners.owner;
@@ -128,6 +138,10 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                        ckpt.totalRounds,
                        " rounds checkpointed); interrupting");
             result.interrupted = true;
+            if (auto *t = machine.tracer())
+                t->instant("ckpt", "interrupted", machine.opTrack(),
+                           machine.events().now(), "round",
+                           static_cast<std::uint64_t>(round));
             break;
         }
 
@@ -136,6 +150,10 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                         "': corrupted delivery in round ", round);
         ckpt.markDone(round);
         ++result.rounds;
+        if (auto *t = machine.tracer())
+            t->instant("ckpt", "checkpoint", machine.opTrack(),
+                       machine.events().now(), "round",
+                       static_cast<std::uint64_t>(round));
     }
 
     result.makespan = machine.events().now() - start;

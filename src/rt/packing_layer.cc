@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/trace.h"
+#include "sim/trace_tracks.h"
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -12,6 +14,8 @@ using sim::Framing;
 using sim::Machine;
 using sim::NodeId;
 using sim::Packet;
+using sim::TraceTrack;
+using sim::traceTrack;
 
 constexpr std::uint64_t chunkBytes = layerChunkWords * 8;
 
@@ -49,6 +53,7 @@ struct Ctx
     std::vector<bool> procBusy;
     std::vector<Cycles> fetchFreeAt;
     Cycles lastDone = 0;
+    obs::Tracer *tracer;
 
     Ctx(Machine &machine, const CommOp &op, const PackingOptions &opts)
         : machine(machine), op(op), opts(opts),
@@ -57,7 +62,9 @@ struct Ctx
           unpackQueue(static_cast<std::size_t>(machine.nodeCount())),
           procBusy(static_cast<std::size_t>(machine.nodeCount()),
                    false),
-          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()), 0)
+          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
+                      0),
+          tracer(machine.tracer())
     {
         Bytes ring = static_cast<Bytes>(layerCredits) * chunkBytes;
         for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -211,6 +218,15 @@ Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
         Cycles fetch_elapsed =
             sender.fetchEngine().fetch(feed_addr, count * 8);
         fetchFreeAt[n] = fetch_start + fetch_elapsed;
+        if (tracer) {
+            tracer->span("stage", "pack",
+                         traceTrack(node, TraceTrack::Cpu), now,
+                         elapsed, "words", count);
+            tracer->span("resource", "fetch-dma",
+                         traceTrack(node, TraceTrack::Fetch),
+                         fetch_start, fetch_elapsed, "bytes",
+                         count * 8);
+        }
         machine.events().schedule(
             fetchFreeAt[n], [this, pkt = std::move(pkt)]() mutable {
                 machine.network().send(std::move(pkt));
@@ -226,6 +242,10 @@ Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
     sim::PatternWalk feed_walk = sim::contiguousWalk(feed_addr);
     elapsed += proc.gatherToPort(feed_walk, 0, count, now + elapsed,
                                  pkt.words);
+    if (tracer)
+        tracer->span("stage", "pack+feed",
+                     traceTrack(node, TraceTrack::Cpu), now, elapsed,
+                     "words", count);
     machine.events().scheduleAfter(
         elapsed, [this, node, pkt = std::move(pkt)]() mutable {
             machine.network().send(std::move(pkt));
@@ -271,6 +291,10 @@ Ctx::runUnpack(NodeId node, const UnpackTask &task)
                            offset, n_words, now + elapsed);
                    });
 
+    if (tracer)
+        tracer->span("stage", "unpack",
+                     traceTrack(node, TraceTrack::Cpu), now, elapsed,
+                     "words", task.count);
     std::size_t group_idx = task.group;
     machine.events().scheduleAfter(elapsed, [this, node, group_idx]() {
         auto idx = static_cast<std::size_t>(node);
@@ -294,7 +318,12 @@ Ctx::deliver(Packet &&pkt, Cycles time)
     std::uint64_t first =
         static_cast<std::uint64_t>(pkt.seq) * layerChunkWords;
     std::uint64_t count = pkt.words.size();
+    Cycles dep_start = std::max(time, engine.busyUntil());
     Cycles done = engine.deposit(pkt, time);
+    if (tracer)
+        tracer->span("resource", "deposit",
+                     traceTrack(node, TraceTrack::Deposit), dep_start,
+                     done - dep_start, "words", count);
     machine.events().schedule(
         done, [this, node, group_idx, first, count]() {
             unpackQueue[static_cast<std::size_t>(node)].push_back(
@@ -308,6 +337,7 @@ Ctx::deliver(Packet &&pkt, Cycles time)
 RunResult
 PackingLayer::run(sim::Machine &machine, const CommOp &op)
 {
+    Cycles op_start = machine.events().now();
     Ctx ctx(machine, op, opts);
     machine.network().setDeliver(
         [&ctx](Packet &&pkt, Cycles time) {
@@ -323,6 +353,13 @@ PackingLayer::run(sim::Machine &machine, const CommOp &op)
         extra = std::max(extra,
                          machine.node(node).memory().fence(makespan));
     makespan += extra + opts.stepSyncCycles;
+
+    if (auto *t = machine.tracer())
+        t->span("op",
+                opts.systemBufferCopies ? "pvm" : "packing",
+                machine.opTrack(), op_start,
+                makespan > op_start ? makespan - op_start : 0,
+                "bytes", op.totalBytes());
 
     RunResult result;
     result.makespan = makespan;

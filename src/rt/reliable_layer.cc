@@ -3,8 +3,11 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rt/chained_layer.h"
 #include "sim/packet.h"
+#include "sim/trace_tracks.h"
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -46,17 +49,76 @@ struct Transport
         std::map<std::uint32_t, Packet> reorder;
     };
 
+    /** Registry handles behind the ReliableStats snapshot. */
+    struct Metrics
+    {
+        obs::Counter dataPackets;
+        obs::Counter retransmits;
+        obs::Counter acksSent;
+        obs::Counter nacksSent;
+        obs::Counter duplicatesDropped;
+        obs::Counter checksumFailures;
+        obs::Counter outOfOrder;
+        obs::Counter abandoned;
+        obs::Counter deadEndpointDrops;
+        obs::Counter routeSuspects;
+    };
+
     Machine &machine;
     const ReliableOptions &opts;
     ReliableStats &stats;
+    obs::Tracer *tracer;
+    Metrics m;
     std::vector<Channel> channels;
 
     Transport(Machine &machine, const ReliableOptions &opts,
               ReliableStats &stats)
         : machine(machine), opts(opts), stats(stats),
+          tracer(machine.tracer()),
           channels(static_cast<std::size_t>(machine.nodeCount()) *
                    static_cast<std::size_t>(machine.nodeCount()))
     {
+        obs::MetricsRegistry &reg = machine.metrics();
+        m.dataPackets = reg.counter("rt.reliable.data_packets");
+        m.retransmits = reg.counter("rt.reliable.retransmits");
+        m.acksSent = reg.counter("rt.reliable.acks_sent");
+        m.nacksSent = reg.counter("rt.reliable.nacks_sent");
+        m.duplicatesDropped =
+            reg.counter("rt.reliable.duplicates_dropped");
+        m.checksumFailures =
+            reg.counter("rt.reliable.checksum_failures");
+        m.outOfOrder = reg.counter("rt.reliable.out_of_order");
+        m.abandoned = reg.counter("rt.reliable.abandoned");
+        m.deadEndpointDrops =
+            reg.counter("rt.reliable.dead_endpoint_drops");
+        m.routeSuspects = reg.counter("rt.reliable.route_suspects");
+        // The cells count one run at a time.
+        m.dataPackets.reset();
+        m.retransmits.reset();
+        m.acksSent.reset();
+        m.nacksSent.reset();
+        m.duplicatesDropped.reset();
+        m.checksumFailures.reset();
+        m.outOfOrder.reset();
+        m.abandoned.reset();
+        m.deadEndpointDrops.reset();
+        m.routeSuspects.reset();
+    }
+
+    /** Materialize the run's ReliableStats from the registry. */
+    void
+    snapshot()
+    {
+        stats.dataPackets = m.dataPackets.value();
+        stats.retransmits = m.retransmits.value();
+        stats.acksSent = m.acksSent.value();
+        stats.nacksSent = m.nacksSent.value();
+        stats.duplicatesDropped = m.duplicatesDropped.value();
+        stats.checksumFailures = m.checksumFailures.value();
+        stats.outOfOrder = m.outOfOrder.value();
+        stats.abandoned = m.abandoned.value();
+        stats.deadEndpointDrops = m.deadEndpointDrops.value();
+        stats.routeSuspects = m.routeSuspects.value();
     }
 
     Channel &
@@ -102,7 +164,7 @@ struct Transport
         p.kind = PacketKind::Data;
         p.rseq = c.nextSeq++;
         sim::sealChecksum(p);
-        ++stats.dataPackets;
+        m.dataPackets.inc();
         Pending &entry = c.pending[p.rseq];
         entry.packet = p;
         scheduleTimeout(p.src, p.dst, p.rseq, entry.generation,
@@ -137,7 +199,13 @@ struct Transport
             return false;
         Cycles now = machine.events().now();
         if (!topo.nodeAlive(src, now) || !topo.nodeAlive(dst, now)) {
-            stats.deadEndpointDrops += c.pending.size();
+            m.deadEndpointDrops.add(c.pending.size());
+            if (tracer)
+                tracer->instant(
+                    "transport", "dead-endpoint",
+                    sim::traceTrack(src, sim::TraceTrack::Net), now,
+                    "dst", static_cast<std::uint64_t>(dst),
+                    "pending", c.pending.size());
             util::warn("ReliableLayer: endpoint died on channel ",
                        src, "->", dst, "; dropping ",
                        c.pending.size(), " pending packet(s)");
@@ -145,7 +213,13 @@ struct Transport
             return true;
         }
         if (!topo.healthyRoute(src, dst, now).ok) {
-            stats.routeSuspects += c.pending.size();
+            m.routeSuspects.add(c.pending.size());
+            if (tracer)
+                tracer->instant(
+                    "transport", "route-suspect",
+                    sim::traceTrack(src, sim::TraceTrack::Net), now,
+                    "dst", static_cast<std::uint64_t>(dst),
+                    "pending", c.pending.size());
             util::warn("ReliableLayer: no live route on channel ",
                        src, "->", dst, "; dropping ",
                        c.pending.size(), " pending packet(s)");
@@ -168,7 +242,13 @@ struct Transport
         Pending &entry = it->second;
         ++entry.retries;
         if (entry.retries > opts.maxRetries) {
-            ++stats.abandoned;
+            m.abandoned.inc();
+            if (tracer)
+                tracer->instant(
+                    "transport", "abandon",
+                    sim::traceTrack(src, sim::TraceTrack::Net),
+                    machine.events().now(), "dst",
+                    static_cast<std::uint64_t>(dst), "rseq", rseq);
             noteAbandonedChannel(src, dst);
             util::warn("ReliableLayer: abandoning packet rseq=", rseq,
                        " on channel ", src, "->", dst, " after ",
@@ -177,7 +257,13 @@ struct Transport
             return;
         }
         ++entry.generation;
-        ++stats.retransmits;
+        m.retransmits.inc();
+        if (tracer)
+            tracer->instant(
+                "transport", "retransmit",
+                sim::traceTrack(src, sim::TraceTrack::Net),
+                machine.events().now(), "dst",
+                static_cast<std::uint64_t>(dst), "rseq", rseq);
         Packet copy = entry.packet;
         scheduleTimeout(src, dst, rseq, entry.generation,
                         timeoutAfter(entry.retries));
@@ -207,9 +293,9 @@ struct Transport
         p.dst = to;
         p.ctrl = ctrl;
         if (kind == PacketKind::Ack)
-            ++stats.acksSent;
+            m.acksSent.inc();
         else
-            ++stats.nacksSent;
+            m.nacksSent.inc();
         machine.network().sendRaw(std::move(p));
     }
 
@@ -246,21 +332,27 @@ struct Transport
 
         Channel &c = channel(p.src, p.dst);
         if (!sim::checksumOk(p)) {
-            ++stats.checksumFailures;
+            m.checksumFailures.inc();
+            if (tracer)
+                tracer->instant(
+                    "transport", "checksum-fail",
+                    sim::traceTrack(p.dst, sim::TraceTrack::Net),
+                    time, "src", static_cast<std::uint64_t>(p.src),
+                    "rseq", p.rseq);
             sendControl(PacketKind::Nack, p.dst, p.src, p.rseq);
             return false;
         }
         if (p.rseq < c.expected) {
             // Duplicate of an already-released packet (network dup or
             // retransmission whose ack was lost): re-ack, drop.
-            ++stats.duplicatesDropped;
+            m.duplicatesDropped.inc();
             sendControl(PacketKind::Ack, p.dst, p.src, c.expected);
             return false;
         }
         if (p.rseq > c.expected) {
-            ++stats.outOfOrder;
+            m.outOfOrder.inc();
             if (c.reorder.find(p.rseq) != c.reorder.end())
-                ++stats.duplicatesDropped;
+                m.duplicatesDropped.inc();
             else
                 c.reorder.emplace(p.rseq, std::move(p));
             // Dup-ack keeps the sender's view of progress current.
@@ -340,6 +432,9 @@ ReliableLayer::run(sim::Machine &machine, const CommOp &op)
                    inner->name(),
                    "'; degrading to the buffer-packing path");
         counters.degraded = true;
+        if (auto *t = machine.tracer())
+            t->instant("transport", "degrade", machine.opTrack(),
+                       machine.events().now());
         transport.reset();
         PackingLayer fallback(opts.fallback);
         result = fallback.run(machine, op);
@@ -348,6 +443,7 @@ ReliableLayer::run(sim::Machine &machine, const CommOp &op)
         result.degraded = true;
     }
 
+    transport.snapshot();
     net.setSendTap(nullptr);
     net.setDeliverTap(nullptr);
     return result;

@@ -50,7 +50,12 @@ struct ReliableOptions
     PackingOptions fallback;
 };
 
-/** Transport counters for one run. */
+/**
+ * Transport counters for one run. A snapshot view over the
+ * machine-registry "rt.reliable.*" metrics: the transport counts into
+ * registry cells (reset when a run starts) and the layer materializes
+ * this struct when the run finishes.
+ */
 struct ReliableStats
 {
     std::uint64_t dataPackets = 0;

@@ -158,7 +158,8 @@ FaultSpec::summary() const
     return os.str();
 }
 
-FaultInjector::FaultInjector(const FaultSpec &spec)
+FaultInjector::FaultInjector(const FaultSpec &spec,
+                             obs::MetricsRegistry *registry)
     : cfg(spec), dropRng(streamSeed(spec.seed, 1)),
       corruptRng(streamSeed(spec.seed, 2)),
       dupRng(streamSeed(spec.seed, 3)),
@@ -166,6 +167,35 @@ FaultInjector::FaultInjector(const FaultSpec &spec)
       engineRng(streamSeed(spec.seed, 5)),
       linkRng(streamSeed(spec.seed, 6))
 {
+    if (!registry) {
+        ownedRegistry = std::make_unique<obs::MetricsRegistry>();
+        registry = ownedRegistry.get();
+    }
+    m.drops = registry->counter("sim.fault.drops");
+    m.corruptions = registry->counter("sim.fault.corruptions");
+    m.duplicates = registry->counter("sim.fault.duplicates");
+    m.delays = registry->counter("sim.fault.delays");
+    m.delayCycles = registry->counter("sim.fault.delay_cycles");
+    m.engineStalls = registry->counter("sim.fault.engine_stalls");
+    m.engineStallCycles =
+        registry->counter("sim.fault.engine_stall_cycles");
+    m.engineFailures = registry->counter("sim.fault.engine_failures");
+    m.linkFailures = registry->counter("sim.fault.link_failures");
+}
+
+const FaultStats &
+FaultInjector::stats() const
+{
+    view.drops = m.drops.value();
+    view.corruptions = m.corruptions.value();
+    view.duplicates = m.duplicates.value();
+    view.delays = m.delays.value();
+    view.delayCycles = m.delayCycles.value();
+    view.engineStalls = m.engineStalls.value();
+    view.engineStallCycles = m.engineStallCycles.value();
+    view.engineFailures = m.engineFailures.value();
+    view.linkFailures = m.linkFailures.value();
+    return view;
 }
 
 bool
@@ -175,7 +205,7 @@ FaultInjector::rollDrop()
         return false;
     bool hit = dropRng.nextDouble() < cfg.drop;
     if (hit)
-        ++counters.drops;
+        m.drops.inc();
     return hit;
 }
 
@@ -186,7 +216,7 @@ FaultInjector::rollCorrupt()
         return false;
     bool hit = corruptRng.nextDouble() < cfg.corrupt;
     if (hit)
-        ++counters.corruptions;
+        m.corruptions.inc();
     return hit;
 }
 
@@ -197,7 +227,7 @@ FaultInjector::rollDuplicate()
         return false;
     bool hit = dupRng.nextDouble() < cfg.dup;
     if (hit)
-        ++counters.duplicates;
+        m.duplicates.inc();
     return hit;
 }
 
@@ -209,8 +239,8 @@ FaultInjector::rollDelay()
     if (delayRng.nextDouble() >= cfg.delayRate)
         return 0;
     Cycles extra = 1 + delayRng.nextBelow(cfg.delayMax);
-    ++counters.delays;
-    counters.delayCycles += extra;
+    m.delays.inc();
+    m.delayCycles.add(extra);
     return extra;
 }
 
@@ -231,8 +261,8 @@ FaultInjector::rollEngineStall()
         return 0;
     if (engineRng.nextDouble() >= cfg.engineStall)
         return 0;
-    ++counters.engineStalls;
-    counters.engineStallCycles += cfg.engineStallCycles;
+    m.engineStalls.inc();
+    m.engineStallCycles.add(cfg.engineStallCycles);
     return cfg.engineStallCycles;
 }
 
@@ -243,7 +273,7 @@ FaultInjector::rollEngineFailure()
         return false;
     bool hit = engineRng.nextDouble() < cfg.engineFail;
     if (hit)
-        ++counters.engineFailures;
+        m.engineFailures.inc();
     return hit;
 }
 
@@ -254,7 +284,7 @@ FaultInjector::rollLinkFailure()
         return false;
     bool hit = linkRng.nextDouble() < cfg.linkFailRate;
     if (hit)
-        ++counters.linkFailures;
+        m.linkFailures.inc();
     return hit;
 }
 

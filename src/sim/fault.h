@@ -17,9 +17,11 @@
 #ifndef CT_SIM_FAULT_H
 #define CT_SIM_FAULT_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/packet.h"
 #include "sim/topology.h"
 #include "util/rng.h"
@@ -87,7 +89,11 @@ struct FaultSpec
     std::string summary() const;
 };
 
-/** Per-fault-class injection counters. */
+/**
+ * Per-fault-class injection counters. A snapshot view over the
+ * injector's "sim.fault.*" registry metrics (the registry cells are
+ * the source of truth; this struct is materialized on stats() calls).
+ */
 struct FaultStats
 {
     std::uint64_t drops = 0;
@@ -111,10 +117,18 @@ struct FaultStats
 class FaultInjector
 {
   public:
-    explicit FaultInjector(const FaultSpec &spec);
+    /**
+     * @p registry hosts the injector's "sim.fault.*" metrics (the
+     * machine passes its own); nullptr gives the injector a private
+     * registry so standalone use keeps working.
+     */
+    explicit FaultInjector(const FaultSpec &spec,
+                           obs::MetricsRegistry *registry = nullptr);
 
     const FaultSpec &spec() const { return cfg; }
-    const FaultStats &stats() const { return counters; }
+
+    /** Counter snapshot, refreshed from the registry on each call. */
+    const FaultStats &stats() const;
 
     // Wire rolls, one set per transmitted packet.
 
@@ -150,8 +164,24 @@ class FaultInjector
     std::uint64_t pickFailingLink(std::uint64_t route_links);
 
   private:
+    /** Registry handles behind the FaultStats view. */
+    struct Metrics
+    {
+        obs::Counter drops;
+        obs::Counter corruptions;
+        obs::Counter duplicates;
+        obs::Counter delays;
+        obs::Counter delayCycles;
+        obs::Counter engineStalls;
+        obs::Counter engineStallCycles;
+        obs::Counter engineFailures;
+        obs::Counter linkFailures;
+    };
+
     FaultSpec cfg;
-    FaultStats counters;
+    std::unique_ptr<obs::MetricsRegistry> ownedRegistry;
+    Metrics m;
+    mutable FaultStats view;
     util::Rng dropRng;
     util::Rng corruptRng;
     util::Rng dupRng;

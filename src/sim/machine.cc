@@ -52,9 +52,10 @@ Machine::Machine(const MachineConfig &config)
     : cfg((validateMachineConfig(config), config)),
       topo(cfg.topology),
       injector(cfg.faults.any()
-                   ? std::make_unique<FaultInjector>(cfg.faults)
+                   ? std::make_unique<FaultInjector>(cfg.faults,
+                                                     &metricsReg)
                    : nullptr),
-      net(cfg.network, topo, queue)
+      net(cfg.network, topo, queue, &metricsReg)
 {
     net.setFaults(injector.get());
     // Apply scheduled topology outages from the fault spec. IDs are
@@ -69,6 +70,23 @@ Machine::Machine(const MachineConfig &config)
         nodes.back()->depositEngine().setFaults(injector.get());
         nodes.back()->fetchEngine().setFaults(injector.get());
     }
+}
+
+void
+Machine::setTracer(obs::Tracer *t)
+{
+    tracerPtr = t;
+    net.setTracer(t);
+    if (!t)
+        return;
+    static const char *const unit_names[kTraceTracksPerNode] = {
+        "cpu", "coproc", "deposit", "fetch", "net"};
+    for (int n = 0; n < nodeCount(); ++n)
+        for (std::int32_t u = 0; u < kTraceTracksPerNode; ++u)
+            t->setTrackName(
+                traceTrack(n, static_cast<TraceTrack>(u)),
+                "node" + std::to_string(n) + " " + unit_names[u]);
+    t->setTrackName(opTrack(), "machine");
 }
 
 Node &

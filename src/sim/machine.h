@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "core/machine_params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/node.h"
+#include "sim/trace_tracks.h"
 
 namespace ct::sim {
 
@@ -63,6 +66,25 @@ class Machine
     FaultInjector *faults() { return injector.get(); }
     const FaultInjector *faults() const { return injector.get(); }
 
+    /** Registry hosting every component's metrics. */
+    obs::MetricsRegistry &metrics() { return metricsReg; }
+    const obs::MetricsRegistry &metrics() const { return metricsReg; }
+
+    /**
+     * Attach (or with nullptr detach) a tracer. Labels every track
+     * and forwards the tracer to the network; the runtime layers pick
+     * it up through tracer(). Tracing off means a null pointer check
+     * per emission site and nothing else.
+     */
+    void setTracer(obs::Tracer *t);
+    obs::Tracer *tracer() const { return tracerPtr; }
+
+    /** Machine-scope track (whole-operation spans). */
+    std::int32_t opTrack() const
+    {
+        return machineTraceTrack(nodeCount());
+    }
+
     /** Payload throughput of @p bytes moved in @p cycles. */
     util::MBps toMBps(Bytes bytes, Cycles cycles) const;
 
@@ -70,6 +92,9 @@ class Machine
     MachineConfig cfg;
     Topology topo;
     EventQueue queue;
+    /** Declared before the components that register metrics in it. */
+    obs::MetricsRegistry metricsReg;
+    obs::Tracer *tracerPtr = nullptr;
     std::unique_ptr<FaultInjector> injector;
     Network net;
     std::vector<std::unique_ptr<Node>> nodes;

@@ -2,17 +2,37 @@
 
 #include <cmath>
 
+#include "sim/trace_tracks.h"
 #include "util/logging.h"
 
 namespace ct::sim {
 
 Network::Network(const NetworkConfig &config, Topology &topology,
-                 EventQueue &queue)
+                 EventQueue &queue, obs::MetricsRegistry *registry)
     : cfg(config), topo(topology), events(queue),
       linkFreeAt(static_cast<std::size_t>(topology.linkCount()), 0),
       reroutedLinkSeen(static_cast<std::size_t>(topology.linkCount()),
                        false)
 {
+    if (!registry) {
+        ownedRegistry = std::make_unique<obs::MetricsRegistry>();
+        registry = ownedRegistry.get();
+    }
+    m.packets = registry->counter("sim.net.packets");
+    m.payloadBytes = registry->counter("sim.net.payload_bytes");
+    m.wireBytes = registry->counter("sim.net.wire_bytes");
+    m.droppedPackets = registry->counter("sim.net.dropped_packets");
+    m.corruptedPackets =
+        registry->counter("sim.net.corrupted_packets");
+    m.duplicatedPackets =
+        registry->counter("sim.net.duplicated_packets");
+    m.delayedPackets = registry->counter("sim.net.delayed_packets");
+    m.reroutedPackets = registry->counter("sim.net.rerouted_packets");
+    m.reroutedLinks = registry->counter("sim.net.rerouted_links");
+    m.unroutablePackets =
+        registry->counter("sim.net.unroutable_packets");
+    m.deadNodePackets = registry->counter("sim.net.dead_node_packets");
+    m.linkFailures = registry->counter("sim.net.link_failures");
     if (cfg.wireBytesPerCycle <= 0.0 ||
         !std::isfinite(cfg.wireBytesPerCycle))
         util::fatal("Network: wireBytesPerCycle must be a positive "
@@ -46,6 +66,24 @@ void
 Network::setFaults(FaultInjector *injector)
 {
     faults = injector;
+}
+
+const NetworkStats &
+Network::stats() const
+{
+    view.packets = m.packets.value();
+    view.payloadBytes = m.payloadBytes.value();
+    view.wireBytes = m.wireBytes.value();
+    view.droppedPackets = m.droppedPackets.value();
+    view.corruptedPackets = m.corruptedPackets.value();
+    view.duplicatedPackets = m.duplicatedPackets.value();
+    view.delayedPackets = m.delayedPackets.value();
+    view.reroutedPackets = m.reroutedPackets.value();
+    view.reroutedLinks = m.reroutedLinks.value();
+    view.unroutablePackets = m.unroutablePackets.value();
+    view.deadNodePackets = m.deadNodePackets.value();
+    view.linkFailures = m.linkFailures.value();
+    return view;
 }
 
 Bytes
@@ -93,7 +131,7 @@ Network::noteAvoidedLinks(const std::vector<LinkId> &avoided)
         auto idx = static_cast<std::size_t>(link);
         if (!reroutedLinkSeen[idx]) {
             reroutedLinkSeen[idx] = true;
-            ++counters.reroutedLinks;
+            m.reroutedLinks.inc();
         }
     }
 }
@@ -110,18 +148,30 @@ Network::routeFor(const Packet &packet, std::vector<LinkId> &links)
     // the reliable transport's watchdog notices the silence.
     if (!topo.nodeAlive(packet.src, now) ||
         !topo.nodeAlive(packet.dst, now)) {
-        ++counters.deadNodePackets;
+        m.deadNodePackets.inc();
+        if (tracer)
+            tracer->instant("net", "dead-node",
+                            traceTrack(packet.src, TraceTrack::Net),
+                            now, "dst", packet.dst);
         return false;
     }
     RouteInfo info = topo.healthyRoute(packet.src, packet.dst, now);
     if (!info.ok) {
-        ++counters.unroutablePackets;
+        m.unroutablePackets.inc();
         noteAvoidedLinks(info.avoided);
+        if (tracer)
+            tracer->instant("net", "unroutable",
+                            traceTrack(packet.src, TraceTrack::Net),
+                            now, "dst", packet.dst);
         return false;
     }
     if (info.rerouted) {
-        ++counters.reroutedPackets;
+        m.reroutedPackets.inc();
         noteAvoidedLinks(info.avoided);
+        if (tracer)
+            tracer->instant("net", "reroute",
+                            traceTrack(packet.src, TraceTrack::Net),
+                            now, "dst", packet.dst);
     }
     links = std::move(info.links);
     return true;
@@ -130,16 +180,16 @@ Network::routeFor(const Packet &packet, std::vector<LinkId> &links)
 void
 Network::transmit(Packet &&packet)
 {
-    ++counters.packets;
-    counters.payloadBytes += packet.payloadBytes();
-    counters.wireBytes += wireBytesOf(packet);
+    m.packets.inc();
+    m.payloadBytes.add(packet.payloadBytes());
+    m.wireBytes.add(wireBytesOf(packet));
 
     // Local delivery bypasses the wires (and therefore wire faults),
     // but a dead node does not loop traffic back to itself either.
     if (packet.src == packet.dst) {
         if (topo.anyOutages() &&
             !topo.nodeAlive(packet.src, events.now())) {
-            ++counters.deadNodePackets;
+            m.deadNodePackets.inc();
             return;
         }
         Packet p = std::move(packet);
@@ -164,7 +214,12 @@ Network::transmit(Packet &&packet)
             std::uint64_t pos =
                 1 + faults->pickFailingLink(route.size() - 2);
             topo.downLink(route[pos], events.now());
-            ++counters.linkFailures;
+            m.linkFailures.inc();
+            if (tracer)
+                tracer->instant(
+                    "net", "link-fail",
+                    traceTrack(packet.src, TraceTrack::Net),
+                    events.now(), "link", route[pos]);
             reserveRoute(route, packet);
             return;
         }
@@ -172,25 +227,46 @@ Network::transmit(Packet &&packet)
         // full route's bandwidth (the counters above already did) but
         // never schedule its delivery.
         if (faults->rollDrop()) {
-            ++counters.droppedPackets;
+            m.droppedPackets.inc();
+            if (tracer)
+                tracer->instant(
+                    "net", "drop",
+                    traceTrack(packet.src, TraceTrack::Net),
+                    events.now(), "dst", packet.dst);
             reserveRoute(route, packet);
             return;
         }
         if (faults->rollCorrupt()) {
-            ++counters.corruptedPackets;
+            m.corruptedPackets.inc();
             faults->corruptPayload(packet);
+            if (tracer)
+                tracer->instant(
+                    "net", "corrupt",
+                    traceTrack(packet.src, TraceTrack::Net),
+                    events.now(), "dst", packet.dst);
         }
         if (faults->rollDuplicate()) {
-            ++counters.duplicatedPackets;
+            m.duplicatedPackets.inc();
             Packet copy = packet;
-            ++counters.packets;
-            counters.payloadBytes += copy.payloadBytes();
-            counters.wireBytes += wireBytesOf(copy);
+            m.packets.inc();
+            m.payloadBytes.add(copy.payloadBytes());
+            m.wireBytes.add(wireBytesOf(copy));
+            if (tracer)
+                tracer->instant(
+                    "net", "duplicate",
+                    traceTrack(packet.src, TraceTrack::Net),
+                    events.now(), "dst", packet.dst);
             reserveAndSchedule(route, std::move(copy), 0);
         }
         Cycles extra = faults->rollDelay();
-        if (extra > 0)
-            ++counters.delayedPackets;
+        if (extra > 0) {
+            m.delayedPackets.inc();
+            if (tracer)
+                tracer->instant(
+                    "net", "delay",
+                    traceTrack(packet.src, TraceTrack::Net),
+                    events.now(), "cycles", extra);
+        }
         reserveAndSchedule(std::move(route), std::move(packet), extra);
         return;
     }
@@ -233,7 +309,7 @@ Network::arrive(Packet &&packet, Cycles time)
 {
     // The destination may have died while the packet was in flight.
     if (topo.anyOutages() && !topo.nodeAlive(packet.dst, time)) {
-        ++counters.deadNodePackets;
+        m.deadNodePackets.inc();
         return;
     }
     if (deliverTap && !deliverTap(std::move(packet), time))

@@ -20,7 +20,10 @@
 #define CT_SIM_NETWORK_H
 
 #include <functional>
+#include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event.h"
 #include "sim/fault.h"
 #include "sim/topology.h"
@@ -41,7 +44,10 @@ struct NetworkConfig
     Cycles hopLatencyCycles = 2;
 };
 
-/** Counters. */
+/**
+ * Counters. A snapshot view over the network's "sim.net.*" registry
+ * metrics, materialized on stats() calls.
+ */
 struct NetworkStats
 {
     std::uint64_t packets = 0;
@@ -84,8 +90,14 @@ class Network
     using DeliverTap =
         std::function<bool(Packet &&packet, Cycles time)>;
 
+    /**
+     * @p registry hosts the network's "sim.net.*" metrics (the
+     * machine passes its own); nullptr gives the network a private
+     * registry so standalone use keeps working.
+     */
     Network(const NetworkConfig &config, Topology &topology,
-            EventQueue &queue);
+            EventQueue &queue,
+            obs::MetricsRegistry *registry = nullptr);
 
     /** Install the delivery sink (dispatches on packet.dst). */
     void setDeliver(Deliver deliver);
@@ -96,6 +108,9 @@ class Network
 
     /** Attach the machine's fault injector (nullptr = fault-free). */
     void setFaults(FaultInjector *injector);
+
+    /** Attach a tracer for wire events (nullptr = tracing off). */
+    void setTracer(obs::Tracer *t) { tracer = t; }
 
     /** Wire bytes a packet occupies on each link it crosses. */
     Bytes wireBytesOf(const Packet &packet) const;
@@ -109,7 +124,9 @@ class Network
     /** Hand a packet to the sink bypassing the deliver tap. */
     void deliverDirect(Packet &&packet, Cycles time);
 
-    const NetworkStats &stats() const { return counters; }
+    /** Counter snapshot, refreshed from the registry on each call. */
+    const NetworkStats &stats() const;
+
     const NetworkConfig &config() const { return cfg; }
 
   private:
@@ -124,6 +141,23 @@ class Network
     void arrive(Packet &&packet, Cycles time);
     void noteAvoidedLinks(const std::vector<LinkId> &avoided);
 
+    /** Registry handles behind the NetworkStats view. */
+    struct Metrics
+    {
+        obs::Counter packets;
+        obs::Counter payloadBytes;
+        obs::Counter wireBytes;
+        obs::Counter droppedPackets;
+        obs::Counter corruptedPackets;
+        obs::Counter duplicatedPackets;
+        obs::Counter delayedPackets;
+        obs::Counter reroutedPackets;
+        obs::Counter reroutedLinks;
+        obs::Counter unroutablePackets;
+        obs::Counter deadNodePackets;
+        obs::Counter linkFailures;
+    };
+
     NetworkConfig cfg;
     Topology &topo;
     EventQueue &events;
@@ -131,7 +165,10 @@ class Network
     SendTap sendTap;
     DeliverTap deliverTap;
     FaultInjector *faults = nullptr;
-    NetworkStats counters;
+    obs::Tracer *tracer = nullptr;
+    std::unique_ptr<obs::MetricsRegistry> ownedRegistry;
+    Metrics m;
+    mutable NetworkStats view;
     /** Time each directed link becomes free. */
     std::vector<Cycles> linkFreeAt;
     /** Dead links already counted in stats().reroutedLinks. */

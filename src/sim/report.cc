@@ -87,6 +87,36 @@ collectReport(Machine &machine)
         r.downedLinks = topo.downedLinks();
         r.downedNodes = topo.downedNodes();
     }
+
+    // Publish the node aggregates into the machine registry so a
+    // --metrics-out dump carries the whole picture (the network and
+    // fault counters already live there as "sim.*" counters).
+    obs::MetricsRegistry &reg = machine.metrics();
+    auto set = [&reg](const char *name, std::uint64_t v) {
+        reg.gauge(name).set(static_cast<std::int64_t>(v));
+    };
+    set("machine.nodes", static_cast<std::uint64_t>(r.nodes));
+    set("machine.cache.load_hits", r.loadHits);
+    set("machine.cache.load_misses", r.loadMisses);
+    set("machine.cache.invalidations", r.cacheInvalidations);
+    set("machine.dram.reads", r.dramReads);
+    set("machine.dram.writes", r.dramWrites);
+    set("machine.dram.row_hits", r.rowHits);
+    set("machine.dram.row_misses", r.rowMisses);
+    set("machine.wbq.stores", r.wbqStores);
+    set("machine.wbq.coalesced", r.wbqCoalesced);
+    set("machine.wbq.stall_cycles", r.wbqStallCycles);
+    set("machine.bus.transactions", r.busTransactions);
+    set("machine.bus.owner_switches", r.busOwnerSwitches);
+    set("machine.bus.wait_cycles", r.busWaitCycles);
+    set("machine.deposit.packets", r.depositPackets);
+    set("machine.deposit.words", r.depositWords);
+    set("machine.deposit.busy_cycles", r.depositBusyCycles);
+    set("machine.deposit.refusals", r.engineRefusals);
+    set("machine.topology.downed_links",
+        static_cast<std::uint64_t>(r.downedLinks));
+    set("machine.topology.downed_nodes",
+        static_cast<std::uint64_t>(r.downedNodes));
     return r;
 }
 

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace track layout: every hardware unit of every node gets its own
+ * tracer timeline, so spans on one track never overlap and a Chrome
+ * trace renders each unit as a separate row. The machine-scope track
+ * (whole-operation spans, global instants) sits after all node
+ * tracks; Machine::setTracer labels every track.
+ */
+
+#ifndef CT_SIM_TRACE_TRACKS_H
+#define CT_SIM_TRACE_TRACKS_H
+
+#include <cstdint>
+
+#include "sim/packet.h"
+
+namespace ct::sim {
+
+/** Hardware units with their own trace timeline per node. */
+enum class TraceTrack : std::int32_t {
+    Cpu = 0,     ///< main processor (gather, pack, unpack, scatter)
+    CoProc = 1,  ///< receive co-processor
+    Deposit = 2, ///< deposit engine (annex / line-transfer unit)
+    Fetch = 3,   ///< fetch (send DMA) engine
+    Net = 4,     ///< wire events involving this node
+};
+
+inline constexpr std::int32_t kTraceTracksPerNode = 5;
+
+/** Track id of @p unit on @p node. */
+inline std::int32_t
+traceTrack(NodeId node, TraceTrack unit)
+{
+    return node * kTraceTracksPerNode +
+           static_cast<std::int32_t>(unit);
+}
+
+/** Machine-scope track id for a machine of @p node_count nodes. */
+inline std::int32_t
+machineTraceTrack(int node_count)
+{
+    return node_count * kTraceTracksPerNode;
+}
+
+} // namespace ct::sim
+
+#endif // CT_SIM_TRACE_TRACKS_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end accounting over a traced simulator run: the trace's op
+ * span must agree with the layer's reported makespan, stage spans on
+ * one hardware track must never overlap (each track is one unit), and
+ * a tracer must not change simulated behavior at all.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "rt/chained_layer.h"
+#include "rt/workload.h"
+#include "sim/machine.h"
+#include "sim/trace_tracks.h"
+
+namespace {
+
+using namespace ct;
+
+struct TracedRun
+{
+    obs::Tracer tracer{1 << 16};
+    rt::RunResult result;
+};
+
+// One pairwise exchange on a fresh traced T3D, chained layer.
+TracedRun &
+tracedRun()
+{
+    static TracedRun *run = [] {
+        auto *r = new TracedRun;
+        sim::Machine m(sim::t3dConfig({2, 2, 2}));
+        m.setTracer(&r->tracer);
+        auto op = rt::pairExchange(m, core::AccessPattern::contiguous(),
+                                   core::AccessPattern::contiguous(),
+                                   2048);
+        rt::seedSources(m, op);
+        rt::ChainedLayer layer;
+        r->result = layer.run(m, op);
+        return r;
+    }();
+    return *run;
+}
+
+TEST(SpanAccounting, OpSpanCoversTheMakespan)
+{
+    TracedRun &run = tracedRun();
+    std::vector<const obs::TraceEvent *> ops;
+    for (std::size_t i = 0; i < run.tracer.size(); ++i) {
+        const obs::TraceEvent &e = run.tracer.event(i);
+        if (std::string(e.cat) == "op")
+            ops.push_back(&e);
+    }
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_STREQ(ops[0]->name, "chained");
+    // The run starts on a fresh machine at cycle 0, so the op span
+    // must end exactly at the reported makespan.
+    EXPECT_EQ(ops[0]->ts + ops[0]->dur, run.result.makespan);
+    EXPECT_GT(run.result.makespan, 0u);
+}
+
+TEST(SpanAccounting, EveryStageOfTheBasicTransferIsTraced)
+{
+    TracedRun &run = tracedRun();
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < run.tracer.size(); ++i)
+        names.insert(run.tracer.event(i).name);
+    // Chained = sender-side gather feeding the wire, receiver-side
+    // deposit-engine stores; every stage must appear.
+    EXPECT_TRUE(names.count("gather") || names.count("gather+addr"))
+        << "no sender gather span";
+    EXPECT_TRUE(names.count("deposit")) << "no deposit span";
+    EXPECT_TRUE(names.count("chained")) << "no op span";
+}
+
+TEST(SpanAccounting, SpansOnOneTrackNeverOverlap)
+{
+    TracedRun &run = tracedRun();
+    std::map<std::int32_t, std::vector<const obs::TraceEvent *>>
+        by_track;
+    for (std::size_t i = 0; i < run.tracer.size(); ++i) {
+        const obs::TraceEvent &e = run.tracer.event(i);
+        if (e.kind == obs::TraceEvent::Kind::Span &&
+            std::string(e.cat) != "op")
+            by_track[e.tid].push_back(&e);
+    }
+    ASSERT_FALSE(by_track.empty());
+    for (auto &[tid, spans] : by_track) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const obs::TraceEvent *a,
+                     const obs::TraceEvent *b) { return a->ts < b->ts; });
+        std::uint64_t busy = 0;
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            busy += spans[i]->dur;
+            if (i > 0) {
+                EXPECT_GE(spans[i]->ts,
+                          spans[i - 1]->ts + spans[i - 1]->dur)
+                    << "overlap on track " << tid << " ("
+                    << spans[i]->name << ")";
+            }
+        }
+        // A unit cannot be busy for longer than the whole run.
+        EXPECT_LE(busy, run.result.makespan) << "track " << tid;
+    }
+}
+
+TEST(SpanAccounting, TracingDoesNotPerturbTheSimulation)
+{
+    auto execute = [](obs::Tracer *tracer) {
+        sim::Machine m(sim::t3dConfig({2, 2, 2}));
+        if (tracer)
+            m.setTracer(tracer);
+        auto op = rt::pairExchange(m, core::AccessPattern::contiguous(),
+                                   core::AccessPattern::contiguous(),
+                                   2048);
+        rt::seedSources(m, op);
+        rt::ChainedLayer layer;
+        return layer.run(m, op);
+    };
+    obs::Tracer tracer(1 << 16);
+    rt::RunResult traced = execute(&tracer);
+    rt::RunResult untraced = execute(nullptr);
+    // Zero overhead when disabled -- and when enabled, tracing is
+    // pure observation: bit-identical virtual time either way.
+    EXPECT_EQ(traced.makespan, untraced.makespan);
+    EXPECT_EQ(traced.payloadBytes, untraced.payloadBytes);
+    EXPECT_GT(tracer.recorded(), 0u);
+}
+
+TEST(SpanAccounting, TracksAreLabelledPerNodeUnit)
+{
+    TracedRun &run = tracedRun();
+    // All span tids must be valid unit tracks or the machine track
+    // for an 8-node machine.
+    std::int32_t machine_track = sim::machineTraceTrack(8);
+    for (std::size_t i = 0; i < run.tracer.size(); ++i) {
+        const obs::TraceEvent &e = run.tracer.event(i);
+        EXPECT_GE(e.tid, 0);
+        EXPECT_LE(e.tid, machine_track);
+    }
+}
+
+} // namespace

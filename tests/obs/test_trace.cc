@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace {
+
+using namespace ct::obs;
+
+TEST(Trace, RecordsSpansAndInstants)
+{
+    Tracer t(16);
+    t.span("stage", "gather", 0, 100, 50, "words", 64);
+    t.instant("net", "drop", 1, 200, "dst", 3);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.recorded(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+
+    const TraceEvent &s = t.event(0);
+    EXPECT_EQ(s.kind, TraceEvent::Kind::Span);
+    EXPECT_EQ(s.ts, 100u);
+    EXPECT_EQ(s.dur, 50u);
+    EXPECT_STREQ(s.cat, "stage");
+    EXPECT_STREQ(s.name, "gather");
+    EXPECT_STREQ(s.key1, "words");
+    EXPECT_EQ(s.val1, 64u);
+
+    const TraceEvent &i = t.event(1);
+    EXPECT_EQ(i.kind, TraceEvent::Kind::Instant);
+    EXPECT_EQ(i.dur, 0u);
+    EXPECT_EQ(i.tid, 1);
+}
+
+TEST(Trace, RingWrapKeepsNewestEvents)
+{
+    Tracer t(4);
+    for (std::uint64_t n = 0; n < 10; ++n)
+        t.instant("net", "drop", 0, n);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    // The oldest surviving event is #6; order is oldest-first.
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.event(i).ts, 6u + i);
+}
+
+TEST(Trace, ExactlyFullRingDropsNothing)
+{
+    Tracer t(4);
+    for (std::uint64_t n = 0; n < 4; ++n)
+        t.instant("net", "drop", 0, n);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.event(0).ts, 0u);
+}
+
+TEST(Trace, ClearKeepsCapacity)
+{
+    Tracer t(4);
+    for (std::uint64_t n = 0; n < 10; ++n)
+        t.instant("net", "drop", 0, n);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.capacity(), 4u);
+    t.instant("net", "drop", 0, 99);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.event(0).ts, 99u);
+}
+
+TEST(Trace, ParseTraceFormat)
+{
+    TraceFormat f = TraceFormat::JsonLines;
+    EXPECT_TRUE(parseTraceFormat("chrome", f));
+    EXPECT_EQ(f, TraceFormat::Chrome);
+    EXPECT_TRUE(parseTraceFormat("jsonl", f));
+    EXPECT_EQ(f, TraceFormat::JsonLines);
+    EXPECT_FALSE(parseTraceFormat("perfetto", f));
+    EXPECT_FALSE(parseTraceFormat("", f));
+}
+
+TEST(Trace, ZeroCapacityIsFatal)
+{
+    EXPECT_DEATH(Tracer t(0), "capacity");
+}
+
+TEST(Trace, OutOfRangeEventIsFatal)
+{
+    Tracer t(4);
+    t.instant("net", "drop", 0, 1);
+    EXPECT_DEATH(t.event(1), "out of range");
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff bench summary JSONs against committed baselines.
+
+Every bench binary writes a summary (see bench/bench_util.h):
+
+    {"bench": "<name>", "rows": {"<row>": {"<counter>": value}}}
+
+This script compares one or more such summaries against the
+baselines committed in bench/baselines/<name>.json and exits
+non-zero when any counter drifted outside the tolerance or a
+baselined row disappeared. All recorded counters come from the
+deterministic simulator or the analytic model, so on an unchanged
+tree the relative difference is exactly zero on any host; the
+default tolerance only absorbs deliberate-but-tiny modelling tweaks
+and cross-compiler floating-point reassociation.
+
+Usage:
+    tools/bench_compare.py [options] SUMMARY.json [SUMMARY.json ...]
+
+Options:
+    --baselines DIR   baseline directory (default: bench/baselines
+                      next to this script's repository root)
+    --tol REL         relative tolerance (default: 0.001)
+    --strict          a missing baseline file is an error, not a
+                      warning (use in CI once every bench has one)
+
+To refresh a baseline after an intentional performance change:
+    BENCH_SUMMARY=bench/baselines/<name>.json build/bench/bench_<name>
+and commit the result with a note on why the numbers moved.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def rel_diff(a, b):
+    if a == b:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    return abs(a - b) / denom if denom else 0.0
+
+
+def compare(summary_path, baseline_dir, tol, strict):
+    """Return (failures, warnings) for one summary file."""
+    failures = []
+    warnings = []
+    with open(summary_path) as f:
+        summary = json.load(f)
+    bench = summary.get("bench")
+    if not bench:
+        failures.append(f"{summary_path}: no 'bench' field")
+        return failures, warnings
+    rows = summary.get("rows", {})
+
+    baseline_path = os.path.join(baseline_dir, bench + ".json")
+    if not os.path.exists(baseline_path):
+        msg = f"{bench}: no baseline at {baseline_path}"
+        (failures if strict else warnings).append(msg)
+        return failures, warnings
+    with open(baseline_path) as f:
+        baseline = json.load(f).get("rows", {})
+
+    for row, counters in sorted(baseline.items()):
+        if row not in rows:
+            failures.append(f"{bench}: row '{row}' disappeared")
+            continue
+        for name, want in sorted(counters.items()):
+            if name not in rows[row]:
+                failures.append(
+                    f"{bench}: {row}: counter '{name}' disappeared")
+                continue
+            got = rows[row][name]
+            d = rel_diff(got, want)
+            if d > tol:
+                failures.append(
+                    f"{bench}: {row}: {name} = {got:g}, baseline "
+                    f"{want:g} (rel diff {d:.2%} > {tol:.2%})")
+    for row in sorted(set(rows) - set(baseline)):
+        warnings.append(
+            f"{bench}: new row '{row}' not in baseline "
+            "(refresh the baseline to start gating it)")
+    return failures, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff bench summaries against baselines")
+    ap.add_argument("summaries", nargs="+", metavar="SUMMARY.json")
+    ap.add_argument("--baselines", default=None)
+    ap.add_argument("--tol", type=float, default=0.001)
+    ap.add_argument("--strict", action="store_true")
+    args = ap.parse_args()
+
+    baseline_dir = args.baselines
+    if baseline_dir is None:
+        repo = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        baseline_dir = os.path.join(repo, "bench", "baselines")
+
+    all_failures = []
+    all_warnings = []
+    checked = 0
+    for path in args.summaries:
+        failures, warnings = compare(path, baseline_dir, args.tol,
+                                     args.strict)
+        all_failures += failures
+        all_warnings += warnings
+        checked += 1
+
+    for w in all_warnings:
+        print(f"WARNING: {w}")
+    for f in all_failures:
+        print(f"FAIL: {f}")
+    if all_failures:
+        print(f"bench_compare: {len(all_failures)} regression(s) "
+              f"across {checked} summar(ies)")
+        return 1
+    print(f"bench_compare: {checked} summar(ies) within "
+          f"{args.tol:.2%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

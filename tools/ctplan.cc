@@ -22,8 +22,11 @@
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
- * docs/FAULTS.md for the full key list). Plan and validate accept
- * --json for machine-readable output.
+ * docs/FAULTS.md for the full key list), plus the observability
+ * flags --trace=FILE (with --trace-format=chrome|jsonl, default
+ * chrome) and --metrics-out=FILE (see docs/OBSERVABILITY.md). Plan
+ * and validate accept --json for machine-readable output. Unknown
+ * flags are an error (usage + exit 2), never silently ignored.
  *
  * Examples:
  *   ctplan t3d 1Q64
@@ -32,6 +35,7 @@
  *   ctplan paragon wQw
  *   ctplan t3d eval "1C1 o (1S0 || Nd || 0D1) o 1C64"
  *   ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7
+ *   ctplan t3d sim 1Q4 4096 --trace=out.json --trace-format=chrome
  *   ctplan validate --out=BENCH_model_vs_sim.json
  */
 
@@ -39,14 +43,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/parser.h"
 #include "core/planner.h"
+#include "obs/trace.h"
 #include "rt/reliable_layer.h"
 #include "rt/validation.h"
 #include "rt/workload.h"
 #include "sim/measure.h"
+#include "sim/report.h"
 #include "util/table.h"
 
 namespace {
@@ -62,14 +69,31 @@ usage()
         "usage: ctplan <t3d|paragon> "
         "<xQy | eval <formula> | table | sim <xQy> [words]>\n"
         "       [--faults=SPEC] [--json]\n"
+        "       sim also takes [--trace=FILE] "
+        "[--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
         "       ctplan validate [--json] [--out=FILE]\n"
         "  ctplan t3d 1Q64\n"
         "  ctplan paragon wQw\n"
         "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n"
         "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n"
+        "  ctplan t3d sim 1Q4 4096 --trace=out.json "
+        "--trace-format=chrome\n"
         "  ctplan validate --out=BENCH_model_vs_sim.json\n");
     return 2;
 }
+
+/** Observability flags of the sim subcommand. */
+struct ObsOptions
+{
+    std::string traceFile;
+    obs::TraceFormat traceFormat = obs::TraceFormat::Chrome;
+    std::string metricsFile;
+
+    bool any() const
+    {
+        return !traceFile.empty() || !metricsFile.empty();
+    }
+};
 
 void
 printTable(core::MachineId id, bool simulated)
@@ -114,7 +138,8 @@ printTable(core::MachineId id, bool simulated)
  */
 int
 runSim(core::MachineId machine, const std::string &xqy,
-       std::uint64_t words, const sim::FaultSpec &faults)
+       std::uint64_t words, const sim::FaultSpec &faults,
+       const ObsOptions &obs_opts)
 {
     auto q = xqy.find('Q');
     if (q == std::string::npos) {
@@ -131,6 +156,13 @@ runSim(core::MachineId machine, const std::string &xqy,
     auto cfg = sim::configFor(machine);
     cfg.faults = faults;
     sim::Machine m(cfg);
+
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!obs_opts.traceFile.empty()) {
+        tracer = std::make_unique<obs::Tracer>(1 << 20);
+        m.setTracer(tracer.get());
+    }
+
     auto op = rt::pairExchange(m, *x, *y, words);
 
     // Flows touching nodes that are down before the run starts can
@@ -204,6 +236,35 @@ runSim(core::MachineId machine, const std::string &xqy,
     }
     std::printf("  delivery        %s\n",
                 bad == 0 ? "bit-exact" : "CORRUPTED");
+
+    if (!obs_opts.metricsFile.empty()) {
+        sim::collectReport(m); // publish machine.* gauges
+        std::ofstream out(obs_opts.metricsFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         obs_opts.metricsFile.c_str());
+            return 1;
+        }
+        m.metrics().writeJson(out);
+        std::printf("  metrics         wrote %s\n",
+                    obs_opts.metricsFile.c_str());
+    }
+    if (tracer) {
+        std::ofstream out(obs_opts.traceFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         obs_opts.traceFile.c_str());
+            return 1;
+        }
+        tracer->write(out, obs_opts.traceFormat,
+                      cfg.clockHz / 1e6);
+        std::printf(
+            "  trace           wrote %s (%llu events, %llu "
+            "dropped)\n",
+            obs_opts.traceFile.c_str(),
+            static_cast<unsigned long long>(tracer->size()),
+            static_cast<unsigned long long>(tracer->dropped()));
+    }
 
     // Abandoned delivery that was not absorbed by a degradation path
     // is a silent data-loss bug; fail loudly and name the channels.
@@ -292,11 +353,14 @@ printPlanJson(const core::PlanQuery &query,
 int
 main(int argc, char **argv)
 {
-    // Peel off --faults=SPEC, --json and --out=FILE wherever they
-    // appear.
+    // Peel off flags wherever they appear. Anything starting with
+    // "--" that is not recognized is an error, not a positional
+    // argument: silently ignoring a mistyped flag would run a
+    // different experiment than the user asked for.
     sim::FaultSpec faults;
     bool json = false;
     std::string out_file;
+    ObsOptions obs_opts;
     int nargs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--faults=", 9) == 0)
@@ -305,13 +369,35 @@ main(int argc, char **argv)
             json = true;
         else if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_file = argv[i] + 6;
-        else
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            obs_opts.traceFile = argv[i] + 8;
+        else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+            if (!obs::parseTraceFormat(argv[i] + 15,
+                                       obs_opts.traceFormat)) {
+                std::fprintf(stderr,
+                             "bad trace format '%s' (expected "
+                             "chrome or jsonl)\n",
+                             argv[i] + 15);
+                return usage();
+            }
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+            obs_opts.metricsFile = argv[i] + 14;
+        else if (std::strncmp(argv[i], "--", 2) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        } else
             argv[nargs++] = argv[i];
     }
     argc = nargs;
 
-    if (argc >= 2 && std::strcmp(argv[1], "validate") == 0)
+    if (argc >= 2 && std::strcmp(argv[1], "validate") == 0) {
+        if (obs_opts.any()) {
+            std::fprintf(stderr, "--trace/--metrics-out apply to "
+                                 "the sim subcommand only\n");
+            return usage();
+        }
         return runValidate(json, out_file);
+    }
 
     if (argc < 3)
         return usage();
@@ -325,6 +411,11 @@ main(int argc, char **argv)
         return usage();
 
     std::string cmd = argv[2];
+    if (obs_opts.any() && cmd != "sim") {
+        std::fprintf(stderr, "--trace/--metrics-out apply to the "
+                             "sim subcommand only\n");
+        return usage();
+    }
     if (cmd == "table") {
         printTable(machine, false);
         return 0;
@@ -345,7 +436,7 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        return runSim(machine, argv[3], words, faults);
+        return runSim(machine, argv[3], words, faults, obs_opts);
     }
 
     if (cmd == "eval") {
