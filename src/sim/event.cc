@@ -4,41 +4,155 @@
 
 namespace ct::sim {
 
+EventQueue::~EventQueue()
+{
+    // Destroy the callbacks of events that never fired. The nodes
+    // themselves are slab storage and die with `slabs`.
+    std::vector<EventNode *> stack;
+    if (root)
+        stack.push_back(root);
+    while (!stack.empty()) {
+        EventNode *node = stack.back();
+        stack.pop_back();
+        if (node->child)
+            stack.push_back(node->child);
+        if (node->sibling)
+            stack.push_back(node->sibling);
+        if (node->destroy)
+            node->destroy(*node);
+    }
+}
+
 void
-EventQueue::schedule(Cycles when, Callback cb)
+EventQueue::checkSchedule(Cycles when) const
 {
     if (when < currentTime)
         util::fatal("EventQueue::schedule: time ", when,
                     " is in the past (now ", currentTime, ")");
-    if (!cb)
-        util::fatal("EventQueue::schedule: null callback");
-    events.push(Event{when, nextSeq++, std::move(cb)});
 }
 
 void
-EventQueue::scheduleAfter(Cycles delay, Callback cb)
+EventQueue::nullCallback()
 {
-    schedule(currentTime + delay, std::move(cb));
+    util::fatal("EventQueue::schedule: null callback");
+}
+
+EventQueue::EventNode *
+EventQueue::meld(EventNode *a, EventNode *b)
+{
+    if (before(*b, *a))
+        std::swap(a, b);
+    b->sibling = a->child;
+    a->child = b;
+    return a;
+}
+
+EventQueue::EventNode *
+EventQueue::mergePairs(EventNode *first)
+{
+    // Standard two-pass pairing-heap merge, kept iterative so a root
+    // with O(pending) children cannot overflow the stack. The pop
+    // order is the unique (when, seq) minimum either way, so the
+    // merge shape never affects determinism.
+    EventNode *pairs = nullptr;
+    while (first) {
+        EventNode *a = first;
+        EventNode *b = a->sibling;
+        first = b ? b->sibling : nullptr;
+        a->sibling = nullptr;
+        EventNode *merged = a;
+        if (b) {
+            b->sibling = nullptr;
+            merged = meld(a, b);
+        }
+        merged->sibling = pairs;
+        pairs = merged;
+    }
+    EventNode *result = nullptr;
+    while (pairs) {
+        EventNode *next = pairs->sibling;
+        pairs->sibling = nullptr;
+        result = result ? meld(result, pairs) : pairs;
+        pairs = next;
+    }
+    return result;
+}
+
+EventQueue::EventNode *
+EventQueue::acquire(Cycles when)
+{
+    EventNode *node;
+    if (freeList) {
+        node = freeList;
+        freeList = node->sibling;
+        --freeCount;
+    } else {
+        if (slabUsed == kSlabEvents) {
+            slabs.push_back(std::make_unique<EventNode[]>(kSlabEvents));
+            slabUsed = 0;
+        }
+        node = &slabs.back()[slabUsed++];
+    }
+    node->when = when;
+    node->seq = nextSeq++;
+    node->child = nullptr;
+    node->sibling = nullptr;
+    return node;
+}
+
+void
+EventQueue::push(EventNode *node)
+{
+    root = root ? meld(root, node) : node;
+    ++pendingCount;
+    if (pendingCount > peakPendingCount)
+        peakPendingCount = pendingCount;
+}
+
+EventQueue::EventNode *
+EventQueue::popMin()
+{
+    EventNode *top = root;
+    root = mergePairs(top->child);
+    top->child = nullptr;
+    top->sibling = nullptr;
+    --pendingCount;
+    return top;
+}
+
+void
+EventQueue::release(EventNode *node)
+{
+    if (node->destroy)
+        node->destroy(*node);
+    node->invoke = nullptr;
+    node->destroy = nullptr;
+    node->sibling = freeList;
+    freeList = node;
+    ++freeCount;
 }
 
 std::uint64_t
 EventQueue::run(std::uint64_t max_events)
 {
     std::uint64_t executed = 0;
-    while (!events.empty() && executed < max_events) {
-        // Moving out of a priority_queue requires a const_cast; the
-        // element is popped immediately afterwards.
-        auto &top = const_cast<Event &>(events.top());
-        Cycles when = top.when;
-        Callback cb = std::move(top.cb);
-        events.pop();
-        currentTime = when;
-        cb();
+    while (root && executed < max_events) {
+        EventNode *node = popMin();
+        currentTime = node->when;
+        // The node stays off both the heap and the free list while
+        // its callback runs, so events it schedules can never reuse
+        // the storage under it.
+        node->invoke(*node);
+        release(node);
         ++executed;
     }
-    if (executed >= max_events && !events.empty())
+    if (root) {
+        ++truncatedRuns;
         util::warn("EventQueue::run: stopped at event cap with ",
-                   events.size(), " events pending");
+                   pendingCount,
+                   " events pending; the run is TRUNCATED, not "
+                   "converged");
+    }
     return executed;
 }
 

@@ -3,14 +3,26 @@
  * Minimal discrete-event core used by the end-to-end communication
  * timeline. Events are callbacks ordered by (time, insertion order);
  * ties execute in insertion order to keep runs deterministic.
+ *
+ * Allocation discipline (this is the simulator's hot path): event
+ * nodes live in slab-allocated pools and are linked intrusively --
+ * a pairing heap for the pending set, a singly linked free list for
+ * recycling -- and callbacks are stored inline in the node whenever
+ * they fit. A steady-state run therefore performs no per-event heap
+ * allocation: memory is bounded by the *peak* number of pending
+ * events, never by how many events fire over the whole run.
  */
 
 #ifndef CT_SIM_EVENT_H
 #define CT_SIM_EVENT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/addr.h"
@@ -21,46 +33,186 @@ namespace ct::sim {
 class EventQueue
 {
   public:
+    /** Legacy callback alias; any `void()` callable is accepted. */
     using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulation time. */
     Cycles now() const { return currentTime; }
 
-    /** Schedule @p cb to run at absolute time @p when (>= now). */
-    void schedule(Cycles when, Callback cb);
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    template <typename F>
+    void
+    schedule(Cycles when, F &&fn)
+    {
+        checkSchedule(when);
+        // Callable types with a boolean state (std::function, plain
+        // function pointers) can be empty; catch that before the
+        // event fires into nothing.
+        if constexpr (std::is_constructible_v<bool, const decayed<F> &>) {
+            if (!static_cast<bool>(fn))
+                nullCallback();
+        }
+        EventNode *node = acquire(when);
+        emplaceCallback(*node, std::forward<F>(fn));
+        push(node);
+    }
 
-    /** Schedule @p cb to run @p delay cycles from now. */
-    void scheduleAfter(Cycles delay, Callback cb);
+    /** Schedule @p fn to run @p delay cycles from now. */
+    template <typename F>
+    void
+    scheduleAfter(Cycles delay, F &&fn)
+    {
+        schedule(currentTime + delay, std::forward<F>(fn));
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t pending() const { return pendingCount; }
+
+    /** High-water mark of pending() over the queue's lifetime. */
+    std::size_t peakPending() const { return peakPendingCount; }
 
     /**
      * Run until no events remain (or @p max_events fired, as a
      * runaway guard). Returns the number of events executed.
+     *
+     * Hitting the guard with events still pending marks the queue
+     * truncated() -- a truncated run never converged and its results
+     * must not be reported as if it had (see sim::MachineReport).
      */
     std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
+    /**
+     * True once any run() stopped at the event cap with events still
+     * pending. Sticky: a later (complete) run does not clear it, so
+     * end-of-run reporting always sees the truncation.
+     */
+    bool truncated() const { return truncatedRuns > 0; }
+
+    // Pool introspection (tests and memory-regression gates).
+
+    /** Slabs allocated so far; stays flat once the peak is reached. */
+    std::size_t poolSlabs() const { return slabs.size(); }
+
+    /** Recycled nodes currently on the free list. */
+    std::size_t poolFree() const { return freeCount; }
+
+    /** Events each slab holds. */
+    static constexpr std::size_t slabEvents() { return kSlabEvents; }
+
+    /** Callback bytes stored inline (larger callables go boxed). */
+    static constexpr std::size_t inlineCallbackBytes()
+    {
+        return kInlineCallbackBytes;
+    }
+
   private:
-    struct Event
+    template <typename F>
+    using decayed = std::decay_t<F>;
+
+    static constexpr std::size_t kInlineCallbackBytes = 128;
+    static constexpr std::size_t kSlabEvents = 256;
+
+    /**
+     * One pooled event. `child`/`sibling` are the intrusive pairing-
+     * heap links; `sibling` doubles as the free-list link between
+     * uses. The callback lives in `storage` (inline when it fits,
+     * otherwise a single boxed pointer).
+     */
+    struct EventNode
     {
-        Cycles when;
-        std::uint64_t seq;
-        Callback cb;
+        Cycles when = 0;
+        std::uint64_t seq = 0;
+        EventNode *child = nullptr;
+        EventNode *sibling = nullptr;
+        void (*invoke)(EventNode &) = nullptr;
+        /** Null for trivially destructible callbacks. */
+        void (*destroy)(EventNode &) = nullptr;
+        alignas(std::max_align_t)
+            unsigned char storage[kInlineCallbackBytes];
     };
 
-    struct Later
+    template <typename D>
+    static constexpr bool
+    storesInline()
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        return sizeof(D) <= kInlineCallbackBytes &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    /** Move @p fn into @p node's storage and set its vtable slots. */
+    template <typename F>
+    static void
+    emplaceCallback(EventNode &node, F &&fn)
+    {
+        using D = decayed<F>;
+        if constexpr (storesInline<D>()) {
+            ::new (static_cast<void *>(node.storage))
+                D(std::forward<F>(fn));
+            node.invoke = [](EventNode &n) {
+                (*std::launder(reinterpret_cast<D *>(n.storage)))();
+            };
+            if constexpr (std::is_trivially_destructible_v<D>)
+                node.destroy = nullptr;
+            else
+                node.destroy = [](EventNode &n) {
+                    std::launder(reinterpret_cast<D *>(n.storage))
+                        ->~D();
+                };
+        } else {
+            // Oversized callback: box it. The node still recycles
+            // through the slab pool; only the callable itself is a
+            // heap object.
+            ::new (static_cast<void *>(node.storage))
+                D *(new D(std::forward<F>(fn)));
+            node.invoke = [](EventNode &n) {
+                (**std::launder(reinterpret_cast<D **>(n.storage)))();
+            };
+            node.destroy = [](EventNode &n) {
+                delete *std::launder(
+                    reinterpret_cast<D **>(n.storage));
+            };
         }
-    };
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    static bool
+    before(const EventNode &a, const EventNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    static EventNode *meld(EventNode *a, EventNode *b);
+    static EventNode *mergePairs(EventNode *first);
+
+    /** fatal() helpers kept out of the header's template bodies. */
+    void checkSchedule(Cycles when) const;
+    [[noreturn]] static void nullCallback();
+
+    /** Take a node from the free list / slab, stamped (when, seq). */
+    EventNode *acquire(Cycles when);
+    /** Link an initialized node into the pending heap. */
+    void push(EventNode *node);
+    /** Unlink and return the earliest pending node. */
+    EventNode *popMin();
+    /** Destroy the node's callback and recycle it. */
+    void release(EventNode *node);
+
+    EventNode *root = nullptr;
+    EventNode *freeList = nullptr;
+    std::vector<std::unique_ptr<EventNode[]>> slabs;
+    /** Nodes handed out of the newest slab so far. */
+    std::size_t slabUsed = kSlabEvents;
+    std::size_t freeCount = 0;
+    std::size_t pendingCount = 0;
+    std::size_t peakPendingCount = 0;
+    std::uint64_t truncatedRuns = 0;
     Cycles currentTime = 0;
     std::uint64_t nextSeq = 0;
 };

@@ -1,6 +1,8 @@
 #include "measure.h"
 
 #include <algorithm>
+#include <array>
+#include <initializer_list>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -12,6 +14,45 @@ namespace {
 using core::AccessPattern;
 
 constexpr std::uint64_t chunkWords = 64;
+
+/** Address-space bytes a walk of @p words elements spans. */
+Bytes
+walkSpanBytes(const AccessPattern &p, std::uint64_t words)
+{
+    switch (p.kind()) {
+      case core::PatternKind::Contiguous:
+        return words * 8;
+      case core::PatternKind::Strided: {
+        std::uint64_t blocks = (words + p.block() - 1) / p.block();
+        return blocks * p.stride() * 8;
+      }
+      case core::PatternKind::Indexed:
+        return words * 8 * 2; // data + index array
+      case core::PatternKind::Fixed:
+        break;
+    }
+    return 0;
+}
+
+/**
+ * Node config whose RAM is wide enough for the given walk spans.
+ * The widening is address-space only: the bump allocator hands out
+ * the same addresses whatever the capacity, so DRAM bank and cache
+ * mappings -- and therefore timing -- are unchanged; sparse paging
+ * plus the measurement residency window keep host memory O(1) in the
+ * spans. This is what lets a stride sweep walk a footprint larger
+ * than a node's physical RAM (fig4) without either kind of OOM.
+ */
+NodeConfig
+arenaConfig(const NodeConfig &cfg, std::initializer_list<Bytes> spans)
+{
+    Bytes need = 4096;
+    for (Bytes s : spans)
+        need += s + 2 * (cfg.ramAllocSkew + 64);
+    NodeConfig arena = cfg;
+    arena.ramBytes = std::max(arena.ramBytes, need);
+    return arena;
+}
 
 /** Allocate a walk of @p words elements with pattern @p p. */
 PatternWalk
@@ -35,36 +76,65 @@ makeWalk(Node &node, AccessPattern p, std::uint64_t words,
         auto perm = rng.permutation(words);
         for (std::uint64_t i = 0; i < words; ++i)
             ram.writeWord(idx + i * 8, perm[i]);
+        // The index array is re-read throughout the walk; keep it
+        // out of the residency window's recycling.
+        ram.pinRange(idx, words * 8);
         return indexedWalk(base, idx);
-      }
+    }
       case core::PatternKind::Fixed:
         break;
     }
     util::fatal("makeWalk: pattern must touch memory");
 }
 
-/** Fill the elements of a walk with recognizable values. */
+/**
+ * Fill one chunk of a walk with recognizable values. Measurements
+ * fill each chunk right before the kernel consumes it (instead of
+ * pre-filling the whole walk) so that, under the residency window,
+ * every page is written, read, and recyclable -- host memory never
+ * holds more than the window even for footprints beyond RAM. The
+ * fill is data-plane only; it costs no simulated time.
+ */
 void
-fillWalk(Node &node, const PatternWalk &walk, std::uint64_t words)
+fillChunk(NodeRam &ram, const PatternWalk &walk, std::uint64_t first,
+          std::uint64_t count)
 {
-    for (std::uint64_t i = 0; i < words; ++i)
-        node.ram().writeWord(walk.elementAddr(node.ram(), i),
-                             0x1000 + i);
+    WalkCursor cur(walk, first);
+    for (std::uint64_t i = 0; i < count; ++i, cur.advance())
+        ram.writeWord(cur.elementAddr(ram), 0x1000 + first + i);
+}
+
+void
+recordStats(const NodeRam &ram, MeasureStats *stats)
+{
+    if (!stats)
+        return;
+    stats->peakResidentPages = ram.peakResidentPages();
+    stats->recycledPages = ram.recycledPages();
 }
 
 } // namespace
 
 util::MBps
 measureLocalCopy(const MachineConfig &cfg, core::AccessPattern x,
-                 core::AccessPattern y, std::uint64_t words)
+                 core::AccessPattern y, std::uint64_t words,
+                 MeasureStats *stats)
 {
-    Node node(cfg.node);
+    Node node(arenaConfig(cfg.node, {walkSpanBytes(x, words),
+                                     walkSpanBytes(y, words)}));
+    node.ram().setResidencyLimit(measureResidentPages);
     util::Rng rng(12345);
     PatternWalk src = makeWalk(node, x, words, rng);
     PatternWalk dst = makeWalk(node, y, words, rng);
-    fillWalk(node, src, words);
-    Cycles elapsed = node.processor().copy(src, dst, 0, words, 0);
+    Cycles elapsed = 0;
+    for (std::uint64_t first = 0; first < words; first += chunkWords) {
+        std::uint64_t count = std::min(chunkWords, words - first);
+        fillChunk(node.ram(), src, first, count);
+        elapsed += node.processor().copy(src, dst, first, count,
+                                         elapsed);
+    }
     elapsed += node.processor().fence(elapsed);
+    recordStats(node.ram(), stats);
     return util::toMBps(words * 8, elapsed, cfg.clockHz);
 }
 
@@ -72,21 +142,27 @@ util::MBps
 measureLoadSend(const MachineConfig &cfg, core::AccessPattern x,
                 std::uint64_t words)
 {
-    Node node(cfg.node);
+    Node node(arenaConfig(cfg.node, {walkSpanBytes(x, words)}));
+    node.ram().setResidencyLimit(measureResidentPages);
     util::Rng rng(12345);
     PatternWalk src = makeWalk(node, x, words, rng);
-    fillWalk(node, src, words);
     std::vector<std::uint64_t> sink;
-    sink.reserve(words);
-    Cycles elapsed =
-        node.processor().gatherToPort(src, 0, words, 0, sink);
+    sink.reserve(chunkWords);
+    Cycles elapsed = 0;
+    for (std::uint64_t first = 0; first < words; first += chunkWords) {
+        std::uint64_t count = std::min(chunkWords, words - first);
+        fillChunk(node.ram(), src, first, count);
+        elapsed += node.processor().gatherToPort(src, first, count,
+                                                 elapsed, sink);
+        sink.clear();
+    }
     return util::toMBps(words * 8, elapsed, cfg.clockHz);
 }
 
 std::optional<util::MBps>
 measureFetchSend(const MachineConfig &cfg, std::uint64_t words)
 {
-    Node node(cfg.node);
+    Node node(arenaConfig(cfg.node, {words * 8}));
     if (!node.fetchEngine().enabled())
         return std::nullopt;
     Addr base = node.ram().alloc(words * 8);
@@ -98,16 +174,21 @@ std::optional<util::MBps>
 measureReceiveStore(const MachineConfig &cfg, core::AccessPattern y,
                     std::uint64_t words)
 {
-    Node node(cfg.node);
+    Node node(arenaConfig(cfg.node, {walkSpanBytes(y, words)}));
     if (!node.hasCoProcessor())
         return std::nullopt;
+    node.ram().setResidencyLimit(measureResidentPages);
     util::Rng rng(12345);
     PatternWalk dst = makeWalk(node, y, words, rng);
-    std::vector<std::uint64_t> payload(words);
-    for (std::uint64_t i = 0; i < words; ++i)
-        payload[i] = 0x2000 + i;
-    Cycles elapsed = node.coProcessor().scatterFromPort(
-        dst, 0, words, 0, payload.data());
+    std::array<std::uint64_t, chunkWords> payload;
+    Cycles elapsed = 0;
+    for (std::uint64_t first = 0; first < words; first += chunkWords) {
+        std::uint64_t count = std::min(chunkWords, words - first);
+        for (std::uint64_t i = 0; i < count; ++i)
+            payload[i] = 0x2000 + first + i;
+        elapsed += node.coProcessor().scatterFromPort(
+            dst, first, count, elapsed, payload.data());
+    }
     elapsed += node.coProcessor().fence(elapsed);
     return util::toMBps(words * 8, elapsed, cfg.clockHz);
 }
@@ -116,10 +197,11 @@ std::optional<util::MBps>
 measureReceiveDeposit(const MachineConfig &cfg, core::AccessPattern y,
                       std::uint64_t words)
 {
-    Node node(cfg.node);
+    Node node(arenaConfig(cfg.node, {walkSpanBytes(y, words)}));
     DepositEngine &engine = node.depositEngine();
     if (!engine.enabled())
         return std::nullopt;
+    node.ram().setResidencyLimit(measureResidentPages);
     util::Rng rng(12345);
     PatternWalk dst = makeWalk(node, y, words, rng);
 
@@ -132,11 +214,11 @@ measureReceiveDeposit(const MachineConfig &cfg, core::AccessPattern y,
         pkt.dst = 0;
         pkt.framing =
             contiguous ? Framing::DataOnly : Framing::AddrDataPair;
-        for (std::uint64_t i = 0; i < count; ++i) {
+        WalkCursor cur(dst, first);
+        for (std::uint64_t i = 0; i < count; ++i, cur.advance()) {
             pkt.words.push_back(0x3000 + first + i);
             if (!contiguous)
-                pkt.addrs.push_back(
-                    dst.elementAddr(node.ram(), first + i));
+                pkt.addrs.push_back(cur.elementAddr(node.ram()));
         }
         if (contiguous)
             pkt.destBase = dst.base + first * 8;

@@ -1,5 +1,8 @@
 #include "node_ram.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/logging.h"
 
 namespace ct::sim {
@@ -9,11 +12,6 @@ NodeRam::NodeRam(Bytes size_bytes, Bytes alloc_skew_bytes)
 {
     if (size_bytes == 0)
         util::fatal("NodeRam: zero size");
-    storage.reset(static_cast<std::uint8_t *>(
-        std::calloc(size_bytes, 1)));
-    if (!storage)
-        util::fatal("NodeRam: allocation of ", size_bytes,
-                    " bytes failed");
     capacity = size_bytes;
 }
 
@@ -34,47 +32,171 @@ void
 NodeRam::reset()
 {
     next = 0;
-    std::memset(storage.get(), 0, capacity);
+    pages.clear();
+    recycleQueue.clear();
+    pinnedRanges.clear();
+    for (TransEntry &entry : translations)
+        entry = TransEntry{};
 }
 
 void
-NodeRam::checkRange(Addr addr, Bytes bytes) const
+NodeRam::setResidencyLimit(std::size_t max_pages)
 {
-    if (addr + bytes > capacity)
-        util::fatal("NodeRam: access at ", addr, "+", bytes,
-                    " beyond size ", capacity);
+    residencyLimit = max_pages;
+    if (residencyLimit)
+        evictToLimit();
+}
+
+void
+NodeRam::pinRange(Addr addr, Bytes bytes)
+{
+    if (bytes == 0)
+        return;
+    checkRange(addr, bytes);
+    Addr first = addr / kPageBytes;
+    Addr last = (addr + bytes - 1) / kPageBytes;
+    pinnedRanges.emplace_back(first, last);
+    // Pages already materialized inside the range may still sit on
+    // the recycle queue; mark them so a stale queue entry is skipped.
+    for (Addr page = first; page <= last; ++page) {
+        auto it = pages.find(page);
+        if (it != pages.end())
+            it->second.pinned = true;
+    }
+}
+
+void
+NodeRam::outOfRange(Addr addr, Bytes bytes) const
+{
+    util::fatal("NodeRam: access at ", addr, "+", bytes,
+                " beyond size ", capacity);
+}
+
+bool
+NodeRam::isPinned(Addr page_index) const
+{
+    for (const auto &[first, last] : pinnedRanges)
+        if (page_index >= first && page_index <= last)
+            return true;
+    return false;
+}
+
+const std::uint8_t *
+NodeRam::peekPage(Addr page_index) const
+{
+    TransEntry &entry =
+        translations[page_index & (kTransEntries - 1)];
+    if (entry.pageIndexPlusOne == page_index + 1)
+        return entry.data;
+    auto it = pages.find(page_index);
+    if (it == pages.end())
+        return nullptr;
+    entry.pageIndexPlusOne = page_index + 1;
+    entry.data = it->second.data.get();
+    return entry.data;
+}
+
+std::uint8_t *
+NodeRam::touchPage(Addr page_index)
+{
+    TransEntry &entry =
+        translations[page_index & (kTransEntries - 1)];
+    if (entry.pageIndexPlusOne == page_index + 1)
+        return entry.data;
+    auto [it, inserted] = pages.try_emplace(page_index);
+    Page &page = it->second;
+    if (inserted) {
+        page.data = std::make_unique<std::uint8_t[]>(kPageBytes);
+        page.pinned = isPinned(page_index);
+        if (!page.pinned)
+            recycleQueue.push_back(page_index);
+        if (residencyLimit)
+            evictToLimit();
+        if (pages.size() > peakResident)
+            peakResident = pages.size();
+        // evictToLimit may have recycled this very page only if the
+        // limit is zero-sized nonsense; guard by re-looking it up.
+        it = pages.find(page_index);
+        if (it == pages.end())
+            util::fatal("NodeRam: residency limit ", residencyLimit,
+                        " too small to hold the working page");
+    }
+    entry.pageIndexPlusOne = page_index + 1;
+    entry.data = it->second.data.get();
+    return entry.data;
+}
+
+void
+NodeRam::evictToLimit()
+{
+    while (pages.size() > residencyLimit && !recycleQueue.empty()) {
+        Addr victim = recycleQueue.front();
+        recycleQueue.pop_front();
+        auto it = pages.find(victim);
+        // Stale entries: the page was pinned after materializing.
+        if (it == pages.end() || it->second.pinned)
+            continue;
+        pages.erase(it);
+        dropTranslation(victim);
+        ++recycled;
+    }
+}
+
+void
+NodeRam::dropTranslation(Addr page_index)
+{
+    TransEntry &entry =
+        translations[page_index & (kTransEntries - 1)];
+    if (entry.pageIndexPlusOne == page_index + 1)
+        entry = TransEntry{};
+}
+
+void
+NodeRam::readBytes(Addr addr, void *out, Bytes bytes) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (bytes > 0) {
+        Addr page_index = addr / kPageBytes;
+        Bytes offset = addr % kPageBytes;
+        Bytes chunk = std::min<Bytes>(bytes, kPageBytes - offset);
+        const std::uint8_t *page = peekPage(page_index);
+        if (page)
+            std::memcpy(dst, page + offset, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        addr += chunk;
+        dst += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+NodeRam::writeBytes(Addr addr, const void *in, Bytes bytes)
+{
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (bytes > 0) {
+        Addr page_index = addr / kPageBytes;
+        Bytes offset = addr % kPageBytes;
+        Bytes chunk = std::min<Bytes>(bytes, kPageBytes - offset);
+        std::memcpy(touchPage(page_index) + offset, src, chunk);
+        addr += chunk;
+        src += chunk;
+        bytes -= chunk;
+    }
 }
 
 std::uint64_t
-NodeRam::readWord(Addr addr) const
+NodeRam::readWordSlow(Addr addr) const
 {
-    checkRange(addr, 8);
     std::uint64_t value;
-    std::memcpy(&value, storage.get() + addr, 8);
+    readBytes(addr, &value, 8);
     return value;
 }
 
 void
-NodeRam::writeWord(Addr addr, std::uint64_t value)
+NodeRam::writeWordSlow(Addr addr, std::uint64_t value)
 {
-    checkRange(addr, 8);
-    std::memcpy(storage.get() + addr, &value, 8);
-}
-
-double
-NodeRam::readDouble(Addr addr) const
-{
-    checkRange(addr, 8);
-    double value;
-    std::memcpy(&value, storage.get() + addr, 8);
-    return value;
-}
-
-void
-NodeRam::writeDouble(Addr addr, double value)
-{
-    checkRange(addr, 8);
-    std::memcpy(storage.get() + addr, &value, 8);
+    writeBytes(addr, &value, 8);
 }
 
 } // namespace ct::sim

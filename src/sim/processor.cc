@@ -13,13 +13,13 @@ Processor::Processor(const ProcessorConfig &config, MemorySystem &memory,
 }
 
 Cycles
-Processor::loadElement(const PatternWalk &walk, std::uint64_t i,
+Processor::loadElement(const PatternWalk &walk, const WalkCursor &cur,
                        Cycles now, std::uint64_t &value)
 {
     Cycles cost = 0;
     if (walk.needsIndexLoad())
-        cost += mem.load(walk.indexAddr(i), now, master);
-    Addr addr = walk.elementAddr(nodeRam, i);
+        cost += mem.load(cur.indexAddr(), now, master);
+    Addr addr = cur.elementAddr(nodeRam);
     cost += mem.load(addr, now + cost, master);
     value = nodeRam.readWord(addr);
     return cost;
@@ -38,12 +38,15 @@ Processor::copy2(const PatternWalk &src, std::uint64_t src_first,
                  std::uint64_t count, Cycles start)
 {
     Cycles now = start;
-    for (std::uint64_t i = 0; i < count; ++i) {
+    WalkCursor scur(src, src_first);
+    WalkCursor dcur(dst, dst_first);
+    for (std::uint64_t i = 0; i < count;
+         ++i, scur.advance(), dcur.advance()) {
         std::uint64_t value = 0;
-        now += loadElement(src, src_first + i, now, value);
+        now += loadElement(src, scur, now, value);
         if (dst.needsIndexLoad())
-            now += mem.load(dst.indexAddr(dst_first + i), now, master);
-        Addr daddr = dst.elementAddr(nodeRam, dst_first + i);
+            now += mem.load(dcur.indexAddr(), now, master);
+        Addr daddr = dcur.elementAddr(nodeRam);
         now += mem.store(daddr, now, master);
         nodeRam.writeWord(daddr, value);
         loopCarry += cfg.loopCyclesPerElem;
@@ -60,9 +63,10 @@ Processor::gatherToPort(const PatternWalk &src, std::uint64_t first,
                         std::vector<std::uint64_t> &words)
 {
     Cycles now = start;
-    for (std::uint64_t i = first; i < first + count; ++i) {
+    WalkCursor cur(src, first);
+    for (std::uint64_t i = 0; i < count; ++i, cur.advance()) {
         std::uint64_t value = 0;
-        now += loadElement(src, i, now, value);
+        now += loadElement(src, cur, now, value);
         now += cfg.portStoreCycles;
         words.push_back(value);
         loopCarry += cfg.loopCyclesPerElem;
@@ -79,10 +83,11 @@ Processor::computeRemoteAddrs(const PatternWalk &dst,
                               Cycles start, std::vector<Addr> &addrs)
 {
     Cycles now = start;
-    for (std::uint64_t i = first; i < first + count; ++i) {
+    WalkCursor cur(dst, first);
+    for (std::uint64_t i = 0; i < count; ++i, cur.advance()) {
         if (dst.needsIndexLoad())
-            now += mem.load(dst.indexAddr(i), now, master);
-        addrs.push_back(dst.elementAddr(nodeRam, i));
+            now += mem.load(cur.indexAddr(), now, master);
+        addrs.push_back(cur.elementAddr(nodeRam));
     }
     return now - start;
 }
@@ -93,13 +98,14 @@ Processor::scatterFromPort(const PatternWalk &dst, std::uint64_t first,
                            const std::uint64_t *words)
 {
     Cycles now = start;
-    for (std::uint64_t i = first; i < first + count; ++i) {
+    WalkCursor cur(dst, first);
+    for (std::uint64_t i = 0; i < count; ++i, cur.advance()) {
         now += cfg.portLoadCycles;
         if (dst.needsIndexLoad())
-            now += mem.load(dst.indexAddr(i), now, master);
-        Addr daddr = dst.elementAddr(nodeRam, i);
+            now += mem.load(cur.indexAddr(), now, master);
+        Addr daddr = cur.elementAddr(nodeRam);
         now += mem.store(daddr, now, master);
-        nodeRam.writeWord(daddr, words[i - first]);
+        nodeRam.writeWord(daddr, words[i]);
         loopCarry += cfg.loopCyclesPerElem;
         double whole = std::floor(loopCarry);
         loopCarry -= whole;

@@ -92,8 +92,9 @@ class Processor
     const ProcessorConfig &config() const { return cfg; }
 
   private:
-    /** Visible cycles to read element @p i of @p walk (plus index). */
-    Cycles loadElement(const PatternWalk &walk, std::uint64_t i,
+    /** Visible cycles to read the element under @p cur (plus its
+     *  index load, if the walk is indexed). */
+    Cycles loadElement(const PatternWalk &walk, const WalkCursor &cur,
                        Cycles now, std::uint64_t &value);
 
     ProcessorConfig cfg;

@@ -77,6 +77,8 @@ collectReport(Machine &machine)
         r.engineStalls = faults->stats().engineStalls;
         r.engineFailures = faults->stats().engineFailures;
     }
+    r.peakPendingEvents = machine.events().peakPending();
+    r.truncatedRun = machine.events().truncated();
     r.reroutedPackets = net.reroutedPackets;
     r.reroutedLinks = net.reroutedLinks;
     r.unroutablePackets = net.unroutablePackets;
@@ -117,6 +119,9 @@ collectReport(Machine &machine)
         static_cast<std::uint64_t>(r.downedLinks));
     set("machine.topology.downed_nodes",
         static_cast<std::uint64_t>(r.downedNodes));
+    set("machine.events.peak_pending", r.peakPendingEvents);
+    set("machine.events.truncated_run",
+        static_cast<std::uint64_t>(r.truncatedRun ? 1 : 0));
     return r;
 }
 
@@ -126,6 +131,10 @@ formatReport(const MachineReport &r)
     std::ostringstream os;
     os << std::fixed << std::setprecision(1);
     os << "machine report (" << r.nodes << " nodes)\n";
+    if (r.truncatedRun)
+        os << "  *** TRUNCATED RUN: the event cap stopped the "
+              "simulation with events still pending; every figure "
+              "below is a lower bound ***\n";
     os << "  cache:   " << 100.0 * r.loadHitRate() << "% load hits ("
        << r.loadHits << "/" << r.loadHits + r.loadMisses << "), "
        << r.cacheInvalidations << " invalidations\n";
@@ -183,7 +192,8 @@ csvHeader()
            "fault_duplicates,fault_delays,engine_stalls,"
            "engine_failures,engine_refusals,rerouted_packets,"
            "rerouted_links,unroutable_packets,dead_node_packets,"
-           "link_failures,downed_links,downed_nodes";
+           "link_failures,downed_links,downed_nodes,"
+           "peak_pending_events,truncated_run";
 }
 
 std::string
@@ -205,7 +215,8 @@ toCsv(const MachineReport &r)
        << r.reroutedPackets << ',' << r.reroutedLinks << ','
        << r.unroutablePackets << ',' << r.deadNodePackets << ','
        << r.linkFailures << ',' << r.downedLinks << ','
-       << r.downedNodes;
+       << r.downedNodes << ',' << r.peakPendingEvents << ','
+       << (r.truncatedRun ? 1 : 0);
     return os.str();
 }
 

@@ -61,6 +61,16 @@ struct MachineReport
     std::uint64_t engineFailures = 0;
     std::uint64_t engineRefusals = 0;
 
+    // Event core.
+    /** Peak simultaneously pending events over the run. */
+    std::uint64_t peakPendingEvents = 0;
+    /**
+     * True when any EventQueue::run stopped at its max_events guard
+     * with events still pending: the run never converged and every
+     * other counter in this report is a lower bound, not a result.
+     */
+    bool truncatedRun = false;
+
     // Topology outages (all zero on a healthy fabric).
     std::uint64_t reroutedPackets = 0;
     std::uint64_t reroutedLinks = 0;

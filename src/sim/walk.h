@@ -40,6 +40,43 @@ PatternWalk stridedWalk(Addr base, std::uint32_t stride_words,
                         std::uint32_t block_words = 1);
 PatternWalk indexedWalk(Addr base, Addr index_base);
 
+/**
+ * Streaming address generator over a walk: O(1) state, no divisions
+ * in steady state, and no materialized address arrays. Produces the
+ * exact sequence `walk.elementAddr(ram, first)`,
+ * `walk.elementAddr(ram, first + 1)`, ... so kernels iterating a walk
+ * element-by-element can stream instead of recomputing (or caching)
+ * per-element addresses.
+ *
+ * For indexed walks each elementAddr() call reads the index array,
+ * mirroring the one architectural index load per element.
+ */
+class WalkCursor
+{
+  public:
+    WalkCursor(const PatternWalk &walk, std::uint64_t first);
+
+    /** Word address of the current element. */
+    Addr elementAddr(const NodeRam &ram) const;
+
+    /** Address of the current element's index entry. */
+    Addr indexAddr() const { return walkRef->indexAddr(current); }
+
+    /** Element number the cursor stands on. */
+    std::uint64_t index() const { return current; }
+
+    /** Step to the next element. */
+    void advance();
+
+  private:
+    const PatternWalk *walkRef;
+    std::uint64_t current;
+    /** Precomputed address (contiguous / strided walks). */
+    Addr addr = 0;
+    /** Elements left in the current strided block (incl. current). */
+    std::uint64_t blockLeft = 0;
+};
+
 } // namespace ct::sim
 
 #endif // CT_SIM_WALK_H

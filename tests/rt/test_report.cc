@@ -1,3 +1,5 @@
+#include <functional>
+
 #include <gtest/gtest.h>
 
 #include "rt/chained_layer.h"
@@ -59,6 +61,38 @@ TEST(Report, CsvColumnsMatchHeader)
         return std::count(s.begin(), s.end(), ',');
     };
     EXPECT_EQ(count_commas(toCsv(r)), count_commas(csvHeader()));
+}
+
+TEST(Report, EventCoreCountersSurfaced)
+{
+    Machine m(t3dConfig({2, 1, 1}));
+    auto op = rt::pairExchange(m, P::contiguous(), P::contiguous(),
+                               1 << 15);
+    rt::seedSources(m, op);
+    rt::ChainedLayer layer;
+    layer.run(m, op);
+    auto r = collectReport(m);
+    EXPECT_FALSE(r.truncatedRun);
+    EXPECT_GT(r.peakPendingEvents, 0u);
+    // Credit-based flow control bounds in-flight work: the peak
+    // pending-event count must be O(1) in the transfer size, not
+    // O(words). 256 is far above the credit window but far below
+    // the 512 chunks this transfer pushes through the machine.
+    EXPECT_LT(r.peakPendingEvents, 256u);
+}
+
+TEST(Report, TruncatedRunIsLoud)
+{
+    Machine m(t3dConfig({2, 1, 1}));
+    std::function<void()> forever = [&]() {
+        m.events().scheduleAfter(1, forever);
+    };
+    m.events().schedule(0, forever);
+    m.events().run(10);
+    auto r = collectReport(m);
+    EXPECT_TRUE(r.truncatedRun);
+    auto text = formatReport(r);
+    EXPECT_NE(text.find("TRUNCATED RUN"), std::string::npos);
 }
 
 TEST(Report, DepositWordsMatchPayload)

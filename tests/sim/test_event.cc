@@ -1,3 +1,6 @@
+#include <array>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "sim/event.h"
@@ -84,6 +87,98 @@ TEST(EventQueue, MaxEventsGuardStops)
     q.schedule(0, forever);
     auto executed = q.run(100);
     EXPECT_EQ(executed, 100u);
+}
+
+TEST(EventQueue, MaxEventsGuardMarksRunTruncated)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.truncated());
+    std::function<void()> forever = [&]() {
+        q.scheduleAfter(1, forever);
+    };
+    q.schedule(0, forever);
+    q.run(10);
+    EXPECT_TRUE(q.truncated());
+    EXPECT_EQ(q.pending(), 1u);
+    // Sticky: draining the queue afterwards must not launder the
+    // truncation away.
+    forever = [] {};
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.truncated());
+}
+
+TEST(EventQueue, CompleteRunIsNotTruncated)
+{
+    EventQueue q;
+    for (int i = 0; i < 50; ++i)
+        q.schedule(i, [] {});
+    q.run(50);
+    EXPECT_FALSE(q.truncated());
+}
+
+TEST(EventQueue, SameCycleOrderSurvivesSlabRecycling)
+{
+    // Fire enough events, in waves, that the pool recycles nodes
+    // through the free list many times over; ties at one cycle must
+    // still run in exact insertion order regardless of which
+    // recycled node each event landed in.
+    EventQueue q;
+    std::vector<int> order;
+    constexpr int waves = 8;
+    constexpr int perWave = 3 * 256; // several slabs' worth
+    for (int w = 0; w < waves; ++w) {
+        Cycles when = 10 * (w + 1);
+        for (int i = 0; i < perWave; ++i)
+            q.schedule(when, [&order, w, i] {
+                order.push_back(w * perWave + i);
+            });
+        // Interleave immediate events that free nodes mid-wave so
+        // later schedules reuse them.
+        q.run();
+        EXPECT_GT(q.poolFree(), 0u);
+    }
+    ASSERT_EQ(order.size(),
+              static_cast<std::size_t>(waves * perWave));
+    for (int i = 0; i < waves * perWave; ++i)
+        EXPECT_EQ(order[i], i) << "at " << i;
+    // Recycling means the pool never grew past one wave's worth
+    // (plus slab-granularity rounding).
+    EXPECT_LE(q.poolSlabs(),
+              static_cast<std::size_t>(perWave / 256 + 1));
+}
+
+TEST(EventQueue, PeakPendingTracksHighWaterMark)
+{
+    EventQueue q;
+    for (int i = 0; i < 300; ++i)
+        q.schedule(i, [] {});
+    EXPECT_EQ(q.peakPending(), 300u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.peakPending(), 300u);
+    q.schedule(1000, [] {});
+    q.run();
+    EXPECT_EQ(q.peakPending(), 300u);
+}
+
+TEST(EventQueue, OversizedCallbacksStillFireInOrder)
+{
+    // Callables beyond the inline-storage bound take the boxed path;
+    // ordering and destruction must be identical.
+    EventQueue q;
+    std::array<std::uint64_t, 64> big{};
+    std::vector<std::uint64_t> seen;
+    static_assert(sizeof(big) > EventQueue::inlineCallbackBytes(),
+                  "exercise the boxed path");
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        big[0] = i;
+        q.schedule(5, [big, &seen] { seen.push_back(big[0]); });
+    }
+    q.run();
+    EXPECT_EQ(seen,
+              (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8,
+                                          9}));
 }
 
 TEST(EventQueueDeath, PastScheduling)

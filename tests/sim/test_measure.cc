@@ -198,4 +198,32 @@ TEST(MeasuredTable, HasPaperStructure)
             .has_value());
 }
 
+TEST(MeasureFootprint, LargeStrideWalkRunsAndStaysBounded)
+{
+    // The fig4 regression: stride 256 at 2^15 elements spans 64 MiB
+    // for the strided side alone -- more than a T3D node's physical
+    // RAM, which used to kill the sweep with a simulated OOM. Arena
+    // provisioning must let it run, and the residency window must
+    // keep host pages O(1) in the stride.
+    MeasureStats stats;
+    auto mbps = measureLocalCopy(t3dConfig(), P::strided(256),
+                                 P::contiguous(), 1 << 15, &stats);
+    EXPECT_GT(mbps, 0.0);
+    EXPECT_GT(stats.recycledPages, 0u);
+    EXPECT_LE(stats.peakResidentPages, measureResidentPages);
+}
+
+TEST(MeasureFootprint, PeakResidencyDoesNotScaleWithStride)
+{
+    MeasureStats narrow, wide;
+    measureLocalCopy(t3dConfig(), P::strided(64), P::contiguous(),
+                     words, &narrow);
+    measureLocalCopy(t3dConfig(), P::strided(1024), P::contiguous(),
+                     words, &wide);
+    EXPECT_LE(wide.peakResidentPages, measureResidentPages);
+    // 16x the stride must not cost 16x the host pages.
+    EXPECT_LE(wide.peakResidentPages,
+              narrow.peakResidentPages + measureResidentPages / 4);
+}
+
 } // namespace

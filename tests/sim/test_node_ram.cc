@@ -53,6 +53,56 @@ TEST(NodeRam, ResetReclaimsAndClears)
     EXPECT_EQ(ram.alloc(1024), a);
 }
 
+TEST(NodeRam, SparseBackingCountsOnlyTouchedPages)
+{
+    // A huge address space costs nothing until written; reads of
+    // untouched pages stay zero without materializing them.
+    NodeRam ram(1ull << 40);
+    EXPECT_EQ(ram.residentPages(), 0u);
+    EXPECT_EQ(ram.readWord(1ull << 39), 0u);
+    EXPECT_EQ(ram.residentPages(), 0u);
+    ram.writeWord(1ull << 39, 42);
+    EXPECT_EQ(ram.residentPages(), 1u);
+    EXPECT_EQ(ram.readWord(1ull << 39), 42u);
+}
+
+TEST(NodeRam, ResidencyLimitRecyclesFifo)
+{
+    NodeRam ram(1 << 24);
+    ram.setResidencyLimit(4);
+    constexpr Bytes page = NodeRam::pageBytes();
+    for (Addr p = 0; p < 16; ++p)
+        ram.writeWord(p * page, p + 1);
+    EXPECT_LE(ram.residentPages(), 4u);
+    EXPECT_EQ(ram.peakResidentPages(), 4u);
+    EXPECT_EQ(ram.recycledPages(), 12u);
+    // Recycled pages read as zero again; the newest survive.
+    EXPECT_EQ(ram.readWord(0), 0u);
+    EXPECT_EQ(ram.readWord(15 * page), 16u);
+}
+
+TEST(NodeRam, PinnedRangesSurviveRecycling)
+{
+    NodeRam ram(1 << 24);
+    constexpr Bytes page = NodeRam::pageBytes();
+    ram.writeWord(0, 99); // materialized before the pin
+    ram.pinRange(0, 8);
+    ram.setResidencyLimit(2);
+    for (Addr p = 1; p < 32; ++p)
+        ram.writeWord(p * page, p);
+    EXPECT_EQ(ram.readWord(0), 99u);
+    EXPECT_GT(ram.recycledPages(), 0u);
+}
+
+TEST(NodeRam, WritesSpanningPagesStayIntact)
+{
+    NodeRam ram(1 << 20);
+    constexpr Bytes page = NodeRam::pageBytes();
+    Addr addr = page - 4; // straddles the page boundary
+    ram.writeWord(addr, 0x1122334455667788ULL);
+    EXPECT_EQ(ram.readWord(addr), 0x1122334455667788ULL);
+}
+
 TEST(NodeRamDeath, OutOfMemory)
 {
     NodeRam ram(1024);

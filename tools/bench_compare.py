@@ -36,6 +36,13 @@ import sys
 
 
 def rel_diff(a, b):
+    """Symmetric relative difference that is safe for zero baselines.
+
+    Normalizing by the baseline alone would divide by zero whenever a
+    counter's baseline is exactly 0 (idle-engine cycle counts, fault
+    counters on clean runs); normalizing by max(|a|, |b|) instead
+    reports any zero <-> non-zero transition as a 100% drift.
+    """
     if a == b:
         return 0.0
     denom = max(abs(a), abs(b))
@@ -72,6 +79,13 @@ def compare(summary_path, baseline_dir, tol, strict):
                     f"{bench}: {row}: counter '{name}' disappeared")
                 continue
             got = rows[row][name]
+            if want == 0 and got != 0:
+                # A counter waking up from a zero baseline is always
+                # a drift, whatever the tolerance.
+                failures.append(
+                    f"{bench}: {row}: {name} = {got:g}, baseline "
+                    "is exactly 0 (zero-baseline counter woke up)")
+                continue
             d = rel_diff(got, want)
             if d > tol:
                 failures.append(

@@ -358,20 +358,33 @@ main(int argc, char **argv)
     // argument: silently ignoring a mistyped flag would run a
     // different experiment than the user asked for.
     sim::FaultSpec faults;
+    bool faults_set = false;
     bool json = false;
     std::string out_file;
+    bool out_set = false;
     ObsOptions obs_opts;
+    // Flags that take a =VALUE; a bare occurrence (or an empty
+    // value) gets a dedicated diagnostic instead of the generic
+    // unknown-flag one.
+    const char *valued_flags[] = {"--faults", "--out", "--trace",
+                                  "--trace-format", "--metrics-out"};
     int nargs = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--faults=", 9) == 0)
+        if (std::strncmp(argv[i], "--faults=", 9) == 0 &&
+            argv[i][9]) {
             faults = sim::FaultSpec::parse(argv[i] + 9);
-        else if (std::strcmp(argv[i], "--json") == 0)
+            faults_set = true;
+        } else if (std::strcmp(argv[i], "--json") == 0)
             json = true;
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+        else if (std::strncmp(argv[i], "--out=", 6) == 0 &&
+                 argv[i][6]) {
             out_file = argv[i] + 6;
-        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            out_set = true;
+        } else if (std::strncmp(argv[i], "--trace=", 8) == 0 &&
+                   argv[i][8])
             obs_opts.traceFile = argv[i] + 8;
-        else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+        else if (std::strncmp(argv[i], "--trace-format=", 15) == 0 &&
+                 argv[i][15]) {
             if (!obs::parseTraceFormat(argv[i] + 15,
                                        obs_opts.traceFormat)) {
                 std::fprintf(stderr,
@@ -380,9 +393,24 @@ main(int argc, char **argv)
                              argv[i] + 15);
                 return usage();
             }
-        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0 &&
+                   argv[i][14])
             obs_opts.metricsFile = argv[i] + 14;
         else if (std::strncmp(argv[i], "--", 2) == 0) {
+            for (const char *flag : valued_flags) {
+                std::size_t len = std::strlen(flag);
+                bool bare = std::strcmp(argv[i], flag) == 0;
+                bool empty = std::strncmp(argv[i], flag, len) == 0 &&
+                             argv[i][len] == '=' &&
+                             argv[i][len + 1] == '\0';
+                if (bare || empty) {
+                    std::fprintf(stderr,
+                                 "flag '%s' requires a value "
+                                 "(%s=...)\n",
+                                 argv[i], flag);
+                    return usage();
+                }
+            }
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return usage();
         } else
@@ -394,6 +422,11 @@ main(int argc, char **argv)
         if (obs_opts.any()) {
             std::fprintf(stderr, "--trace/--metrics-out apply to "
                                  "the sim subcommand only\n");
+            return usage();
+        }
+        if (faults_set) {
+            std::fprintf(stderr, "--faults applies to the sim "
+                                 "subcommand only\n");
             return usage();
         }
         return runValidate(json, out_file);
@@ -411,9 +444,27 @@ main(int argc, char **argv)
         return usage();
 
     std::string cmd = argv[2];
+    bool is_plan = cmd != "table" && cmd != "sim-table" &&
+                   cmd != "sim" && cmd != "eval";
     if (obs_opts.any() && cmd != "sim") {
         std::fprintf(stderr, "--trace/--metrics-out apply to the "
                              "sim subcommand only\n");
+        return usage();
+    }
+    if (faults_set && cmd != "sim") {
+        std::fprintf(stderr,
+                     "--faults applies to the sim subcommand only\n");
+        return usage();
+    }
+    if (json && !is_plan) {
+        std::fprintf(stderr, "--json applies to the plan (xQy) and "
+                             "validate subcommands only\n");
+        return usage();
+    }
+    if (out_set) {
+        std::fprintf(stderr,
+                     "--out applies to the validate subcommand "
+                     "only\n");
         return usage();
     }
     if (cmd == "table") {
