@@ -180,4 +180,116 @@ AnalyticBackend::predictThroughputAt(const TransferProgram &program,
     return model.throughputAt(bytes);
 }
 
+std::optional<util::MBps>
+AnalyticBackend::faultedRate(const TransferProgram &program,
+                             const FaultEnvironment &env) const
+{
+    std::optional<util::MBps> base =
+        predictRate(program, env.congestion);
+    if (!base)
+        return std::nullopt;
+    // Past ~0.95 per-packet loss the retransmission series diverges
+    // and any comparison is academic; clamp so the query stays total.
+    double p = std::clamp(env.packetLoss, 0.0, 0.95);
+    if (p <= 0.0)
+        return base;
+
+    std::optional<util::MBps> wire;
+    for (const ProgramStage &stage : program.stages)
+        if (stage.resource == StageResource::Wire && !wire)
+            wire = table_.lookupNetwork(stage.transfer.op,
+                                        env.congestion);
+    if (!wire || *wire <= 0.0)
+        return std::nullopt;
+
+    // Expected transmissions per delivered packet: 1/(1-p). The
+    // p/(1-p) extra copies serialize on the wire stage at the
+    // program's own framing rate.
+    double lossesPerPacket = p / (1.0 - p);
+    double secPerMB = 1.0 / *base + lossesPerPacket / *wire;
+
+    // Each lost transmission is detected by a timer, stalling the
+    // channel for about one retransmit timeout. Charged per packet of
+    // env.packetWords payload words; identical for every style, so it
+    // shifts the whole surface without moving the break-even point.
+    if (env.retransmitTimeout > 0 && env.packetWords > 0) {
+        double packetMB =
+            static_cast<double>(env.packetWords) * 8.0 / 1e6;
+        double stallSec = static_cast<double>(env.retransmitTimeout) /
+                          profile_.clockHz;
+        secPerMB += lossesPerPacket * stallSec / packetMB;
+    }
+    return 1.0 / secPerMB;
+}
+
+namespace {
+
+/**
+ * Bisect f over [lo, hi] for a sign change of f(hi)-f(lo) polarity;
+ * nullopt when both ends agree in sign (no crossing) or either end
+ * is unratable.
+ */
+template <typename F>
+std::optional<double>
+bisectCrossing(F f, double lo, double hi)
+{
+    std::optional<double> flo = f(lo), fhi = f(hi);
+    if (!flo || !fhi)
+        return std::nullopt;
+    if ((*flo > 0.0) == (*fhi > 0.0))
+        return std::nullopt;
+    for (int iter = 0; iter < 64; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        std::optional<double> fmid = f(mid);
+        if (!fmid)
+            return std::nullopt;
+        if ((*fmid > 0.0) == (*flo > 0.0)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+std::optional<double>
+AnalyticBackend::breakEvenLoss(const TransferProgram &a,
+                               const TransferProgram &b,
+                               const FaultEnvironment &env) const
+{
+    auto diff = [&](double p) -> std::optional<double> {
+        FaultEnvironment at = env;
+        at.packetLoss = p;
+        std::optional<util::MBps> ra = faultedRate(a, at);
+        std::optional<util::MBps> rb = faultedRate(b, at);
+        if (!ra || !rb)
+            return std::nullopt;
+        return *ra - *rb;
+    };
+    return bisectCrossing(diff, 0.0, 0.95);
+}
+
+std::optional<double>
+AnalyticBackend::breakEvenCongestion(const TransferProgram &a,
+                                     const TransferProgram &b,
+                                     const FaultEnvironment &env,
+                                     double maxCongestion) const
+{
+    if (maxCongestion <= 1.0)
+        return std::nullopt;
+    auto diff = [&](double c) -> std::optional<double> {
+        FaultEnvironment at = env;
+        at.congestion = c;
+        std::optional<util::MBps> ra = faultedRate(a, at);
+        std::optional<util::MBps> rb = faultedRate(b, at);
+        if (!ra || !rb)
+            return std::nullopt;
+        return *ra - *rb;
+    };
+    return bisectCrossing(diff, 1.0, maxCongestion);
+}
+
 } // namespace ct::core

@@ -52,6 +52,29 @@ struct ExecutionProfile
     util::MBps indexStreamMBps = 0.0;
 };
 
+/**
+ * The measured fault environment a program executes under, sampled by
+ * a closed-loop controller at a round boundary. The backend folds it
+ * into the cost surface: every lost packet is eventually resent, so
+ * the extra copies serialize on the program's wire stage (at that
+ * style's own framing rate — address-data pairs pay twice the bytes
+ * of data framing), and the transport detects each loss by a timer,
+ * stalling roughly one retransmit timeout per lost transmission. The
+ * stall term is style-independent; the wire term is what moves the
+ * chained/packing break-even point.
+ */
+struct FaultEnvironment
+{
+    /** Per-packet wire loss probability (drops + corruptions). */
+    double packetLoss = 0.0;
+    /** Observed congestion factor of the traffic pattern. */
+    double congestion = 1.0;
+    /** Transport retransmission timeout (detection stall per loss). */
+    util::Cycles retransmitTimeout = 0;
+    /** Payload words per wire packet (the layers' chunk size). */
+    std::uint64_t packetWords = 64;
+};
+
 /** Rates TransferPrograms against one machine's throughput table. */
 class AnalyticBackend
 {
@@ -81,6 +104,37 @@ class AnalyticBackend
     std::optional<util::MBps>
     predictThroughputAt(const TransferProgram &program,
                         util::Bytes bytes, double congestion) const;
+
+    /**
+     * predictRate() under a measured fault environment: the base
+     * prediction at env.congestion, degraded by retransmission wire
+     * traffic and timeout-detection stalls (see FaultEnvironment).
+     */
+    std::optional<util::MBps>
+    faultedRate(const TransferProgram &program,
+                const FaultEnvironment &env) const;
+
+    /**
+     * Packet-loss probability at which programs @p a and @p b rate
+     * equal under @p env (env.packetLoss is ignored; congestion and
+     * transport parameters are held fixed). nullopt when the faulted
+     * rates never cross on [0, 0.95] — one style dominates the whole
+     * loss range.
+     */
+    std::optional<double>
+    breakEvenLoss(const TransferProgram &a, const TransferProgram &b,
+                  const FaultEnvironment &env) const;
+
+    /**
+     * Congestion factor at which @p a and @p b rate equal under
+     * @p env (env.congestion ignored, loss held fixed). nullopt when
+     * the surfaces never cross on [1, @p maxCongestion].
+     */
+    std::optional<double>
+    breakEvenCongestion(const TransferProgram &a,
+                        const TransferProgram &b,
+                        const FaultEnvironment &env,
+                        double maxCongestion = 16.0) const;
 
     const ThroughputTable &table() const { return table_; }
     const ExecutionProfile &profile() const { return profile_; }

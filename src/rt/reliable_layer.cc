@@ -36,6 +36,11 @@ struct Transport
         /** Bumped on every (re)transmission; a timeout event only
          *  acts if its captured generation is still current. */
         std::uint64_t generation = 0;
+        /** Armed retransmit timer; cancelled when the packet is
+         *  retired so a finished run never waits out dead timeouts. */
+        sim::EventQueue::Timer timer;
+        /** First-transmission time, for ack round-trip sampling. */
+        Cycles sentAt = 0;
     };
 
     /** Sender + receiver state of one directed (src,dst) channel. */
@@ -60,8 +65,12 @@ struct Transport
         obs::Counter checksumFailures;
         obs::Counter outOfOrder;
         obs::Counter abandoned;
+        obs::Counter retryExhausted;
+        obs::Counter degradations;
         obs::Counter deadEndpointDrops;
         obs::Counter routeSuspects;
+        obs::Counter rttSumCycles;
+        obs::Counter rttSamples;
     };
 
     Machine &machine;
@@ -89,9 +98,14 @@ struct Transport
             reg.counter("rt.reliable.checksum_failures");
         m.outOfOrder = reg.counter("rt.reliable.out_of_order");
         m.abandoned = reg.counter("rt.reliable.abandoned");
+        m.retryExhausted =
+            reg.counter("rt.reliable.retry_exhausted");
+        m.degradations = reg.counter("rt.reliable.degradations");
         m.deadEndpointDrops =
             reg.counter("rt.reliable.dead_endpoint_drops");
         m.routeSuspects = reg.counter("rt.reliable.route_suspects");
+        m.rttSumCycles = reg.counter("rt.reliable.rtt_sum_cycles");
+        m.rttSamples = reg.counter("rt.reliable.rtt_samples");
         // The cells count one run at a time.
         m.dataPackets.reset();
         m.retransmits.reset();
@@ -101,8 +115,12 @@ struct Transport
         m.checksumFailures.reset();
         m.outOfOrder.reset();
         m.abandoned.reset();
+        m.retryExhausted.reset();
+        m.degradations.reset();
         m.deadEndpointDrops.reset();
         m.routeSuspects.reset();
+        m.rttSumCycles.reset();
+        m.rttSamples.reset();
     }
 
     /** Materialize the run's ReliableStats from the registry. */
@@ -117,8 +135,12 @@ struct Transport
         stats.checksumFailures = m.checksumFailures.value();
         stats.outOfOrder = m.outOfOrder.value();
         stats.abandoned = m.abandoned.value();
+        stats.retryExhausted = m.retryExhausted.value();
+        stats.degradations = m.degradations.value();
         stats.deadEndpointDrops = m.deadEndpointDrops.value();
         stats.routeSuspects = m.routeSuspects.value();
+        stats.rttSumCycles = m.rttSumCycles.value();
+        stats.rttSamples = m.rttSamples.value();
     }
 
     Channel &
@@ -130,12 +152,22 @@ struct Transport
                         static_cast<std::size_t>(dst)];
     }
 
+    /** Disarm every retransmit timer of @p c's pending packets. */
+    static void
+    cancelPending(Channel &c)
+    {
+        for (auto &[rseq, entry] : c.pending)
+            entry.timer.cancel();
+    }
+
     /** Drop all per-channel state (between phases of a run). */
     void
     reset()
     {
-        for (Channel &c : channels)
+        for (Channel &c : channels) {
+            cancelPending(c);
             c = Channel{};
+        }
     }
 
     Cycles
@@ -147,10 +179,15 @@ struct Transport
     }
 
     void
-    scheduleTimeout(NodeId src, NodeId dst, std::uint32_t rseq,
-                    std::uint64_t generation, Cycles delay)
+    scheduleTimeout(Pending &entry, NodeId src, NodeId dst,
+                    std::uint32_t rseq, Cycles delay)
     {
-        machine.events().scheduleAfter(
+        // A NACK-triggered retransmission re-arms while the original
+        // timer is still pending; disarm it so the dead event cannot
+        // hold the clock hostage at run end.
+        entry.timer.cancel();
+        std::uint64_t generation = entry.generation;
+        entry.timer = machine.events().scheduleAfterCancellable(
             delay, [this, src, dst, rseq, generation]() {
                 onTimeout(src, dst, rseq, generation);
             });
@@ -167,7 +204,8 @@ struct Transport
         m.dataPackets.inc();
         Pending &entry = c.pending[p.rseq];
         entry.packet = p;
-        scheduleTimeout(p.src, p.dst, p.rseq, entry.generation,
+        entry.sentAt = machine.events().now();
+        scheduleTimeout(entry, p.src, p.dst, p.rseq,
                         timeoutAfter(0));
         return true; // network transmits the sealed packet
     }
@@ -198,7 +236,13 @@ struct Transport
         if (!topo.anyOutages())
             return false;
         Cycles now = machine.events().now();
+        // A flapping component is down *transiently*: it will come
+        // back, so retrying (with backoff) is the right call and
+        // writing the channel off would lose recoverable traffic.
+        if (topo.nodeRecovers(src, now) || topo.nodeRecovers(dst, now))
+            return false;
         if (!topo.nodeAlive(src, now) || !topo.nodeAlive(dst, now)) {
+            cancelPending(c);
             m.deadEndpointDrops.add(c.pending.size());
             if (tracer)
                 tracer->instant(
@@ -213,6 +257,9 @@ struct Transport
             return true;
         }
         if (!topo.healthyRoute(src, dst, now).ok) {
+            if (topo.anyFlaps())
+                return false; // a flapped link may restore the route
+            cancelPending(c);
             m.routeSuspects.add(c.pending.size());
             if (tracer)
                 tracer->instant(
@@ -242,13 +289,25 @@ struct Transport
         Pending &entry = it->second;
         ++entry.retries;
         if (entry.retries > opts.maxRetries) {
+            entry.timer.cancel();
+            m.retryExhausted.inc();
             m.abandoned.inc();
-            if (tracer)
+            if (tracer) {
+                // Policy-relevant event: a controller reading the
+                // trace sees budget exhaustion as a first-class
+                // decision input, distinct from the transport churn.
+                tracer->instant(
+                    "policy", "retry-exhausted",
+                    sim::traceTrack(src, sim::TraceTrack::Net),
+                    machine.events().now(), "dst",
+                    static_cast<std::uint64_t>(dst), "budget",
+                    static_cast<std::uint64_t>(opts.maxRetries));
                 tracer->instant(
                     "transport", "abandon",
                     sim::traceTrack(src, sim::TraceTrack::Net),
                     machine.events().now(), "dst",
                     static_cast<std::uint64_t>(dst), "rseq", rseq);
+            }
             noteAbandonedChannel(src, dst);
             util::warn("ReliableLayer: abandoning packet rseq=", rseq,
                        " on channel ", src, "->", dst, " after ",
@@ -257,6 +316,7 @@ struct Transport
             return;
         }
         ++entry.generation;
+        entry.timer.cancel();
         m.retransmits.inc();
         if (tracer)
             tracer->instant(
@@ -265,7 +325,7 @@ struct Transport
                 machine.events().now(), "dst",
                 static_cast<std::uint64_t>(dst), "rseq", rseq);
         Packet copy = entry.packet;
-        scheduleTimeout(src, dst, rseq, entry.generation,
+        scheduleTimeout(entry, src, dst, rseq,
                         timeoutAfter(entry.retries));
         machine.network().sendRaw(std::move(copy));
     }
@@ -304,9 +364,19 @@ struct Transport
     onAck(NodeId sender, NodeId receiver, std::uint32_t upto)
     {
         Channel &c = channel(sender, receiver);
+        Cycles now = machine.events().now();
         auto it = c.pending.begin();
-        while (it != c.pending.end() && it->first < upto)
+        while (it != c.pending.end() && it->first < upto) {
+            it->second.timer.cancel();
+            // Karn's rule: only never-retransmitted packets give an
+            // unambiguous round-trip sample (a retransmitted one
+            // could be acked for either copy).
+            if (it->second.generation == 0) {
+                m.rttSumCycles.add(now - it->second.sentAt);
+                m.rttSamples.inc();
+            }
             it = c.pending.erase(it);
+        }
     }
 
     void
@@ -401,6 +471,19 @@ ReliableLayer::name() const
     return "reliable+" + inner->name();
 }
 
+void
+ReliableLayer::setOptions(const ReliableOptions &options)
+{
+    if (options.maxRetries < 0)
+        util::fatal("ReliableLayer: maxRetries must be >= 0");
+    if (options.backoff < 1.0)
+        util::fatal("ReliableLayer: backoff must be >= 1");
+    if (options.retransmitTimeout == 0)
+        util::fatal("ReliableLayer: retransmitTimeout must be "
+                    "positive");
+    opts = options;
+}
+
 RunResult
 ReliableLayer::run(sim::Machine &machine, const CommOp &op)
 {
@@ -432,9 +515,14 @@ ReliableLayer::run(sim::Machine &machine, const CommOp &op)
                    inner->name(),
                    "'; degrading to the buffer-packing path");
         counters.degraded = true;
-        if (auto *t = machine.tracer())
+        machine.metrics().counter("rt.reliable.degradations").inc();
+        if (auto *t = machine.tracer()) {
             t->instant("transport", "degrade", machine.opTrack(),
                        machine.events().now());
+            // The style actually changed: a policy-level transition.
+            t->instant("policy", "degrade-to-packing",
+                       machine.opTrack(), machine.events().now());
+        }
         transport.reset();
         PackingLayer fallback(opts.fallback);
         result = fallback.run(machine, op);

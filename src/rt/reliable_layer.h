@@ -67,6 +67,11 @@ struct ReliableStats
     std::uint64_t outOfOrder = 0;
     /** Packets given up after the retry budget (should stay 0). */
     std::uint64_t abandoned = 0;
+    /** Retry budgets exhausted (every abandon hits this first; a
+     *  policy controller watches it to tighten or relax budgets). */
+    std::uint64_t retryExhausted = 0;
+    /** Degradation transitions to the packing fallback this run. */
+    std::uint64_t degradations = 0;
     /** Pending packets dropped because an endpoint node died. The
      *  watchdog clears them so the run can wind down; a checkpointed
      *  driver re-plans the lost traffic around the dead node. */
@@ -74,6 +79,13 @@ struct ReliableStats
     /** Pending packets written off because no live route existed
      *  (the channel is route-suspect: partition or dead port). */
     std::uint64_t routeSuspects = 0;
+    /** Ack round-trip observations, Karn-filtered (first-transmission
+     *  acks only; a retransmitted packet's ack is ambiguous). The
+     *  resilience controller floors its retransmit timeout at a
+     *  multiple of the mean so adaptation cannot tighten below the
+     *  loaded path's round-trip time. */
+    Cycles rttSumCycles = 0;
+    std::uint64_t rttSamples = 0;
     /** Channels on which delivery was given up (deduplicated).
      *  Dead-endpoint drops are expected losses and not listed. */
     std::vector<std::pair<sim::NodeId, sim::NodeId>>
@@ -96,6 +108,10 @@ class ReliableLayer : public MessageLayer
     const ReliableStats &stats() const { return counters; }
 
     const ReliableOptions &options() const { return opts; }
+
+    /** Replace the transport tunables (between runs; an adaptive
+     *  controller retunes timeout and retry budget per round). */
+    void setOptions(const ReliableOptions &options);
 
   private:
     std::unique_ptr<MessageLayer> inner;

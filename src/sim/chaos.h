@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic chaos campaigns: a ChaosSchedule is a seed-derived,
+ * fully replayable fault *timeline* layered on top of the static
+ * FaultSpec rates. Where a FaultSpec says "drop 0.1% of packets
+ * forever", a schedule says "ramp the drop rate from 0 to 5% over
+ * the first million cycles, kill three links in a cascade starting
+ * at cycle 2M, and flap one node every 400k cycles" -- and replays
+ * that timeline bit-identically from the same spec string.
+ *
+ * Spec grammar (semicolon-separated items, colon-separated fields):
+ *
+ *     seed:N                        victim-selection RNG seed
+ *     step:CLASS:R:T                CLASS rate R from cycle T onward
+ *     ramp:CLASS:R0:R1:T0:T1        rate rises linearly R0->R1 over
+ *                                   [T0,T1], holds R1 after
+ *     cascade:link:N:T:GAP          N seed-drawn network links die
+ *                                   permanently, first at T, then
+ *                                   every GAP cycles
+ *     cascade:node:N:T:GAP          same for nodes
+ *     flap:link:N:T:PERIOD:DOWN     N seed-drawn links flap from T:
+ *                                   down for DOWN cycles out of each
+ *                                   PERIOD
+ *     flap:node:N:T:PERIOD:DOWN     same for nodes
+ *
+ * with CLASS one of drop, corrupt, dup. Schedule rates *add* to the
+ * FaultSpec's static rate for the class (clamped to 1). Unknown
+ * verbs, classes, wrong field counts, or trailing garbage are
+ * rejected loudly with the offending token.
+ *
+ * Determinism contract: victim selection draws from a private stream
+ * derived from the seed (never from the per-class injection
+ * streams), and the injector consumes exactly one draw per packet
+ * for every class the schedule mentions -- whether or not the
+ * current rate is zero -- so the fault schedule of a replay never
+ * shifts against the original.
+ */
+
+#ifndef CT_SIM_CHAOS_H
+#define CT_SIM_CHAOS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace ct::sim {
+
+/** A replayable fault timeline (see file comment for the grammar). */
+struct ChaosSchedule
+{
+    /** Wire fault classes a schedule can modulate over time. */
+    enum class RateClass { Drop, Corrupt, Dup };
+
+    /** One step/ramp of a class's rate. A step is a ramp with
+     *  r0 == r1 and t0 == t1. */
+    struct RatePhase
+    {
+        RateClass cls = RateClass::Drop;
+        double r0 = 0.0;
+        double r1 = 0.0;
+        Cycles t0 = 0;
+        Cycles t1 = 0;
+    };
+
+    /** A cascading permanent outage: count victims, spaced gap. */
+    struct Cascade
+    {
+        bool nodes = false; ///< victims are nodes (else links)
+        int count = 0;
+        Cycles at = 0;
+        Cycles gap = 0;
+    };
+
+    /** A set of flapping components sharing one schedule. */
+    struct Flap
+    {
+        bool nodes = false;
+        int count = 0;
+        FlapSpec spec;
+    };
+
+    std::vector<RatePhase> phases;
+    std::vector<Cascade> cascades;
+    std::vector<Flap> flaps;
+    std::uint64_t seed = 1;
+
+    /** True when the schedule perturbs anything. */
+    bool any() const;
+
+    /** True when any phase modulates @p cls (even at rate 0 now). */
+    bool hasRate(RateClass cls) const;
+
+    /** Rate added to @p cls's static rate at time @p now. */
+    double rateAt(RateClass cls, Cycles now) const;
+
+    /** Parse a spec string; fatal on any malformed token. */
+    static ChaosSchedule parse(const std::string &spec);
+
+    /**
+     * Non-fatal parse for front ends that own the exit path: nullopt
+     * on error with a diagnostic naming the offending token in
+     * @p error (when non-null).
+     */
+    static std::optional<ChaosSchedule>
+    tryParse(const std::string &spec, std::string *error);
+
+    /** Canonical one-line rendering of the schedule. */
+    std::string summary() const;
+
+    /**
+     * Register the outage timeline (cascades and flaps) on @p topo.
+     * Victims are drawn without replacement per item from a stream
+     * derived from the seed: links from the network links (injection
+     * and ejection ports are never chaos victims), nodes from all
+     * nodes. Fatal when an item wants more victims than exist.
+     */
+    void applyOutages(Topology &topo) const;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_CHAOS_H

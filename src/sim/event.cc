@@ -97,6 +97,7 @@ EventQueue::acquire(Cycles when)
     node->seq = nextSeq++;
     node->child = nullptr;
     node->sibling = nullptr;
+    node->cancelled = false;
     return node;
 }
 
@@ -127,6 +128,9 @@ EventQueue::release(EventNode *node)
         node->destroy(*node);
     node->invoke = nullptr;
     node->destroy = nullptr;
+    // Re-stamp so any Timer handle to the retired event disarms the
+    // moment it fires or is discarded, not just on node reuse.
+    node->seq = nextSeq++;
     node->sibling = freeList;
     freeList = node;
     ++freeCount;
@@ -138,6 +142,13 @@ EventQueue::run(std::uint64_t max_events)
     std::uint64_t executed = 0;
     while (root && executed < max_events) {
         EventNode *node = popMin();
+        if (node->cancelled) {
+            // Tombstone: a cancelled event never happens, so it must
+            // not advance the clock -- otherwise an acknowledged
+            // retransmit timer would still stretch the run's tail.
+            release(node);
+            continue;
+        }
         currentTime = node->when;
         // The node stays off both the heap and the free list while
         // its callback runs, so events it schedules can never reuse

@@ -70,6 +70,66 @@ class EventQueue
         schedule(currentTime + delay, std::forward<F>(fn));
     }
 
+    /**
+     * Handle to one scheduled event, returned by the *Cancellable
+     * variants. cancel() turns the pending event into a tombstone:
+     * when its slot comes up it is discarded without running and
+     * without advancing the clock, so a cancelled timer can never
+     * stretch the tail of an otherwise finished run (a retransmit
+     * timer whose packet was acknowledged must not cost a timeout of
+     * simulated idle time). Cancelling after the event fired is a
+     * safe no-op -- the sequence stamp disambiguates recycled nodes
+     * -- but a handle must not outlive its queue.
+     */
+  private:
+    struct EventNode;
+
+  public:
+    class Timer
+    {
+      public:
+        Timer() = default;
+
+        /** True while the event is pending and not cancelled. */
+        bool armed() const;
+
+        /** Cancel the event if it is still pending. */
+        void cancel();
+
+      private:
+        friend class EventQueue;
+        Timer(EventNode *node, std::uint64_t seq)
+            : node(node), seq(seq)
+        {}
+        EventNode *node = nullptr;
+        std::uint64_t seq = 0;
+    };
+
+    /** schedule() returning a cancellable handle. */
+    template <typename F>
+    Timer
+    scheduleCancellable(Cycles when, F &&fn)
+    {
+        checkSchedule(when);
+        if constexpr (std::is_constructible_v<bool, const decayed<F> &>) {
+            if (!static_cast<bool>(fn))
+                nullCallback();
+        }
+        EventNode *node = acquire(when);
+        emplaceCallback(*node, std::forward<F>(fn));
+        push(node);
+        return Timer(node, node->seq);
+    }
+
+    /** scheduleAfter() returning a cancellable handle. */
+    template <typename F>
+    Timer
+    scheduleAfterCancellable(Cycles delay, F &&fn)
+    {
+        return scheduleCancellable(currentTime + delay,
+                                   std::forward<F>(fn));
+    }
+
     /** Number of pending events. */
     std::size_t pending() const { return pendingCount; }
 
@@ -129,6 +189,9 @@ class EventQueue
         std::uint64_t seq = 0;
         EventNode *child = nullptr;
         EventNode *sibling = nullptr;
+        /** Tombstone: discarded at its slot without running and
+         *  without advancing the clock (see Timer). */
+        bool cancelled = false;
         void (*invoke)(EventNode &) = nullptr;
         /** Null for trivially destructible callbacks. */
         void (*destroy)(EventNode &) = nullptr;
@@ -216,6 +279,19 @@ class EventQueue
     Cycles currentTime = 0;
     std::uint64_t nextSeq = 0;
 };
+
+inline bool
+EventQueue::Timer::armed() const
+{
+    return node && node->seq == seq && !node->cancelled;
+}
+
+inline void
+EventQueue::Timer::cancel()
+{
+    if (node && node->seq == seq)
+        node->cancelled = true;
+}
 
 } // namespace ct::sim
 

@@ -1,8 +1,11 @@
 #include "fault.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/chaos.h"
+#include "sim/event.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -22,40 +25,64 @@ streamSeed(std::uint64_t seed, std::uint64_t stream)
     return z ^ (z >> 31);
 }
 
-double
-parseRate(const std::string &key, const std::string &value)
+/** Non-fatal field parsers: false with a diagnostic in @p error. */
+
+bool
+parseRate(const std::string &key, const std::string &value,
+          double &out, std::string *error)
 {
     char *end = nullptr;
-    double rate = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0')
-        util::fatal("FaultSpec: bad value '", value, "' for ", key);
-    if (rate < 0.0 || rate > 1.0)
-        util::fatal("FaultSpec: ", key, "=", value,
-                    " outside [0, 1]");
-    return rate;
+    out = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        if (error)
+            *error = "bad value '" + value + "' for " + key;
+        return false;
+    }
+    if (out < 0.0 || out > 1.0) {
+        if (error)
+            *error = key + "=" + value + " outside [0, 1]";
+        return false;
+    }
+    return true;
 }
 
-std::uint64_t
-parseCount(const std::string &key, const std::string &value)
+bool
+parseCount(const std::string &key, const std::string &value,
+           std::uint64_t &out, std::string *error)
 {
+    // strtoull silently wraps negatives ("-1" becomes a huge count);
+    // accept plain digit strings only.
+    bool digits = !value.empty() &&
+                  std::all_of(value.begin(), value.end(), [](char c) {
+                      return c >= '0' && c <= '9';
+                  });
     char *end = nullptr;
-    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
-        util::fatal("FaultSpec: bad value '", value, "' for ", key);
-    return n;
+    out = digits ? std::strtoull(value.c_str(), &end, 10) : 0;
+    if (!digits || *end != '\0') {
+        if (error)
+            *error = "bad value '" + value + "' for " + key;
+        return false;
+    }
+    return true;
 }
 
 /** Parse "ID@CYCLE" (the "@CYCLE" part optional, default 0). */
-FaultSpec::Outage
-parseOutage(const std::string &key, const std::string &value)
+bool
+parseOutage(const std::string &key, const std::string &value,
+            FaultSpec::Outage &out, std::string *error)
 {
-    FaultSpec::Outage outage;
     auto at = value.find('@');
-    std::string id = value.substr(0, at);
-    outage.id = static_cast<std::int32_t>(parseCount(key, id));
-    if (at != std::string::npos)
-        outage.at = parseCount(key, value.substr(at + 1));
-    return outage;
+    std::uint64_t id = 0;
+    if (!parseCount(key, value.substr(0, at), id, error))
+        return false;
+    out.id = static_cast<std::int32_t>(id);
+    std::uint64_t cycle = 0;
+    if (at != std::string::npos) {
+        if (!parseCount(key, value.substr(at + 1), cycle, error))
+            return false;
+    }
+    out.at = cycle;
+    return true;
 }
 
 } // namespace
@@ -69,57 +96,95 @@ FaultSpec::any() const
            !nodeDown.empty() || linkFailRate > 0.0;
 }
 
-FaultSpec
-FaultSpec::parse(const std::string &spec)
+std::optional<FaultSpec>
+FaultSpec::tryParse(const std::string &spec, std::string *error)
 {
     FaultSpec out;
     bool delay_rate_given = false;
+    std::vector<std::string> seen;
     for (const std::string &field : util::split(spec, ',')) {
         std::string_view item = util::trim(field);
         if (item.empty())
             continue;
         auto eq = item.find('=');
-        if (eq == std::string_view::npos)
-            util::fatal("FaultSpec: expected key=value, got '", item,
-                        "'");
+        if (eq == std::string_view::npos) {
+            if (error)
+                *error = "expected key=value, got '" +
+                         std::string(item) + "'";
+            return std::nullopt;
+        }
         std::string key(util::trim(item.substr(0, eq)));
         std::string value(util::trim(item.substr(eq + 1)));
+        // Outage keys are repeatable; everything else set twice is a
+        // typo that would silently discard the first setting.
+        if (key != "link_down" && key != "node_down") {
+            if (std::find(seen.begin(), seen.end(), key) !=
+                seen.end()) {
+                if (error)
+                    *error = "duplicate key '" + key + "'";
+                return std::nullopt;
+            }
+            seen.push_back(key);
+        }
+        bool ok;
+        std::uint64_t count = 0;
         if (key == "drop")
-            out.drop = parseRate(key, value);
+            ok = parseRate(key, value, out.drop, error);
         else if (key == "corrupt")
-            out.corrupt = parseRate(key, value);
+            ok = parseRate(key, value, out.corrupt, error);
         else if (key == "dup")
-            out.dup = parseRate(key, value);
-        else if (key == "delay")
-            out.delayMax = parseCount(key, value);
-        else if (key == "delay_rate") {
-            out.delayRate = parseRate(key, value);
+            ok = parseRate(key, value, out.dup, error);
+        else if (key == "delay") {
+            if ((ok = parseCount(key, value, count, error)))
+                out.delayMax = count;
+        } else if (key == "delay_rate") {
+            ok = parseRate(key, value, out.delayRate, error);
             delay_rate_given = true;
         } else if (key == "engine_stall")
-            out.engineStall = parseRate(key, value);
-        else if (key == "engine_stall_cycles")
-            out.engineStallCycles = parseCount(key, value);
-        else if (key == "engine_fail")
-            out.engineFail = parseRate(key, value);
-        else if (key == "link_down")
-            out.linkDown.push_back(parseOutage(key, value));
-        else if (key == "node_down")
-            out.nodeDown.push_back(parseOutage(key, value));
-        else if (key == "link_fail_rate")
-            out.linkFailRate = parseRate(key, value);
+            ok = parseRate(key, value, out.engineStall, error);
+        else if (key == "engine_stall_cycles") {
+            if ((ok = parseCount(key, value, count, error)))
+                out.engineStallCycles = count;
+        } else if (key == "engine_fail")
+            ok = parseRate(key, value, out.engineFail, error);
+        else if (key == "link_down") {
+            Outage outage;
+            if ((ok = parseOutage(key, value, outage, error)))
+                out.linkDown.push_back(outage);
+        } else if (key == "node_down") {
+            Outage outage;
+            if ((ok = parseOutage(key, value, outage, error)))
+                out.nodeDown.push_back(outage);
+        } else if (key == "link_fail_rate")
+            ok = parseRate(key, value, out.linkFailRate, error);
         else if (key == "seed")
-            out.seed = parseCount(key, value);
-        else
-            util::fatal("FaultSpec: unknown key '", key,
-                        "' (expected drop, corrupt, dup, delay, "
-                        "delay_rate, engine_stall, "
-                        "engine_stall_cycles, engine_fail, "
-                        "link_down, node_down, link_fail_rate, "
-                        "seed)");
+            ok = parseCount(key, value, out.seed, error);
+        else {
+            if (error)
+                *error = "unknown key '" + key +
+                         "' (expected drop, corrupt, dup, delay, "
+                         "delay_rate, engine_stall, "
+                         "engine_stall_cycles, engine_fail, "
+                         "link_down, node_down, link_fail_rate, "
+                         "seed)";
+            return std::nullopt;
+        }
+        if (!ok)
+            return std::nullopt;
     }
     if (out.delayMax > 0 && !delay_rate_given)
         out.delayRate = 0.01;
     return out;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &spec)
+{
+    std::string error;
+    std::optional<FaultSpec> out = tryParse(spec, &error);
+    if (!out)
+        util::fatal("FaultSpec: ", error);
+    return *out;
 }
 
 std::string
@@ -183,6 +248,26 @@ FaultInjector::FaultInjector(const FaultSpec &spec,
     m.linkFailures = registry->counter("sim.fault.link_failures");
 }
 
+void
+FaultInjector::setChaos(const ChaosSchedule *schedule,
+                        const EventQueue *clock)
+{
+    if (schedule && !clock)
+        util::fatal("FaultInjector::setChaos: a schedule needs a "
+                    "clock");
+    chaos = schedule;
+    chaosClock = clock;
+}
+
+double
+FaultInjector::chaosRate(int cls) const
+{
+    if (!chaos)
+        return 0.0;
+    return chaos->rateAt(static_cast<ChaosSchedule::RateClass>(cls),
+                         chaosClock->now());
+}
+
 const FaultStats &
 FaultInjector::stats() const
 {
@@ -201,9 +286,19 @@ FaultInjector::stats() const
 bool
 FaultInjector::rollDrop()
 {
-    if (cfg.drop <= 0.0)
+    using RC = ChaosSchedule::RateClass;
+    bool scheduled = chaos && chaos->hasRate(RC::Drop);
+    if (cfg.drop <= 0.0 && !scheduled)
         return false;
-    bool hit = dropRng.nextDouble() < cfg.drop;
+    // The draw happens whenever the class is *active* (static rate
+    // or schedule), not whenever the current rate is non-zero: a
+    // ramp still at zero must consume the same draws it consumes on
+    // replay.
+    double rate = cfg.drop;
+    if (scheduled)
+        rate = std::min(
+            1.0, rate + chaosRate(static_cast<int>(RC::Drop)));
+    bool hit = dropRng.nextDouble() < rate;
     if (hit)
         m.drops.inc();
     return hit;
@@ -212,9 +307,15 @@ FaultInjector::rollDrop()
 bool
 FaultInjector::rollCorrupt()
 {
-    if (cfg.corrupt <= 0.0)
+    using RC = ChaosSchedule::RateClass;
+    bool scheduled = chaos && chaos->hasRate(RC::Corrupt);
+    if (cfg.corrupt <= 0.0 && !scheduled)
         return false;
-    bool hit = corruptRng.nextDouble() < cfg.corrupt;
+    double rate = cfg.corrupt;
+    if (scheduled)
+        rate = std::min(
+            1.0, rate + chaosRate(static_cast<int>(RC::Corrupt)));
+    bool hit = corruptRng.nextDouble() < rate;
     if (hit)
         m.corruptions.inc();
     return hit;
@@ -223,9 +324,15 @@ FaultInjector::rollCorrupt()
 bool
 FaultInjector::rollDuplicate()
 {
-    if (cfg.dup <= 0.0)
+    using RC = ChaosSchedule::RateClass;
+    bool scheduled = chaos && chaos->hasRate(RC::Dup);
+    if (cfg.dup <= 0.0 && !scheduled)
         return false;
-    bool hit = dupRng.nextDouble() < cfg.dup;
+    double rate = cfg.dup;
+    if (scheduled)
+        rate = std::min(
+            1.0, rate + chaosRate(static_cast<int>(RC::Dup)));
+    bool hit = dupRng.nextDouble() < rate;
     if (hit)
         m.duplicates.inc();
     return hit;

@@ -18,6 +18,7 @@
 #define CT_SIM_FAULT_H
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,9 @@
 #include "util/rng.h"
 
 namespace ct::sim {
+
+class EventQueue;
+struct ChaosSchedule;
 
 /**
  * Fault rates and magnitudes, parsed from a comma-separated spec
@@ -85,6 +89,15 @@ struct FaultSpec
     /** Parse a spec string; fatal on unknown keys or bad values. */
     static FaultSpec parse(const std::string &spec);
 
+    /**
+     * Non-fatal parse for front ends that own the exit path: nullopt
+     * on any malformed field -- unknown key, trailing garbage,
+     * negative count, duplicate key -- with a diagnostic naming the
+     * offending token in @p error (when non-null).
+     */
+    static std::optional<FaultSpec>
+    tryParse(const std::string &spec, std::string *error);
+
     /** Canonical one-line rendering of the active fault classes. */
     std::string summary() const;
 };
@@ -124,6 +137,16 @@ class FaultInjector
      */
     explicit FaultInjector(const FaultSpec &spec,
                            obs::MetricsRegistry *registry = nullptr);
+
+    /**
+     * Attach a chaos schedule (borrowed, may be nullptr) and the
+     * clock its time-varying rates are evaluated against. Schedule
+     * rates add to the spec's static rates, clamped to 1. Every
+     * class the schedule mentions consumes one RNG draw per roll
+     * even while its current rate is zero, so replaying the same
+     * schedule yields a bit-identical fault timeline.
+     */
+    void setChaos(const ChaosSchedule *chaos, const EventQueue *clock);
 
     const FaultSpec &spec() const { return cfg; }
 
@@ -178,7 +201,13 @@ class FaultInjector
         obs::Counter linkFailures;
     };
 
+    /** Chaos rate for one class at the current clock time (0 when
+     *  no schedule is attached). */
+    double chaosRate(int cls) const;
+
     FaultSpec cfg;
+    const ChaosSchedule *chaos = nullptr;
+    const EventQueue *chaosClock = nullptr;
     std::unique_ptr<obs::MetricsRegistry> ownedRegistry;
     Metrics m;
     mutable FaultStats view;

@@ -51,19 +51,24 @@ validateMachineConfig(const MachineConfig &config)
 Machine::Machine(const MachineConfig &config)
     : cfg((validateMachineConfig(config), config)),
       topo(cfg.topology),
-      injector(cfg.faults.any()
+      injector(cfg.faults.any() || !cfg.chaos.phases.empty()
                    ? std::make_unique<FaultInjector>(cfg.faults,
                                                      &metricsReg)
                    : nullptr),
       net(cfg.network, topo, queue, &metricsReg)
 {
     net.setFaults(injector.get());
+    if (injector && !cfg.chaos.phases.empty())
+        injector->setChaos(&cfg.chaos, &queue);
     // Apply scheduled topology outages from the fault spec. IDs are
     // validated by downLink/downNode against this machine's geometry.
     for (const FaultSpec::Outage &o : cfg.faults.linkDown)
         topo.downLink(o.id, o.at);
     for (const FaultSpec::Outage &o : cfg.faults.nodeDown)
         topo.downNode(o.id, o.at);
+    // Chaos outage timelines (cascades, flaps) draw their victims
+    // from the schedule's seed stream.
+    cfg.chaos.applyOutages(topo);
     nodes.reserve(static_cast<std::size_t>(topo.nodeCount()));
     for (int i = 0; i < topo.nodeCount(); ++i) {
         nodes.push_back(std::make_unique<Node>(cfg.node));

@@ -19,6 +19,7 @@
 #include "core/machine_params.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -37,6 +38,10 @@ struct MachineConfig
     NodeConfig node;
     /** Fault-injection spec; the default injects nothing. */
     FaultSpec faults;
+    /** Chaos campaign layered on top; the default schedules nothing.
+     *  Rate phases add to the spec's static rates; cascades and
+     *  flaps become topology outages at machine construction. */
+    ChaosSchedule chaos;
 };
 
 /**

@@ -145,16 +145,85 @@ Topology::downNode(NodeId node, Cycles at)
     outagesRegistered = true;
 }
 
+namespace {
+
+/** True when @p now falls in a down window of @p flap. */
+bool
+inFlapWindow(const FlapSpec &flap, Cycles now)
+{
+    if (now < flap.at)
+        return false;
+    return (now - flap.at) % flap.period < flap.down;
+}
+
+void
+validateFlap(const char *what, const FlapSpec &flap)
+{
+    if (flap.period == 0 || flap.down == 0)
+        util::fatal("Topology::", what,
+                    ": flap needs a positive period and down time");
+    if (flap.down >= flap.period)
+        util::fatal("Topology::", what, ": flap down time ",
+                    flap.down, " must be shorter than the period ",
+                    flap.period, " (use a permanent outage instead)");
+}
+
+} // namespace
+
+void
+Topology::flapLink(LinkId link, const FlapSpec &flap)
+{
+    if (link < 0 || link >= numLinks)
+        util::fatal("Topology::flapLink: bad link ", link, " (have ",
+                    numLinks, ")");
+    validateFlap("flapLink", flap);
+    linkFlaps[link] = flap;
+    outagesRegistered = true;
+}
+
+void
+Topology::flapNode(NodeId node, const FlapSpec &flap)
+{
+    if (node < 0 || node >= numNodes)
+        util::fatal("Topology::flapNode: bad node ", node);
+    validateFlap("flapNode", flap);
+    nodeFlaps[node] = flap;
+    outagesRegistered = true;
+}
+
 bool
 Topology::linkAlive(LinkId link, Cycles now) const
 {
-    return now < linkDownAt[static_cast<std::size_t>(link)];
+    if (now >= linkDownAt[static_cast<std::size_t>(link)])
+        return false;
+    if (!linkFlaps.empty()) {
+        auto it = linkFlaps.find(link);
+        if (it != linkFlaps.end() && inFlapWindow(it->second, now))
+            return false;
+    }
+    return true;
 }
 
 bool
 Topology::nodeAlive(NodeId node, Cycles now) const
 {
-    return now < nodeDownAt[static_cast<std::size_t>(node)];
+    if (now >= nodeDownAt[static_cast<std::size_t>(node)])
+        return false;
+    if (!nodeFlaps.empty()) {
+        auto it = nodeFlaps.find(node);
+        if (it != nodeFlaps.end() && inFlapWindow(it->second, now))
+            return false;
+    }
+    return true;
+}
+
+bool
+Topology::nodeRecovers(NodeId node, Cycles now) const
+{
+    if (now >= nodeDownAt[static_cast<std::size_t>(node)])
+        return false; // permanently dead
+    auto it = nodeFlaps.find(node);
+    return it != nodeFlaps.end() && inFlapWindow(it->second, now);
 }
 
 int
@@ -163,6 +232,10 @@ Topology::downedLinks(Cycles now) const
     int count = 0;
     for (Cycles at : linkDownAt)
         count += at <= now;
+    for (const auto &[link, flap] : linkFlaps)
+        if (now < linkDownAt[static_cast<std::size_t>(link)] &&
+            inFlapWindow(flap, now))
+            ++count;
     return count;
 }
 
@@ -172,6 +245,10 @@ Topology::downedNodes(Cycles now) const
     int count = 0;
     for (Cycles at : nodeDownAt)
         count += at <= now;
+    for (const auto &[node, flap] : nodeFlaps)
+        if (now < nodeDownAt[static_cast<std::size_t>(node)] &&
+            inFlapWindow(flap, now))
+            ++count;
     return count;
 }
 

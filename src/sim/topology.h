@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <vector>
 
 #include "sim/packet.h"
@@ -50,6 +51,20 @@ struct TopologyConfig
      * minimal congestion two (§4.3).
      */
     int nodesPerPort = 1;
+};
+
+/**
+ * A periodic down/up schedule for a link or node ("flapping"): from
+ * cycle @p at onward, the component is down for the first @p down
+ * cycles of every @p period cycles and up for the rest. Unlike a
+ * permanent outage the component keeps coming back, so a transport
+ * should keep retrying instead of writing the channel off.
+ */
+struct FlapSpec
+{
+    Cycles at = 0;     ///< first down cycle
+    Cycles period = 0; ///< cycle length of the down/up pattern
+    Cycles down = 0;   ///< down time at the start of each period
 };
 
 /** One (src, dst, bytes) demand of a traffic pattern. */
@@ -111,11 +126,30 @@ class Topology
     /** Mark a node down (no inject/drain) from cycle @p at onward. */
     void downNode(NodeId node, Cycles at);
 
+    /** Give a directed link a periodic down/up schedule. */
+    void flapLink(LinkId link, const FlapSpec &flap);
+
+    /** Give a node a periodic down/up schedule. */
+    void flapNode(NodeId node, const FlapSpec &flap);
+
     /** True once any outage has been registered (even a future one). */
     bool anyOutages() const { return outagesRegistered; }
 
+    /** True when any link or node has a flap schedule. */
+    bool anyFlaps() const
+    {
+        return !linkFlaps.empty() || !nodeFlaps.empty();
+    }
+
     bool linkAlive(LinkId link, Cycles now) const;
     bool nodeAlive(NodeId node, Cycles now) const;
+
+    /**
+     * True when @p node is down at @p now but only transiently: it is
+     * inside a flap window and not permanently dead, so traffic to it
+     * is worth retrying.
+     */
+    bool nodeRecovers(NodeId node, Cycles now) const;
 
     /** Number of links / nodes down at @p now. */
     int downedLinks(Cycles now = kNeverDown - 1) const;
@@ -172,6 +206,9 @@ class Topology
     /** Cycle each link/node goes down (kNeverDown = healthy). */
     std::vector<Cycles> linkDownAt;
     std::vector<Cycles> nodeDownAt;
+    /** Sparse periodic down/up schedules (flapping components). */
+    std::map<LinkId, FlapSpec> linkFlaps;
+    std::map<NodeId, FlapSpec> nodeFlaps;
 };
 
 } // namespace ct::sim

@@ -197,4 +197,64 @@ TEST(EventQueueDeath, NullCallback)
                 testing::ExitedWithCode(1), "null callback");
 }
 
+TEST(EventQueueTimer, CancelledEventNeverRuns)
+{
+    EventQueue q;
+    bool fired = false;
+    auto t = q.scheduleCancellable(100, [&] { fired = true; });
+    EXPECT_TRUE(t.armed());
+    t.cancel();
+    EXPECT_FALSE(t.armed());
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTimer, CancelledEventDoesNotAdvanceClock)
+{
+    // The whole point of cancellation: a dead retransmit timer must
+    // not stretch the tail of an otherwise finished run.
+    EventQueue q;
+    q.schedule(10, [] {});
+    auto t = q.scheduleCancellable(50000, [] {});
+    t.cancel();
+    q.run();
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueueTimer, CancelAfterFireIsNoOp)
+{
+    EventQueue q;
+    int fired = 0;
+    auto t = q.scheduleAfterCancellable(5, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.armed());
+    t.cancel(); // must not touch recycled storage
+    // Recycle the node for a different event; the stale handle must
+    // not be able to cancel it (the sequence stamp disambiguates).
+    auto t2 = q.scheduleAfterCancellable(5, [&] { ++fired; });
+    t.cancel();
+    EXPECT_TRUE(t2.armed());
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTimer, DefaultConstructedTimerIsInert)
+{
+    EventQueue::Timer t;
+    EXPECT_FALSE(t.armed());
+    t.cancel(); // no-op
+}
+
+TEST(EventQueueTimer, UncancelledTimerFiresNormally)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    auto t = q.scheduleCancellable(30, [&] { seen = q.now(); });
+    (void)t;
+    q.run();
+    EXPECT_EQ(seen, 30u);
+    EXPECT_EQ(q.now(), 30u);
+}
+
 } // namespace

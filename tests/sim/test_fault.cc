@@ -57,6 +57,50 @@ TEST(FaultSpec, RejectsMalformedField)
                 testing::ExitedWithCode(1), "key=value");
 }
 
+TEST(FaultSpecNegative, TryParseNamesUnknownKey)
+{
+    std::string err;
+    EXPECT_FALSE(FaultSpec::tryParse("frobnicate=1", &err));
+    EXPECT_NE(err.find("frobnicate"), std::string::npos) << err;
+}
+
+TEST(FaultSpecNegative, TryParseRejectsTrailingGarbage)
+{
+    std::string err;
+    EXPECT_FALSE(FaultSpec::tryParse("drop=0.1x", &err));
+    EXPECT_NE(err.find("0.1x"), std::string::npos) << err;
+    EXPECT_FALSE(FaultSpec::tryParse("delay=200cycles", &err));
+    EXPECT_NE(err.find("200cycles"), std::string::npos) << err;
+}
+
+TEST(FaultSpecNegative, TryParseRejectsNegativeCount)
+{
+    std::string err;
+    EXPECT_FALSE(FaultSpec::tryParse("delay=-1", &err));
+    EXPECT_NE(err.find("-1"), std::string::npos) << err;
+}
+
+TEST(FaultSpecNegative, TryParseRejectsDuplicateKey)
+{
+    // A repeated scalar key would silently discard the first value.
+    std::string err;
+    EXPECT_FALSE(FaultSpec::tryParse("drop=0.1,drop=0.2", &err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+    // Outage keys are legitimately repeatable.
+    EXPECT_TRUE(
+        FaultSpec::tryParse("link_down=0@0,link_down=1@5", &err));
+}
+
+TEST(FaultSpecNegative, TryParseSucceedsOnValidSpec)
+{
+    std::string err;
+    auto spec = FaultSpec::tryParse("drop=0.25,seed=4", &err);
+    ASSERT_TRUE(spec);
+    EXPECT_DOUBLE_EQ(spec->drop, 0.25);
+    EXPECT_EQ(spec->seed, 4u);
+    EXPECT_TRUE(err.empty());
+}
+
 TEST(FaultInjector, SameSeedSameSchedule)
 {
     auto spec = FaultSpec::parse(

@@ -22,11 +22,16 @@
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
- * docs/FAULTS.md for the full key list), plus the observability
- * flags --trace=FILE (with --trace-format=chrome|jsonl, default
- * chrome) and --metrics-out=FILE (see docs/OBSERVABILITY.md). Plan
- * and validate accept --json for machine-readable output. Unknown
- * flags are an error (usage + exit 2), never silently ignored.
+ * docs/FAULTS.md for the full key list), --chaos=SPEC to overlay a
+ * deterministic chaos campaign (seed-derived fault timelines, see
+ * docs/FAULTS.md), --adaptive to run the exchange under the
+ * closed-loop resilience controller (with --rounds=N round
+ * boundaries, default 8), plus the observability flags --trace=FILE
+ * (with --trace-format=chrome|jsonl, default chrome) and
+ * --metrics-out=FILE (see docs/OBSERVABILITY.md). Plan and validate
+ * accept --json for machine-readable output. Unknown flags and
+ * malformed --faults/--chaos values are an error (usage + exit 2),
+ * never silently ignored.
  *
  * Examples:
  *   ctplan t3d 1Q64
@@ -36,6 +41,8 @@
  *   ctplan t3d eval "1C1 o (1S0 || Nd || 0D1) o 1C64"
  *   ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7
  *   ctplan t3d sim 1Q4 4096 --trace=out.json --trace-format=chrome
+ *   ctplan t3d sim 1Q1 8192 --faults=drop=0.02 --adaptive --rounds=4
+ *   ctplan t3d sim 1Q1 8192 --chaos='ramp:drop:0:0.03:0:400000;seed:7'
  *   ctplan validate --out=BENCH_model_vs_sim.json
  */
 
@@ -50,8 +57,10 @@
 #include "core/planner.h"
 #include "obs/trace.h"
 #include "rt/reliable_layer.h"
+#include "rt/resilience.h"
 #include "rt/validation.h"
 #include "rt/workload.h"
+#include "sim/chaos.h"
 #include "sim/measure.h"
 #include "sim/report.h"
 #include "util/table.h"
@@ -69,8 +78,9 @@ usage()
         "usage: ctplan <t3d|paragon> "
         "<xQy | eval <formula> | table | sim <xQy> [words]>\n"
         "       [--faults=SPEC] [--json]\n"
-        "       sim also takes [--trace=FILE] "
-        "[--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
+        "       sim also takes [--chaos=SPEC] [--adaptive] "
+        "[--rounds=N] [--trace=FILE]\n"
+        "       [--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
         "       ctplan validate [--json] [--out=FILE]\n"
         "  ctplan t3d 1Q64\n"
         "  ctplan paragon wQw\n"
@@ -78,6 +88,9 @@ usage()
         "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n"
         "  ctplan t3d sim 1Q4 4096 --trace=out.json "
         "--trace-format=chrome\n"
+        "  ctplan t3d sim 1Q1 8192 --faults=drop=0.02 --adaptive\n"
+        "  ctplan t3d sim 1Q1 8192 "
+        "--chaos='ramp:drop:0:0.03:0:400000;seed:7'\n"
         "  ctplan validate --out=BENCH_model_vs_sim.json\n");
     return 2;
 }
@@ -131,14 +144,52 @@ printTable(core::MachineId id, bool simulated)
     std::printf("%s", net.render().c_str());
 }
 
+/** Write the --metrics-out / --trace files (0 = ok, 1 = IO error). */
+int
+writeObsOutputs(sim::Machine &m, obs::Tracer *tracer,
+                const ObsOptions &obs_opts, double clock_hz)
+{
+    if (!obs_opts.metricsFile.empty()) {
+        sim::collectReport(m); // publish machine.* gauges
+        std::ofstream out(obs_opts.metricsFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         obs_opts.metricsFile.c_str());
+            return 1;
+        }
+        m.metrics().writeJson(out);
+        std::printf("  metrics         wrote %s\n",
+                    obs_opts.metricsFile.c_str());
+    }
+    if (tracer) {
+        std::ofstream out(obs_opts.traceFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         obs_opts.traceFile.c_str());
+            return 1;
+        }
+        tracer->write(out, obs_opts.traceFormat, clock_hz / 1e6);
+        std::printf(
+            "  trace           wrote %s (%llu events, %llu "
+            "dropped)\n",
+            obs_opts.traceFile.c_str(),
+            static_cast<unsigned long long>(tracer->size()),
+            static_cast<unsigned long long>(tracer->dropped()));
+    }
+    return 0;
+}
+
 /**
- * Run a pairwise exchange of @p words elements on the simulator, the
- * chained layer wrapped by the reliable transport, optionally under
- * an injected fault load.
+ * Run a pairwise exchange of @p words elements on the simulator
+ * behind the reliable transport, optionally under an injected fault
+ * load and a chaos campaign. Static mode runs the chained layer in
+ * one shot; --adaptive slices the exchange into rounds under the
+ * closed-loop resilience controller.
  */
 int
 runSim(core::MachineId machine, const std::string &xqy,
        std::uint64_t words, const sim::FaultSpec &faults,
+       const sim::ChaosSchedule &chaos, bool adaptive, int rounds,
        const ObsOptions &obs_opts)
 {
     auto q = xqy.find('Q');
@@ -155,6 +206,7 @@ runSim(core::MachineId machine, const std::string &xqy,
 
     auto cfg = sim::configFor(machine);
     cfg.faults = faults;
+    cfg.chaos = chaos;
     sim::Machine m(cfg);
 
     std::unique_ptr<obs::Tracer> tracer;
@@ -181,6 +233,76 @@ runSim(core::MachineId machine, const std::string &xqy,
         op.flows = std::move(live);
     }
 
+    if (adaptive) {
+        rt::ResilienceController controller(cfg, *x, *y);
+        rt::AdaptiveResult ar =
+            rt::runAdaptiveExchange(m, op, controller, rounds);
+
+        sim::Cycles end = m.events().now();
+        const auto &n = m.network().stats();
+        std::printf("%s %s, %llu words/node, faults: %s, chaos: %s\n",
+                    cfg.name.c_str(), xqy.c_str(),
+                    static_cast<unsigned long long>(words),
+                    faults.summary().c_str(),
+                    chaos.summary().c_str());
+        std::printf("  layer           adaptive (%s -> %s), "
+                    "%d rounds%s\n",
+                    controller.options().initialStyle.c_str(),
+                    ar.finalStyle.c_str(), ar.rounds,
+                    ar.degraded ? "  [DEGRADED to packing]" : "");
+        std::printf("  goodput         %.2f MB/s per node\n",
+                    m.toMBps(op.maxBytesPerSender(), ar.makespan));
+        std::printf("  makespan        %llu cycles\n",
+                    static_cast<unsigned long long>(ar.makespan));
+        std::printf("  wire bytes      %llu\n",
+                    static_cast<unsigned long long>(n.wireBytes));
+        std::printf("  decisions       %d style switch(es), %d "
+                    "transport retune(s), %d forced checkpoint(s)\n",
+                    ar.styleSwitches, ar.transportAdaptations,
+                    ar.forcedCheckpoints);
+        for (const rt::PolicyDecision &d : ar.decisions) {
+            if (d.action == rt::PolicyAction::SwitchStyle)
+                std::printf("    round %-3d %s %s -> %s "
+                            "(%.2f vs %.2f MB/s, loss %.4f)\n",
+                            d.round,
+                            rt::policyActionName(d.action),
+                            d.fromStyle.c_str(), d.toStyle.c_str(),
+                            d.rateCurrent, d.rateAlternate,
+                            d.observedLoss);
+            else
+                std::printf("    round %-3d %s (loss %.4f, rto "
+                            "%llu, retries %d)\n",
+                            d.round,
+                            rt::policyActionName(d.action),
+                            d.observedLoss,
+                            static_cast<unsigned long long>(
+                                d.retransmitTimeout),
+                            d.maxRetries);
+        }
+        std::printf("  fingerprint     %016llx\n",
+                    static_cast<unsigned long long>(ar.fingerprint));
+        if (topo.anyOutages())
+            std::printf(
+                "  outages         %d links / %d nodes down, "
+                "%llu packets rerouted (%llu links detoured), "
+                "%llu unroutable\n",
+                topo.downedLinks(end), topo.downedNodes(end),
+                static_cast<unsigned long long>(n.reroutedPackets),
+                static_cast<unsigned long long>(n.reroutedLinks),
+                static_cast<unsigned long long>(
+                    n.unroutablePackets));
+        if (planned_out > 0 || ar.skippedFlows > 0)
+            std::printf("  lost to outages %llu words planned out, "
+                        "%d flow(s) unverifiable (dead endpoint)\n",
+                        static_cast<unsigned long long>(planned_out),
+                        ar.skippedFlows);
+        std::printf("  delivery        %s\n",
+                    ar.corruptWords == 0 ? "bit-exact" : "CORRUPTED");
+        if (writeObsOutputs(m, tracer.get(), obs_opts, cfg.clockHz))
+            return 1;
+        return ar.corruptWords == 0 ? 0 : 1;
+    }
+
     rt::seedSources(m, op);
     auto layer = rt::makeReliableChained();
     auto result = layer->run(m, op);
@@ -202,10 +324,13 @@ runSim(core::MachineId machine, const std::string &xqy,
 
     const auto &t = layer->stats();
     const auto &n = m.network().stats();
-    std::printf("%s %s, %llu words/node, faults: %s\n",
+    std::printf("%s %s, %llu words/node, faults: %s",
                 cfg.name.c_str(), xqy.c_str(),
                 static_cast<unsigned long long>(words),
                 faults.summary().c_str());
+    if (chaos.any())
+        std::printf(", chaos: %s", chaos.summary().c_str());
+    std::printf("\n");
     std::printf("  layer           %s%s\n", layer->name().c_str(),
                 result.degraded ? "  [DEGRADED to packing]" : "");
     std::printf("  goodput         %.2f MB/s per node\n",
@@ -237,34 +362,8 @@ runSim(core::MachineId machine, const std::string &xqy,
     std::printf("  delivery        %s\n",
                 bad == 0 ? "bit-exact" : "CORRUPTED");
 
-    if (!obs_opts.metricsFile.empty()) {
-        sim::collectReport(m); // publish machine.* gauges
-        std::ofstream out(obs_opts.metricsFile);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n",
-                         obs_opts.metricsFile.c_str());
-            return 1;
-        }
-        m.metrics().writeJson(out);
-        std::printf("  metrics         wrote %s\n",
-                    obs_opts.metricsFile.c_str());
-    }
-    if (tracer) {
-        std::ofstream out(obs_opts.traceFile);
-        if (!out) {
-            std::fprintf(stderr, "cannot write '%s'\n",
-                         obs_opts.traceFile.c_str());
-            return 1;
-        }
-        tracer->write(out, obs_opts.traceFormat,
-                      cfg.clockHz / 1e6);
-        std::printf(
-            "  trace           wrote %s (%llu events, %llu "
-            "dropped)\n",
-            obs_opts.traceFile.c_str(),
-            static_cast<unsigned long long>(tracer->size()),
-            static_cast<unsigned long long>(tracer->dropped()));
-    }
+    if (writeObsOutputs(m, tracer.get(), obs_opts, cfg.clockHz))
+        return 1;
 
     // Abandoned delivery that was not absorbed by a degradation path
     // is a silent data-loss bug; fail loudly and name the channels.
@@ -359,6 +458,11 @@ main(int argc, char **argv)
     // different experiment than the user asked for.
     sim::FaultSpec faults;
     bool faults_set = false;
+    sim::ChaosSchedule chaos;
+    bool chaos_set = false;
+    bool adaptive = false;
+    int rounds = 4;
+    bool rounds_set = false;
     bool json = false;
     std::string out_file;
     bool out_set = false;
@@ -366,14 +470,49 @@ main(int argc, char **argv)
     // Flags that take a =VALUE; a bare occurrence (or an empty
     // value) gets a dedicated diagnostic instead of the generic
     // unknown-flag one.
-    const char *valued_flags[] = {"--faults", "--out", "--trace",
-                                  "--trace-format", "--metrics-out"};
+    const char *valued_flags[] = {"--faults",      "--chaos",
+                                  "--rounds",      "--out",
+                                  "--trace",       "--trace-format",
+                                  "--metrics-out"};
     int nargs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--faults=", 9) == 0 &&
             argv[i][9]) {
-            faults = sim::FaultSpec::parse(argv[i] + 9);
+            std::string error;
+            auto parsed = sim::FaultSpec::tryParse(argv[i] + 9,
+                                                   &error);
+            if (!parsed) {
+                std::fprintf(stderr, "bad --faults: %s\n",
+                             error.c_str());
+                return usage();
+            }
+            faults = *parsed;
             faults_set = true;
+        } else if (std::strncmp(argv[i], "--chaos=", 8) == 0 &&
+                   argv[i][8]) {
+            std::string error;
+            auto parsed = sim::ChaosSchedule::tryParse(argv[i] + 8,
+                                                       &error);
+            if (!parsed) {
+                std::fprintf(stderr, "bad --chaos: %s\n",
+                             error.c_str());
+                return usage();
+            }
+            chaos = *parsed;
+            chaos_set = true;
+        } else if (std::strcmp(argv[i], "--adaptive") == 0)
+            adaptive = true;
+        else if (std::strncmp(argv[i], "--rounds=", 9) == 0 &&
+                 argv[i][9]) {
+            char *end = nullptr;
+            long v = std::strtol(argv[i] + 9, &end, 10);
+            if (*end != '\0' || v < 1 || v > 1 << 20) {
+                std::fprintf(stderr, "bad --rounds '%s'\n",
+                             argv[i] + 9);
+                return usage();
+            }
+            rounds = static_cast<int>(v);
+            rounds_set = true;
         } else if (std::strcmp(argv[i], "--json") == 0)
             json = true;
         else if (std::strncmp(argv[i], "--out=", 6) == 0 &&
@@ -424,9 +563,10 @@ main(int argc, char **argv)
                                  "the sim subcommand only\n");
             return usage();
         }
-        if (faults_set) {
-            std::fprintf(stderr, "--faults applies to the sim "
-                                 "subcommand only\n");
+        if (faults_set || chaos_set || adaptive || rounds_set) {
+            std::fprintf(stderr,
+                         "--faults/--chaos/--adaptive/--rounds "
+                         "apply to the sim subcommand only\n");
             return usage();
         }
         return runValidate(json, out_file);
@@ -451,9 +591,15 @@ main(int argc, char **argv)
                              "sim subcommand only\n");
         return usage();
     }
-    if (faults_set && cmd != "sim") {
+    if ((faults_set || chaos_set || adaptive || rounds_set) &&
+        cmd != "sim") {
         std::fprintf(stderr,
-                     "--faults applies to the sim subcommand only\n");
+                     "--faults/--chaos/--adaptive/--rounds apply to "
+                     "the sim subcommand only\n");
+        return usage();
+    }
+    if (rounds_set && !adaptive) {
+        std::fprintf(stderr, "--rounds requires --adaptive\n");
         return usage();
     }
     if (json && !is_plan) {
@@ -487,7 +633,8 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        return runSim(machine, argv[3], words, faults, obs_opts);
+        return runSim(machine, argv[3], words, faults, chaos,
+                      adaptive, rounds, obs_opts);
     }
 
     if (cmd == "eval") {
