@@ -109,6 +109,24 @@ styleCrossoverBytes(MachineId machine, AccessPattern x,
 }
 
 std::string
+canonicalQueryKey(const char *op, MachineId machine,
+                  const AccessPattern &x, const AccessPattern &y,
+                  std::uint64_t words, util::Bytes bytes,
+                  std::uint64_t budget,
+                  const std::string &canonical_faults,
+                  const std::string &canonical_chaos)
+{
+    std::ostringstream os;
+    os << op << '|' << machineName(machine) << '|' << x.label() << 'Q'
+       << y.label() << "|words=" << words << "|bytes=" << bytes
+       << "|budget=" << budget << "|faults="
+       << (canonical_faults.empty() ? "none" : canonical_faults)
+       << "|chaos="
+       << (canonical_chaos.empty() ? "none" : canonical_chaos);
+    return os.str();
+}
+
+std::string
 formatPlan(const PlanQuery &query,
            const std::vector<PlannedStrategy> &plans)
 {

@@ -81,6 +81,33 @@ std::vector<SizedPlan> planForSize(MachineId machine, AccessPattern x,
 util::Bytes styleCrossoverBytes(MachineId machine, AccessPattern x,
                                 AccessPattern y, Style a, Style b);
 
+/**
+ * Canonical memoization key for a planning or simulation query.
+ * Equivalent queries -- however their patterns, machine name or
+ * fault/chaos specs were originally spelled -- must map to the same
+ * key, so callers pass the *parsed* artifacts and this function
+ * re-renders each through its canonical printer: the machine through
+ * machineName(), the patterns through AccessPattern::label(), and
+ * the fault/chaos specs through their summary() round-trip (the
+ * caller renders those, since core does not depend on sim). The
+ * deadline budget is part of the key because it shapes the answer: a
+ * truncated response memoized under a budget-blind key would be
+ * served to a client that asked for full fidelity. Fields are joined
+ * in a fixed order with '|', e.g.
+ *
+ *   "sim|T3D|1Q64|words=4096|bytes=0|budget=0|faults=drop=0.02|chaos=none"
+ *
+ * The planning service CRC-stamps the cached payload separately; the
+ * key itself carries no checksum.
+ */
+std::string canonicalQueryKey(const char *op, MachineId machine,
+                              const AccessPattern &x,
+                              const AccessPattern &y,
+                              std::uint64_t words, util::Bytes bytes,
+                              std::uint64_t budget,
+                              const std::string &canonical_faults,
+                              const std::string &canonical_chaos);
+
 } // namespace ct::core
 
 #endif // CT_CORE_PLANNER_H

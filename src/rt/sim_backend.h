@@ -50,6 +50,17 @@ struct SimRun
     /** Words that arrived with the wrong value (0 = verified). */
     std::uint64_t corruptWords = 0;
     std::string layerName;
+    /**
+     * True when the run hit the cooperative event budget and was cut
+     * short: makespan/rates describe the progress made up to the cut
+     * and delivery was NOT verified (partial delivery is a deadline
+     * artifact, not corruption). Callers surfacing truncated runs
+     * must label them as such (the planning service reports
+     * fidelity "truncated").
+     */
+    bool truncated = false;
+    /** Events the simulation executed (the budget spent). */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** Executes TransferPrograms on one simulated machine model. */
@@ -74,11 +85,23 @@ class SimBackend
 
     const sim::MachineConfig &config() const { return cfg; }
 
+    /**
+     * Cooperative cancellation checkpoint for deadline-bound
+     * callers: cap the total simulator events one execute()/
+     * exchange() may fire. When the budget runs out mid-run the
+     * event loop stops at the next checkpoint, the run comes back
+     * with truncated = true, and its numbers describe the progress
+     * made so far. 0 (the default) means unlimited.
+     */
+    void setEventBudget(std::uint64_t budget) { eventBudget = budget; }
+    std::uint64_t eventBudgetCap() const { return eventBudget; }
+
   private:
     SimRun run(const core::TransferProgram &program, CommOp op,
                sim::Machine &machine);
 
     sim::MachineConfig cfg;
+    std::uint64_t eventBudget = 0;
 };
 
 } // namespace ct::rt

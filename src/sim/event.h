@@ -153,6 +153,33 @@ class EventQueue
      */
     bool truncated() const { return truncatedRuns > 0; }
 
+    /**
+     * Cooperative cancellation budget: cap the *total* number of
+     * events executed across every run() call on this queue. Once
+     * @p total_events have fired, every subsequent run() returns
+     * immediately, so a caller that drives the queue in slices (the
+     * runtime layers, the adaptive round loop) stops at the first
+     * checkpoint past the budget no matter which slice it lands in.
+     * Hitting the budget with events pending marks the queue
+     * truncated() exactly like the max_events guard, but quietly:
+     * a deadline-induced cut is the planning service's degradation
+     * ladder working as designed, not a runaway simulation.
+     * 0 restores the default (unlimited).
+     */
+    void setEventBudget(std::uint64_t total_events)
+    {
+        eventBudget = total_events == 0 ? UINT64_MAX : total_events;
+    }
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t eventsExecuted() const { return executedTotal; }
+
+    /** True once a run() stopped because setEventBudget() ran out. */
+    bool budgetExhausted() const
+    {
+        return executedTotal >= eventBudget;
+    }
+
     // Pool introspection (tests and memory-regression gates).
 
     /** Slabs allocated so far; stays flat once the peak is reached. */
@@ -276,6 +303,8 @@ class EventQueue
     std::size_t pendingCount = 0;
     std::size_t peakPendingCount = 0;
     std::uint64_t truncatedRuns = 0;
+    std::uint64_t eventBudget = UINT64_MAX;
+    std::uint64_t executedTotal = 0;
     Cycles currentTime = 0;
     std::uint64_t nextSeq = 0;
 };

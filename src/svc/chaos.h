@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic service-level self-chaos. Where sim::ChaosSchedule
+ * perturbs the simulated wire, SvcChaos perturbs the *service
+ * around* the simulator: worker stalls, cache-entry bit flips and
+ * admission-queue saturation, so the service's failure behavior is
+ * tested with the same replay-exact discipline as the simulator's.
+ *
+ * Spec grammar (same shape as the simulator's chaos specs --
+ * semicolon-separated items, colon-separated fields):
+ *
+ *     seed:N               decision seed
+ *     stall:RATE:MS        each admitted request stalls its worker
+ *                          for MS wall-milliseconds with
+ *                          probability RATE
+ *     flip:RATE            each cache insertion gets one seed-drawn
+ *                          bit of its stored payload flipped with
+ *                          probability RATE (the stamp is NOT
+ *                          refreshed: the next hit must detect it)
+ *     satq:START:COUNT     requests with arrival index in
+ *                          [START, START+COUNT) are refused
+ *                          admission as if the queue were full
+ *
+ * Determinism contract: every decision is a pure function of the
+ * seed and a stable identifier -- the request's arrival index for
+ * stall/satq, the cache key for flip -- never of worker timing or
+ * completion order. Two replays of the same request stream under
+ * the same spec therefore make identical decisions even though the
+ * worker pool schedules differently. Unknown verbs, wrong field
+ * counts, out-of-range rates and trailing garbage are rejected
+ * loudly with the offending token, exactly like the simulator's
+ * spec parsers.
+ */
+
+#ifndef CT_SVC_CHAOS_H
+#define CT_SVC_CHAOS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ct::svc {
+
+/** A replayable service-fault plan (see file comment). */
+struct SvcChaos
+{
+    /** One satq window of refused admissions. */
+    struct SaturationWindow
+    {
+        std::uint64_t start = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::uint64_t seed = 1;
+    double stallRate = 0.0;
+    std::uint32_t stallMillis = 0;
+    double flipRate = 0.0;
+    std::vector<SaturationWindow> saturations;
+
+    /** True when the spec perturbs anything. */
+    bool any() const
+    {
+        return stallRate > 0.0 || flipRate > 0.0 ||
+               !saturations.empty();
+    }
+
+    /** Should the worker handling arrival @p index stall? */
+    bool stallFor(std::uint64_t index) const;
+
+    /**
+     * Bit to flip in the payload cached under @p key (taken modulo
+     * the payload's bit length), or nullopt to leave it intact.
+     */
+    std::optional<std::uint32_t>
+    flipBitFor(const std::string &key) const;
+
+    /** Is arrival @p index inside a refused-admission window? */
+    bool saturatedAt(std::uint64_t index) const;
+
+    /**
+     * Non-fatal parse; nullopt on error with a diagnostic naming the
+     * offending token in @p error (when non-null).
+     */
+    static std::optional<SvcChaos> tryParse(const std::string &spec,
+                                            std::string *error);
+
+    /** Canonical one-line rendering (round-trips through tryParse). */
+    std::string summary() const;
+};
+
+} // namespace ct::svc
+
+#endif // CT_SVC_CHAOS_H

@@ -1,0 +1,100 @@
+#include "svc/plan_cache.h"
+
+#include <algorithm>
+
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace ct::svc {
+
+PlanCache::PlanCache(std::size_t capacity) : cap(capacity)
+{
+    if (cap == 0)
+        util::fatal("PlanCache: capacity must be positive");
+}
+
+std::uint32_t
+PlanCache::stamp(const std::string &key, const std::string &payload)
+{
+    std::uint32_t state = 0xFFFFFFFFu;
+    state = util::crc32cUpdate(state, key.data(), key.size());
+    state = util::crc32cUpdate(state, payload.data(), payload.size());
+    return state ^ 0xFFFFFFFFu;
+}
+
+std::optional<std::string>
+PlanCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+        ++counters.misses;
+        return std::nullopt;
+    }
+    if (stamp(key, it->second.payload) != it->second.crc) {
+        // A corrupt hit is a miss, never data: drop the entry so the
+        // recomputed answer replaces it.
+        ++counters.corruptHits;
+        entries.erase(it);
+        insertionOrder.erase(std::find(insertionOrder.begin(),
+                                       insertionOrder.end(), key));
+        return std::nullopt;
+    }
+    ++counters.hits;
+    return it->second.payload;
+}
+
+void
+PlanCache::insert(const std::string &key, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        // Overwrite in place (refreshing a dropped-corrupt or stale
+        // entry); insertion order keeps the original slot.
+        it->second.payload = payload;
+        it->second.crc = stamp(key, payload);
+        ++counters.insertions;
+        return;
+    }
+    while (entries.size() >= cap) {
+        entries.erase(insertionOrder.front());
+        insertionOrder.pop_front();
+        ++counters.evictions;
+    }
+    entries.emplace(key, Entry{payload, stamp(key, payload)});
+    insertionOrder.push_back(key);
+    ++counters.insertions;
+}
+
+bool
+PlanCache::corruptBit(const std::string &key, std::uint32_t bit_index)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end() || it->second.payload.empty())
+        return false;
+    std::string &payload = it->second.payload;
+    std::size_t bits = payload.size() * 8;
+    std::size_t bit = bit_index % bits;
+    payload[bit / 8] =
+        static_cast<char>(static_cast<unsigned char>(payload[bit / 8]) ^
+                          (1u << (bit % 8)));
+    return true;
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+}
+
+} // namespace ct::svc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Memoized answer cache of the planning service. Entries are keyed
+ * on the canonical query key (core::canonicalQueryKey -- equivalent
+ * queries share one entry however they were spelled) and stamped
+ * with a CRC32C over key + payload at insertion. Every lookup
+ * re-verifies the stamp: a corrupt entry is treated as a miss,
+ * counted, and evicted so the recomputed answer replaces it -- a
+ * flipped bit in the cache must never reach a client.
+ *
+ * Capacity is bounded; insertion past capacity evicts in FIFO order
+ * (the service's working sets are storm-shaped, where FIFO and LRU
+ * behave alike and FIFO keeps eviction deterministic).
+ *
+ * Thread-safe: one mutex over the map (lookups copy the payload out
+ * under the lock; the service's unit of work is a whole simulation,
+ * so the cache lock is never the bottleneck).
+ */
+
+#ifndef CT_SVC_PLAN_CACHE_H
+#define CT_SVC_PLAN_CACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ct::svc {
+
+/** Counters of one cache's lifetime (see svc.cache.* metrics). */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Lookups whose stored checksum no longer matched: served as a
+     *  miss, never as data. */
+    std::uint64_t corruptHits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Bounded, checksummed memoization cache (see file comment). */
+class PlanCache
+{
+  public:
+    explicit PlanCache(std::size_t capacity = 256);
+
+    /**
+     * Look @p key up. Returns the stored payload on a verified hit;
+     * nullopt on miss *or* on checksum mismatch (the corrupt entry
+     * is dropped and counted).
+     */
+    std::optional<std::string> lookup(const std::string &key);
+
+    /** Insert/overwrite @p key -> @p payload, CRC-stamping it. */
+    void insert(const std::string &key, const std::string &payload);
+
+    /**
+     * Chaos hook: flip bit @p bit_index (mod payload bits) of the
+     * entry stored under @p key, *without* refreshing its stamp.
+     * Returns false when the key is absent. Deterministic corruption
+     * for self-chaos campaigns and tests.
+     */
+    bool corruptBit(const std::string &key, std::uint32_t bit_index);
+
+    PlanCacheStats stats() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return cap; }
+
+  private:
+    struct Entry
+    {
+        std::string payload;
+        std::uint32_t crc = 0;
+    };
+
+    /** Stamp covering the key too, so a payload swapped between two
+     *  entries is detected as corruption, not served. */
+    static std::uint32_t stamp(const std::string &key,
+                               const std::string &payload);
+
+    mutable std::mutex mu;
+    std::size_t cap;
+    std::map<std::string, Entry> entries;
+    std::deque<std::string> insertionOrder;
+    PlanCacheStats counters;
+};
+
+} // namespace ct::svc
+
+#endif // CT_SVC_PLAN_CACHE_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Request/response model of the planning service (docs/SERVICE.md).
+ *
+ * Requests arrive as NDJSON: one flat JSON object per line with an
+ * integer "id", an "op" of plan | validate | sim | health, and
+ * op-specific fields. Parsing is loud: unknown keys, missing
+ * required fields, malformed patterns and bad fault/chaos specs are
+ * all rejected with a diagnostic naming the offender -- a mistyped
+ * request must never silently run a different query than the client
+ * asked for.
+ *
+ * Every response line carries the request id, the op, a "status" of
+ * ok | degraded | rejected | error and a "fidelity" of
+ * exact | truncated | analytic | none, so a client can always tell
+ * not just *what* the answer is but *how much* of the machinery
+ * stood behind it.
+ */
+
+#ifndef CT_SVC_REQUEST_H
+#define CT_SVC_REQUEST_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/pattern.h"
+#include "core/machine_params.h"
+#include "sim/chaos.h"
+#include "sim/fault.h"
+
+namespace ct::svc {
+
+/** The operations a service request can ask for. */
+enum class Op { Plan, Validate, Sim, Health };
+
+/** Wire name of an op ("plan", ...). */
+const char *opName(Op op);
+
+/** How a request was answered (drives counters and exit codes). */
+enum class Status { Ok, Degraded, Rejected, Error };
+
+/** Wire name of a status ("ok", ...). */
+const char *statusName(Status s);
+
+/** How much machinery stood behind the numbers in a response. */
+enum class Fidelity { Exact, Truncated, Analytic, None };
+
+/** Wire name of a fidelity tier ("exact", ...). */
+const char *fidelityName(Fidelity f);
+
+/** One parsed request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    Op op = Op::Health;
+    core::MachineId machine = core::MachineId::T3d;
+    core::AccessPattern x;
+    core::AccessPattern y;
+    /** Per-node words of a sim exchange. */
+    std::uint64_t words = 1024;
+    /** Message size for size-aware planning; 0 = steady state only. */
+    std::uint64_t bytes = 0;
+    /**
+     * Deterministic deadline: the cooperative event budget of a sim
+     * request. 0 = unlimited (full-fidelity run). Budgets below the
+     * service's analytic floor skip the simulator entirely.
+     */
+    std::uint64_t budget = 0;
+    /** Parsed fault/chaos environment of a sim request. */
+    sim::FaultSpec faults;
+    sim::ChaosSchedule chaos;
+    /** Canonical spec renderings (cache-key inputs). */
+    std::string faultsSummary;
+    std::string chaosSummary;
+
+    /** True when the op needs machine + patterns. */
+    bool needsQuery() const
+    {
+        return op == Op::Plan || op == Op::Sim;
+    }
+
+    /**
+     * Parse one NDJSON request line. nullopt on any violation with a
+     * diagnostic in @p error; @p id_out (when non-null) receives the
+     * request id when one was readable, so even a rejected line can
+     * be answered with the right id.
+     */
+    static std::optional<Request> tryParse(const std::string &line,
+                                           std::string *error,
+                                           std::uint64_t *id_out);
+};
+
+/**
+ * Best-effort id extraction for responses that must be produced
+ * without full parsing (admission rejects). 0 when unreadable.
+ */
+std::uint64_t peekRequestId(const std::string &line);
+
+} // namespace ct::svc
+
+#endif // CT_SVC_REQUEST_H

@@ -257,4 +257,65 @@ TEST(EventQueueTimer, UncancelledTimerFiresNormally)
     EXPECT_EQ(q.now(), 30u);
 }
 
+TEST(EventQueueBudget, BudgetStopsRunAtExactCount)
+{
+    EventQueue q;
+    int fired = 0;
+    for (Cycles t = 10; t <= 100; t += 10)
+        q.schedule(t, [&] { ++fired; });
+    q.setEventBudget(4);
+    q.run();
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.eventsExecuted(), 4u);
+    EXPECT_TRUE(q.budgetExhausted());
+    EXPECT_TRUE(q.truncated());
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueueBudget, BudgetSpansSlicedRuns)
+{
+    // The runtime layers drive the queue in slices; the budget caps
+    // the *total* across every run() call, so the cut lands in
+    // whichever slice crosses it and later slices return instantly.
+    EventQueue q;
+    int fired = 0;
+    for (Cycles t = 1; t <= 12; ++t)
+        q.schedule(t, [&] { ++fired; });
+    q.setEventBudget(7);
+    EXPECT_EQ(q.run(5), 5u);
+    EXPECT_FALSE(q.budgetExhausted());
+    EXPECT_EQ(q.run(5), 2u);
+    EXPECT_TRUE(q.budgetExhausted());
+    EXPECT_EQ(q.run(5), 0u);
+    EXPECT_EQ(fired, 7);
+}
+
+TEST(EventQueueBudget, CompleteRunWithinBudgetIsClean)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    q.setEventBudget(10);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.budgetExhausted());
+    EXPECT_FALSE(q.truncated());
+}
+
+TEST(EventQueueBudget, ZeroRestoresUnlimited)
+{
+    EventQueue q;
+    q.setEventBudget(1);
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.run();
+    EXPECT_TRUE(q.budgetExhausted());
+    q.setEventBudget(0);
+    EXPECT_FALSE(q.budgetExhausted());
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.eventsExecuted(), 2u);
+}
+
 } // namespace

@@ -1,0 +1,88 @@
+#include "svc/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace svc = ct::svc;
+
+TEST(PlanCache, HitReturnsExactPayload)
+{
+    svc::PlanCache cache(4);
+    EXPECT_FALSE(cache.lookup("k"));
+    cache.insert("k", "payload");
+    auto hit = cache.lookup("k");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, "payload");
+
+    svc::PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_EQ(s.corruptHits, 0u);
+}
+
+TEST(PlanCache, CorruptEntryIsDetectedCountedAndDropped)
+{
+    svc::PlanCache cache(4);
+    cache.insert("k", "payload");
+    ASSERT_TRUE(cache.corruptBit("k", 3));
+
+    // The flipped entry must never be served: the lookup reports a
+    // miss, counts the corruption, and evicts the entry.
+    EXPECT_FALSE(cache.lookup("k"));
+    EXPECT_EQ(cache.stats().corruptHits, 1u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Recomputation then repopulates with a fresh stamp.
+    cache.insert("k", "payload");
+    auto hit = cache.lookup("k");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, "payload");
+}
+
+TEST(PlanCache, BitIndexWrapsPayloadLength)
+{
+    svc::PlanCache cache(4);
+    cache.insert("k", "x"); // 8 bits
+    ASSERT_TRUE(cache.corruptBit("k", 8 * 1000 + 2));
+    EXPECT_FALSE(cache.lookup("k"));
+    EXPECT_FALSE(cache.corruptBit("absent", 0));
+}
+
+TEST(PlanCache, OverwriteRefreshesStamp)
+{
+    svc::PlanCache cache(4);
+    cache.insert("k", "old");
+    cache.insert("k", "new");
+    auto hit = cache.lookup("k");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, "new");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, FifoEvictionPastCapacity)
+{
+    svc::PlanCache cache(2);
+    cache.insert("a", "1");
+    cache.insert("b", "2");
+    cache.insert("c", "3"); // evicts "a" (FIFO)
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.lookup("a"));
+    EXPECT_TRUE(cache.lookup("b"));
+    EXPECT_TRUE(cache.lookup("c"));
+}
+
+TEST(PlanCache, KeySwapIsCorruption)
+{
+    // The stamp covers the key: two entries with swapped payloads
+    // must not verify. Simulate by corrupting one and confirming the
+    // other entry's integrity is independent.
+    svc::PlanCache cache(4);
+    cache.insert("a", "payload-a");
+    cache.insert("b", "payload-b");
+    ASSERT_TRUE(cache.corruptBit("a", 0));
+    EXPECT_FALSE(cache.lookup("a"));
+    auto b = cache.lookup("b");
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*b, "payload-b");
+}

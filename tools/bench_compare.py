@@ -49,12 +49,30 @@ def rel_diff(a, b):
     return abs(a - b) / denom if denom else 0.0
 
 
+def load_json(path, failures, what):
+    """json.load that converts IO/parse errors into a named failure.
+
+    A baseline that exists but cannot be read or parsed is a broken
+    gate, not a missing one: skipping it like an absent file would
+    silently stop gating that bench. Return None on failure.
+    """
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        failures.append(f"{what} {path}: unreadable ({e})")
+    except ValueError as e:
+        failures.append(f"{what} {path}: invalid JSON ({e})")
+    return None
+
+
 def compare(summary_path, baseline_dir, tol, strict):
     """Return (failures, warnings) for one summary file."""
     failures = []
     warnings = []
-    with open(summary_path) as f:
-        summary = json.load(f)
+    summary = load_json(summary_path, failures, "summary")
+    if summary is None:
+        return failures, warnings
     bench = summary.get("bench")
     if not bench:
         failures.append(f"{summary_path}: no 'bench' field")
@@ -66,8 +84,14 @@ def compare(summary_path, baseline_dir, tol, strict):
         msg = f"{bench}: no baseline at {baseline_path}"
         (failures if strict else warnings).append(msg)
         return failures, warnings
-    with open(baseline_path) as f:
-        baseline = json.load(f).get("rows", {})
+    baseline_doc = load_json(baseline_path, failures, "baseline")
+    if baseline_doc is None:
+        return failures, warnings
+    if not isinstance(baseline_doc, dict):
+        failures.append(
+            f"baseline {baseline_path}: not a JSON object")
+        return failures, warnings
+    baseline = baseline_doc.get("rows", {})
 
     for row, counters in sorted(baseline.items()):
         if row not in rows:

@@ -19,6 +19,17 @@
  *                                     pattern-pair cell; non-zero
  *                                     exit if any cell misses the
  *                                     tolerance
+ *   ctplan serve                      crash-calm planning service:
+ *                                     answer NDJSON requests from
+ *                                     stdin on stdout until EOF
+ *                                     (docs/SERVICE.md)
+ *
+ * Exit codes (uniform across subcommands, see README):
+ *   0  success
+ *   2  usage or parse error (unknown flag, malformed operation,
+ *      bad word count, formula parse error, ...)
+ *   3  runtime failure (cannot write an output file, corrupted
+ *      delivery, abandoned packets, validation tolerance miss)
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
@@ -33,6 +44,13 @@
  * malformed --faults/--chaos values are an error (usage + exit 2),
  * never silently ignored.
  *
+ * The serve subcommand takes --workers=N (0 = synchronous),
+ * --queue=N (admission bound), --cache=N (memo entries),
+ * --default-budget=N (event budget of sim requests that carry
+ * none), --svc-chaos=SPEC (deterministic service-level chaos, see
+ * docs/SERVICE.md) and --metrics-out=FILE (svc.* counters dumped at
+ * shutdown).
+ *
  * Examples:
  *   ctplan t3d 1Q64
  *   ctplan t3d 1Q64 --json
@@ -44,12 +62,14 @@
  *   ctplan t3d sim 1Q1 8192 --faults=drop=0.02 --adaptive --rounds=4
  *   ctplan t3d sim 1Q1 8192 --chaos='ramp:drop:0:0.03:0:400000;seed:7'
  *   ctplan validate --out=BENCH_model_vs_sim.json
+ *   ctplan serve --workers=4 --svc-chaos='seed:7;stall:0.1:5'
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -63,12 +83,19 @@
 #include "sim/chaos.h"
 #include "sim/measure.h"
 #include "sim/report.h"
+#include "svc/service.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace ct;
 using P = core::AccessPattern;
+
+// Exit-code contract (README): every subcommand reports success,
+// usage/parse errors and runtime failures the same way.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
 
 int
 usage()
@@ -82,6 +109,9 @@ usage()
         "[--rounds=N] [--trace=FILE]\n"
         "       [--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
         "       ctplan validate [--json] [--out=FILE]\n"
+        "       ctplan serve [--workers=N] [--queue=N] [--cache=N]\n"
+        "       [--default-budget=N] [--svc-chaos=SPEC] "
+        "[--metrics-out=FILE]\n"
         "  ctplan t3d 1Q64\n"
         "  ctplan paragon wQw\n"
         "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n"
@@ -91,8 +121,10 @@ usage()
         "  ctplan t3d sim 1Q1 8192 --faults=drop=0.02 --adaptive\n"
         "  ctplan t3d sim 1Q1 8192 "
         "--chaos='ramp:drop:0:0.03:0:400000;seed:7'\n"
-        "  ctplan validate --out=BENCH_model_vs_sim.json\n");
-    return 2;
+        "  ctplan validate --out=BENCH_model_vs_sim.json\n"
+        "  ctplan serve --workers=4 "
+        "--svc-chaos='seed:7;stall:0.1:5'\n");
+    return kExitUsage;
 }
 
 /** Observability flags of the sim subcommand. */
@@ -144,7 +176,8 @@ printTable(core::MachineId id, bool simulated)
     std::printf("%s", net.render().c_str());
 }
 
-/** Write the --metrics-out / --trace files (0 = ok, 1 = IO error). */
+/** Write the --metrics-out / --trace files (0 = ok, else exit
+ *  code of the IO failure). */
 int
 writeObsOutputs(sim::Machine &m, obs::Tracer *tracer,
                 const ObsOptions &obs_opts, double clock_hz)
@@ -155,7 +188,7 @@ writeObsOutputs(sim::Machine &m, obs::Tracer *tracer,
         if (!out) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          obs_opts.metricsFile.c_str());
-            return 1;
+            return kExitRuntime;
         }
         m.metrics().writeJson(out);
         std::printf("  metrics         wrote %s\n",
@@ -166,7 +199,7 @@ writeObsOutputs(sim::Machine &m, obs::Tracer *tracer,
         if (!out) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          obs_opts.traceFile.c_str());
-            return 1;
+            return kExitRuntime;
         }
         tracer->write(out, obs_opts.traceFormat, clock_hz / 1e6);
         std::printf(
@@ -195,13 +228,13 @@ runSim(core::MachineId machine, const std::string &xqy,
     auto q = xqy.find('Q');
     if (q == std::string::npos) {
         std::fprintf(stderr, "bad operation '%s'\n", xqy.c_str());
-        return 1;
+        return kExitUsage;
     }
     auto x = P::parse(xqy.substr(0, q));
     auto y = P::parse(xqy.substr(q + 1));
     if (!x || !y || x->isFixed() || y->isFixed()) {
         std::fprintf(stderr, "bad operation '%s'\n", xqy.c_str());
-        return 1;
+        return kExitUsage;
     }
 
     auto cfg = sim::configFor(machine);
@@ -298,9 +331,11 @@ runSim(core::MachineId machine, const std::string &xqy,
                         ar.skippedFlows);
         std::printf("  delivery        %s\n",
                     ar.corruptWords == 0 ? "bit-exact" : "CORRUPTED");
-        if (writeObsOutputs(m, tracer.get(), obs_opts, cfg.clockHz))
-            return 1;
-        return ar.corruptWords == 0 ? 0 : 1;
+        if (int rc =
+                writeObsOutputs(m, tracer.get(), obs_opts,
+                                cfg.clockHz))
+            return rc;
+        return ar.corruptWords == 0 ? kExitOk : kExitRuntime;
     }
 
     rt::seedSources(m, op);
@@ -362,8 +397,9 @@ runSim(core::MachineId machine, const std::string &xqy,
     std::printf("  delivery        %s\n",
                 bad == 0 ? "bit-exact" : "CORRUPTED");
 
-    if (writeObsOutputs(m, tracer.get(), obs_opts, cfg.clockHz))
-        return 1;
+    if (int rc =
+            writeObsOutputs(m, tracer.get(), obs_opts, cfg.clockHz))
+        return rc;
 
     // Abandoned delivery that was not absorbed by a degradation path
     // is a silent data-loss bug; fail loudly and name the channels.
@@ -375,9 +411,9 @@ runSim(core::MachineId machine, const std::string &xqy,
                      static_cast<unsigned long long>(t.abandoned));
         for (const auto &[src, dst] : t.abandonedChannels)
             std::fprintf(stderr, "  %d -> %d\n", src, dst);
-        return 1;
+        return kExitRuntime;
     }
-    return bad == 0 ? 0 : 1;
+    return bad == 0 ? kExitOk : kExitRuntime;
 }
 
 /**
@@ -398,12 +434,49 @@ runValidate(bool json, const std::string &out_file)
         if (!out) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          out_file.c_str());
-            return 1;
+            return kExitRuntime;
         }
         out << rt::validationJson(report);
         std::printf("wrote %s\n", out_file.c_str());
     }
-    return report.allPass ? 0 : 1;
+    return report.allPass ? kExitOk : kExitRuntime;
+}
+
+/**
+ * The crash-calm planning service: answer NDJSON requests from stdin
+ * on stdout until EOF, one response line per request line, in
+ * arrival order (docs/SERVICE.md). Blank lines are ignored. Exit is
+ * 0 after a clean drain -- per-request failures travel in-band as
+ * "rejected"/"error" responses, never as a dropped line.
+ */
+int
+runServe(const svc::ServiceOptions &opts,
+         const std::string &metrics_file)
+{
+    svc::PlanService service(
+        opts, [](const svc::ServiceResponse &resp) {
+            std::fputs(resp.line.c_str(), stdout);
+            std::fputc('\n', stdout);
+        });
+    service.start();
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        service.submit(line);
+    }
+    service.stop();
+    std::fflush(stdout);
+    if (!metrics_file.empty()) {
+        std::ofstream out(metrics_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         metrics_file.c_str());
+            return kExitRuntime;
+        }
+        service.metrics().writeJson(out);
+    }
+    return kExitOk;
 }
 
 /** JSON rendering of a planning decision (plan --json). */
@@ -467,13 +540,28 @@ main(int argc, char **argv)
     std::string out_file;
     bool out_set = false;
     ObsOptions obs_opts;
+    svc::ServiceOptions serve_opts;
+    bool serve_flags_set = false;
     // Flags that take a =VALUE; a bare occurrence (or an empty
     // value) gets a dedicated diagnostic instead of the generic
     // unknown-flag one.
-    const char *valued_flags[] = {"--faults",      "--chaos",
-                                  "--rounds",      "--out",
-                                  "--trace",       "--trace-format",
-                                  "--metrics-out"};
+    const char *valued_flags[] = {
+        "--faults",         "--chaos",     "--rounds",
+        "--out",            "--trace",     "--trace-format",
+        "--metrics-out",    "--workers",   "--queue",
+        "--cache",          "--default-budget", "--svc-chaos"};
+    // Shared helper for the serve subcommand's integer flags.
+    auto parse_count = [](const char *text, const char *flag,
+                          long min, long max, long &value) {
+        char *end = nullptr;
+        long v = std::strtol(text, &end, 10);
+        if (*end != '\0' || v < min || v > max) {
+            std::fprintf(stderr, "bad %s '%s'\n", flag, text);
+            return false;
+        }
+        value = v;
+        return true;
+    };
     int nargs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--faults=", 9) == 0 &&
@@ -535,7 +623,53 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0 &&
                    argv[i][14])
             obs_opts.metricsFile = argv[i] + 14;
-        else if (std::strncmp(argv[i], "--", 2) == 0) {
+        else if (std::strncmp(argv[i], "--workers=", 10) == 0 &&
+                 argv[i][10]) {
+            long v;
+            if (!parse_count(argv[i] + 10, "--workers", 0, 256, v))
+                return usage();
+            serve_opts.workers = static_cast<int>(v);
+            serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--queue=", 8) == 0 &&
+                   argv[i][8]) {
+            long v;
+            if (!parse_count(argv[i] + 8, "--queue", 1, 1 << 20, v))
+                return usage();
+            serve_opts.queueCapacity = static_cast<std::size_t>(v);
+            serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--cache=", 8) == 0 &&
+                   argv[i][8]) {
+            long v;
+            if (!parse_count(argv[i] + 8, "--cache", 1, 1 << 20, v))
+                return usage();
+            serve_opts.cacheCapacity = static_cast<std::size_t>(v);
+            serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--default-budget=", 17) ==
+                       0 &&
+                   argv[i][17]) {
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(argv[i] + 17, &end, 10);
+            if (*end != '\0') {
+                std::fprintf(stderr, "bad --default-budget '%s'\n",
+                             argv[i] + 17);
+                return usage();
+            }
+            serve_opts.defaultBudget = v;
+            serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--svc-chaos=", 12) == 0 &&
+                   argv[i][12]) {
+            std::string error;
+            auto parsed =
+                svc::SvcChaos::tryParse(argv[i] + 12, &error);
+            if (!parsed) {
+                std::fprintf(stderr, "bad --svc-chaos: %s\n",
+                             error.c_str());
+                return usage();
+            }
+            serve_opts.chaos = *parsed;
+            serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
             for (const char *flag : valued_flags) {
                 std::size_t len = std::strlen(flag);
                 bool bare = std::strcmp(argv[i], flag) == 0;
@@ -556,6 +690,30 @@ main(int argc, char **argv)
             argv[nargs++] = argv[i];
     }
     argc = nargs;
+
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+        if (argc > 2) {
+            std::fprintf(stderr,
+                         "serve takes no positional arguments\n");
+            return usage();
+        }
+        if (faults_set || chaos_set || adaptive || rounds_set ||
+            json || out_set || !obs_opts.traceFile.empty()) {
+            std::fprintf(
+                stderr,
+                "serve takes only --workers/--queue/--cache/"
+                "--default-budget/--svc-chaos/--metrics-out\n");
+            return usage();
+        }
+        return runServe(serve_opts, obs_opts.metricsFile);
+    }
+    if (serve_flags_set) {
+        std::fprintf(stderr,
+                     "--workers/--queue/--cache/--default-budget/"
+                     "--svc-chaos apply to the serve subcommand "
+                     "only\n");
+        return usage();
+    }
 
     if (argc >= 2 && std::strcmp(argv[1], "validate") == 0) {
         if (obs_opts.any()) {
@@ -630,7 +788,7 @@ main(int argc, char **argv)
             if (words == 0) {
                 std::fprintf(stderr, "bad word count '%s'\n",
                              argv[4]);
-                return 1;
+                return kExitUsage;
             }
         }
         return runSim(machine, argv[3], words, faults, chaos,
@@ -644,7 +802,7 @@ main(int argc, char **argv)
         if (auto *err = std::get_if<core::ParseError>(&parsed)) {
             std::fprintf(stderr, "parse error at %zu: %s\n",
                          err->position, err->message.c_str());
-            return 1;
+            return kExitUsage;
         }
         auto expr = std::get<core::ExprPtr>(parsed);
         auto table = core::paperTable(machine);
@@ -663,7 +821,7 @@ main(int argc, char **argv)
     auto y = P::parse(cmd.substr(q + 1));
     if (!x || !y || x->isFixed() || y->isFixed()) {
         std::fprintf(stderr, "bad operation '%s'\n", cmd.c_str());
-        return 1;
+        return kExitUsage;
     }
     core::PlanQuery query{machine, *x, *y, 0.0};
     auto plans = core::plan(query);
@@ -676,7 +834,7 @@ main(int argc, char **argv)
             std::strtoull(argv[3], nullptr, 10));
         if (bytes == 0) {
             std::fprintf(stderr, "bad message size '%s'\n", argv[3]);
-            return 1;
+            return kExitUsage;
         }
         sized = core::planForSize(machine, *x, *y, bytes);
     }
