@@ -6,7 +6,8 @@
  * function of the message size. The shape to check: the low-level
  * layers sit far above PVM, whose throughput only slowly approaches
  * theirs as messages grow, and both stay well below the wire's peak
- * bandwidth.
+ * bandwidth. Cells run through the sweep farm (BENCH_THREADS
+ * workers).
  */
 
 #include "bench_util.h"
@@ -18,26 +19,6 @@ namespace {
 using namespace ct;
 using namespace ct::bench;
 using P = core::AccessPattern;
-
-void
-libraryRow(benchmark::State &state, MachineId machine,
-           core::Style style)
-{
-    auto words = static_cast<std::uint64_t>(state.range(0));
-    double sim = 0.0;
-    for (auto _ : state)
-        sim = exchangeMBps(machine, style, P::contiguous(),
-                           P::contiguous(), words);
-    setCounter(state, "sim_MBps", sim);
-    setCounter(state, "message_KB",
-               static_cast<double>(words * 8) / 1024.0);
-    // The latency-extended model's prediction of the same curve.
-    if (auto m = core::makeMessageCostModel(machine, style,
-                                            P::contiguous(),
-                                            P::contiguous()))
-        setCounter(state, "latency_model_MBps",
-                   m->throughputAt(words * 8));
-}
 
 void
 registerAll()
@@ -59,15 +40,34 @@ registerAll()
         {"Paragon/sunmos_chained", MachineId::Paragon,
          core::Style::Chained},
     };
+    std::vector<SweepCell> cells;
     for (const Entry &entry : entries) {
-        auto *b = benchmark::RegisterBenchmark(
-            entry.name, [entry](benchmark::State &s) {
-                libraryRow(s, entry.machine, entry.style);
-            });
-        b->Iterations(1)->Unit(benchmark::kMillisecond);
-        for (std::int64_t words = 64; words <= (1 << 16); words *= 4)
-            b->Arg(words);
+        for (std::uint64_t words = 64; words <= (1 << 16);
+             words *= 4) {
+            cells.push_back(
+                {std::string(entry.name) + "/" +
+                     std::to_string(words),
+                 [entry, words]()
+                     -> std::vector<std::pair<std::string, double>> {
+                     std::vector<std::pair<std::string, double>> out{
+                         {"sim_MBps",
+                          exchangeMBps(entry.machine, entry.style,
+                                       P::contiguous(),
+                                       P::contiguous(), words)},
+                         {"message_KB",
+                          static_cast<double>(words * 8) / 1024.0}};
+                     // The latency-extended model's prediction of
+                     // the same curve.
+                     if (auto m = core::makeMessageCostModel(
+                             entry.machine, entry.style,
+                             P::contiguous(), P::contiguous()))
+                         out.emplace_back("latency_model_MBps",
+                                          m->throughputAt(words * 8));
+                     return out;
+                 }});
+        }
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

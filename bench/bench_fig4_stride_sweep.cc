@@ -6,6 +6,10 @@
  * shape to check: on the T3D strided stores stay well above strided
  * loads (write-back queue); on the Paragon strided loads win
  * (pipelined loads).
+ *
+ * The grid (machine x direction x stride) runs through the sweep
+ * farm: BENCH_THREADS workers, rows merged in canonical order, names
+ * and counters byte-identical to the legacy serial loop.
  */
 
 #include "bench_util.h"
@@ -18,30 +22,6 @@ using namespace ct::bench;
 using P = core::AccessPattern;
 
 void
-strideLoads(benchmark::State &state, MachineId machine)
-{
-    auto stride = static_cast<std::uint32_t>(state.range(0));
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureLocalCopy(cfg, P::strided(stride),
-                                     P::contiguous());
-    setCounter(state, "sim_MBps", mbps);
-}
-
-void
-strideStores(benchmark::State &state, MachineId machine)
-{
-    auto stride = static_cast<std::uint32_t>(state.range(0));
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureLocalCopy(cfg, P::contiguous(),
-                                     P::strided(stride));
-    setCounter(state, "sim_MBps", mbps);
-}
-
-void
 registerAll()
 {
     struct MachineEntry
@@ -49,22 +29,38 @@ registerAll()
         const char *name;
         MachineId id;
     };
+    std::vector<SweepCell> cells;
     for (MachineEntry m : {MachineEntry{"T3D", MachineId::T3d},
                            MachineEntry{"Paragon",
                                         MachineId::Paragon}}) {
-        auto id = m.id;
-        auto *loads = benchmark::RegisterBenchmark(
-            (std::string(m.name) + "/strided_loads_sC1").c_str(),
-            [id](benchmark::State &s) { strideLoads(s, id); });
-        auto *stores = benchmark::RegisterBenchmark(
-            (std::string(m.name) + "/strided_stores_1Cs").c_str(),
-            [id](benchmark::State &s) { strideStores(s, id); });
-        for (auto *b : {loads, stores}) {
-            b->Iterations(1)->Unit(benchmark::kMillisecond);
-            for (int stride : {1, 2, 4, 8, 16, 32, 64, 128, 256})
-                b->Arg(stride);
+        for (bool loads : {true, false}) {
+            for (int stride : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+                auto id = m.id;
+                auto s = static_cast<std::uint32_t>(stride);
+                std::string name =
+                    std::string(m.name) +
+                    (loads ? "/strided_loads_sC1/"
+                           : "/strided_stores_1Cs/") +
+                    std::to_string(stride);
+                cells.push_back(
+                    {std::move(name),
+                     [id, s, loads]()
+                         -> std::vector<
+                             std::pair<std::string, double>> {
+                         auto cfg = sim::configFor(id);
+                         double mbps =
+                             loads ? sim::measureLocalCopy(
+                                         cfg, P::strided(s),
+                                         P::contiguous())
+                                   : sim::measureLocalCopy(
+                                         cfg, P::contiguous(),
+                                         P::strided(s));
+                         return {{"sim_MBps", mbps}};
+                     }});
+            }
         }
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

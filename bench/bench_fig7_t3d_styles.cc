@@ -6,6 +6,7 @@
  * implementations. Each row reports the copy-transfer model estimate
  * (model_MBps), the end-to-end simulator measurement (sim_MBps) and,
  * where the paper prints one, the published model value (paper_MBps).
+ * Cells run through the sweep farm (BENCH_THREADS workers).
  *
  * Shape to check: chained beats buffer packing for every pattern;
  * contiguous chained reaches about 2.5x buffer packing.
@@ -37,43 +38,37 @@ const Row rows[] = {
     {"wQw", P::indexed(), P::indexed(), 14.2, 32.0},
 };
 
-void
-styleRow(benchmark::State &state, const Row &row, core::Style style,
-         double paper)
+ct::bench::SweepCell
+styleCell(MachineId machine, const Row &row, core::Style style,
+          double paper)
 {
-    double sim = 0.0;
-    for (auto _ : state)
-        sim = exchangeMBps(MachineId::T3d, style, row.x, row.y);
-    setCounter(state, "sim_MBps", sim);
-    setCounter(state, "model_MBps",
-               modelMBps(MachineId::T3d, style, row.x, row.y));
-    if (paper > 0.0)
-        setCounter(state, "paper_model_MBps", paper);
+    return {benchLabel(style) + "/" + row.name,
+            [machine, &row, style, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                std::vector<std::pair<std::string, double>> out{
+                    {"sim_MBps",
+                     exchangeMBps(machine, style, row.x, row.y)},
+                    {"model_MBps",
+                     modelMBps(machine, style, row.x, row.y)}};
+                if (paper > 0.0)
+                    out.emplace_back("paper_model_MBps", paper);
+                return out;
+            }};
 }
 
 void
 registerAll()
 {
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
-        benchmark::RegisterBenchmark(
-            (benchLabel(core::Style::BufferPacking) + "/" + row.name)
-                .c_str(),
-            [&row](benchmark::State &s) {
-                styleRow(s, row, core::Style::BufferPacking,
-                         row.paperPacking);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-        benchmark::RegisterBenchmark(
-            (benchLabel(core::Style::Chained) + "/" + row.name)
-                .c_str(),
-            [&row](benchmark::State &s) {
-                styleRow(s, row, core::Style::Chained,
-                         row.paperChained);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        cells.push_back(styleCell(MachineId::T3d, row,
+                                  core::Style::BufferPacking,
+                                  row.paperPacking));
+        cells.push_back(styleCell(MachineId::T3d, row,
+                                  core::Style::Chained,
+                                  row.paperChained));
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

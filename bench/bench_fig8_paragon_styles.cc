@@ -4,7 +4,8 @@
  * packing vs chained transfers on the Paragon. The chained receiver
  * is the communication co-processor (0Ry); buffer packing feeds the
  * network through the DMA (1F0) and deposits through the
- * line-transfer unit (0D1).
+ * line-transfer unit (0D1). Cells run through the sweep farm
+ * (BENCH_THREADS workers).
  */
 
 #include "bench_util.h"
@@ -33,43 +34,36 @@ const Row rows[] = {
     {"wQw", P::indexed(), P::indexed(), 16.2, 36.0},
 };
 
-void
-styleRow(benchmark::State &state, const Row &row, core::Style style,
-         double paper)
+ct::bench::SweepCell
+styleCell(const Row &row, core::Style style, double paper)
 {
-    double sim = 0.0;
-    for (auto _ : state)
-        sim = exchangeMBps(MachineId::Paragon, style, row.x, row.y);
-    setCounter(state, "sim_MBps", sim);
-    setCounter(state, "model_MBps",
-               modelMBps(MachineId::Paragon, style, row.x, row.y));
-    if (paper > 0.0)
-        setCounter(state, "paper_model_MBps", paper);
+    return {benchLabel(style) + "/" + row.name,
+            [&row, style, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                std::vector<std::pair<std::string, double>> out{
+                    {"sim_MBps",
+                     exchangeMBps(MachineId::Paragon, style, row.x,
+                                  row.y)},
+                    {"model_MBps",
+                     modelMBps(MachineId::Paragon, style, row.x,
+                               row.y)}};
+                if (paper > 0.0)
+                    out.emplace_back("paper_model_MBps", paper);
+                return out;
+            }};
 }
 
 void
 registerAll()
 {
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
-        benchmark::RegisterBenchmark(
-            (benchLabel(core::Style::BufferPacking) + "/" + row.name)
-                .c_str(),
-            [&row](benchmark::State &s) {
-                styleRow(s, row, core::Style::BufferPacking,
-                         row.paperPacking);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-        benchmark::RegisterBenchmark(
-            (benchLabel(core::Style::Chained) + "/" + row.name)
-                .c_str(),
-            [&row](benchmark::State &s) {
-                styleRow(s, row, core::Style::Chained,
-                         row.paperChained);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        cells.push_back(styleCell(row, core::Style::BufferPacking,
+                                  row.paperPacking));
+        cells.push_back(
+            styleCell(row, core::Style::Chained, row.paperChained));
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

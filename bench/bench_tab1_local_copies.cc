@@ -2,7 +2,8 @@
  * @file
  * Reproduces Table 1: throughput of selected local memory-to-memory
  * transfers (MB/s) for large blocks, on both machines. Counters:
- * sim_MBps (our simulator) vs paper_MBps (published).
+ * sim_MBps (our simulator) vs paper_MBps (published). Cells run
+ * through the sweep farm (BENCH_THREADS workers).
  */
 
 #include "bench_util.h"
@@ -31,38 +32,31 @@ const Row rows[] = {
     {"wC1", P::indexed(), P::contiguous(), 32.9, 45.1},
 };
 
-void
-localCopy(benchmark::State &state, MachineId machine, const Row &row)
+ct::bench::SweepCell
+copyCell(const char *machine_name, MachineId machine, const Row &row)
 {
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureLocalCopy(cfg, row.x, row.y);
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", machine == MachineId::T3d
-                                        ? row.paperT3d
-                                        : row.paperParagon);
+    double paper =
+        machine == MachineId::T3d ? row.paperT3d : row.paperParagon;
+    P x = row.x, y = row.y;
+    return {std::string(machine_name) + "/" + row.name,
+            [machine, x, y, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                auto cfg = sim::configFor(machine);
+                return {{"sim_MBps",
+                         sim::measureLocalCopy(cfg, x, y)},
+                        {"paper_MBps", paper}};
+            }};
 }
 
 void
 registerAll()
 {
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
-        benchmark::RegisterBenchmark(
-            (std::string("T3D/") + row.name).c_str(),
-            [&row](benchmark::State &s) {
-                localCopy(s, MachineId::T3d, row);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-        benchmark::RegisterBenchmark(
-            (std::string("Paragon/") + row.name).c_str(),
-            [&row](benchmark::State &s) {
-                localCopy(s, MachineId::Paragon, row);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        cells.push_back(copyCell("T3D", MachineId::T3d, row));
+        cells.push_back(copyCell("Paragon", MachineId::Paragon, row));
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

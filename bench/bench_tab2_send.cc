@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Table 2: throughput figures for sending network
- * transfers (1S0, 1F0, 64S0, wS0) on both machines.
+ * transfers (1S0, 1F0, 64S0, wS0) on both machines. Cells run
+ * through the sweep farm (BENCH_THREADS workers).
  */
 
 #include "bench_util.h"
@@ -13,29 +14,32 @@ using namespace ct;
 using namespace ct::bench;
 using P = core::AccessPattern;
 
-void
-loadSendRow(benchmark::State &state, MachineId machine, P x,
-            double paper)
+ct::bench::SweepCell
+loadSendCell(const char *machine_name, MachineId machine,
+             const char *row_name, P x, double paper)
 {
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureLoadSend(cfg, x);
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", paper);
+    return {std::string(machine_name) + "/" + row_name,
+            [machine, x, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                auto cfg = sim::configFor(machine);
+                return {{"sim_MBps", sim::measureLoadSend(cfg, x)},
+                        {"paper_MBps", paper}};
+            }};
 }
 
-void
-fetchSendRow(benchmark::State &state, MachineId machine, double paper)
+ct::bench::SweepCell
+fetchSendCell(const char *machine_name, MachineId machine,
+              double paper)
 {
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state) {
-        auto v = sim::measureFetchSend(cfg);
-        mbps = v.value_or(0.0); // 0 = "-" in the paper's table
-    }
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", paper);
+    return {std::string(machine_name) + "/1F0",
+            [machine, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                auto cfg = sim::configFor(machine);
+                // 0 = "-" in the paper's table.
+                double mbps =
+                    sim::measureFetchSend(cfg).value_or(0.0);
+                return {{"sim_MBps", mbps}, {"paper_MBps", paper}};
+            }};
 }
 
 void
@@ -54,32 +58,17 @@ registerAll()
         {"64S0", P::strided(64), 35.0, 42.0},
         {"wS0", P::indexed(), 32.0, 36.0},
     };
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
-        benchmark::RegisterBenchmark(
-            (std::string("T3D/") + row.name).c_str(),
-            [row](benchmark::State &s) {
-                loadSendRow(s, MachineId::T3d, row.x, row.t3d);
-            })
-            ->Iterations(1);
-        benchmark::RegisterBenchmark(
-            (std::string("Paragon/") + row.name).c_str(),
-            [row](benchmark::State &s) {
-                loadSendRow(s, MachineId::Paragon, row.x, row.paragon);
-            })
-            ->Iterations(1);
+        cells.push_back(loadSendCell("T3D", MachineId::T3d, row.name,
+                                     row.x, row.t3d));
+        cells.push_back(loadSendCell("Paragon", MachineId::Paragon,
+                                     row.name, row.x, row.paragon));
     }
-    benchmark::RegisterBenchmark("T3D/1F0",
-                                 [](benchmark::State &s) {
-                                     fetchSendRow(s, MachineId::T3d,
-                                                  0.0);
-                                 })
-        ->Iterations(1);
-    benchmark::RegisterBenchmark(
-        "Paragon/1F0",
-        [](benchmark::State &s) {
-            fetchSendRow(s, MachineId::Paragon, 160.0);
-        })
-        ->Iterations(1);
+    cells.push_back(fetchSendCell("T3D", MachineId::T3d, 0.0));
+    cells.push_back(
+        fetchSendCell("Paragon", MachineId::Paragon, 160.0));
+    registerSweep(std::move(cells));
 }
 
 } // namespace

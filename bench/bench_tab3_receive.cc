@@ -4,6 +4,7 @@
  * transfers (0Ry via processor/co-processor, 0Dy via the deposit
  * engine). Missing combinations report 0, matching the dashes in the
  * paper's table (no 0R on the T3D, no strided 0D on the Paragon).
+ * Cells run through the sweep farm (BENCH_THREADS workers).
  */
 
 #include "bench_util.h"
@@ -15,28 +16,20 @@ using namespace ct;
 using namespace ct::bench;
 using P = core::AccessPattern;
 
-void
-receiveStoreRow(benchmark::State &state, MachineId machine, P y,
-                double paper)
+ct::bench::SweepCell
+receiveCell(std::string name, MachineId machine, P y, bool deposit,
+            double paper)
 {
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureReceiveStore(cfg, y).value_or(0.0);
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", paper);
-}
-
-void
-depositRow(benchmark::State &state, MachineId machine, P y,
-           double paper)
-{
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureReceiveDeposit(cfg, y).value_or(0.0);
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", paper);
+    return {std::move(name),
+            [machine, y, deposit, paper]()
+                -> std::vector<std::pair<std::string, double>> {
+                auto cfg = sim::configFor(machine);
+                double mbps =
+                    (deposit ? sim::measureReceiveDeposit(cfg, y)
+                             : sim::measureReceiveStore(cfg, y))
+                        .value_or(0.0);
+                return {{"sim_MBps", mbps}, {"paper_MBps", paper}};
+            }};
 }
 
 void
@@ -53,34 +46,23 @@ registerAll()
         {"y64", P::strided(64), 0.0, 52.0, 38.0, 0.0},
         {"yw", P::indexed(), 0.0, 52.0, 42.0, 0.0},
     };
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
         std::string suffix = row.name + 1; // drop the leading 'y'
-        benchmark::RegisterBenchmark(
-            ("T3D/0R" + suffix).c_str(),
-            [row](benchmark::State &s) {
-                receiveStoreRow(s, MachineId::T3d, row.y, row.r_t3d);
-            })
-            ->Iterations(1);
-        benchmark::RegisterBenchmark(
-            ("T3D/0D" + suffix).c_str(),
-            [row](benchmark::State &s) {
-                depositRow(s, MachineId::T3d, row.y, row.d_t3d);
-            })
-            ->Iterations(1);
-        benchmark::RegisterBenchmark(
-            ("Paragon/0R" + suffix).c_str(),
-            [row](benchmark::State &s) {
-                receiveStoreRow(s, MachineId::Paragon, row.y,
-                                row.r_par);
-            })
-            ->Iterations(1);
-        benchmark::RegisterBenchmark(
-            ("Paragon/0D" + suffix).c_str(),
-            [row](benchmark::State &s) {
-                depositRow(s, MachineId::Paragon, row.y, row.d_par);
-            })
-            ->Iterations(1);
+        cells.push_back(receiveCell("T3D/0R" + suffix,
+                                    MachineId::T3d, row.y, false,
+                                    row.r_t3d));
+        cells.push_back(receiveCell("T3D/0D" + suffix,
+                                    MachineId::T3d, row.y, true,
+                                    row.d_t3d));
+        cells.push_back(receiveCell("Paragon/0R" + suffix,
+                                    MachineId::Paragon, row.y, false,
+                                    row.r_par));
+        cells.push_back(receiveCell("Paragon/0D" + suffix,
+                                    MachineId::Paragon, row.y, true,
+                                    row.d_par));
     }
+    registerSweep(std::move(cells));
 }
 
 } // namespace

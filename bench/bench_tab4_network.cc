@@ -4,7 +4,8 @@
  * fixed overall congestion (1, 2, 4), for data-only (Nd) and
  * address-data-pair (Nadp) framing, on both machines. The shape to
  * check: bandwidth halves per congestion doubling, and address-data
- * pairs cost roughly half the payload bandwidth.
+ * pairs cost roughly half the payload bandwidth. Cells run through
+ * the sweep farm (BENCH_THREADS workers).
  */
 
 #include "bench_util.h"
@@ -14,18 +15,6 @@ namespace {
 
 using namespace ct;
 using namespace ct::bench;
-
-void
-networkRow(benchmark::State &state, MachineId machine,
-           sim::Framing framing, int congestion, double paper)
-{
-    auto cfg = sim::configFor(machine);
-    double mbps = 0.0;
-    for (auto _ : state)
-        mbps = sim::measureNetwork(cfg, framing, congestion);
-    setCounter(state, "sim_MBps", mbps);
-    setCounter(state, "paper_MBps", paper);
-}
 
 void
 registerAll()
@@ -47,6 +36,7 @@ registerAll()
         {"Paragon", MachineId::Paragon, 1},
     };
     const int congestions[] = {1, 2, 4};
+    std::vector<SweepCell> cells;
     for (const auto &m : machines) {
         for (int fi = 0; fi < 2; ++fi) {
             auto framing = fi == 0 ? sim::Framing::DataOnly
@@ -55,18 +45,23 @@ registerAll()
             for (int ci = 0; ci < 3; ++ci) {
                 int congestion = congestions[ci];
                 double paper_value = paper[m.index][fi][ci];
-                std::string name = std::string(m.name) + "/" + fname +
-                                   "@" + std::to_string(congestion);
-                benchmark::RegisterBenchmark(
-                    name.c_str(),
-                    [=](benchmark::State &s) {
-                        networkRow(s, m.id, framing, congestion,
-                                   paper_value);
-                    })
-                    ->Iterations(1);
+                auto id = m.id;
+                cells.push_back(
+                    {std::string(m.name) + "/" + fname + "@" +
+                         std::to_string(congestion),
+                     [id, framing, congestion, paper_value]()
+                         -> std::vector<
+                             std::pair<std::string, double>> {
+                         auto cfg = sim::configFor(id);
+                         return {{"sim_MBps",
+                                  sim::measureNetwork(cfg, framing,
+                                                      congestion)},
+                                 {"paper_MBps", paper_value}};
+                     }});
             }
         }
     }
+    registerSweep(std::move(cells));
 }
 
 } // namespace

@@ -5,7 +5,8 @@
  * stride on the load side (16Q1) or the store side (1Q16); the best
  * choice differs between the machines (write-back queue vs pipelined
  * loads). Rows report model, simulator, and the paper's model and
- * measured values.
+ * measured values. Cells run through the sweep farm (BENCH_THREADS
+ * workers).
  */
 
 #include "bench_util.h"
@@ -52,28 +53,25 @@ const Row rows[] = {
 };
 
 void
-tableRow(benchmark::State &state, const Row &row)
-{
-    double sim = 0.0;
-    for (auto _ : state)
-        sim = exchangeMBps(row.machine, row.style, row.x, row.y);
-    setCounter(state, "sim_MBps", sim);
-    setCounter(state, "model_MBps",
-               modelMBps(row.machine, row.style, row.x, row.y));
-    setCounter(state, "paper_model_MBps", row.paperModel);
-    setCounter(state, "paper_measured_MBps", row.paperMeasured);
-}
-
-void
 registerAll()
 {
+    std::vector<SweepCell> cells;
     for (const Row &row : rows) {
-        benchmark::RegisterBenchmark(
-            (std::string(row.machineName) + "/" + row.opName).c_str(),
-            [&row](benchmark::State &s) { tableRow(s, row); })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+        cells.push_back(
+            {std::string(row.machineName) + "/" + row.opName,
+             [&row]()
+                 -> std::vector<std::pair<std::string, double>> {
+                 return {{"sim_MBps",
+                          exchangeMBps(row.machine, row.style, row.x,
+                                       row.y)},
+                         {"model_MBps",
+                          modelMBps(row.machine, row.style, row.x,
+                                    row.y)},
+                         {"paper_model_MBps", row.paperModel},
+                         {"paper_measured_MBps", row.paperMeasured}};
+             }});
     }
+    registerSweep(std::move(cells), benchmark::kMillisecond);
 }
 
 } // namespace

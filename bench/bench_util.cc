@@ -4,36 +4,98 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <mutex>
 
+#include "sweep/farm.h"
 #include "util/logging.h"
 
 namespace ct::bench {
 
 namespace {
 
-/** Row -> counter -> value; std::map keeps dump order stable. */
+/**
+ * Row -> counter -> value. std::map keys both levels, so the dump
+ * order is canonical (sorted by row name, then counter name) no
+ * matter which worker recorded a row first.
+ */
 using SummaryRows =
     std::map<std::string, std::map<std::string, double>>;
 
+/** The shared summary store and the mutex guarding it. Sweep workers
+ *  record concurrently through recordSummaryRow(). */
+SummaryRows &
+summaryRows()
+{
+    static SummaryRows rows;
+    return rows;
+}
+
+std::mutex &
+summaryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+/** Sweep cells queued by registerSweep() and their merged results,
+ *  slotted by cell index (the canonical-order merge). */
+struct SweepState
+{
+    std::vector<SweepCell> cells;
+    std::vector<std::vector<std::pair<std::string, double>>> results;
+};
+
+SweepState &
+sweepState()
+{
+    static SweepState state;
+    return state;
+}
+
 /**
- * Console reporter that also captures every row's user counters, so
- * the summary holds exactly what the benchmark report printed.
+ * Console reporter that funnels every row's user counters into the
+ * shared summary store, so the summary holds exactly what the
+ * benchmark report printed (idempotent for farmed rows, which were
+ * already recorded by their worker).
  */
 class SummaryReporter : public benchmark::ConsoleReporter
 {
   public:
-    SummaryRows rows;
-
     void
     ReportRuns(const std::vector<Run> &runs) override
     {
         for (const Run &run : runs)
             if (run.run_type == Run::RT_Iteration)
                 for (const auto &[name, counter] : run.counters)
-                    rows[run.benchmark_name()][name] = counter.value;
+                    recordSummaryRow(run.benchmark_name(), name,
+                                     counter.value);
         ConsoleReporter::ReportRuns(runs);
     }
 };
+
+/**
+ * Fan the queued sweep cells across a farm. BENCH_THREADS picks the
+ * worker count ([1, 256]; 1 = serial inline, the default); results
+ * land in canonical cell order regardless of the steal schedule.
+ */
+void
+runSweepCells()
+{
+    SweepState &sw = sweepState();
+    if (sw.cells.empty())
+        return;
+    sweep::Farm farm({benchThreads(), 0});
+    farm.forEach(sw.cells.size(), [&sw](std::size_t i, int) {
+        sw.results[i] = sw.cells[i].run();
+        // Record under the name google-benchmark will report for the
+        // republisher row (Iterations(1) appends the annotation), so
+        // the worker-side and reporter-side recordings are the same
+        // rows and the summary matches the committed baselines.
+        std::string row = sw.cells[i].name + "/iterations:1";
+        for (const auto &[counter, value] : sw.results[i])
+            recordSummaryRow(row, counter, value);
+    });
+}
 
 void
 writeSummary(const std::string &path, const char *bench_name,
@@ -110,15 +172,62 @@ setCounter(benchmark::State &state, const char *name, double value)
 }
 
 int
+benchThreads()
+{
+    const char *env = std::getenv("BENCH_THREADS");
+    if (!env || *env == '\0')
+        return 0;
+    int parsed = 0;
+    std::string error;
+    if (!sweep::parseThreadCount(env, parsed, error))
+        util::fatal("BENCH_THREADS: ", error);
+    return parsed == 1 ? 0 : parsed;
+}
+
+void
+recordSummaryRow(const std::string &row, const std::string &counter,
+                 double value)
+{
+    std::lock_guard<std::mutex> lock(summaryMutex());
+    summaryRows()[row][counter] = value;
+}
+
+void
+registerSweep(std::vector<SweepCell> cells,
+              std::optional<benchmark::TimeUnit> unit)
+{
+    SweepState &sw = sweepState();
+    for (SweepCell &cell : cells) {
+        std::size_t index = sw.cells.size();
+        auto *b = benchmark::RegisterBenchmark(
+            cell.name.c_str(), [index](benchmark::State &state) {
+                for (auto _ : state) {
+                }
+                for (const auto &[counter, value] :
+                     sweepState().results[index])
+                    setCounter(state, counter.c_str(), value);
+            });
+        b->Iterations(1);
+        if (unit)
+            b->Unit(*unit);
+        sw.cells.push_back(std::move(cell));
+    }
+    sw.results.resize(sw.cells.size());
+}
+
+int
 runBenchmarks(int argc, char **argv, const char *bench_name)
 {
     benchmark::Initialize(&argc, argv);
+    runSweepCells();
     SummaryReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     const char *env = std::getenv("BENCH_SUMMARY");
     std::string path = env ? env : "BENCH_summary.json";
-    if (!path.empty())
-        writeSummary(path, bench_name, reporter.rows);
+    if (!path.empty()) {
+        std::lock_guard<std::mutex> lock(summaryMutex());
+        writeSummary(path, bench_name, summaryRows());
+    }
     return 0;
 }
 

@@ -17,6 +17,12 @@
 #ifndef CT_BENCH_BENCH_UTIL_H
 #define CT_BENCH_BENCH_UTIL_H
 
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "core/strategies.h"
@@ -68,6 +74,50 @@ double modelMBps(MachineId machine, core::Style style,
  */
 void setCounter(benchmark::State &state, const char *name,
                 double value);
+
+/**
+ * Record one summary counter directly. Thread-safe: sweep workers
+ * record rows concurrently and the summary stays canonical because
+ * rows are keyed (and dumped) sorted by row name, independent of
+ * recording order. setCounter() funnels into the same store when the
+ * report is captured.
+ */
+void recordSummaryRow(const std::string &row,
+                      const std::string &counter, double value);
+
+/**
+ * One sweep cell: the registered benchmark row name (including any
+ * "/arg" suffix the legacy ->Arg() registration would have produced)
+ * and the closure computing its summary counters. The closure runs on
+ * a farm worker, so it must build all simulator state privately and
+ * return plain values (DESIGN.md §14).
+ */
+struct SweepCell
+{
+    std::string name;
+    std::function<std::vector<std::pair<std::string, double>>()> run;
+};
+
+/**
+ * Queue @p cells for the farmed sweep and register one benchmark row
+ * per cell. runBenchmarks() fans the cells across a sweep::Farm
+ * (worker count from BENCH_THREADS, default serial) BEFORE
+ * google-benchmark runs; each registered row then republishes its
+ * precomputed counters via setCounter(), so row names, console
+ * report and summary are byte-identical to the legacy serial loops
+ * for every thread count. @p unit sets the console time unit of the
+ * registered rows (cosmetic only).
+ */
+void registerSweep(std::vector<SweepCell> cells,
+                   std::optional<benchmark::TimeUnit> unit =
+                       std::nullopt);
+
+/**
+ * Farm worker count from BENCH_THREADS ([1, 256]; absent or 1 = 0,
+ * i.e. serial inline). Fatal on malformed values, mirroring ctplan's
+ * --threads policy.
+ */
+int benchThreads();
 
 /**
  * Standard bench main body: initialize google-benchmark, run the

@@ -1,5 +1,6 @@
 #include "style_registry.h"
 
+#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
@@ -292,6 +293,23 @@ registryStorage()
     return reg;
 }
 
+/**
+ * Serializes concurrent registerStyle() calls. Readers are lock-free
+ * on purpose: they hand out references into the vector, so the
+ * registry contract (header) requires all registration to
+ * happen-before any concurrent read -- in practice, before the first
+ * sweep::Farm launch. The mutex closes the writer/writer race the
+ * shared-static audit flagged (two farm-setup paths registering
+ * styles at once); it cannot (and does not claim to) make
+ * register-during-sweep safe.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 } // namespace
 
 void
@@ -301,6 +319,7 @@ registerStyle(StyleInfo info)
         util::fatal("registerStyle: style needs a key");
     if (!info.build)
         util::fatal("registerStyle: style needs a builder");
+    std::lock_guard<std::mutex> lock(registryMutex());
     std::vector<StyleInfo> &reg = registryStorage();
     for (StyleInfo &existing : reg) {
         if (existing.key == info.key) {

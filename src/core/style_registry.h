@@ -39,12 +39,17 @@ struct StyleInfo
 /**
  * Register a style (or replace the entry with the same key). The
  * registration order is the planner's enumeration order.
+ * Thread-safe against other registerStyle() calls; registration must
+ * still happen-before any concurrent reader (readers hand out
+ * references into the registry), so register styles before launching
+ * a sweep::Farm (DESIGN.md §14).
  */
 void registerStyle(StyleInfo info);
 
 /** All registered styles, in registration order. Built-ins
  *  (dma-direct, chained, buffer-packing, pvm) are registered on
- *  first use. */
+ *  first use. Safe to read concurrently from sweep workers once
+ *  registration is complete. */
 const std::vector<StyleInfo> &styleRegistry();
 
 /** Find a style by enum tag (first match) or key; nullptr if absent. */

@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "core/analytic_backend.h"
 #include "core/style_registry.h"
 #include "rt/sim_backend.h"
 #include "sim/measure.h"
+#include "sweep/farm.h"
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -25,6 +27,17 @@ crossValidate(ValidationOptions options)
         core::AccessPattern::indexed(),
     };
 
+    // Per-machine inputs, measured serially up front: the measured
+    // table is itself a simulation campaign, and the workers only
+    // ever read these (shared immutable state is fine; DESIGN.md
+    // §14).
+    struct MachineCtx
+    {
+        sim::MachineConfig cfg;
+        core::ThroughputTable table;
+        core::ExecutionProfile profile;
+    };
+    std::vector<MachineCtx> machines;
     for (core::MachineId id :
          {core::MachineId::T3d, core::MachineId::Paragon}) {
         sim::MachineConfig cfg = sim::configFor(id);
@@ -32,10 +45,26 @@ crossValidate(ValidationOptions options)
         // exactly as the paper feeds measured figures into the model:
         // the comparison then tests the *composition rules*, not the
         // table values.
-        core::AnalyticBackend analytic(sim::measuredTable(cfg),
-                                       executionProfileFor(cfg));
-        SimBackend backend(cfg);
+        core::ThroughputTable table = sim::measuredTable(cfg);
+        core::ExecutionProfile profile = executionProfileFor(cfg);
+        machines.push_back(
+            {std::move(cfg), std::move(table), profile});
+    }
 
+    // Expand the full cell list before anything runs, so the merged
+    // report is a pure function of the grid (never of the schedule).
+    struct PendingCell
+    {
+        std::size_t machineIndex = 0;
+        core::MachineId id = core::MachineId::T3d;
+        std::string style;
+        core::AccessPattern x, y;
+        core::TransferProgram program;
+    };
+    std::vector<PendingCell> pending;
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+        core::MachineId id = mi == 0 ? core::MachineId::T3d
+                                     : core::MachineId::Paragon;
         for (const core::StyleInfo &info : core::styleRegistry()) {
             for (const core::AccessPattern &x : patterns) {
                 for (const core::AccessPattern &y : patterns) {
@@ -43,52 +72,67 @@ crossValidate(ValidationOptions options)
                         core::buildProgram(id, info.key, x, y);
                     if (!program)
                         continue; // illegal cell on this machine
-                    // The cells run one flow 0 -> 1: congestion 1.
-                    auto model = analytic.predictThroughputAt(
-                        *program, options.words * 8, 1.0);
-                    if (!model) {
-                        util::warn("crossValidate: cannot predict ",
-                                   info.key, " ", x.label(), "Q",
-                                   y.label(), " on ", cfg.name,
-                                   "; skipping");
-                        continue;
-                    }
-                    SimRun run =
-                        backend.execute(*program, options.words);
-
-                    ValidationCell cell;
-                    cell.machine = id;
-                    cell.machineName = cfg.name;
-                    cell.style = info.key;
-                    cell.x = x.label();
-                    cell.y = y.label();
-                    cell.formula = program->format();
-                    cell.modelMBps = *model;
-                    cell.simMBps = run.perNodeMBps;
-                    if (run.corruptWords != 0 ||
-                        run.perNodeMBps <= 0.0) {
-                        util::warn("crossValidate: corrupted or "
-                                   "empty run for ",
-                                   info.key, " ", x.label(), "Q",
-                                   y.label(), " on ", cfg.name);
-                        cell.errorPct = 100.0;
-                        cell.pass = false;
-                    } else {
-                        cell.errorPct = (cell.modelMBps -
-                                         cell.simMBps) /
-                                        cell.simMBps * 100.0;
-                        cell.pass = std::abs(cell.errorPct) <=
-                                    options.tolerancePct;
-                    }
-                    report.worstAbsErrPct =
-                        std::max(report.worstAbsErrPct,
-                                 std::abs(cell.errorPct));
-                    report.allPass =
-                        report.allPass && cell.pass;
-                    report.cells.push_back(std::move(cell));
+                    pending.push_back({mi, id, info.key, x, y,
+                                       std::move(*program)});
                 }
             }
         }
+    }
+
+    // Each cell builds its own backends from the shared read-only
+    // inputs; results land in canonical cell order regardless of the
+    // steal schedule.
+    sweep::Farm farm({options.threads, 0});
+    auto cells = farm.map<std::optional<ValidationCell>>(
+        pending.size(),
+        [&](std::size_t i, int) -> std::optional<ValidationCell> {
+            const PendingCell &p = pending[i];
+            const MachineCtx &ctx = machines[p.machineIndex];
+            core::AnalyticBackend analytic(ctx.table, ctx.profile);
+            // The cells run one flow 0 -> 1: congestion 1.
+            auto model = analytic.predictThroughputAt(
+                p.program, options.words * 8, 1.0);
+            if (!model) {
+                util::warn("crossValidate: cannot predict ", p.style,
+                           " ", p.x.label(), "Q", p.y.label(), " on ",
+                           ctx.cfg.name, "; skipping");
+                return std::nullopt;
+            }
+            SimBackend backend(ctx.cfg);
+            SimRun run = backend.execute(p.program, options.words);
+
+            ValidationCell cell;
+            cell.machine = p.id;
+            cell.machineName = ctx.cfg.name;
+            cell.style = p.style;
+            cell.x = p.x.label();
+            cell.y = p.y.label();
+            cell.formula = p.program.format();
+            cell.modelMBps = *model;
+            cell.simMBps = run.perNodeMBps;
+            if (run.corruptWords != 0 || run.perNodeMBps <= 0.0) {
+                util::warn("crossValidate: corrupted or empty run "
+                           "for ",
+                           p.style, " ", p.x.label(), "Q",
+                           p.y.label(), " on ", ctx.cfg.name);
+                cell.errorPct = 100.0;
+                cell.pass = false;
+            } else {
+                cell.errorPct = (cell.modelMBps - cell.simMBps) /
+                                cell.simMBps * 100.0;
+                cell.pass =
+                    std::abs(cell.errorPct) <= options.tolerancePct;
+            }
+            return cell;
+        });
+
+    for (std::optional<ValidationCell> &cell : cells) {
+        if (!cell)
+            continue;
+        report.worstAbsErrPct = std::max(report.worstAbsErrPct,
+                                         std::abs(cell->errorPct));
+        report.allPass = report.allPass && cell->pass;
+        report.cells.push_back(std::move(*cell));
     }
     return report;
 }

@@ -30,6 +30,12 @@ struct ValidationOptions
     std::uint64_t words = 1 << 14;
     /** Per-cell |model - sim| / sim gate, in percent. */
     double tolerancePct = 15.0;
+    /**
+     * Sweep-farm workers running the cells (0 = serial inline).
+     * Every cell builds its backends privately, so the report is
+     * byte-identical for every thread count (DESIGN.md §14).
+     */
+    int threads = 0;
 };
 
 /** One machine x style x pattern-pair comparison. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "core/analytic_backend.h"
 #include "core/planner.h"
@@ -163,8 +164,20 @@ PlanService::~PlanService()
 void
 PlanService::start()
 {
-    for (int i = 0; i < opts.workers; ++i)
-        workers.emplace_back([this, i] { workerLoop(i); });
+    if (opts.workers <= 0 || pool)
+        return;
+    pool = std::make_unique<sweep::Farm>(
+        sweep::FarmOptions{opts.workers, 0});
+    // Lines submitted before start() are already in the admission
+    // ledger; post one pop-and-run task per backlog entry so they
+    // are picked up now, in arrival order.
+    std::size_t backlog;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        backlog = queue.size();
+    }
+    for (std::size_t i = 0; i < backlog; ++i)
+        pool->post([this](int worker) { runJob(worker); });
 }
 
 void
@@ -221,7 +234,8 @@ PlanService::submit(const std::string &line)
         complete(index, handleLine(line));
         return;
     }
-    queueCv.notify_one();
+    if (pool)
+        pool->post([this](int worker) { runJob(worker); });
 }
 
 void
@@ -240,14 +254,7 @@ void
 PlanService::stop()
 {
     drain();
-    {
-        std::lock_guard<std::mutex> lock(queueMutex);
-        stopping = true;
-    }
-    queueCv.notify_all();
-    for (std::thread &w : workers)
-        w.join();
-    workers.clear();
+    pool.reset();
     publishCacheMetrics();
 }
 
@@ -268,40 +275,37 @@ PlanService::publishCacheMetrics()
 }
 
 void
-PlanService::workerLoop(int worker_id)
+PlanService::runJob(int worker_id)
 {
-    for (;;) {
-        Job job;
-        {
-            std::unique_lock<std::mutex> lock(queueMutex);
-            queueCv.wait(lock,
-                         [&] { return stopping || !queue.empty(); });
-            if (queue.empty())
-                return; // stopping and drained
-            job = std::move(queue.front());
-            queue.pop_front();
-        }
-        if (opts.chaos.stallFor(job.index)) {
-            chaosStalls.inc();
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(opts.chaos.stallMillis));
-        }
-        auto start = std::chrono::steady_clock::now();
-        ServiceResponse resp = handleLine(job.line);
-        if (tracer) {
-            auto us = [this](std::chrono::steady_clock::time_point t) {
-                return static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<
-                        std::chrono::microseconds>(t - epoch)
-                        .count());
-            };
-            auto end = std::chrono::steady_clock::now();
-            std::lock_guard<std::mutex> lock(tracerMutex);
-            tracer->span("svc", "request", worker_id, us(start),
-                         us(end) - us(start), "id", resp.id);
-        }
-        complete(job.index, std::move(resp));
+    // One posted task per admitted line, so the ledger is never
+    // empty here; taking the front preserves FIFO pickup order even
+    // when the farm's steal schedule reorders the tasks themselves.
+    Job job;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        job = std::move(queue.front());
+        queue.pop_front();
     }
+    if (opts.chaos.stallFor(job.index)) {
+        chaosStalls.inc();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts.chaos.stallMillis));
+    }
+    auto start = std::chrono::steady_clock::now();
+    ServiceResponse resp = handleLine(job.line);
+    if (tracer) {
+        auto us = [this](std::chrono::steady_clock::time_point t) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    t - epoch)
+                    .count());
+        };
+        auto end = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(tracerMutex);
+        tracer->span("svc", "request", worker_id, us(start),
+                     us(end) - us(start), "id", resp.id);
+    }
+    complete(job.index, std::move(resp));
 }
 
 void
@@ -530,7 +534,10 @@ PlanService::handleSim(const Request &request)
 ServiceResponse
 PlanService::handleValidate(const Request &request)
 {
-    static const std::string key = "validate|all";
+    // A plain local, deliberately: a function-local static here
+    // would add a hidden guard-variable rendezvous between workers
+    // (the shared-static audit in DESIGN.md §14 flags exactly this).
+    const std::string key = "validate|all";
     if (auto hit = cache.lookup(key)) {
         Status status;
         Fidelity fidelity;

@@ -1,8 +1,10 @@
 /**
  * @file
- * The crash-calm planning service: a fixed-size worker pool
- * answering NDJSON plan / validate / sim / health requests with
- * robustness as the contract (docs/SERVICE.md):
+ * The crash-calm planning service: a fixed-size worker pool (a
+ * sweep::Farm -- the same work-stealing deques that run parameter
+ * sweeps double as the request executor) answering NDJSON plan /
+ * validate / sim / health requests with robustness as the contract
+ * (docs/SERVICE.md):
  *
  *  - Bounded admission: submit() never blocks and never queues
  *    without bound. A full queue (or a chaos-injected saturation
@@ -41,23 +43,24 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/chaos.h"
 #include "svc/plan_cache.h"
 #include "svc/request.h"
+#include "sweep/farm.h"
 
 namespace ct::svc {
 
 /** Service configuration. */
 struct ServiceOptions
 {
-    /** Worker threads executing requests. */
+    /** Worker threads executing requests (a sweep::Farm pool;
+     *  0 = submit() handles each line synchronously). */
     int workers = 4;
     /** Admission-queue bound; submissions past it are rejected. */
     std::size_t queueCapacity = 64;
@@ -150,7 +153,9 @@ class PlanService
         std::string line;
     };
 
-    void workerLoop(int worker_id);
+    /** Posted onto the farm once per admitted line: pop the oldest
+     *  queued job and answer it on @p worker_id. */
+    void runJob(int worker_id);
     /** Sequencer: record @p index's response, flush in order. */
     void complete(std::uint64_t index, ServiceResponse &&response);
 
@@ -177,11 +182,14 @@ class PlanService
     obs::Tracer *tracer = nullptr;
     std::chrono::steady_clock::time_point epoch;
 
+    /** Admission ledger: jobs admitted but not yet picked up. Its
+     *  size (bounded by queueCapacity) is the overload signal; the
+     *  farm's deques hold only opaque pop-and-run tasks, one per
+     *  entry here, so FIFO pickup order is preserved. */
     std::mutex queueMutex;
-    std::condition_variable queueCv;
     std::deque<Job> queue;
-    bool stopping = false;
-    std::vector<std::thread> workers;
+    /** The worker pool; null until start() when workers > 0. */
+    std::unique_ptr<sweep::Farm> pool;
 
     std::mutex outMutex;
     std::condition_variable outCv;

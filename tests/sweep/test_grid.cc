@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sweep/farm.h"
+#include "sweep/grid.h"
+
+namespace {
+
+using namespace ct;
+using sweep::CellKind;
+using sweep::CellResult;
+using sweep::CellSpec;
+using sweep::Farm;
+using sweep::FarmOptions;
+using sweep::Grid;
+
+TEST(GridParse, PresetFig4Expands)
+{
+    std::string error;
+    auto grid = Grid::parse("fig4", &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_FALSE(cells.empty());
+    for (const CellSpec &cell : cells) {
+        EXPECT_EQ(cell.kind, CellKind::Copy);
+        EXPECT_NE(cell.id.find("/copy/"), std::string::npos)
+            << cell.id;
+    }
+}
+
+TEST(GridParse, PresetFaultsweepExpandsWithFaultedVariants)
+{
+    std::string error;
+    auto grid = Grid::parse("faultsweep", &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_FALSE(cells.empty());
+    bool any_faulted = false;
+    for (const CellSpec &cell : cells)
+        any_faulted |= cell.faults.any();
+    EXPECT_TRUE(any_faulted);
+}
+
+TEST(GridParse, DimensionListBuildsTheNamedCell)
+{
+    std::string error;
+    auto grid = Grid::parse(
+        "kind=exchange;machine=t3d;style=chained;x=1;y=16;words=1024",
+        &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].id, "t3d/chained/1Q16/w1024");
+    EXPECT_EQ(cells[0].words, 1024u);
+}
+
+TEST(GridParse, RejectsUnknownAndDuplicateKeys)
+{
+    std::string error;
+    EXPECT_FALSE(Grid::parse("bogus=1", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Grid::parse("kind=copy;kind=copy", &error));
+    EXPECT_FALSE(Grid::parse("machine=vax", &error));
+    EXPECT_FALSE(Grid::parse("bogus", &error));
+}
+
+TEST(GridParse, CellOrderIsMachineMajor)
+{
+    std::string error;
+    auto grid = Grid::parse("kind=exchange;machine=t3d,paragon;"
+                            "style=chained;x=1;y=1,16;words=1024",
+                            &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].id, "t3d/chained/1Q1/w1024");
+    EXPECT_EQ(cells[1].id, "t3d/chained/1Q16/w1024");
+    EXPECT_EQ(cells[2].id, "paragon/chained/1Q1/w1024");
+    EXPECT_EQ(cells[3].id, "paragon/chained/1Q16/w1024");
+}
+
+TEST(Grid, RunCellProducesThroughput)
+{
+    std::string error;
+    auto grid = Grid::parse(
+        "kind=copy;machine=t3d;x=1;y=16;words=4096", &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_EQ(cells.size(), 1u);
+    CellResult result = sweep::runCell(cells[0]);
+    EXPECT_EQ(result.id, cells[0].id);
+    EXPECT_GT(result.simMBps, 0.0);
+    EXPECT_EQ(result.corruptWords, 0u);
+}
+
+// The determinism contract end to end: the same grid, run serially
+// and on a wide farm, renders byte-identical JSON -- including
+// fault-injected cells, whose RNG is seeded per cell, across several
+// seeds.
+TEST(Grid, MergedResultsAreByteIdenticalAcrossThreadCounts)
+{
+    for (int seed = 1; seed <= 3; ++seed) {
+        std::string spec =
+            "kind=exchange;machine=t3d;style=chained,buffer-packing;"
+            "x=4;y=4;words=2048;"
+            "faults=none|drop=0.01,seed=" +
+            std::to_string(seed);
+        std::string error;
+        auto grid = Grid::parse(spec, &error);
+        ASSERT_TRUE(grid) << error;
+
+        Farm serial(FarmOptions{0, 0});
+        Farm wide(FarmOptions{8, 1});
+        std::string one =
+            sweep::resultsJson(sweep::runGrid(*grid, serial));
+        std::string eight =
+            sweep::resultsJson(sweep::runGrid(*grid, wide));
+        EXPECT_EQ(one, eight) << "seed " << seed;
+        EXPECT_NE(one.find("w2048"), std::string::npos);
+    }
+}
+
+TEST(Grid, FormatResultsListsEveryCell)
+{
+    std::string error;
+    auto grid = Grid::parse(
+        "kind=copy;machine=t3d,paragon;x=1;y=1;words=1024", &error);
+    ASSERT_TRUE(grid) << error;
+    Farm farm(FarmOptions{0, 0});
+    std::vector<CellResult> results = sweep::runGrid(*grid, farm);
+    std::string table = sweep::formatResults(results);
+    for (const CellResult &r : results)
+        EXPECT_NE(table.find(r.id), std::string::npos) << table;
+}
+
+} // namespace

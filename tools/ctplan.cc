@@ -19,6 +19,11 @@
  *                                     pattern-pair cell; non-zero
  *                                     exit if any cell misses the
  *                                     tolerance
+ *   ctplan sweep --grid=SPEC          run a parameter-sweep grid on
+ *                                     the work-stealing farm
+ *                                     (presets "fig4"/"faultsweep"
+ *                                     or "key=v,v;..." dimensions,
+ *                                     see src/sweep/grid.h)
  *   ctplan serve                      crash-calm planning service:
  *                                     answer NDJSON requests from
  *                                     stdin on stdout until EOF
@@ -30,6 +35,11 @@
  *      bad word count, formula parse error, ...)
  *   3  runtime failure (cannot write an output file, corrupted
  *      delivery, abandoned packets, validation tolerance miss)
+ *
+ * validate and sweep accept --threads=N ([1, 256], 1 = serial) to
+ * fan their cells across the work-stealing sweep farm; the output is
+ * byte-identical for every thread count (DESIGN.md §14). Zero,
+ * non-numeric and oversubscribed counts are a usage error (exit 2).
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
@@ -84,6 +94,8 @@
 #include "sim/measure.h"
 #include "sim/report.h"
 #include "svc/service.h"
+#include "sweep/farm.h"
+#include "sweep/grid.h"
 #include "util/table.h"
 
 namespace {
@@ -108,7 +120,10 @@ usage()
         "       sim also takes [--chaos=SPEC] [--adaptive] "
         "[--rounds=N] [--trace=FILE]\n"
         "       [--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
-        "       ctplan validate [--json] [--out=FILE]\n"
+        "       ctplan validate [--json] [--out=FILE] "
+        "[--threads=N]\n"
+        "       ctplan sweep --grid=SPEC [--json] [--out=FILE] "
+        "[--threads=N]\n"
         "       ctplan serve [--workers=N] [--queue=N] [--cache=N]\n"
         "       [--default-budget=N] [--svc-chaos=SPEC] "
         "[--metrics-out=FILE]\n"
@@ -122,6 +137,7 @@ usage()
         "  ctplan t3d sim 1Q1 8192 "
         "--chaos='ramp:drop:0:0.03:0:400000;seed:7'\n"
         "  ctplan validate --out=BENCH_model_vs_sim.json\n"
+        "  ctplan sweep --grid=fig4 --threads=8\n"
         "  ctplan serve --workers=4 "
         "--svc-chaos='seed:7;stall:0.1:5'\n");
     return kExitUsage;
@@ -422,9 +438,12 @@ runSim(core::MachineId machine, const std::string &xqy,
  * tolerance, so CI can gate on it.
  */
 int
-runValidate(bool json, const std::string &out_file)
+runValidate(bool json, const std::string &out_file, int threads)
 {
-    rt::ValidationReport report = rt::crossValidate();
+    rt::ValidationOptions options;
+    // 1 = serial: run inline, no workers spawned.
+    options.threads = threads == 1 ? 0 : threads;
+    rt::ValidationReport report = rt::crossValidate(options);
     if (json)
         std::printf("%s", rt::validationJson(report).c_str());
     else
@@ -440,6 +459,41 @@ runValidate(bool json, const std::string &out_file)
         std::printf("wrote %s\n", out_file.c_str());
     }
     return report.allPass ? kExitOk : kExitRuntime;
+}
+
+/**
+ * Run a sweep grid on the work-stealing farm. Results are merged in
+ * canonical cell order, so the rendered table/JSON is byte-identical
+ * for every --threads value.
+ */
+int
+runSweepGrid(const std::string &spec, int threads, bool json,
+             const std::string &out_file)
+{
+    std::string error;
+    auto grid = sweep::Grid::parse(spec, &error);
+    if (!grid) {
+        std::fprintf(stderr, "bad --grid: %s\n", error.c_str());
+        return kExitUsage;
+    }
+    sweep::Farm farm({threads == 1 ? 0 : threads, 0});
+    std::vector<sweep::CellResult> results =
+        sweep::runGrid(*grid, farm);
+    if (json)
+        std::printf("%s", sweep::resultsJson(results).c_str());
+    else
+        std::printf("%s", sweep::formatResults(results).c_str());
+    if (!out_file.empty()) {
+        std::ofstream out(out_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out_file.c_str());
+            return kExitRuntime;
+        }
+        out << sweep::resultsJson(results);
+        std::printf("wrote %s\n", out_file.c_str());
+    }
+    return kExitOk;
 }
 
 /**
@@ -542,6 +596,10 @@ main(int argc, char **argv)
     ObsOptions obs_opts;
     svc::ServiceOptions serve_opts;
     bool serve_flags_set = false;
+    int threads = 1;
+    bool threads_set = false;
+    std::string grid_spec;
+    bool grid_set = false;
     // Flags that take a =VALUE; a bare occurrence (or an empty
     // value) gets a dedicated diagnostic instead of the generic
     // unknown-flag one.
@@ -549,7 +607,8 @@ main(int argc, char **argv)
         "--faults",         "--chaos",     "--rounds",
         "--out",            "--trace",     "--trace-format",
         "--metrics-out",    "--workers",   "--queue",
-        "--cache",          "--default-budget", "--svc-chaos"};
+        "--cache",          "--default-budget", "--svc-chaos",
+        "--threads",        "--grid"};
     // Shared helper for the serve subcommand's integer flags.
     auto parse_count = [](const char *text, const char *flag,
                           long min, long max, long &value) {
@@ -657,6 +716,20 @@ main(int argc, char **argv)
             }
             serve_opts.defaultBudget = v;
             serve_flags_set = true;
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0 &&
+                   argv[i][10]) {
+            std::string error;
+            if (!sweep::parseThreadCount(argv[i] + 10, threads,
+                                         error)) {
+                std::fprintf(stderr, "bad --threads '%s': %s\n",
+                             argv[i] + 10, error.c_str());
+                return usage();
+            }
+            threads_set = true;
+        } else if (std::strncmp(argv[i], "--grid=", 7) == 0 &&
+                   argv[i][7]) {
+            grid_spec = argv[i] + 7;
+            grid_set = true;
         } else if (std::strncmp(argv[i], "--svc-chaos=", 12) == 0 &&
                    argv[i][12]) {
             std::string error;
@@ -698,7 +771,8 @@ main(int argc, char **argv)
             return usage();
         }
         if (faults_set || chaos_set || adaptive || rounds_set ||
-            json || out_set || !obs_opts.traceFile.empty()) {
+            json || out_set || threads_set || grid_set ||
+            !obs_opts.traceFile.empty()) {
             std::fprintf(
                 stderr,
                 "serve takes only --workers/--queue/--cache/"
@@ -715,7 +789,14 @@ main(int argc, char **argv)
         return usage();
     }
 
-    if (argc >= 2 && std::strcmp(argv[1], "validate") == 0) {
+    if (argc >= 2 && (std::strcmp(argv[1], "validate") == 0 ||
+                      std::strcmp(argv[1], "sweep") == 0)) {
+        bool is_sweep = std::strcmp(argv[1], "sweep") == 0;
+        if (argc > 2) {
+            std::fprintf(stderr, "%s takes no positional arguments\n",
+                         argv[1]);
+            return usage();
+        }
         if (obs_opts.any()) {
             std::fprintf(stderr, "--trace/--metrics-out apply to "
                                  "the sim subcommand only\n");
@@ -727,7 +808,30 @@ main(int argc, char **argv)
                          "apply to the sim subcommand only\n");
             return usage();
         }
-        return runValidate(json, out_file);
+        if (is_sweep) {
+            if (!grid_set) {
+                std::fprintf(stderr,
+                             "sweep requires --grid=SPEC\n");
+                return usage();
+            }
+            return runSweepGrid(grid_spec, threads, json, out_file);
+        }
+        if (grid_set) {
+            std::fprintf(stderr, "--grid applies to the sweep "
+                                 "subcommand only\n");
+            return usage();
+        }
+        return runValidate(json, out_file, threads);
+    }
+    if (grid_set) {
+        std::fprintf(stderr,
+                     "--grid applies to the sweep subcommand only\n");
+        return usage();
+    }
+    if (threads_set) {
+        std::fprintf(stderr, "--threads applies to the validate and "
+                             "sweep subcommands only\n");
+        return usage();
     }
 
     if (argc < 3)
