@@ -164,16 +164,20 @@ PlanService::~PlanService()
 void
 PlanService::start()
 {
-    if (opts.workers <= 0 || pool)
+    if (opts.workers <= 0)
         return;
-    pool = std::make_unique<sweep::Farm>(
-        sweep::FarmOptions{opts.workers, 0});
-    // Lines submitted before start() are already in the admission
-    // ledger; post one pop-and-run task per backlog entry so they
-    // are picked up now, in arrival order.
+    // Publish the pool and count the backlog under the one lock, so
+    // every admitted line is posted for exactly once: lines pushed
+    // before this critical section are covered by the backlog loop,
+    // and any submit() that observes a non-null pool pushed (and
+    // posts) after the backlog was counted.
     std::size_t backlog;
     {
         std::lock_guard<std::mutex> lock(queueMutex);
+        if (pool)
+            return;
+        pool = std::make_unique<sweep::Farm>(
+            sweep::FarmOptions{opts.workers, 0});
         backlog = queue.size();
     }
     for (std::size_t i = 0; i < backlog; ++i)
@@ -188,6 +192,7 @@ PlanService::submit(const std::string &line)
     std::uint64_t index;
     bool chaos_reject = false;
     bool overload_reject = false;
+    bool post_now = false;
     {
         std::lock_guard<std::mutex> lock(queueMutex);
         index = nextSubmitIndex++;
@@ -201,6 +206,10 @@ PlanService::submit(const std::string &line)
             auto depth = static_cast<std::int64_t>(queue.size());
             if (depth > queuePeakDepth.value())
                 queuePeakDepth.set(depth);
+            // Read pool under the same lock that start() publishes
+            // it: either the pool existed when we pushed (we post
+            // below) or start()'s backlog count includes this line.
+            post_now = pool != nullptr;
         }
     }
 
@@ -234,7 +243,7 @@ PlanService::submit(const std::string &line)
         complete(index, handleLine(line));
         return;
     }
-    if (pool)
+    if (post_now)
         pool->post([this](int worker) { runJob(worker); });
 }
 

@@ -15,7 +15,7 @@ namespace ct::sweep {
 struct Farm::Job
 {
     const std::function<void(std::size_t, int)> *body = nullptr;
-    std::atomic<std::size_t> remaining{0};
+    std::size_t remaining = 0; ///< guarded by mu
     std::mutex mu;
     std::condition_variable done;
 };
@@ -46,11 +46,13 @@ void
 Farm::enqueue(Chunk &&chunk, std::size_t at)
 {
     WorkerDeque &dq = *deques[at % deques.size()];
+    // Count the chunk before it becomes stealable so a worker's
+    // fetch_sub can never transiently wrap the counter below zero.
+    pendingItems.fetch_add(1, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(dq.mu);
         dq.chunks.push_back(std::move(chunk));
     }
-    pendingItems.fetch_add(1, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(wakeMutex);
     }
@@ -72,7 +74,7 @@ Farm::forEach(std::size_t n,
 
     Job job;
     job.body = &body;
-    job.remaining.store(n, std::memory_order_relaxed);
+    job.remaining = n;
 
     std::size_t grain = opts.grain;
     if (grain == 0)
@@ -88,9 +90,7 @@ Farm::forEach(std::size_t n,
     }
 
     std::unique_lock<std::mutex> lock(job.mu);
-    job.done.wait(lock, [&] {
-        return job.remaining.load(std::memory_order_acquire) == 0;
-    });
+    job.done.wait(lock, [&] { return job.remaining == 0; });
 }
 
 void
@@ -127,11 +127,15 @@ Farm::runChunk(Chunk &&chunk, int worker)
         for (std::size_t i = chunk.begin; i < chunk.end; ++i)
             (*job.body)(i, worker);
         statCells.fetch_add(count, std::memory_order_relaxed);
-        if (job.remaining.fetch_sub(count,
-                                    std::memory_order_acq_rel) ==
-            count) {
+        {
+            // Decrement and notify under job.mu: the submitter can
+            // only observe remaining == 0 (and destroy the
+            // stack-allocated Job) after this worker has released
+            // the mutex, so the latch is never touched after free.
             std::lock_guard<std::mutex> lock(job.mu);
-            job.done.notify_all();
+            job.remaining -= count;
+            if (job.remaining == 0)
+                job.done.notify_all();
         }
         return;
     }
