@@ -66,9 +66,16 @@ class SummaryReporter : public benchmark::ConsoleReporter
     {
         for (const Run &run : runs)
             if (run.run_type == Run::RT_Iteration)
-                for (const auto &[name, counter] : run.counters)
+                for (const auto &[name, counter] : run.counters) {
+                    // "wall_*" counters are host wall-clock derived:
+                    // visible in the console report and the archived
+                    // --benchmark_out JSON, but never in the summary
+                    // the perf gate diffs against baselines.
+                    if (name.rfind("wall_", 0) == 0)
+                        continue;
                     recordSummaryRow(run.benchmark_name(), name,
                                      counter.value);
+                }
         ConsoleReporter::ReportRuns(runs);
     }
 };

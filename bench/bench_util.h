@@ -129,7 +129,10 @@ int benchThreads();
  * to BENCH_summary.json (override the path with the BENCH_SUMMARY
  * environment variable; an empty value disables the dump).
  * tools/bench_compare.py diffs these summaries against the committed
- * baselines in bench/baselines/.
+ * baselines in bench/baselines/. Counters whose name starts with
+ * "wall_" are host wall-clock derived and excluded from the summary
+ * (archived in the --benchmark_out JSON only), so baselines stay
+ * bit-stable across hosts.
  */
 int runBenchmarks(int argc, char **argv, const char *benchName);
 

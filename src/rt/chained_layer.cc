@@ -37,13 +37,18 @@ struct Ctx
     std::vector<GroupRun> runs;
     /** Group indices each node still has to send, in order. */
     std::vector<std::deque<std::size_t>> senderQueue;
-    std::vector<bool> procBusy;
+    /** Per-node flags are char, not vector<bool>: adjacent nodes may
+     *  flip their flags concurrently inside a parallel window, and
+     *  bit-packed storage would make that a data race. */
+    std::vector<char> procBusy;
     /** Packets waiting for the receive co-processor, per node. */
     std::vector<std::deque<Packet>> coprocQueue;
     std::vector<Cycles> coprocFreeAt;
-    std::vector<bool> coprocBusy;
+    std::vector<char> coprocBusy;
     std::vector<Cycles> fetchFreeAt;
-    Cycles lastDone = 0;
+    /** Last deposit completion seen by each *sender* (credit events
+     *  run in the sender's partition); the makespan is the max. */
+    std::vector<Cycles> lastDoneByNode;
     bool refusalWarned = false;
     obs::Tracer *tracer;
 
@@ -51,15 +56,16 @@ struct Ctx
         : machine(machine), op(op), opts(opts), groups(groupFlows(op)),
           runs(groups.size()),
           senderQueue(static_cast<std::size_t>(machine.nodeCount())),
-          procBusy(static_cast<std::size_t>(machine.nodeCount()),
-                   false),
+          procBusy(static_cast<std::size_t>(machine.nodeCount()), 0),
           coprocQueue(static_cast<std::size_t>(machine.nodeCount())),
           coprocFreeAt(static_cast<std::size_t>(machine.nodeCount()),
                        0),
           coprocBusy(static_cast<std::size_t>(machine.nodeCount()),
-                     false),
+                     0),
           fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
                       0),
+          lastDoneByNode(
+              static_cast<std::size_t>(machine.nodeCount()), 0),
           tracer(machine.tracer())
     {
         engineReceive = machine.config().node.deposit.anyPattern;
@@ -231,7 +237,8 @@ Ctx::trySend(NodeId node)
 void
 Ctx::chunkDeposited(std::size_t group_idx, Cycles time)
 {
-    lastDone = std::max(lastDone, time);
+    auto src = static_cast<std::size_t>(groups[group_idx].src);
+    lastDoneByNode[src] = std::max(lastDoneByNode[src], time);
     ++runs[group_idx].credits;
     trySend(groups[group_idx].src);
 }
@@ -261,13 +268,24 @@ Ctx::tryReceive(NodeId node)
                      elapsed, "words", pkt.words.size());
 
     std::size_t group_idx = pkt.seq;
-    machine.events().schedule(
-        start + elapsed, [this, node, group_idx]() {
-            auto idx = static_cast<std::size_t>(node);
-            coprocBusy[idx] = false;
-            chunkDeposited(group_idx, machine.events().now());
-            tryReceive(node);
-        });
+    // The completion used to be one event doing sender work (the
+    // credit return) and receiver work (freeing the co-processor) in
+    // one callback; split so each side runs in its own partition.
+    // The credit event is scheduled first, preserving the original
+    // intra-callback order -- chunkDeposited() touches only sender
+    // state, so the serial timeline is unchanged by the split.
+    {
+        sim::EventQueue::PartitionScope scope(
+            machine.events(), groups[group_idx].src);
+        machine.events().schedule(
+            start + elapsed, [this, group_idx]() {
+                chunkDeposited(group_idx, machine.events().now());
+            });
+    }
+    machine.events().schedule(start + elapsed, [this, node]() {
+        coprocBusy[static_cast<std::size_t>(node)] = false;
+        tryReceive(node);
+    });
 }
 
 void
@@ -310,6 +328,10 @@ Ctx::deliver(Packet &&pkt, Cycles time)
                          traceTrack(node, TraceTrack::Deposit),
                          dep_start, done - dep_start, "words",
                          pkt.words.size());
+        // Credit return: sender-partition work, scheduled from the
+        // receiver's arrival event.
+        sim::EventQueue::PartitionScope scope(
+            machine.events(), groups[group_idx].src);
         machine.events().schedule(done, [this, group_idx]() {
             chunkDeposited(group_idx, machine.events().now());
         });
@@ -338,13 +360,19 @@ ChainedLayer::run(sim::Machine &machine, const CommOp &op)
         [&ctx](Packet &&pkt, Cycles time) {
             ctx.deliver(std::move(pkt), time);
         });
-    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+    for (NodeId node = 0; node < machine.nodeCount(); ++node) {
+        // The kick-off runs outside any event; tag each node's
+        // initial sends with its own partition.
+        sim::EventQueue::PartitionScope scope(machine.events(), node);
         ctx.trySend(node);
+    }
     machine.events().run();
 
     // Settle write queues, then pay the end-of-step synchronization
     // (barrier + cache invalidation after background deposits).
-    Cycles makespan = ctx.lastDone;
+    Cycles makespan = 0;
+    for (Cycles done : ctx.lastDoneByNode)
+        makespan = std::max(makespan, done);
     Cycles extra = 0;
     for (NodeId node = 0; node < machine.nodeCount(); ++node)
         extra = std::max(extra,
@@ -362,6 +390,22 @@ ChainedLayer::run(sim::Machine &machine, const CommOp &op)
     result.payloadBytes = op.totalBytes();
     result.maxBytesPerSender = op.maxBytesPerSender();
     return result;
+}
+
+sim::Cycles
+ChainedLayer::parallelLookahead(const sim::Machine &machine,
+                                const CommOp &op) const
+{
+    (void)op;
+    // The layer's fastest cross-node interaction beyond the wire is
+    // the credit return, and a deposited chunk never returns its
+    // credit sooner than the deposit engine's fixed per-packet cost
+    // after arrival (the co-processor path's scatter is far slower
+    // than that floor; the engine's commit check would catch an
+    // overclaim loudly).
+    sim::Cycles per_packet =
+        machine.config().node.deposit.perPacketCycles;
+    return per_packet > 0 ? per_packet : 1;
 }
 
 } // namespace ct::rt

@@ -50,9 +50,13 @@ struct Ctx
     std::vector<GroupRun> runs;
     std::vector<std::deque<std::size_t>> senderQueue;
     std::vector<std::deque<UnpackTask>> unpackQueue;
-    std::vector<bool> procBusy;
+    /** char, not vector<bool>: adjacent nodes flip their flags
+     *  concurrently inside a parallel window, and bit-packed storage
+     *  would make that a data race. */
+    std::vector<char> procBusy;
     std::vector<Cycles> fetchFreeAt;
-    Cycles lastDone = 0;
+    /** Last unpack completion per *receiver*; makespan is the max. */
+    std::vector<Cycles> lastDoneByNode;
     obs::Tracer *tracer;
 
     Ctx(Machine &machine, const CommOp &op, const PackingOptions &opts)
@@ -60,10 +64,11 @@ struct Ctx
           groups(groupFlows(op)), runs(groups.size()),
           senderQueue(static_cast<std::size_t>(machine.nodeCount())),
           unpackQueue(static_cast<std::size_t>(machine.nodeCount())),
-          procBusy(static_cast<std::size_t>(machine.nodeCount()),
-                   false),
+          procBusy(static_cast<std::size_t>(machine.nodeCount()), 0),
           fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
                       0),
+          lastDoneByNode(
+              static_cast<std::size_t>(machine.nodeCount()), 0),
           tracer(machine.tracer())
     {
         Bytes ring = static_cast<Bytes>(layerCredits) * chunkBytes;
@@ -296,14 +301,28 @@ Ctx::runUnpack(NodeId node, const UnpackTask &task)
                      traceTrack(node, TraceTrack::Cpu), now, elapsed,
                      "words", task.count);
     std::size_t group_idx = task.group;
-    machine.events().scheduleAfter(elapsed, [this, node, group_idx]() {
+    // Completion used to be one event doing receiver work (free the
+    // processor, continue unpacking) and sender work (the credit
+    // return); split so each side runs in its own partition. The
+    // receiver event keeps the original leading order; the credit
+    // event carries the trailing ++credits / tryProc(src) pair,
+    // which touches no receiver state, so the serial timeline is
+    // unchanged by the split.
+    machine.events().scheduleAfter(elapsed, [this, node]() {
         auto idx = static_cast<std::size_t>(node);
         procBusy[idx] = false;
-        lastDone = std::max(lastDone, machine.events().now());
-        ++runs[group_idx].credits;
+        lastDoneByNode[idx] =
+            std::max(lastDoneByNode[idx], machine.events().now());
         tryProc(node);
-        tryProc(groups[group_idx].src);
     });
+    {
+        sim::EventQueue::PartitionScope scope(
+            machine.events(), groups[group_idx].src);
+        machine.events().scheduleAfter(elapsed, [this, group_idx]() {
+            ++runs[group_idx].credits;
+            tryProc(groups[group_idx].src);
+        });
+    }
 }
 
 void
@@ -343,11 +362,17 @@ PackingLayer::run(sim::Machine &machine, const CommOp &op)
         [&ctx](Packet &&pkt, Cycles time) {
             ctx.deliver(std::move(pkt), time);
         });
-    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+    for (NodeId node = 0; node < machine.nodeCount(); ++node) {
+        // The kick-off runs outside any event; tag each node's
+        // initial sends with its own partition.
+        sim::EventQueue::PartitionScope scope(machine.events(), node);
         ctx.tryProc(node);
+    }
     machine.events().run();
 
-    Cycles makespan = ctx.lastDone;
+    Cycles makespan = 0;
+    for (Cycles done : ctx.lastDoneByNode)
+        makespan = std::max(makespan, done);
     Cycles extra = 0;
     for (NodeId node = 0; node < machine.nodeCount(); ++node)
         extra = std::max(extra,

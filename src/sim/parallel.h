@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Conservative parallel engine for one simulation: executes the
+ * event timeline of a single EventQueue on sweep::Farm workers while
+ * committing every observable effect in exact serial (time, seq)
+ * order, so reports, metrics, and baselines are byte-identical to
+ * the serial engine at any thread count.
+ *
+ * Protocol (window loop, driven from the main thread):
+ *
+ *  1. COLLECT -- with T = the earliest pending time and H = T +
+ *     lookahead, pop every pending event with time < H in (time,
+ *     seq) order. Keep, per partition, only the events at that
+ *     partition's *minimum* timestamp in the window; push the rest
+ *     back untouched. One partition therefore executes at exactly
+ *     one timestamp per window, which makes every same-partition
+ *     spawn trivially safe (it lands at or after the only time the
+ *     partition ran), while lookahead > 1 still lets different
+ *     partitions run at different times concurrently.
+ *
+ *  2. EXECUTE -- dispatch the kept events to farm workers, grouped
+ *     by partition (a partition's events always run on one worker,
+ *     in (time, seq) order). Workers do not touch the queue: every
+ *     schedule() becomes a buffered spawn node and every
+ *     deferToCommit() a buffered call, recorded in program order in
+ *     a per-worker effect log. forEach() blocking is the window
+ *     barrier.
+ *
+ *  3. COMMIT -- merge the executed events into a reorder buffer and
+ *     commit, on the main thread, every buffered event that precedes
+ *     all still-unexecuted heap events in (time, seq) order:
+ *     advance the clock, adopt spawned nodes into the heap (stamping
+ *     seq exactly where the serial engine would), run deferred calls
+ *     (order-sensitive shared state such as link reservations
+ *     mutates here, serially), and retire each event with the same
+ *     release() re-stamp the serial engine performs. An executed
+ *     event whose commit slot is preceded by a *newly spawned*
+ *     earlier event (a same-partition respawn of another partition,
+ *     say) simply waits in the buffer -- its partition saw only its
+ *     own state, which nothing earlier can touch -- and commits
+ *     after the next window executes the interloper. The committed
+ *     effect stream is therefore the serial stream, byte for byte,
+ *     at any lookahead. Cross-partition spawns are validated against
+ *     each partition's last executed time -- a layer whose declared
+ *     lookahead exceeds its true cross-partition delay is caught
+ *     loudly instead of corrupting the timeline.
+ *
+ * Windows whose events are untagged or all in one partition run
+ * serially in place (when nothing is waiting in the reorder
+ * buffer); threads <= 1 disables the engine entirely.
+ */
+
+#ifndef CT_SIM_PARALLEL_H
+#define CT_SIM_PARALLEL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event.h"
+#include "sweep/farm.h"
+
+namespace ct::sim {
+
+struct ParallelOptions
+{
+    /** Worker threads (sweep::parseThreadCount policy); <= 1 makes
+     *  the engine inactive and run() stays fully serial. */
+    int threads = 0;
+    /** Window span in cycles; clamped to >= 1. Derived from the
+     *  network's minimum cross-node latency by sim::Machine. */
+    Cycles lookahead = 1;
+    /** Windows with fewer distinct partitions than this execute
+     *  serially in place (dispatch would cost more than it buys). */
+    int minPartitions = 2;
+};
+
+/** Deterministic engine counters (all schedule-independent: window
+ *  shapes depend only on the event timeline, never on thread
+ *  interleaving, so these are safe to bake into bench baselines). */
+struct ParallelStats
+{
+    std::uint64_t windows = 0;         ///< horizon windows formed
+    std::uint64_t parallelWindows = 0; ///< dispatched to the farm
+    std::uint64_t serialWindows = 0;   ///< executed in place
+    std::uint64_t parallelEvents = 0;  ///< events run on workers
+    std::uint64_t serialEvents = 0;    ///< events run in place
+    std::uint64_t crossSpawns = 0;     ///< committed cross-partition spawns
+    std::uint64_t deferredCalls = 0;   ///< deferToCommit() replays
+    Cycles maxWindowSpan = 0;          ///< max in-window time spread
+};
+
+class ParallelEngine
+{
+  public:
+    /** The queue must outlive the engine's *use*, but the engine
+     *  must outlive the queue's *destruction* whenever adopted
+     *  window nodes may still be pending (declare the engine before
+     *  the queue, as sim::Machine does, or drain the queue first). */
+    ParallelEngine(EventQueue &queue, ParallelOptions options);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** True when the engine will actually dispatch to workers. */
+    bool active() const { return opts.threads > 1; }
+
+    /** Drain the queue; returns events executed (== serial run()). */
+    std::uint64_t runAll();
+
+    /** Clamp the window span: max(1, min(hint, ceiling)). Layers
+     *  pass their true minimum cross-partition delay as the hint;
+     *  the ceiling is the network's own minimum link latency. */
+    void setLookahead(Cycles hint, Cycles ceiling);
+
+    Cycles lookahead() const { return opts.lookahead; }
+    int threads() const { return opts.threads; }
+    const ParallelStats &stats() const { return st; }
+
+    /** Lookahead-contract backstop, called for every cross-partition
+     *  commit: fatal when @p when precedes the last executed time of
+     *  @p part. */
+    void checkCommitTime(Cycles when, std::int32_t part) const;
+
+  private:
+    struct Seed
+    {
+        EventQueue::EventNode *node = nullptr;
+        int worker = -1;
+        std::uint32_t effBegin = 0;
+        std::uint32_t effEnd = 0;
+        /** Effects moved out of the worker log when the seed's
+         *  commit is deferred past its window (see commitWindow). */
+        std::vector<EventQueue::Effect> held;
+    };
+
+    std::uint64_t runWindow();
+    std::uint64_t commitWindow();
+    void commitSeed(Seed &seed);
+    bool seedPrecedesHeap(const Seed &seed) const;
+    void prepareReserve();
+
+    EventQueue &q;
+    ParallelOptions opts;
+    sweep::Farm farm;
+    /** One per farm worker; owns worker slabs (see WindowCtx). */
+    std::vector<std::unique_ptr<EventQueue::WindowCtx>> contexts;
+
+    // Per-window scratch, reused across windows.
+    std::vector<Seed> seeds;
+    std::vector<EventQueue::EventNode *> rejects;
+    /** Partition -> kept timestamp, epoch-validated so reset is
+     *  O(partitions touched), not O(partitions). */
+    std::vector<Cycles> partTime;
+    std::vector<std::uint64_t> partEpoch;
+    std::vector<std::int32_t> windowParts;
+    /** Partition -> dispatch task index for the open window. */
+    std::vector<std::int32_t> partTask;
+    std::vector<std::vector<std::uint32_t>> tasks;
+    std::size_t taskCount = 0;
+    std::uint64_t epoch = 0;
+    /** Max kept timestamp of the open window (scratch). */
+    Cycles windowMax = 0;
+
+    /** Reorder buffer: executed seeds awaiting their global commit
+     *  slot, (time, seq)-sorted. Non-empty exactly when an executed
+     *  event's slot is preceded by a spawned-but-unexecuted one. */
+    std::vector<Seed> rob;
+    std::vector<Seed> robMerge;
+    /** Partition -> last executed event time (monotonic; commit
+     *  floor for cross-partition spawns). */
+    std::vector<Cycles> lastExec;
+    /** Partitions with seeds still in the reorder buffer: they must
+     *  not execute further events until those commit (an uncommitted
+     *  seed may yet spawn a same-partition event at an earlier time
+     *  than anything now pending). */
+    std::vector<char> partHeld;
+    std::vector<std::int32_t> heldParts;
+    /** Max executed event time (commit floor for untagged spawns). */
+    Cycles maxExec = 0;
+
+    /** Recycled nodes prefilled for workers (see windowAcquire). */
+    std::vector<EventQueue::EventNode *> reserve;
+    std::atomic<std::size_t> reserveNext{0};
+
+    ParallelStats st;
+};
+
+} // namespace ct::sim
+
+#endif // CT_SIM_PARALLEL_H

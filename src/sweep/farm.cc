@@ -109,6 +109,17 @@ Farm::post(std::function<void(int)> task)
 }
 
 void
+Farm::runBatch(std::size_t n,
+               const std::function<void(std::size_t, int)> &body)
+{
+    // Inline mode: post() runs each task immediately on the caller.
+    for (std::size_t i = 0; i < n; ++i)
+        post([&body, i](int worker) { body(i, worker); });
+    if (opts.threads > 0)
+        waitPosted();
+}
+
+void
 Farm::waitPosted()
 {
     std::unique_lock<std::mutex> lock(wakeMutex);

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Raw-queue tests of the conservative parallel engine: lookahead
+ * window shape, per-partition execution order, commit-order identity
+ * with the serial engine, serial fallbacks, deferToCommit semantics
+ * and the lookahead-contract backstop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/parallel.h"
+
+namespace {
+
+using namespace ct::sim;
+
+/**
+ * A queue with an attached engine, declared in the order Machine
+ * uses: the engine must be destroyed after the queue because worker
+ * slabs it owns may still back nodes on the queue's free list.
+ */
+struct Harness
+{
+    std::unique_ptr<ParallelEngine> engine;
+    EventQueue q;
+
+    explicit Harness(int threads, Cycles lookahead,
+                     int min_partitions = 2)
+    {
+        ParallelOptions opts;
+        opts.threads = threads;
+        opts.lookahead = lookahead;
+        opts.minPartitions = min_partitions;
+        engine = std::make_unique<ParallelEngine>(q, opts);
+        q.setRunner(engine.get());
+    }
+};
+
+/**
+ * Schedule a self-rescheduling cascade on each of @p parts
+ * partitions: partition p starts at time p * stagger and re-arms
+ * itself every `period` cycles for `hops` hops, logging each firing
+ * through deferToCommit (which replays in committed serial order).
+ */
+void
+cascadeRuns(EventQueue &q, std::vector<std::string> &log, int parts,
+            int hops, Cycles stagger, Cycles period)
+{
+    struct Hop
+    {
+        EventQueue *q;
+        std::vector<std::string> *log;
+        std::int32_t part;
+        int remaining;
+        Cycles period;
+
+        void operator()() const
+        {
+            Hop self = *this;
+            self.q->deferToCommit([self]() {
+                self.log->push_back(
+                    "p" + std::to_string(self.part) + "@" +
+                    std::to_string(self.q->now()));
+            });
+            if (self.remaining > 0) {
+                Hop next = self;
+                --next.remaining;
+                self.q->scheduleAfter(self.period, next);
+            }
+        }
+    };
+
+    for (std::int32_t p = 0; p < parts; ++p) {
+        EventQueue::PartitionScope scope(q, p);
+        q.schedule(static_cast<Cycles>(p) * stagger,
+                   Hop{&q, &log, p, hops, period});
+    }
+}
+
+/** Serial reference: same workload on an engine-less queue. */
+std::vector<std::string>
+serialReference(int parts, int hops, Cycles stagger, Cycles period)
+{
+    EventQueue q;
+    std::vector<std::string> log;
+    cascadeRuns(q, log, parts, hops, stagger, period);
+    q.run();
+    return log;
+}
+
+/** The committed order (and now() at every commit slot) must be
+ *  byte-identical to the serial engine, at several lookaheads. */
+TEST(ParallelEngine, CommitOrderMatchesSerialAcrossLookaheads)
+{
+    for (Cycles lookahead : {1, 3, 7, 50}) {
+        std::vector<std::string> serial =
+            serialReference(8, 40, 3, 7);
+
+        Harness h(4, lookahead);
+        std::vector<std::string> parallel;
+        cascadeRuns(h.q, parallel, 8, 40, 3, 7);
+        std::uint64_t executed = h.q.run();
+
+        EXPECT_EQ(serial, parallel) << "lookahead " << lookahead;
+        // Engine-run events count exactly like serial ones.
+        EXPECT_EQ(executed, h.q.eventsExecuted());
+        EXPECT_GT(h.engine->stats().parallelEvents, 0u)
+            << "lookahead " << lookahead;
+    }
+}
+
+/** Queue accounting (pending peaks, executed totals) is part of the
+ *  identity contract: reports derive peak memory from it. */
+TEST(ParallelEngine, QueueCountersMatchSerial)
+{
+    EventQueue serial;
+    std::vector<std::string> slog;
+    cascadeRuns(serial, slog, 6, 25, 5, 11);
+    std::uint64_t serial_exec = serial.run();
+
+    Harness h(3, 9);
+    std::vector<std::string> plog;
+    cascadeRuns(h.q, plog, 6, 25, 5, 11);
+    std::uint64_t parallel_exec = h.q.run();
+
+    EXPECT_EQ(serial_exec, parallel_exec);
+    EXPECT_EQ(serial.eventsExecuted(), h.q.eventsExecuted());
+    EXPECT_EQ(serial.peakPending(), h.q.peakPending());
+    EXPECT_EQ(serial.pending(), h.q.pending());
+    EXPECT_EQ(slog, plog);
+}
+
+/** No window may ever span >= lookahead cycles: the horizon property
+ *  that makes conservative execution safe. */
+TEST(ParallelEngine, WindowSpanStaysUnderLookahead)
+{
+    for (Cycles lookahead : {1, 4, 16}) {
+        Harness h(4, lookahead);
+        std::vector<std::string> log;
+        // Coprime stagger/period spread timestamps irregularly.
+        cascadeRuns(h.q, log, 10, 30, 3, 13);
+        h.q.run();
+        EXPECT_LT(h.engine->stats().maxWindowSpan, lookahead);
+        EXPECT_GT(h.engine->stats().windows, 0u);
+    }
+}
+
+/** Each partition's events must execute in (time, seq) order on the
+ *  worker itself (not only at commit): partitions own unguarded
+ *  layer state. Logs written at *execution* time, one per partition,
+ *  must come out strictly ordered. */
+TEST(ParallelEngine, PartitionsExecuteInOrderOnWorkers)
+{
+    constexpr int kParts = 6;
+    Harness h(4, 8);
+    std::vector<std::vector<Cycles>> fired(kParts);
+
+    struct Hop
+    {
+        EventQueue *q;
+        std::vector<Cycles> *fired;
+        std::int32_t part;
+        int remaining;
+
+        void operator()() const
+        {
+            // Execution-time side effect, single-writer per vector:
+            // safe iff the engine keeps a partition on one worker
+            // and in order.
+            fired->push_back(this->q->now());
+            if (remaining > 0) {
+                Hop next = *this;
+                --next.remaining;
+                this->q->scheduleAfter(
+                    static_cast<Cycles>(3 + part % 4), next);
+            }
+        }
+    };
+
+    for (std::int32_t p = 0; p < kParts; ++p) {
+        EventQueue::PartitionScope scope(h.q, p);
+        h.q.schedule(static_cast<Cycles>(p),
+                     Hop{&h.q, &fired[static_cast<std::size_t>(p)], p,
+                         30});
+    }
+    h.q.run();
+
+    for (int p = 0; p < kParts; ++p) {
+        const auto &times = fired[static_cast<std::size_t>(p)];
+        ASSERT_EQ(times.size(), 31u) << "partition " << p;
+        for (std::size_t i = 1; i < times.size(); ++i)
+            EXPECT_LE(times[i - 1], times[i])
+                << "partition " << p << " slot " << i;
+    }
+}
+
+/** Untagged events force the window serial: the engine must not
+ *  parallelize state it cannot attribute. */
+TEST(ParallelEngine, UntaggedEventsRunSerially)
+{
+    Harness h(4, 10);
+    int fired = 0;
+    for (Cycles t = 0; t < 40; t += 2)
+        h.q.schedule(t, [&fired]() { ++fired; }); // kNoPartition
+    h.q.run();
+    EXPECT_EQ(fired, 20);
+    EXPECT_EQ(h.engine->stats().parallelEvents, 0u);
+    EXPECT_EQ(h.engine->stats().serialEvents, 20u);
+}
+
+/** A single busy partition is not worth dispatching. */
+TEST(ParallelEngine, SinglePartitionWindowsStaySerial)
+{
+    Harness h(4, 10);
+    std::vector<std::string> log;
+    cascadeRuns(h.q, log, 1, 50, 0, 4);
+    h.q.run();
+    EXPECT_EQ(h.engine->stats().parallelEvents, 0u);
+    EXPECT_GT(h.engine->stats().serialEvents, 0u);
+    EXPECT_EQ(log, serialReference(1, 50, 0, 4));
+}
+
+/** deferToCommit outside any window is an immediate call. */
+TEST(ParallelEngine, DeferToCommitOutsideWindowRunsInline)
+{
+    EventQueue q;
+    bool ran = false;
+    q.deferToCommit([&ran]() { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+/** Cross-partition spawns inside the window commit with fresh seq
+ *  stamps in exact (time, seq) order -- exercised here with spawns
+ *  that hop to the *next* partition at exactly the lookahead. */
+TEST(ParallelEngine, CrossPartitionSpawnsCommitInOrder)
+{
+    constexpr int kParts = 5;
+    constexpr Cycles kLookahead = 6;
+
+    auto workload = [](EventQueue &q, std::vector<std::string> &log,
+                       int hops) {
+        struct Hop
+        {
+            EventQueue *q;
+            std::vector<std::string> *log;
+            std::int32_t part;
+            int remaining;
+
+            void operator()() const
+            {
+                Hop self = *this;
+                self.q->deferToCommit([self]() {
+                    self.log->push_back(
+                        "p" + std::to_string(self.part) + "@" +
+                        std::to_string(self.q->now()));
+                });
+                if (self.remaining > 0) {
+                    Hop next = self;
+                    --next.remaining;
+                    next.part = (next.part + 1) % kParts;
+                    // Cross-partition: scope the spawn to the next
+                    // ring stop, one full lookahead away (the
+                    // minimum safe cross-partition distance).
+                    EventQueue::PartitionScope scope(*self.q,
+                                                     next.part);
+                    self.q->scheduleAfter(kLookahead, next);
+                }
+            }
+        };
+        for (std::int32_t p = 0; p < kParts; ++p) {
+            EventQueue::PartitionScope scope(q, p);
+            q.schedule(static_cast<Cycles>(2 * p),
+                       Hop{&q, &log, p, hops});
+        }
+    };
+
+    EventQueue serial;
+    std::vector<std::string> slog;
+    workload(serial, slog, 60);
+    serial.run();
+
+    Harness h(4, kLookahead);
+    std::vector<std::string> plog;
+    workload(h.q, plog, 60);
+    h.q.run();
+
+    EXPECT_EQ(slog, plog);
+    EXPECT_GT(h.engine->stats().crossSpawns, 0u);
+}
+
+/** The backstop: a spawn committed *behind* another partition's
+ *  already-committed window time must die loudly -- it means a layer
+ *  declared a lookahead larger than its true cross-partition delay. */
+TEST(ParallelEngineDeath, LookaheadContractViolationIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto violate = []() {
+        ParallelOptions opts;
+        opts.threads = 4;
+        opts.lookahead = 10;
+        std::unique_ptr<ParallelEngine> engine;
+        EventQueue q;
+        engine = std::make_unique<ParallelEngine>(q, opts);
+        q.setRunner(engine.get());
+
+        // Partition 1 holds a seed at t=108; partition 0's seed at
+        // t=100 spawns into partition 1 at t=102 -- inside the same
+        // window, behind 1's committed time. With a true lookahead
+        // this could not happen (102 - 100 < 10 claimed).
+        {
+            EventQueue::PartitionScope scope(q, 0);
+            q.schedule(100, [&q]() {
+                EventQueue::PartitionScope cross(q, 1);
+                q.scheduleAfter(2, []() {});
+            });
+        }
+        {
+            EventQueue::PartitionScope scope(q, 1);
+            q.schedule(108, []() {});
+        }
+        q.run();
+    };
+    EXPECT_EXIT(violate(), testing::ExitedWithCode(1),
+                "lookahead contract violated");
+}
+
+/** Lookahead clamps: never below 1, never above the ceiling. */
+TEST(ParallelEngine, LookaheadClamps)
+{
+    Harness h(2, 5);
+    h.engine->setLookahead(100, 18);
+    EXPECT_EQ(h.engine->lookahead(), 18u);
+    h.engine->setLookahead(0, 18);
+    EXPECT_EQ(h.engine->lookahead(), 1u);
+    h.engine->setLookahead(7, 18);
+    EXPECT_EQ(h.engine->lookahead(), 7u);
+}
+
+/** An inactive engine (threads <= 1) attached as runner must behave
+ *  exactly like no engine at all. */
+TEST(ParallelEngine, InactiveEngineRunsSerial)
+{
+    Harness h(1, 4);
+    EXPECT_FALSE(h.engine->active());
+    std::vector<std::string> log;
+    cascadeRuns(h.q, log, 4, 10, 2, 5);
+    h.q.run();
+    EXPECT_EQ(log, serialReference(4, 10, 2, 5));
+    EXPECT_EQ(h.engine->stats().parallelEvents, 0u);
+}
+
+/** Timers: scheduling a cancellable event from inside a window is a
+ *  contract violation and must die loudly (windows buffer spawns, so
+ *  a Timer handle could not be armed race-free). */
+TEST(ParallelEngineDeath, CancellableInsideWindowIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto violate = []() {
+        ParallelOptions opts;
+        opts.threads = 4;
+        opts.lookahead = 4;
+        std::unique_ptr<ParallelEngine> engine;
+        EventQueue q;
+        engine = std::make_unique<ParallelEngine>(q, opts);
+        q.setRunner(engine.get());
+        for (std::int32_t p = 0; p < 2; ++p) {
+            EventQueue::PartitionScope scope(q, p);
+            q.schedule(static_cast<Cycles>(p), [&q]() {
+                q.scheduleAfterCancellable(5, []() {});
+            });
+        }
+        q.run();
+    };
+    EXPECT_EXIT(violate(), testing::ExitedWithCode(1),
+                "cancellable");
+}
+
+} // namespace

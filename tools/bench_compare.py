@@ -23,6 +23,12 @@ Options:
     --tol REL         relative tolerance (default: 0.001)
     --strict          a missing baseline file is an error, not a
                       warning (use in CI once every bench has one)
+    --diff-out FILE   also write a machine-readable diff: every
+                      compared counter with its baseline/current
+                      values and absolute/relative deltas, plus rows
+                      that appeared or disappeared. CI archives this
+                      as an artifact so a drift can be inspected
+                      without rerunning the benches.
 
 To refresh a baseline after an intentional performance change:
     BENCH_SUMMARY=bench/baselines/<name>.json build/bench/bench_<name>
@@ -66,8 +72,13 @@ def load_json(path, failures, what):
     return None
 
 
-def compare(summary_path, baseline_dir, tol, strict):
-    """Return (failures, warnings) for one summary file."""
+def compare(summary_path, baseline_dir, tol, strict, diff):
+    """Return (failures, warnings) for one summary file.
+
+    When @p diff is not None, append one record per compared bench:
+    every counter with baseline/current values and abs/rel deltas,
+    plus rows that appeared or disappeared.
+    """
     failures = []
     warnings = []
     summary = load_json(summary_path, failures, "summary")
@@ -93,29 +104,50 @@ def compare(summary_path, baseline_dir, tol, strict):
         return failures, warnings
     baseline = baseline_doc.get("rows", {})
 
+    record = {
+        "bench": bench,
+        "summary": summary_path,
+        "baseline": baseline_path,
+        "tolerance": tol,
+        "rows": {},
+        "rows_disappeared": [],
+        "rows_new": sorted(set(rows) - set(baseline)),
+    }
     for row, counters in sorted(baseline.items()):
         if row not in rows:
             failures.append(f"{bench}: row '{row}' disappeared")
+            record["rows_disappeared"].append(row)
             continue
+        row_diff = record["rows"].setdefault(row, {})
         for name, want in sorted(counters.items()):
             if name not in rows[row]:
                 failures.append(
                     f"{bench}: {row}: counter '{name}' disappeared")
+                row_diff[name] = {"baseline": want,
+                                  "current": None,
+                                  "status": "disappeared"}
                 continue
             got = rows[row][name]
+            d = rel_diff(got, want)
+            entry = {"baseline": want, "current": got,
+                     "abs_diff": abs(got - want), "rel_diff": d,
+                     "status": "ok"}
             if want == 0 and got != 0:
                 # A counter waking up from a zero baseline is always
                 # a drift, whatever the tolerance.
                 failures.append(
                     f"{bench}: {row}: {name} = {got:g}, baseline "
                     "is exactly 0 (zero-baseline counter woke up)")
-                continue
-            d = rel_diff(got, want)
-            if d > tol:
+                entry["status"] = "drift"
+            elif d > tol:
                 failures.append(
                     f"{bench}: {row}: {name} = {got:g}, baseline "
                     f"{want:g} (rel diff {d:.2%} > {tol:.2%})")
-    for row in sorted(set(rows) - set(baseline)):
+                entry["status"] = "drift"
+            row_diff[name] = entry
+    if diff is not None:
+        diff.append(record)
+    for row in record["rows_new"]:
         warnings.append(
             f"{bench}: new row '{row}' not in baseline "
             "(refresh the baseline to start gating it)")
@@ -129,6 +161,7 @@ def main():
     ap.add_argument("--baselines", default=None)
     ap.add_argument("--tol", type=float, default=0.001)
     ap.add_argument("--strict", action="store_true")
+    ap.add_argument("--diff-out", default=None, metavar="FILE")
     args = ap.parse_args()
 
     baseline_dir = args.baselines
@@ -139,13 +172,24 @@ def main():
 
     all_failures = []
     all_warnings = []
+    diff = [] if args.diff_out else None
     checked = 0
     for path in args.summaries:
         failures, warnings = compare(path, baseline_dir, args.tol,
-                                     args.strict)
+                                     args.strict, diff)
         all_failures += failures
         all_warnings += warnings
         checked += 1
+
+    if args.diff_out:
+        try:
+            with open(args.diff_out, "w") as f:
+                json.dump({"benches": diff}, f, indent=2,
+                          sort_keys=True)
+                f.write("\n")
+        except OSError as e:
+            all_failures.append(
+                f"diff-out {args.diff_out}: unwritable ({e})")
 
     for w in all_warnings:
         print(f"WARNING: {w}")

@@ -40,6 +40,14 @@
  * fan their cells across the work-stealing sweep farm; the output is
  * byte-identical for every thread count (DESIGN.md §14). Zero,
  * non-numeric and oversubscribed counts are a usage error (exit 2).
+ * sim accepts the same --threads=N to run the single simulation on
+ * the conservative parallel engine (DESIGN.md §15); the stdout
+ * report and --metrics-out JSON are byte-identical for every thread
+ * count. --transport=raw (bare chained layer) and
+ * --transport=packing (bare buffer-packing layer) swap out the
+ * reliable transport for the parallel-safe paths; both are
+ * incompatible with --faults/--chaos/--adaptive, which need
+ * retransmission.
  *
  * The sim subcommand accepts --faults=SPEC to degrade the machine,
  * e.g. --faults=drop=1e-3,corrupt=1e-4,dup=1e-5,delay=200 (see
@@ -86,6 +94,8 @@
 #include "core/parser.h"
 #include "core/planner.h"
 #include "obs/trace.h"
+#include "rt/chained_layer.h"
+#include "rt/packing_layer.h"
 #include "rt/reliable_layer.h"
 #include "rt/resilience.h"
 #include "rt/validation.h"
@@ -120,6 +130,7 @@ usage()
         "       sim also takes [--chaos=SPEC] [--adaptive] "
         "[--rounds=N] [--trace=FILE]\n"
         "       [--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
+        "       [--threads=N] [--transport=reliable|raw|packing]\n"
         "       ctplan validate [--json] [--out=FILE] "
         "[--threads=N]\n"
         "       ctplan sweep --grid=SPEC [--json] [--out=FILE] "
@@ -142,6 +153,16 @@ usage()
         "--svc-chaos='seed:7;stall:0.1:5'\n");
     return kExitUsage;
 }
+
+/** Wire layer of the sim subcommand. Reliable is the default and
+ *  the only one that can absorb faults; raw and packing run the bare
+ *  parallel-safe layers (the paths the parallel engine exercises). */
+enum class SimTransport
+{
+    Reliable,
+    Raw,
+    Packing,
+};
 
 /** Observability flags of the sim subcommand. */
 struct ObsOptions
@@ -239,7 +260,8 @@ int
 runSim(core::MachineId machine, const std::string &xqy,
        std::uint64_t words, const sim::FaultSpec &faults,
        const sim::ChaosSchedule &chaos, bool adaptive, int rounds,
-       const ObsOptions &obs_opts)
+       const ObsOptions &obs_opts, int threads,
+       SimTransport transport)
 {
     auto q = xqy.find('Q');
     if (q == std::string::npos) {
@@ -256,6 +278,8 @@ runSim(core::MachineId machine, const std::string &xqy,
     auto cfg = sim::configFor(machine);
     cfg.faults = faults;
     cfg.chaos = chaos;
+    // 1 = serial: run the plain event loop, no engine constructed.
+    cfg.threads = threads == 1 ? 0 : threads;
     sim::Machine m(cfg);
 
     std::unique_ptr<obs::Tracer> tracer;
@@ -283,6 +307,9 @@ runSim(core::MachineId machine, const std::string &xqy,
     }
 
     if (adaptive) {
+        // The resilience controller drives the reliable transport,
+        // whose cancellable retransmit timers are not window-safe.
+        m.setParallelEnabled(false);
         rt::ResilienceController controller(cfg, *x, *y);
         rt::AdaptiveResult ar =
             rt::runAdaptiveExchange(m, op, controller, rounds);
@@ -355,7 +382,19 @@ runSim(core::MachineId machine, const std::string &xqy,
     }
 
     rt::seedSources(m, op);
-    auto layer = rt::makeReliableChained();
+    std::unique_ptr<rt::MessageLayer> layer;
+    rt::ReliableLayer *reliable = nullptr;
+    if (transport == SimTransport::Raw) {
+        layer = std::make_unique<rt::ChainedLayer>();
+    } else if (transport == SimTransport::Packing) {
+        layer = std::make_unique<rt::PackingLayer>();
+    } else {
+        auto rl = rt::makeReliableChained();
+        reliable = rl.get();
+        layer = std::move(rl);
+    }
+    m.setParallelEnabled(layer->parallelSafe());
+    m.setParallelLookahead(layer->parallelLookahead(m, op));
     auto result = layer->run(m, op);
 
     // Exclude flows whose endpoint died mid-run from verification;
@@ -373,7 +412,6 @@ runSim(core::MachineId machine, const std::string &xqy,
     }
     std::uint64_t bad = rt::verifyDelivery(m, check);
 
-    const auto &t = layer->stats();
     const auto &n = m.network().stats();
     std::printf("%s %s, %llu words/node, faults: %s",
                 cfg.name.c_str(), xqy.c_str(),
@@ -384,15 +422,30 @@ runSim(core::MachineId machine, const std::string &xqy,
     std::printf("\n");
     std::printf("  layer           %s%s\n", layer->name().c_str(),
                 result.degraded ? "  [DEGRADED to packing]" : "");
+    // Engine diagnostics go to stderr: the stdout report is part of
+    // the determinism contract and must not vary with --threads.
+    if (const sim::ParallelEngine *pe = m.parallelEngine())
+        std::fprintf(stderr,
+                     "  engine          %d threads, lookahead %llu "
+                     "cycles, %llu/%llu windows parallel\n",
+                     pe->threads(),
+                     static_cast<unsigned long long>(pe->lookahead()),
+                     static_cast<unsigned long long>(
+                         pe->stats().parallelWindows),
+                     static_cast<unsigned long long>(
+                         pe->stats().windows));
     std::printf("  goodput         %.2f MB/s per node\n",
                 result.perNodeMBps(m));
     std::printf("  makespan        %llu cycles\n",
                 static_cast<unsigned long long>(result.makespan));
     std::printf("  wire bytes      %llu\n",
                 static_cast<unsigned long long>(n.wireBytes));
-    std::printf("  data packets    %llu  (+%llu retransmits)\n",
-                static_cast<unsigned long long>(t.dataPackets),
-                static_cast<unsigned long long>(t.retransmits));
+    if (reliable) {
+        const auto &t = reliable->stats();
+        std::printf("  data packets    %llu  (+%llu retransmits)\n",
+                    static_cast<unsigned long long>(t.dataPackets),
+                    static_cast<unsigned long long>(t.retransmits));
+    }
     std::printf("  dropped/corrupt %llu/%llu on the wire\n",
                 static_cast<unsigned long long>(n.droppedPackets),
                 static_cast<unsigned long long>(n.corruptedPackets));
@@ -419,7 +472,9 @@ runSim(core::MachineId machine, const std::string &xqy,
 
     // Abandoned delivery that was not absorbed by a degradation path
     // is a silent data-loss bug; fail loudly and name the channels.
-    if (t.abandoned > 0 && !result.degraded) {
+    if (reliable && reliable->stats().abandoned > 0 &&
+        !result.degraded) {
+        const auto &t = reliable->stats();
         std::fprintf(stderr,
                      "ERROR: reliable transport abandoned %llu "
                      "packet(s) without degradation; affected "
@@ -598,6 +653,8 @@ main(int argc, char **argv)
     bool serve_flags_set = false;
     int threads = 1;
     bool threads_set = false;
+    SimTransport transport = SimTransport::Reliable;
+    bool transport_set = false;
     std::string grid_spec;
     bool grid_set = false;
     // Flags that take a =VALUE; a bare occurrence (or an empty
@@ -608,7 +665,7 @@ main(int argc, char **argv)
         "--out",            "--trace",     "--trace-format",
         "--metrics-out",    "--workers",   "--queue",
         "--cache",          "--default-budget", "--svc-chaos",
-        "--threads",        "--grid"};
+        "--threads",        "--grid",      "--transport"};
     // Shared helper for the serve subcommand's integer flags.
     auto parse_count = [](const char *text, const char *flag,
                           long min, long max, long &value) {
@@ -726,6 +783,23 @@ main(int argc, char **argv)
                 return usage();
             }
             threads_set = true;
+        } else if (std::strncmp(argv[i], "--transport=", 12) == 0 &&
+                   argv[i][12]) {
+            const char *value = argv[i] + 12;
+            if (std::strcmp(value, "reliable") == 0)
+                transport = SimTransport::Reliable;
+            else if (std::strcmp(value, "raw") == 0)
+                transport = SimTransport::Raw;
+            else if (std::strcmp(value, "packing") == 0)
+                transport = SimTransport::Packing;
+            else {
+                std::fprintf(stderr,
+                             "bad --transport '%s' (expected "
+                             "reliable, raw or packing)\n",
+                             value);
+                return usage();
+            }
+            transport_set = true;
         } else if (std::strncmp(argv[i], "--grid=", 7) == 0 &&
                    argv[i][7]) {
             grid_spec = argv[i] + 7;
@@ -771,8 +845,8 @@ main(int argc, char **argv)
             return usage();
         }
         if (faults_set || chaos_set || adaptive || rounds_set ||
-            json || out_set || threads_set || grid_set ||
-            !obs_opts.traceFile.empty()) {
+            json || out_set || threads_set || transport_set ||
+            grid_set || !obs_opts.traceFile.empty()) {
             std::fprintf(
                 stderr,
                 "serve takes only --workers/--queue/--cache/"
@@ -802,10 +876,12 @@ main(int argc, char **argv)
                                  "the sim subcommand only\n");
             return usage();
         }
-        if (faults_set || chaos_set || adaptive || rounds_set) {
+        if (faults_set || chaos_set || adaptive || rounds_set ||
+            transport_set) {
             std::fprintf(stderr,
-                         "--faults/--chaos/--adaptive/--rounds "
-                         "apply to the sim subcommand only\n");
+                         "--faults/--chaos/--adaptive/--rounds/"
+                         "--transport apply to the sim subcommand "
+                         "only\n");
             return usage();
         }
         if (is_sweep) {
@@ -828,12 +904,6 @@ main(int argc, char **argv)
                      "--grid applies to the sweep subcommand only\n");
         return usage();
     }
-    if (threads_set) {
-        std::fprintf(stderr, "--threads applies to the validate and "
-                             "sweep subcommands only\n");
-        return usage();
-    }
-
     if (argc < 3)
         return usage();
 
@@ -860,8 +930,22 @@ main(int argc, char **argv)
                      "the sim subcommand only\n");
         return usage();
     }
+    if ((threads_set || transport_set) && cmd != "sim") {
+        std::fprintf(stderr,
+                     "--threads applies to the validate, sweep and "
+                     "sim subcommands only (--transport to sim)\n");
+        return usage();
+    }
     if (rounds_set && !adaptive) {
         std::fprintf(stderr, "--rounds requires --adaptive\n");
+        return usage();
+    }
+    if (transport != SimTransport::Reliable &&
+        (faults_set || chaos_set || adaptive)) {
+        std::fprintf(stderr,
+                     "--transport=raw/packing runs without the "
+                     "reliable transport and cannot absorb "
+                     "--faults/--chaos/--adaptive\n");
         return usage();
     }
     if (json && !is_plan) {
@@ -896,7 +980,8 @@ main(int argc, char **argv)
             }
         }
         return runSim(machine, argv[3], words, faults, chaos,
-                      adaptive, rounds, obs_opts);
+                      adaptive, rounds, obs_opts, threads,
+                      transport);
     }
 
     if (cmd == "eval") {
