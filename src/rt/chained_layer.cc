@@ -26,6 +26,14 @@ struct Ctx
     bool engineReceive; // deposit engine vs co-processor receive
 
     std::vector<FlowGroup> groups;
+    /**
+     * The operation's endpoints, slot-mapped. All per-node state
+     * below is indexed by active slot, so an exchange between a
+     * handful of nodes on an 8192-node machine allocates a handful
+     * of entries, not 8192. The set is immutable after construction
+     * (parallel windows read it concurrently).
+     */
+    ActiveSet active;
 
     struct GroupRun
     {
@@ -35,7 +43,7 @@ struct Ctx
     };
 
     std::vector<GroupRun> runs;
-    /** Group indices each node still has to send, in order. */
+    /** Group indices each active node still has to send, in order. */
     std::vector<std::deque<std::size_t>> senderQueue;
     /** Per-node flags are char, not vector<bool>: adjacent nodes may
      *  flip their flags concurrently inside a parallel window, and
@@ -54,19 +62,12 @@ struct Ctx
 
     Ctx(Machine &machine, const CommOp &op, const ChainedOptions &opts)
         : machine(machine), op(op), opts(opts), groups(groupFlows(op)),
-          runs(groups.size()),
-          senderQueue(static_cast<std::size_t>(machine.nodeCount())),
-          procBusy(static_cast<std::size_t>(machine.nodeCount()), 0),
-          coprocQueue(static_cast<std::size_t>(machine.nodeCount())),
-          coprocFreeAt(static_cast<std::size_t>(machine.nodeCount()),
-                       0),
-          coprocBusy(static_cast<std::size_t>(machine.nodeCount()),
-                     0),
-          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
-                      0),
-          lastDoneByNode(
-              static_cast<std::size_t>(machine.nodeCount()), 0),
-          tracer(machine.tracer())
+          active(groups), runs(groups.size()),
+          senderQueue(active.count()), procBusy(active.count(), 0),
+          coprocQueue(active.count()), coprocFreeAt(active.count(), 0),
+          coprocBusy(active.count(), 0),
+          fetchFreeAt(active.count(), 0),
+          lastDoneByNode(active.count(), 0), tracer(machine.tracer())
     {
         engineReceive = machine.config().node.deposit.anyPattern;
         if (opts.dmaFeed) {
@@ -84,8 +85,7 @@ struct Ctx
                         "deposit engine nor a receive co-processor");
         }
         for (std::size_t g = 0; g < groups.size(); ++g)
-            senderQueue[static_cast<std::size_t>(groups[g].src)]
-                .push_back(g);
+            senderQueue[active.slot(groups[g].src)].push_back(g);
     }
 
     void trySend(NodeId node);
@@ -97,7 +97,7 @@ struct Ctx
 void
 Ctx::trySend(NodeId node)
 {
-    auto n = static_cast<std::size_t>(node);
+    std::size_t n = active.slot(node);
     if (procBusy[n])
         return;
     auto &queue = senderQueue[n];
@@ -188,7 +188,7 @@ Ctx::trySend(NodeId node)
                     machine.network().send(std::move(pkt));
                 });
             machine.events().scheduleAfter(elapsed, [this, node]() {
-                procBusy[static_cast<std::size_t>(node)] = false;
+                procBusy[active.slot(node)] = false;
                 trySend(node);
             });
             return;
@@ -227,7 +227,7 @@ Ctx::trySend(NodeId node)
         machine.events().scheduleAfter(
             elapsed, [this, node, pkt = std::move(pkt)]() mutable {
                 machine.network().send(std::move(pkt));
-                procBusy[static_cast<std::size_t>(node)] = false;
+                procBusy[active.slot(node)] = false;
                 trySend(node);
             });
         return;
@@ -237,7 +237,7 @@ Ctx::trySend(NodeId node)
 void
 Ctx::chunkDeposited(std::size_t group_idx, Cycles time)
 {
-    auto src = static_cast<std::size_t>(groups[group_idx].src);
+    std::size_t src = active.slot(groups[group_idx].src);
     lastDoneByNode[src] = std::max(lastDoneByNode[src], time);
     ++runs[group_idx].credits;
     trySend(groups[group_idx].src);
@@ -246,7 +246,7 @@ Ctx::chunkDeposited(std::size_t group_idx, Cycles time)
 void
 Ctx::tryReceive(NodeId node)
 {
-    auto n = static_cast<std::size_t>(node);
+    std::size_t n = active.slot(node);
     if (coprocBusy[n] || coprocQueue[n].empty())
         return;
     Packet pkt = std::move(coprocQueue[n].front());
@@ -283,7 +283,7 @@ Ctx::tryReceive(NodeId node)
             });
     }
     machine.events().schedule(start + elapsed, [this, node]() {
-        coprocBusy[static_cast<std::size_t>(node)] = false;
+        coprocBusy[active.slot(node)] = false;
         tryReceive(node);
     });
 }
@@ -344,8 +344,7 @@ Ctx::deliver(Packet &&pkt, Cycles time)
         const Flow &flow = op.flows[pkt.flow];
         pkt.destBase = (pkt.destBase - flow.dstWalk.base) / 8;
     }
-    coprocQueue[static_cast<std::size_t>(node)].push_back(
-        std::move(pkt));
+    coprocQueue[active.slot(node)].push_back(std::move(pkt));
     tryReceive(node);
 }
 
@@ -360,7 +359,11 @@ ChainedLayer::run(sim::Machine &machine, const CommOp &op)
         [&ctx](Packet &&pkt, Cycles time) {
             ctx.deliver(std::move(pkt), time);
         });
-    for (NodeId node = 0; node < machine.nodeCount(); ++node) {
+    // Kick off the active endpoints only (ascending, like the old
+    // all-nodes loop): trySend() is a no-op for a node with nothing
+    // queued, so skipping idle nodes leaves the event schedule -- and
+    // therefore every downstream byte -- unchanged.
+    for (NodeId node : ctx.active.nodeList()) {
         // The kick-off runs outside any event; tag each node's
         // initial sends with its own partition.
         sim::EventQueue::PartitionScope scope(machine.events(), node);
@@ -369,12 +372,14 @@ ChainedLayer::run(sim::Machine &machine, const CommOp &op)
     machine.events().run();
 
     // Settle write queues, then pay the end-of-step synchronization
-    // (barrier + cache invalidation after background deposits).
+    // (barrier + cache invalidation after background deposits). Only
+    // the operation's endpoints touched memory, so only they can owe
+    // a drain (an idle node's fence is zero).
     Cycles makespan = 0;
     for (Cycles done : ctx.lastDoneByNode)
         makespan = std::max(makespan, done);
     Cycles extra = 0;
-    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+    for (NodeId node : ctx.active.nodeList())
         extra = std::max(extra,
                          machine.node(node).memory().fence(makespan));
     makespan += extra + opts.stepSyncCycles;

@@ -14,7 +14,7 @@ Checkpoint::begin(const std::string &name, int rounds)
     opName = name;
     totalRounds = rounds;
     done.assign(static_cast<std::size_t>(rounds), false);
-    owners.clear();
+    owners = OwnerMap{};
 }
 
 int
@@ -66,16 +66,15 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
 
     OwnerMap owners = OwnerMap::fromMachine(machine);
     if (ckpt.owners.empty())
-        ckpt.owners = OwnerMap::identity(machine.nodeCount()).owner;
+        ckpt.owners = OwnerMap::identity(machine.nodeCount());
 
     // Repair pass: ownership moved since the recorded rounds ran, so
     // their flows to affected receivers sit in RAM that is now dead
     // (or in a spill buffer whose host died). Sources are untouched
     // by delivery -- re-send exactly those flows into the new owner's
     // spill buffer before resuming the pending rounds.
-    if (owners.owner != ckpt.owners) {
-        OwnerMap before;
-        before.owner = ckpt.owners;
+    if (owners != ckpt.owners) {
+        const OwnerMap &before = ckpt.owners;
         for (int round = 0; round < ckpt.totalRounds; ++round) {
             if (!ckpt.done[static_cast<std::size_t>(round)])
                 continue;
@@ -85,7 +84,7 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                 continue;
             layer.run(machine, op);
             OwnerMap after = OwnerMap::fromMachine(machine);
-            if (after.owner != owners.owner) {
+            if (after != owners) {
                 // Another death mid-repair: the checkpoint still
                 // records the old map, so the next call restarts the
                 // (idempotent) repair against the newest owners.
@@ -111,7 +110,7 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
                            static_cast<std::uint64_t>(round));
         }
         if (!result.interrupted)
-            ckpt.owners = owners.owner;
+            ckpt.owners = owners;
     }
 
     for (int round = 0;
@@ -128,7 +127,7 @@ runCheckpointed(sim::Machine &machine, MessageLayer &layer,
         layer.run(machine, op);
 
         OwnerMap after = OwnerMap::fromMachine(machine);
-        if (after.owner != owners.owner) {
+        if (after != owners) {
             // A node died during this round: some of its flows can
             // not have delivered. Leave the round unrecorded; the
             // resume call re-plans it under the new ownership.

@@ -43,7 +43,7 @@ struct Checkpoint
     std::vector<bool> done;
     /** Ownership map the recorded rounds delivered under (empty
      *  until the driver first runs; maintained by the driver). */
-    std::vector<NodeId> owners;
+    OwnerMap owners;
 
     /**
      * Bind the checkpoint to an operation. A checkpoint already

@@ -1,5 +1,7 @@
 #include "collectives.h"
 
+#include <map>
+
 #include "util/logging.h"
 
 namespace ct::rt {
@@ -196,14 +198,16 @@ broadcast(sim::Machine &machine, MessageLayer &layer,
             live.push_back(node);
     int ranks = static_cast<int>(live.size());
 
-    // One broadcast buffer per node; the tree forwards through them.
-    std::vector<Addr> buffer;
-    for (NodeId node = 0; node < p; ++node)
-        buffer.push_back(machine.node(node).ram().alloc(words * 8));
+    // One broadcast buffer per *live* node; the tree forwards through
+    // them. Dead nodes never join the tree, so materializing their
+    // buffers would be pure capacity-proportional waste (each node
+    // has its own allocator, so skipping them shifts no addresses).
+    std::map<NodeId, Addr> buffer;
+    for (NodeId node : live)
+        buffer.emplace(node, machine.node(node).ram().alloc(words * 8));
     for (std::uint64_t w = 0; w < words; ++w)
-        machine.node(root).ram().writeWord(
-            buffer[static_cast<std::size_t>(root)] + w * 8,
-            0xB0000 + w);
+        machine.node(root).ram().writeWord(buffer.at(root) + w * 8,
+                                           0xB0000 + w);
 
     // Binomial tree over live ranks: in round r, ranks < 2^r forward
     // to rank + 2^r.
@@ -226,10 +230,8 @@ broadcast(sim::Machine &machine, MessageLayer &layer,
             flow.src = src;
             flow.dst = dst;
             flow.words = words;
-            flow.srcWalk = sim::contiguousWalk(
-                buffer[static_cast<std::size_t>(src)]);
-            flow.dstWalk = sim::contiguousWalk(
-                buffer[static_cast<std::size_t>(dst)]);
+            flow.srcWalk = sim::contiguousWalk(buffer.at(src));
+            flow.dstWalk = sim::contiguousWalk(buffer.at(dst));
             flow.dstWalkOnSender = flow.dstWalk;
             op.flows.push_back(flow);
         }
@@ -247,8 +249,7 @@ broadcast(sim::Machine &machine, MessageLayer &layer,
             continue;
         for (std::uint64_t w = 0; w < words; w += 17)
             if (machine.node(node).ram().readWord(
-                    buffer[static_cast<std::size_t>(node)] + w * 8) !=
-                0xB0000 + w)
+                    buffer.at(node) + w * 8) != 0xB0000 + w)
                 util::fatal("broadcast: node ", node,
                             " missing data at word ", w);
     }

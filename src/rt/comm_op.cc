@@ -1,5 +1,6 @@
 #include "comm_op.h"
 
+#include <algorithm>
 #include <map>
 
 #include "util/logging.h"
@@ -9,10 +10,9 @@ namespace ct::rt {
 OwnerMap
 OwnerMap::identity(int nodes)
 {
+    // Self-ownership is the map's default; nothing to materialize.
     OwnerMap map;
-    map.owner.resize(static_cast<std::size_t>(nodes));
-    for (int n = 0; n < nodes; ++n)
-        map.owner[static_cast<std::size_t>(n)] = n;
+    map.nodes = nodes;
     return map;
 }
 
@@ -23,28 +23,21 @@ OwnerMap::fromMachine(sim::Machine &machine)
     sim::Cycles now = machine.events().now();
     int nodes = machine.nodeCount();
     OwnerMap map;
-    map.owner.resize(static_cast<std::size_t>(nodes));
+    map.nodes = nodes;
+    if (!topo.anyOutages())
+        return map; // everyone alive: the identity map
     for (int n = 0; n < nodes; ++n) {
         NodeId candidate = n;
         int probed = 0;
-        while (topo.anyOutages() &&
-               !topo.nodeAlive(candidate, now)) {
+        while (!topo.nodeAlive(candidate, now)) {
             candidate = (candidate + 1) % nodes;
             if (++probed > nodes)
                 util::fatal("OwnerMap: no live node left");
         }
-        map.owner[static_cast<std::size_t>(n)] = candidate;
+        if (candidate != n)
+            map.moved[n] = candidate;
     }
     return map;
-}
-
-int
-OwnerMap::lostNodes() const
-{
-    int lost = 0;
-    for (std::size_t n = 0; n < owner.size(); ++n)
-        lost += owner[n] != static_cast<NodeId>(n);
-    return lost;
 }
 
 Bytes
@@ -124,6 +117,30 @@ groupFlows(const CommOp &op)
         group.prefix.push_back(group.prefix.back() + flow.words);
     }
     return groups;
+}
+
+ActiveSet::ActiveSet(const std::vector<FlowGroup> &groups)
+{
+    ids.reserve(groups.size() * 2);
+    for (const FlowGroup &group : groups) {
+        ids.push_back(group.src);
+        ids.push_back(group.dst);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    slots.reserve(ids.size());
+    for (std::size_t s = 0; s < ids.size(); ++s)
+        slots.emplace(ids[s], s);
+}
+
+std::size_t
+ActiveSet::slot(NodeId node) const
+{
+    auto it = slots.find(node);
+    if (it == slots.end())
+        util::fatal("ActiveSet: node ", node,
+                    " is not part of this operation");
+    return it->second;
 }
 
 namespace {

@@ -10,7 +10,9 @@
 #ifndef CT_RT_COMM_OP_H
 #define CT_RT_COMM_OP_H
 
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/machine.h"
@@ -70,8 +72,16 @@ struct CommOp
  */
 struct OwnerMap
 {
-    /** owner[n]: the live node owning n's blocks (n itself if live). */
-    std::vector<NodeId> owner;
+    /** Node count the map covers (0 until bound to a machine). */
+    int nodes = 0;
+
+    /**
+     * Only the nodes whose ownership moved (dead node -> takeover
+     * node); a node absent from this map owns itself. Storing just
+     * the exceptions keeps the map O(lost nodes), not O(capacity) --
+     * the healthy identity map for an 8192-node machine is empty.
+     */
+    std::map<NodeId, NodeId> moved;
 
     /** Every node owns itself (the healthy mapping). */
     static OwnerMap identity(int nodes);
@@ -85,13 +95,27 @@ struct OwnerMap
 
     NodeId of(NodeId n) const
     {
-        return owner[static_cast<std::size_t>(n)];
+        auto it = moved.find(n);
+        return it == moved.end() ? n : it->second;
     }
 
     bool alive(NodeId n) const { return of(n) == n; }
 
     /** Number of nodes whose ownership moved. */
-    int lostNodes() const;
+    int lostNodes() const { return static_cast<int>(moved.size()); }
+
+    /** True until bound to a machine (no node count yet). */
+    bool empty() const { return nodes == 0; }
+
+    bool operator==(const OwnerMap &other) const
+    {
+        return nodes == other.nodes && moved == other.moved;
+    }
+
+    bool operator!=(const OwnerMap &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**
@@ -124,6 +148,35 @@ struct FlowGroup
  * this recovers the per-partner message streams.
  */
 std::vector<FlowGroup> groupFlows(const CommOp &op);
+
+/**
+ * The nodes a communication operation actually touches, each mapped
+ * to a dense slot so layers can size per-node state O(active
+ * endpoints) instead of O(machine capacity). Built once when a run
+ * starts and immutable afterwards, so parallel event windows may read
+ * it concurrently without synchronization.
+ */
+class ActiveSet
+{
+  public:
+    ActiveSet() = default;
+
+    /** All distinct sources and destinations of @p groups. */
+    explicit ActiveSet(const std::vector<FlowGroup> &groups);
+
+    /** Active node count (== slot count). */
+    std::size_t count() const { return ids.size(); }
+
+    /** The active nodes, ascending. */
+    const std::vector<NodeId> &nodeList() const { return ids; }
+
+    /** Dense slot of @p node; fatal when the node is not active. */
+    std::size_t slot(NodeId node) const;
+
+  private:
+    std::vector<NodeId> ids; ///< ascending
+    std::unordered_map<NodeId, std::size_t> slots;
+};
 
 /**
  * Seed every flow's source elements with deterministic values

@@ -27,6 +27,10 @@ struct Ctx
     const PackingOptions &opts;
 
     std::vector<FlowGroup> groups;
+    /** The operation's endpoints, slot-mapped; all per-node state
+     *  below is indexed by active slot (O(active endpoints), not
+     *  O(machine capacity)). Immutable after construction. */
+    ActiveSet active;
 
     struct GroupRun
     {
@@ -61,15 +65,10 @@ struct Ctx
 
     Ctx(Machine &machine, const CommOp &op, const PackingOptions &opts)
         : machine(machine), op(op), opts(opts),
-          groups(groupFlows(op)), runs(groups.size()),
-          senderQueue(static_cast<std::size_t>(machine.nodeCount())),
-          unpackQueue(static_cast<std::size_t>(machine.nodeCount())),
-          procBusy(static_cast<std::size_t>(machine.nodeCount()), 0),
-          fetchFreeAt(static_cast<std::size_t>(machine.nodeCount()),
-                      0),
-          lastDoneByNode(
-              static_cast<std::size_t>(machine.nodeCount()), 0),
-          tracer(machine.tracer())
+          groups(groupFlows(op)), active(groups), runs(groups.size()),
+          senderQueue(active.count()), unpackQueue(active.count()),
+          procBusy(active.count(), 0), fetchFreeAt(active.count(), 0),
+          lastDoneByNode(active.count(), 0), tracer(machine.tracer())
     {
         Bytes ring = static_cast<Bytes>(layerCredits) * chunkBytes;
         for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -83,8 +82,7 @@ struct Ctx
                 run.sysRecvBuf =
                     machine.node(group.dst).ram().alloc(ring);
             }
-            senderQueue[static_cast<std::size_t>(group.src)]
-                .push_back(g);
+            senderQueue[active.slot(group.src)].push_back(g);
         }
     }
 
@@ -127,7 +125,7 @@ struct Ctx
 void
 Ctx::tryProc(NodeId node)
 {
-    auto n = static_cast<std::size_t>(node);
+    std::size_t n = active.slot(node);
     if (procBusy[n])
         return;
 
@@ -165,7 +163,7 @@ void
 Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
                std::uint64_t count)
 {
-    auto n = static_cast<std::size_t>(node);
+    std::size_t n = active.slot(node);
     const FlowGroup &group = groups[group_idx];
     GroupRun &run = runs[group_idx];
     procBusy[n] = true;
@@ -237,7 +235,7 @@ Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
                 machine.network().send(std::move(pkt));
             });
         machine.events().scheduleAfter(elapsed, [this, node]() {
-            procBusy[static_cast<std::size_t>(node)] = false;
+            procBusy[active.slot(node)] = false;
             tryProc(node);
         });
         return;
@@ -254,7 +252,7 @@ Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
     machine.events().scheduleAfter(
         elapsed, [this, node, pkt = std::move(pkt)]() mutable {
             machine.network().send(std::move(pkt));
-            procBusy[static_cast<std::size_t>(node)] = false;
+            procBusy[active.slot(node)] = false;
             tryProc(node);
         });
 }
@@ -262,7 +260,7 @@ Ctx::runGather(NodeId node, std::size_t group_idx, std::uint64_t first,
 void
 Ctx::runUnpack(NodeId node, const UnpackTask &task)
 {
-    auto n = static_cast<std::size_t>(node);
+    std::size_t n = active.slot(node);
     const FlowGroup &group = groups[task.group];
     GroupRun &run = runs[task.group];
     procBusy[n] = true;
@@ -309,7 +307,7 @@ Ctx::runUnpack(NodeId node, const UnpackTask &task)
     // which touches no receiver state, so the serial timeline is
     // unchanged by the split.
     machine.events().scheduleAfter(elapsed, [this, node]() {
-        auto idx = static_cast<std::size_t>(node);
+        std::size_t idx = active.slot(node);
         procBusy[idx] = false;
         lastDoneByNode[idx] =
             std::max(lastDoneByNode[idx], machine.events().now());
@@ -345,7 +343,7 @@ Ctx::deliver(Packet &&pkt, Cycles time)
                      done - dep_start, "words", count);
     machine.events().schedule(
         done, [this, node, group_idx, first, count]() {
-            unpackQueue[static_cast<std::size_t>(node)].push_back(
+            unpackQueue[active.slot(node)].push_back(
                 {group_idx, first, count});
             tryProc(node);
         });
@@ -362,7 +360,10 @@ PackingLayer::run(sim::Machine &machine, const CommOp &op)
         [&ctx](Packet &&pkt, Cycles time) {
             ctx.deliver(std::move(pkt), time);
         });
-    for (NodeId node = 0; node < machine.nodeCount(); ++node) {
+    // Kick off the active endpoints only (ascending, like the old
+    // all-nodes loop): tryProc() is a no-op for a node with nothing
+    // queued, so the event schedule is unchanged.
+    for (NodeId node : ctx.active.nodeList()) {
         // The kick-off runs outside any event; tag each node's
         // initial sends with its own partition.
         sim::EventQueue::PartitionScope scope(machine.events(), node);
@@ -374,7 +375,7 @@ PackingLayer::run(sim::Machine &machine, const CommOp &op)
     for (Cycles done : ctx.lastDoneByNode)
         makespan = std::max(makespan, done);
     Cycles extra = 0;
-    for (NodeId node = 0; node < machine.nodeCount(); ++node)
+    for (NodeId node : ctx.active.nodeList())
         extra = std::max(extra,
                          machine.node(node).memory().fence(makespan));
     makespan += extra + opts.stepSyncCycles;

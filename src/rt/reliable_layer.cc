@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -78,14 +79,19 @@ struct Transport
     ReliableStats &stats;
     obs::Tracer *tracer;
     Metrics m;
-    std::vector<Channel> channels;
+    /**
+     * Channel state keyed on the (src,dst) pairs that have actually
+     * carried traffic. A dense nodeCount()² table would be 16.7M
+     * Channel structs at 4096 nodes (and its index arithmetic
+     * silently overflowed std::size_t first); the active set is
+     * bounded by the traffic pattern, not the machine capacity.
+     */
+    std::unordered_map<std::uint64_t, Channel> channels;
 
     Transport(Machine &machine, const ReliableOptions &opts,
               ReliableStats &stats)
         : machine(machine), opts(opts), stats(stats),
-          tracer(machine.tracer()),
-          channels(static_cast<std::size_t>(machine.nodeCount()) *
-                   static_cast<std::size_t>(machine.nodeCount()))
+          tracer(machine.tracer())
     {
         obs::MetricsRegistry &reg = machine.metrics();
         m.dataPackets = reg.counter("rt.reliable.data_packets");
@@ -141,15 +147,25 @@ struct Transport
         stats.routeSuspects = m.routeSuspects.value();
         stats.rttSumCycles = m.rttSumCycles.value();
         stats.rttSamples = m.rttSamples.value();
+        stats.activeChannels = channels.size();
     }
 
+    /** Overflow-proof (src,dst) key: two 32-bit halves, no N² index
+     *  arithmetic that could wrap at large node counts. */
+    static std::uint64_t
+    channelKey(NodeId src, NodeId dst)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(src))
+                << 32) |
+               static_cast<std::uint32_t>(dst);
+    }
+
+    /** Channel state, materialized on first touch. */
     Channel &
     channel(NodeId src, NodeId dst)
     {
-        return channels[static_cast<std::size_t>(src) *
-                            static_cast<std::size_t>(
-                                machine.nodeCount()) +
-                        static_cast<std::size_t>(dst)];
+        return channels[channelKey(src, dst)];
     }
 
     /** Disarm every retransmit timer of @p c's pending packets. */
@@ -164,10 +180,9 @@ struct Transport
     void
     reset()
     {
-        for (Channel &c : channels) {
+        for (auto &[key, c] : channels)
             cancelPending(c);
-            c = Channel{};
-        }
+        channels.clear();
     }
 
     Cycles

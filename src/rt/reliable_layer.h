@@ -86,6 +86,10 @@ struct ReliableStats
      *  loaded path's round-trip time. */
     Cycles rttSumCycles = 0;
     std::uint64_t rttSamples = 0;
+    /** Directed (src,dst) channels that actually carried traffic.
+     *  Channel state materializes on first touch, so this is the
+     *  transport's footprint: O(active pairs), never nodeCount()². */
+    std::uint64_t activeChannels = 0;
     /** Channels on which delivery was given up (deduplicated).
      *  Dead-endpoint drops are expected losses and not listed. */
     std::vector<std::pair<sim::NodeId, sim::NodeId>>

@@ -146,9 +146,18 @@ ResilienceController::observe(const RoundObservation &obs)
     auto rateCur = analytic.faultedRate(current, env);
     auto rateAlt = analytic.faultedRate(alternate, env);
 
+    // When *no* demand is routable the congestion floor of 1.0 is
+    // not a measurement -- comparing styles against that fictional
+    // uncongested network could flip the style on garbage. Hold the
+    // style and let the transport/checkpoint signals (which are real)
+    // drive the round.
+    bool allUnroutable =
+        obs.routedDemands == 0 && obs.unroutableDemands > 0;
+
     // Style break-even: flip when the alternate's predicted rate
     // under the measured environment clears the hysteresis band.
-    if (opts.adaptStyle && cooldown == 0 && rateCur && rateAlt &&
+    if (opts.adaptStyle && !allUnroutable && cooldown == 0 &&
+        rateCur && rateAlt &&
         *rateAlt > *rateCur * (1.0 + opts.hysteresis)) {
         PolicyDecision d = baseDecision(obs);
         d.action = PolicyAction::SwitchStyle;
@@ -387,6 +396,9 @@ runAdaptiveExchange(sim::Machine &machine, const CommOp &op,
     Cycles start = machine.events().now();
     obs::Tracer *tracer = machine.tracer();
     std::vector<sim::TrafficDemand> demands = op.demands();
+    // One scratch arena for the per-round congestion analysis: the
+    // load map and route buffers are reused across every round.
+    sim::CongestionScratch congestionScratch;
 
     for (int r = 0; r < rounds; ++r) {
         CommOp sub;
@@ -435,8 +447,12 @@ runAdaptiveExchange(sim::Machine &machine, const CommOp &op,
         obs.rttSumCycles = st.rttSumCycles;
         obs.rttSamples = st.rttSamples;
         obs.reroutedLinks = machine.network().stats().reroutedLinks;
-        obs.congestion = machine.topology().congestionOf(
-            demands, machine.events().now());
+        sim::CongestionReport congestion =
+            machine.topology().analyzeCongestion(
+                demands, machine.events().now(), congestionScratch);
+        obs.congestion = congestion.factor;
+        obs.routedDemands = congestion.routed;
+        obs.unroutableDemands = congestion.unroutable;
         obs.roundWords = subWords;
         obs.roundMakespan = machine.events().now() - roundStart;
 

@@ -122,6 +122,13 @@ struct RoundObservation
     std::uint64_t reroutedLinks = 0;
     /** Congestion of the op's demands under the current outages. */
     double congestion = 1.0;
+    /** Routability split of the op's demands under the current
+     *  outages. congestion == 1.0 with routedDemands == 0 means
+     *  *nothing* is routable -- previously indistinguishable from a
+     *  perfectly balanced network, which made the controller compare
+     *  styles against an absurdly optimistic environment. */
+    int routedDemands = 0;
+    int unroutableDemands = 0;
     /** Payload words this round moved (checkpoint-cost proxy). */
     std::uint64_t roundWords = 0;
     Cycles roundMakespan = 0;

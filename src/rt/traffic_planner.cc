@@ -13,8 +13,16 @@ planForTraffic(sim::Machine &machine, const CommOp &op)
         util::fatal("planForTraffic: empty operation");
 
     TrafficPlan plan;
-    plan.congestion =
-        machine.topology().congestionOf(op.demands());
+    sim::CongestionReport report =
+        machine.topology().analyzeCongestion(op.demands());
+    plan.congestion = report.factor;
+    plan.routedDemands = report.routed;
+    plan.unroutableDemands = report.unroutable;
+    if (plan.allUnroutable())
+        util::warn("planForTraffic: '", op.name, "': all ",
+                   plan.unroutableDemands,
+                   " demands are unroutable on this topology; the "
+                   "congestion floor of 1 is not a balance claim");
 
     const Flow *largest = nullptr;
     for (const auto &flow : op.flows)
@@ -41,6 +49,14 @@ formatTrafficPlan(const sim::Machine &machine, const CommOp &op,
        << machine.nodeCount() << " nodes): " << op.flows.size()
        << " flows, " << op.totalBytes() / 1024 << " KB total\n";
     os << "  analyzed congestion: " << plan.congestion << "\n";
+    if (plan.allUnroutable())
+        os << "  WARNING: all " << plan.unroutableDemands
+           << " demands unroutable (no live path); plan assumes the "
+              "fabric heals\n";
+    else if (plan.unroutableDemands > 0)
+        os << "  unroutable demands: " << plan.unroutableDemands
+           << " of "
+           << plan.routedDemands + plan.unroutableDemands << "\n";
     core::PlanQuery query{machine.config().id, plan.read, plan.write,
                           plan.congestion};
     os << core::formatPlan(query, plan.strategies);

@@ -23,11 +23,22 @@ struct TrafficPlan
 {
     /** Congestion of the op's traffic pattern on this topology. */
     double congestion = 1.0;
+    /** Demands that found a live route / that found none. A
+     *  congestion of 1.0 with routedDemands == 0 means the pattern
+     *  is entirely unroutable, not that the network is balanced. */
+    int routedDemands = 0;
+    int unroutableDemands = 0;
     /** Dominant access patterns of the op's flows. */
     core::AccessPattern read;
     core::AccessPattern write;
     /** Ranked strategies at that congestion. */
     std::vector<core::PlannedStrategy> strategies;
+
+    /** True when there was traffic but none of it is routable. */
+    bool allUnroutable() const
+    {
+        return routedDemands == 0 && unroutableDemands > 0;
+    }
 };
 
 /**

@@ -140,4 +140,16 @@ pairExchange(sim::Machine &machine, AccessPattern x, AccessPattern y,
     return op;
 }
 
+std::vector<sim::TrafficDemand>
+pairExchangeDemands(int nodes, Bytes bytes_per_demand)
+{
+    std::vector<sim::TrafficDemand> demands;
+    demands.reserve(static_cast<std::size_t>(nodes));
+    for (NodeId node = 0; node + 1 < nodes; node += 2) {
+        demands.push_back({node, node + 1, bytes_per_demand});
+        demands.push_back({node + 1, node, bytes_per_demand});
+    }
+    return demands;
+}
+
 } // namespace ct::rt

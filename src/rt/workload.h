@@ -69,6 +69,17 @@ CommOp pairExchange(sim::Machine &machine, core::AccessPattern x,
                     core::AccessPattern y, std::uint64_t words,
                     std::uint64_t seed = 42);
 
+/**
+ * The traffic demands pairExchange() would generate on a
+ * @p nodes-node machine, without building the machine: one demand in
+ * each direction per pair, @p bytes_per_demand each. This is the
+ * large-N analysis path -- a Topology plus this list answers the
+ * congestion question for thousands of nodes in microseconds, with no
+ * node state behind it.
+ */
+std::vector<sim::TrafficDemand>
+pairExchangeDemands(int nodes, Bytes bytes_per_demand);
+
 } // namespace ct::rt
 
 #endif // CT_RT_WORKLOAD_H

@@ -259,4 +259,41 @@ configFor(core::MachineId id)
     util::panic("configFor: bad machine id");
 }
 
+bool
+validScaleNodes(int nodes)
+{
+    return nodes >= 8 && nodes <= 8192 &&
+           (nodes & (nodes - 1)) == 0;
+}
+
+std::vector<int>
+dimsForNodes(core::MachineId id, int nodes)
+{
+    if (!validScaleNodes(nodes))
+        util::fatal("dimsForNodes: node count ", nodes,
+                    " must be a power of two in [8, 8192]");
+    int log2 = 0;
+    while ((1 << (log2 + 1)) <= nodes)
+        ++log2;
+    // Split the exponent as evenly as possible across the machine's
+    // dimensionality, larger radices first, so the partition stays
+    // near-cubic (T3D) / near-square (Paragon) as it grows.
+    int rank = id == core::MachineId::T3d ? 3 : 2;
+    std::vector<int> dims;
+    for (int remaining = rank; remaining > 0; --remaining) {
+        int exp = (log2 + remaining - 1) / remaining;
+        dims.push_back(1 << exp);
+        log2 -= exp;
+    }
+    return dims;
+}
+
+MachineConfig
+configFor(core::MachineId id, int nodes)
+{
+    MachineConfig cfg = configFor(id);
+    cfg.topology.dims = dimsForNodes(id, nodes);
+    return cfg;
+}
+
 } // namespace ct::sim

@@ -165,6 +165,23 @@ MachineConfig paragonConfig(std::vector<int> dims = {4, 2});
 /** Build the configuration for a machine id with default dims. */
 MachineConfig configFor(core::MachineId id);
 
+/**
+ * True when @p nodes is a machine size the scaled configurations
+ * support: a power of two in [8, 8192].
+ */
+bool validScaleNodes(int nodes);
+
+/**
+ * Near-balanced power-of-two dims for a @p nodes-node partition of
+ * machine @p id: three dimensions for the T3D's torus (largest radix
+ * first), two for the Paragon's mesh. fatal()s unless
+ * validScaleNodes(nodes).
+ */
+std::vector<int> dimsForNodes(core::MachineId id, int nodes);
+
+/** configFor() with the topology scaled to @p nodes nodes. */
+MachineConfig configFor(core::MachineId id, int nodes);
+
 } // namespace ct::sim
 
 #endif // CT_SIM_MACHINE_H

@@ -88,12 +88,21 @@ Topology::stepLink(std::vector<int> &coords, std::size_t dim,
 std::vector<LinkId>
 Topology::route(NodeId src, NodeId dst) const
 {
+    std::vector<LinkId> links;
+    route(src, dst, links);
+    return links;
+}
+
+void
+Topology::route(NodeId src, NodeId dst,
+                std::vector<LinkId> &links) const
+{
+    links.clear();
     if (src < 0 || src >= numNodes || dst < 0 || dst >= numNodes)
         util::fatal("Topology::route: bad endpoint");
     if (src == dst)
-        return {};
+        return;
 
-    std::vector<LinkId> links;
     links.push_back(injectionLink(src));
 
     auto cur = coords(src);
@@ -112,7 +121,6 @@ Topology::route(NodeId src, NodeId dst) const
         }
     }
     links.push_back(ejectionLink(dst));
-    return links;
 }
 
 int
@@ -307,11 +315,23 @@ Topology::bfsRoute(NodeId src, NodeId dst, Cycles now) const
 RouteInfo
 Topology::healthyRoute(NodeId src, NodeId dst, Cycles now) const
 {
+    RouteInfo info;
+    healthyRoute(src, dst, now, info);
+    return info;
+}
+
+void
+Topology::healthyRoute(NodeId src, NodeId dst, Cycles now,
+                       RouteInfo &info) const
+{
+    info.links.clear();
+    info.avoided.clear();
+    info.ok = true;
+    info.rerouted = false;
     if (src < 0 || src >= numNodes || dst < 0 || dst >= numNodes)
         util::fatal("Topology::healthyRoute: bad endpoint");
-    RouteInfo info;
     if (src == dst)
-        return info;
+        return;
 
     if (!linkAlive(injectionLink(src), now) ||
         !linkAlive(ejectionLink(dst), now)) {
@@ -320,12 +340,13 @@ Topology::healthyRoute(NodeId src, NodeId dst, Cycles now) const
         else
             info.avoided.push_back(ejectionLink(dst));
         info.ok = false;
-        return info;
+        return;
     }
     info.links.push_back(injectionLink(src));
 
     auto cur = coords(src);
     auto goal = coords(dst);
+    std::vector<LinkId> segment; // reused across dimensions/attempts
     for (std::size_t d = 0; d < cfg.dims.size(); ++d) {
         int radix = cfg.dims[d];
         if (cur[d] == goal[d])
@@ -343,7 +364,7 @@ Topology::healthyRoute(NodeId src, NodeId dst, Cycles now) const
             bool positive = attempt == 0 ? preferPositive
                                          : !preferPositive;
             auto probe = cur;
-            std::vector<LinkId> segment;
+            segment.clear();
             bool alive = true;
             while (probe[d] != goal[d]) {
                 LinkId link = stepLink(probe, d, positive);
@@ -371,49 +392,78 @@ Topology::healthyRoute(NodeId src, NodeId dst, Cycles now) const
             if (rest.empty()) {
                 info.ok = false;
                 info.links.clear();
-                return info;
+                return;
             }
             info.rerouted = true;
             info.links.insert(info.links.end(), rest.begin(),
                               rest.end());
             info.links.push_back(ejectionLink(dst));
-            return info;
+            return;
         }
     }
     info.links.push_back(ejectionLink(dst));
-    return info;
+}
+
+CongestionReport
+Topology::analyzeCongestion(const std::vector<TrafficDemand> &demands,
+                            Cycles now,
+                            CongestionScratch &scratch) const
+{
+    // Per-link loads accumulate into a hash map keyed by the links the
+    // routed demands actually touch, so the footprint is proportional
+    // to the traffic pattern, never to linkCount(). Each link's load
+    // is the sum of the same demand bytes in the same demand order as
+    // the old dense vector produced, and the peak is a max (order
+    // independent), so the factor is bit-identical to the dense
+    // analysis.
+    auto &load = scratch.load;
+    load.clear();
+    double total = 0.0;
+    CongestionReport report;
+    for (const auto &demand : demands) {
+        if (demand.bytes == 0 || demand.src == demand.dst)
+            continue;
+        const std::vector<LinkId> *links = nullptr;
+        if (outagesRegistered) {
+            healthyRoute(demand.src, demand.dst, now, scratch.healthy);
+            if (!scratch.healthy.ok) {
+                ++report.unroutable; // carries no load
+                continue;
+            }
+            links = &scratch.healthy.links;
+        } else {
+            route(demand.src, demand.dst, scratch.route);
+            links = &scratch.route;
+        }
+        ++report.routed;
+        total += static_cast<double>(demand.bytes);
+        for (LinkId link : *links)
+            load[link] += static_cast<double>(demand.bytes);
+    }
+    report.touchedLinks = static_cast<int>(load.size());
+    if (report.routed == 0)
+        return report; // factor stays at the 1.0 floor
+    double mean = total / static_cast<double>(report.routed);
+    double peak = 0.0;
+    for (const auto &[link, bytes] : load)
+        peak = std::max(peak, bytes);
+    report.factor = std::max(1.0, peak / mean);
+    return report;
+}
+
+CongestionReport
+Topology::analyzeCongestion(const std::vector<TrafficDemand> &demands,
+                            Cycles now) const
+{
+    CongestionScratch scratch;
+    return analyzeCongestion(demands, now, scratch);
 }
 
 double
 Topology::congestionOf(const std::vector<TrafficDemand> &demands,
                        Cycles now) const
 {
-    std::vector<double> load(static_cast<std::size_t>(numLinks), 0.0);
-    double total = 0.0;
-    std::size_t active = 0;
-    for (const auto &demand : demands) {
-        if (demand.bytes == 0 || demand.src == demand.dst)
-            continue;
-        std::vector<LinkId> links;
-        if (outagesRegistered) {
-            auto info = healthyRoute(demand.src, demand.dst, now);
-            if (!info.ok)
-                continue; // unroutable demand carries no load
-            links = std::move(info.links);
-        } else {
-            links = route(demand.src, demand.dst);
-        }
-        ++active;
-        total += static_cast<double>(demand.bytes);
-        for (LinkId link : links)
-            load[static_cast<std::size_t>(link)] +=
-                static_cast<double>(demand.bytes);
-    }
-    if (active == 0)
-        return 1.0;
-    double mean = total / static_cast<double>(active);
-    double peak = *std::max_element(load.begin(), load.end());
-    return std::max(1.0, peak / mean);
+    return analyzeCongestion(demands, now).factor;
 }
 
 } // namespace ct::sim

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/packet.h"
@@ -87,6 +88,41 @@ struct RouteInfo
     std::vector<LinkId> avoided;
 };
 
+/**
+ * Result of a static link-load analysis. Besides the §4.3 congestion
+ * factor it reports how many demands actually found a live route, so
+ * callers can tell "perfectly balanced" (factor 1.0, demands routed)
+ * from "nothing is routable at all" (factor 1.0, routed == 0) --
+ * previously indistinguishable.
+ */
+struct CongestionReport
+{
+    /** Max link load over mean per-demand bytes, clamped >= 1. */
+    double factor = 1.0;
+    /** Demands that carried load (non-zero bytes, live route). */
+    int routed = 0;
+    /** Demands skipped because no live route exists. */
+    int unroutable = 0;
+    /** Distinct links touched by the routed demands. */
+    int touchedLinks = 0;
+
+    /** True when there was traffic to route but none got through. */
+    bool allUnroutable() const { return routed == 0 && unroutable > 0; }
+};
+
+/**
+ * Reusable buffers for analyzeCongestion(). Footprint is
+ * O(links touched by the pattern), not O(total links); reusing one
+ * scratch across calls avoids re-allocating the load map and route
+ * buffers per analysis. Not thread-safe: one scratch per caller.
+ */
+struct CongestionScratch
+{
+    std::unordered_map<LinkId, double> load;
+    std::vector<LinkId> route;
+    RouteInfo healthy;
+};
+
 /** Dimension-order-routed topology with link enumeration. */
 class Topology
 {
@@ -114,6 +150,14 @@ class Topology
      * use healthyRoute() for the fault-tolerant path.
      */
     std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+    /**
+     * route() into a caller-owned buffer: @p links is cleared (its
+     * capacity kept) and refilled, so hot loops routing many demands
+     * reuse one allocation instead of churning a vector per call.
+     */
+    void route(NodeId src, NodeId dst,
+               std::vector<LinkId> &links) const;
 
     /** Number of network hops between two nodes. */
     int hopCount(NodeId src, NodeId dst) const;
@@ -167,6 +211,14 @@ class Topology
     RouteInfo healthyRoute(NodeId src, NodeId dst, Cycles now) const;
 
     /**
+     * healthyRoute() into a caller-owned RouteInfo: @p info's vectors
+     * are cleared (capacity kept) and its flags reset, so hot loops
+     * reuse the route buffers instead of churning them per demand.
+     */
+    void healthyRoute(NodeId src, NodeId dst, Cycles now,
+                      RouteInfo &info) const;
+
+    /**
      * Static congestion analysis of a traffic pattern: route every
      * demand, accumulate per-link byte loads, and return the maximum
      * link load divided by the mean per-demand bytes -- i.e. how many
@@ -176,7 +228,26 @@ class Topology
      *
      * Routes are health-aware at time @p now (default: all
      * registered outages applied), so the congestion factor reflects
-     * detoured traffic; unroutable demands are excluded.
+     * detoured traffic; unroutable demands are excluded from the
+     * load (and counted in the report).
+     *
+     * Link loads accumulate sparsely over the links the routed
+     * demands touch -- footprint O(touched links), not O(total
+     * links) -- so the analysis stays cheap at thousands of nodes.
+     */
+    CongestionReport
+    analyzeCongestion(const std::vector<TrafficDemand> &demands,
+                      Cycles now, CongestionScratch &scratch) const;
+
+    /** analyzeCongestion() with a local single-use scratch. */
+    CongestionReport
+    analyzeCongestion(const std::vector<TrafficDemand> &demands,
+                      Cycles now = kNeverDown - 1) const;
+
+    /**
+     * The congestion factor alone. Returns 1.0 when no demand is
+     * routable -- use analyzeCongestion() to tell that apart from a
+     * balanced network.
      */
     double congestionOf(const std::vector<TrafficDemand> &demands,
                         Cycles now = kNeverDown - 1) const;

@@ -6,6 +6,7 @@
 #include "core/analytic_backend.h"
 #include "core/style_registry.h"
 #include "rt/sim_backend.h"
+#include "rt/workload.h"
 #include "sim/machine.h"
 #include "sim/measure.h"
 #include "util/table.h"
@@ -31,6 +32,8 @@ cellId(const CellSpec &spec)
         id += spec.style + "/" + spec.x.label() + "Q" +
               spec.y.label();
     id += "/w" + std::to_string(spec.words);
+    if (spec.nodes != 0)
+        id += "/n" + std::to_string(spec.nodes);
     if (spec.faults.any())
         id += "/" + spec.faults.summary();
     return id;
@@ -98,6 +101,13 @@ Grid::words(std::vector<std::uint64_t> counts)
 }
 
 Grid &
+Grid::nodes(std::vector<int> counts)
+{
+    nodeList = std::move(counts);
+    return *this;
+}
+
+Grid &
 Grid::faults(std::vector<sim::FaultSpec> specs)
 {
     faultList = std::move(specs);
@@ -135,6 +145,9 @@ Grid::cells() const
     std::vector<sim::FaultSpec> fault_specs = faultList;
     if (fault_specs.empty())
         fault_specs = {sim::FaultSpec{}};
+    std::vector<int> node_counts = nodeList;
+    if (node_counts.empty() || kindValue == CellKind::Copy)
+        node_counts = {0}; // default dims; copies have no network
 
     std::vector<CellSpec> out;
     for (core::MachineId machine : machines) {
@@ -146,18 +159,21 @@ Grid::cells() const
                     !core::buildProgram(machine, style, x, y))
                     continue;
                 for (std::uint64_t words : word_counts) {
-                    for (const sim::FaultSpec &faults :
-                         fault_specs) {
-                        CellSpec spec;
-                        spec.kind = kindValue;
-                        spec.machine = machine;
-                        spec.style = style;
-                        spec.x = x;
-                        spec.y = y;
-                        spec.words = words;
-                        spec.faults = faults;
-                        spec.id = cellId(spec);
-                        out.push_back(std::move(spec));
+                    for (int nodes : node_counts) {
+                        for (const sim::FaultSpec &faults :
+                             fault_specs) {
+                            CellSpec spec;
+                            spec.kind = kindValue;
+                            spec.machine = machine;
+                            spec.style = style;
+                            spec.x = x;
+                            spec.y = y;
+                            spec.words = words;
+                            spec.nodes = nodes;
+                            spec.faults = faults;
+                            spec.id = cellId(spec);
+                            out.push_back(std::move(spec));
+                        }
                     }
                 }
             }
@@ -205,6 +221,41 @@ presetGrid(const std::string &name, std::string *error)
             .pairs(std::move(pattern_pairs))
             .words({sim::measureWords});
     }
+    if (name.rfind("nodes:", 0) == 0) {
+        // The scale preset "nodes:LO..HI": chained exchange on both
+        // machines at every power-of-two node count from LO to HI.
+        // Cells past kScaleSimNodes answer from the analytic model
+        // alone, so the top of the range costs microseconds.
+        std::string range = name.substr(6);
+        std::size_t dots = range.find("..");
+        std::string lo_text = dots == std::string::npos
+                                  ? range
+                                  : range.substr(0, dots);
+        std::string hi_text = dots == std::string::npos
+                                  ? range
+                                  : range.substr(dots + 2);
+        char *end = nullptr;
+        long lo = std::strtol(lo_text.c_str(), &end, 10);
+        bool lo_ok = !lo_text.empty() && *end == '\0';
+        long hi = std::strtol(hi_text.c_str(), &end, 10);
+        bool hi_ok = !hi_text.empty() && *end == '\0';
+        if (!lo_ok || !hi_ok || lo > hi ||
+            !sim::validScaleNodes(static_cast<int>(lo)) ||
+            !sim::validScaleNodes(static_cast<int>(hi))) {
+            if (error)
+                *error = "bad scale range '" + range +
+                         "' (expected LO..HI, powers of two in "
+                         "[8, 8192])";
+            return std::nullopt;
+        }
+        std::vector<int> counts;
+        for (long n = lo; n <= hi; n *= 2)
+            counts.push_back(static_cast<int>(n));
+        return Grid()
+            .styles({"chained"})
+            .words({1024})
+            .nodes(std::move(counts));
+    }
     if (name == "faultsweep") {
         // Chained vs buffer packing as the wire degrades: the
         // representative stride/fault grid of the perf headline.
@@ -240,7 +291,7 @@ Grid::parse(const std::string &spec, std::string *error)
         return presetGrid(spec, error);
 
     Grid grid;
-    bool seen[7] = {};
+    bool seen[8] = {};
     enum
     {
         kKind,
@@ -249,6 +300,7 @@ Grid::parse(const std::string &spec, std::string *error)
         kX,
         kY,
         kWords,
+        kNodes,
         kFaults
     };
     auto fail = [&](const std::string &message) {
@@ -279,6 +331,8 @@ Grid::parse(const std::string &spec, std::string *error)
             index = kY;
         else if (key == "words")
             index = kWords;
+        else if (key == "nodes")
+            index = kNodes;
         else if (key == "faults")
             index = kFaults;
         else
@@ -342,6 +396,18 @@ Grid::parse(const std::string &spec, std::string *error)
                 counts.push_back(v);
             }
             grid.words(std::move(counts));
+        } else if (index == kNodes) {
+            std::vector<int> counts;
+            for (const std::string &n : splitList(value, ',')) {
+                char *end = nullptr;
+                long v = std::strtol(n.c_str(), &end, 10);
+                if (n.empty() || *end != '\0' ||
+                    !sim::validScaleNodes(static_cast<int>(v)))
+                    return fail("bad node count '" + n +
+                                "' (powers of two in [8, 8192])");
+                counts.push_back(static_cast<int>(v));
+            }
+            grid.nodes(std::move(counts));
         } else { // kFaults
             std::vector<sim::FaultSpec> fault_specs;
             for (const std::string &f : splitList(value, '|')) {
@@ -360,6 +426,9 @@ Grid::parse(const std::string &spec, std::string *error)
             grid.faults(std::move(fault_specs));
         }
     }
+    if (seen[kNodes] && grid.kindValue == CellKind::Copy)
+        return fail("grid key 'nodes' applies to exchange cells "
+                    "only (copies have no network)");
     return grid;
 }
 
@@ -369,7 +438,9 @@ runCell(const CellSpec &spec)
     CellResult result;
     result.id = spec.id;
 
-    sim::MachineConfig cfg = sim::configFor(spec.machine);
+    sim::MachineConfig cfg =
+        spec.nodes != 0 ? sim::configFor(spec.machine, spec.nodes)
+                        : sim::configFor(spec.machine);
     cfg.faults = spec.faults;
 
     if (spec.kind == CellKind::Copy) {
@@ -383,12 +454,31 @@ runCell(const CellSpec &spec)
     if (!program)
         return result; // filtered at expansion; defensive only
 
+    // Scale cells derive the congestion of the exchange pattern from
+    // the scaled topology alone: a Topology plus the demand list is
+    // the whole footprint, so an 8192-node analysis allocates O(links
+    // touched), never a machine. Default-dims cells keep the paper's
+    // default congestion, byte-for-byte as before.
+    double congestion =
+        core::paperCaps(spec.machine).defaultCongestion;
+    if (spec.nodes != 0) {
+        sim::Topology topo(cfg.topology);
+        sim::CongestionReport report = topo.analyzeCongestion(
+            rt::pairExchangeDemands(spec.nodes, spec.words * 8));
+        congestion = report.factor;
+        result.congestion = report.factor;
+    }
+
     core::AnalyticBackend analytic(core::paperTable(spec.machine),
                                    rt::executionProfileFor(cfg));
     if (auto model = analytic.predictThroughputAt(
-            *program, spec.words * 8,
-            core::paperCaps(spec.machine).defaultCongestion))
+            *program, spec.words * 8, congestion))
         result.modelMBps = *model;
+
+    // Past the sim cap the cell is analytic-only: the model answers
+    // the large-N question; sampled smaller cells cross-validate it.
+    if (spec.nodes > kScaleSimNodes)
+        return result;
 
     // Faulted wires need the reliable transport to deliver at all;
     // clean cells run the raw program like the paper's measurements.
@@ -418,7 +508,10 @@ formatResults(const std::vector<CellResult> &results)
 {
     util::TextTable table({"cell", "sim MB/s", "model MB/s"});
     for (const CellResult &r : results)
-        table.addRow({r.id, util::TextTable::num(r.simMBps, 2),
+        table.addRow({r.id,
+                      r.simMBps > 0.0
+                          ? util::TextTable::num(r.simMBps, 2)
+                          : "-", // analytic-only scale cell
                       r.modelMBps > 0.0
                           ? util::TextTable::num(r.modelMBps, 2)
                           : "-"});
@@ -439,7 +532,8 @@ resultsJson(const std::vector<CellResult> &results)
            << "\", \"sim_mbps\": " << r.simMBps
            << ", \"model_mbps\": " << r.modelMBps
            << ", \"makespan_cycles\": " << r.makespanCycles
-           << ", \"corrupt_words\": " << r.corruptWords << "}"
+           << ", \"corrupt_words\": " << r.corruptWords
+           << ", \"congestion\": " << r.congestion << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

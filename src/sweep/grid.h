@@ -53,20 +53,36 @@ struct CellSpec
     std::string style;
     core::AccessPattern x, y;
     std::uint64_t words = 1 << 14;
+    /**
+     * Machine size for scale cells: 0 runs the machine's default
+     * dims; a power of two in [8, 8192] rebuilds the topology at
+     * that node count (sim::dimsForNodes). Exchange cells only.
+     * Cells above kScaleSimNodes answer from the analytic backend
+     * alone (simMBps stays 0) so an 8192-node cell costs
+     * microseconds, not a machine.
+     */
+    int nodes = 0;
     sim::FaultSpec faults;
-    /** Canonical id, e.g. "t3d/chained/1Q16/w16384[/drop=...]". */
+    /** Canonical id, e.g. "t3d/chained/1Q16/w16384[/nN][/drop=...]". */
     std::string id;
 };
+
+/** Largest scale cell that still cross-validates through the sim. */
+inline constexpr int kScaleSimNodes = 256;
 
 /** One cell's merged outcome (plain values only). */
 struct CellResult
 {
     std::string id;
+    /** 0 for Copy cells and analytic-only scale cells. */
     double simMBps = 0.0;
     /** Analytic-model rate; 0 for Copy cells (no model column). */
     double modelMBps = 0.0;
     std::uint64_t makespanCycles = 0;
     std::uint64_t corruptWords = 0;
+    /** Analyzed congestion of the cell's pair-exchange pattern on
+     *  the scaled topology; 0 for non-scale cells. */
+    double congestion = 0.0;
 };
 
 /**
@@ -88,6 +104,8 @@ class Grid
         std::vector<std::pair<core::AccessPattern,
                               core::AccessPattern>> pattern_pairs);
     Grid &words(std::vector<std::uint64_t> counts);
+    /** Machine sizes (CellSpec::nodes); exchange cells only. */
+    Grid &nodes(std::vector<int> counts);
     Grid &faults(std::vector<sim::FaultSpec> specs);
 
     /**
@@ -99,13 +117,16 @@ class Grid
 
     /**
      * Parse a grid spec. Two forms:
-     *  - a preset name: "fig4" (the stride sweep over local copies)
-     *    or "faultsweep" (chained vs packing under rising drop
-     *    rates);
+     *  - a preset name: "fig4" (the stride sweep over local copies),
+     *    "faultsweep" (chained vs packing under rising drop rates)
+     *    or "nodes:LO..HI" (the scale sweep: chained exchange on
+     *    both machines at every power-of-two node count from LO to
+     *    HI, 8 <= LO <= HI <= 8192);
      *  - a dimension list "key=v[,v...];key=..." with keys kind
      *    (exchange|copy), machine (t3d,paragon), style (registry
      *    keys or "all"), x / y (pattern labels: 1, 16, w, ...),
-     *    words (element counts) and faults (FaultSpec strings
+     *    words (element counts), nodes (power-of-two machine sizes,
+     *    exchange cells only) and faults (FaultSpec strings
      *    separated by '|'; "none" = fault-free).
      * Unknown keys, duplicate keys, empty or malformed values are an
      * error with the offending token named in @p error.
@@ -121,6 +142,7 @@ class Grid
     std::vector<std::pair<core::AccessPattern, core::AccessPattern>>
         pairList; ///< overrides xList x yList when non-empty
     std::vector<std::uint64_t> wordList;
+    std::vector<int> nodeList; ///< empty = default dims only
     std::vector<sim::FaultSpec> faultList; ///< empty = one clean run
 };
 

@@ -58,7 +58,7 @@ TEST(OwnerMap, IdentityWhenHealthy)
 {
     sim::Machine m(sim::t3dConfig({2, 2, 2}));
     auto owners = OwnerMap::fromMachine(m);
-    EXPECT_EQ(owners.owner, OwnerMap::identity(8).owner);
+    EXPECT_EQ(owners, OwnerMap::identity(8));
     EXPECT_EQ(owners.lostNodes(), 0);
     for (NodeId n = 0; n < 8; ++n)
         EXPECT_TRUE(owners.alive(n));

@@ -118,4 +118,55 @@ TEST(FlowGroups, EmptyFlowsSkipped)
     EXPECT_TRUE(groupFlows(op).empty());
 }
 
+TEST(OwnerMap, HealthyIdentityStoresNoEntries)
+{
+    // The healthy 8192-node map is O(lost nodes) == empty, not an
+    // 8192-entry table (DESIGN.md §16).
+    OwnerMap map = OwnerMap::identity(8192);
+    EXPECT_EQ(map.nodes, 8192);
+    EXPECT_EQ(map.lostNodes(), 0);
+    EXPECT_TRUE(map.moved.empty());
+    EXPECT_EQ(map.of(0), 0);
+    EXPECT_EQ(map.of(8191), 8191);
+    EXPECT_TRUE(map.alive(4096));
+    EXPECT_FALSE(map.empty());
+    EXPECT_TRUE(OwnerMap().empty()); // unbound: no node count yet
+}
+
+TEST(OwnerMap, FromMachineStoresOnlyMovedNodes)
+{
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    EXPECT_EQ(OwnerMap::fromMachine(m), OwnerMap::identity(8));
+    m.topology().downNode(3, 0);
+    OwnerMap map = OwnerMap::fromMachine(m);
+    EXPECT_EQ(map.lostNodes(), 1);
+    EXPECT_EQ(map.of(3), 4); // next live node takes over
+    EXPECT_FALSE(map.alive(3));
+    EXPECT_EQ(map.of(2), 2);
+    EXPECT_NE(map, OwnerMap::identity(8));
+}
+
+TEST(ActiveSet, MapsOnlyTouchedNodesToDenseSlots)
+{
+    // Three nodes of a 64-node machine touch the op; the layers size
+    // per-node state by these slots, not by nodeCount().
+    sim::Machine m(sim::t3dConfig({4, 4, 4}));
+    util::Rng rng(3);
+    CommOp op;
+    op.flows.push_back(makeFlow(m, 60, 2, P::contiguous(),
+                                P::contiguous(), 8, rng));
+    op.flows.push_back(makeFlow(m, 2, 60, P::contiguous(),
+                                P::contiguous(), 8, rng));
+    op.flows.push_back(makeFlow(m, 9, 2, P::contiguous(),
+                                P::contiguous(), 8, rng));
+    ActiveSet active(groupFlows(op));
+    EXPECT_EQ(active.count(), 3u);
+    EXPECT_EQ(active.nodeList(), (std::vector<NodeId>{2, 9, 60}));
+    EXPECT_EQ(active.slot(2), 0u);
+    EXPECT_EQ(active.slot(9), 1u);
+    EXPECT_EQ(active.slot(60), 2u);
+    EXPECT_EXIT((void)active.slot(5), testing::ExitedWithCode(1),
+                "not part of this operation");
+}
+
 } // namespace

@@ -287,6 +287,26 @@ TEST(ReliableLayer, RejectsBadOptions)
                 testing::ExitedWithCode(1), "retransmitTimeout");
 }
 
+TEST(ReliableLayer, ChannelsMaterializeOnlyForActivePairs)
+{
+    // Channel state is keyed by the (src, dst) pairs the op touches:
+    // a pair exchange on 8 nodes holds exactly 8 directed channels,
+    // never a nodeCount² matrix (DESIGN.md §16).
+    auto run = runReliable(sim::t3dConfig({2, 2, 2}), "",
+                           P::contiguous(), P::contiguous(), 64);
+    EXPECT_EQ(run.transport.activeChannels, 8u);
+    EXPECT_EQ(run.badWords, 0u);
+
+    // Faults do not inflate the set: retransmissions reuse the
+    // already-open channels.
+    auto lossy = runReliable(sim::t3dConfig({2, 2, 2}),
+                             "drop=0.2,seed=11", P::contiguous(),
+                             P::contiguous(), 512);
+    EXPECT_EQ(lossy.transport.activeChannels, 8u);
+    EXPECT_GT(lossy.transport.retransmits, 0u);
+    EXPECT_EQ(lossy.badWords, 0u);
+}
+
 TEST(RunResult, ZeroMakespanReportsZeroBandwidth)
 {
     sim::Machine m(sim::t3dConfig({2, 1, 1}));

@@ -210,6 +210,42 @@ TEST(ResilienceController, FlipsExactlyWhenAnalyticBreakEvenPredicts)
     }
 }
 
+TEST(ResilienceController, AllUnroutableRoundHoldsTheStyle)
+{
+    // congestion 1.0 with zero routed demands is a dead fabric, not a
+    // balanced one: the break-even comparison against that fictional
+    // uncongested network must not flip the style.
+    auto cfg = sim::t3dConfig({2, 1, 1});
+    ResilienceOptions opts;
+    opts.initialStyle = "buffer-packing";
+    opts.alternateStyle = "chained";
+    opts.adaptTransport = false;
+    opts.adaptCheckpoint = false;
+
+    // Control: the identical round with routable demands flips
+    // (chained dominates buffer packing on the T3D).
+    RoundObservation obs = lossRound(0, 100000, 0);
+    obs.congestion = 1.0;
+    obs.routedDemands = 4;
+    obs.unroutableDemands = 0;
+    ResilienceController routable(cfg, P::strided(4), P::strided(4),
+                                  opts);
+    bool flipped = false;
+    for (const PolicyDecision &d : routable.observe(obs))
+        flipped |= d.action == PolicyAction::SwitchStyle;
+    ASSERT_TRUE(flipped);
+
+    // Same round, but nothing routed: hold.
+    obs.routedDemands = 0;
+    obs.unroutableDemands = 4;
+    ResilienceController dead(cfg, P::strided(4), P::strided(4),
+                              opts);
+    for (const PolicyDecision &d : dead.observe(obs))
+        EXPECT_NE(d.action, PolicyAction::SwitchStyle);
+    EXPECT_EQ(dead.styleKey(), "buffer-packing");
+    EXPECT_EQ(dead.styleSwitches(), 0);
+}
+
 TEST(ResilienceController, NeverOscillatesOnStaticEnvironment)
 {
     auto cfg = sim::t3dConfig({2, 1, 1});

@@ -123,6 +123,37 @@ TEST(TrafficPlanner, FormatNamesTheOperation)
     EXPECT_NE(text.find("T3D"), std::string::npos);
 }
 
+TEST(TrafficPlanner, AllUnroutableIsSurfacedNotSoldAsBalanced)
+{
+    // Kill both injection ports of a 2-node T3D (the nodes share
+    // one): every demand of the exchange loses its only way into the
+    // network. The plan must carry the routed/unroutable split and
+    // the report must warn, instead of presenting the congestion
+    // floor of 1.0 as a balanced fabric.
+    sim::Machine m(sim::t3dConfig({2, 1, 1}));
+    auto op = pairExchange(m, P::contiguous(), P::contiguous(), 256);
+    m.topology().downLink(m.topology().route(0, 1).front(), 0);
+    auto plan = planForTraffic(m, op);
+    EXPECT_TRUE(plan.allUnroutable());
+    EXPECT_EQ(plan.routedDemands, 0);
+    EXPECT_EQ(plan.unroutableDemands, 2);
+    EXPECT_DOUBLE_EQ(plan.congestion, 1.0); // the ambiguous floor
+    auto text = formatTrafficPlan(m, op, plan);
+    EXPECT_NE(text.find("WARNING: all 2 demands unroutable"),
+              std::string::npos);
+
+    // A healthy machine keeps the report warning-free.
+    sim::Machine healthy(sim::t3dConfig({2, 1, 1}));
+    auto healthy_op = pairExchange(healthy, P::contiguous(),
+                                   P::contiguous(), 256);
+    auto healthy_plan = planForTraffic(healthy, healthy_op);
+    EXPECT_FALSE(healthy_plan.allUnroutable());
+    EXPECT_EQ(healthy_plan.routedDemands, 2);
+    auto healthy_text =
+        formatTrafficPlan(healthy, healthy_op, healthy_plan);
+    EXPECT_EQ(healthy_text.find("WARNING"), std::string::npos);
+}
+
 TEST(TrafficPlannerDeath, EmptyOp)
 {
     sim::Machine m(sim::t3dConfig({2, 1, 1}));

@@ -70,6 +70,29 @@ TEST(Workload, PairExchangeCoversAllNodes)
     EXPECT_EQ(senders.size(), 8u);
 }
 
+TEST(Workload, PairExchangeDemandsMatchTheBuiltOperation)
+{
+    // The machine-free demand list (the large-N analysis path) must
+    // be the same traffic pairExchange() builds with a machine
+    // behind it: same pairs, same order, same bytes.
+    sim::Machine m(sim::t3dConfig({2, 2, 2}));
+    auto op = pairExchange(m, P::contiguous(), P::contiguous(), 32);
+    auto built = op.demands();
+    auto analytic = pairExchangeDemands(8, 32 * 8);
+    ASSERT_EQ(analytic.size(), built.size());
+    for (std::size_t i = 0; i < analytic.size(); ++i) {
+        EXPECT_EQ(analytic[i].src, built[i].src) << i;
+        EXPECT_EQ(analytic[i].dst, built[i].dst) << i;
+        EXPECT_EQ(analytic[i].bytes, built[i].bytes) << i;
+    }
+
+    // And it reaches machine sizes no Machine could back cheaply.
+    auto big = pairExchangeDemands(8192, 8);
+    EXPECT_EQ(big.size(), 8192u);
+    EXPECT_EQ(big.back().src, 8191);
+    EXPECT_EQ(big.back().dst, 8190);
+}
+
 TEST(Workload, PairExchangeDeterministicPerSeed)
 {
     sim::Machine m1(sim::t3dConfig({2, 1, 1}));

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/topology.h"
 
 namespace {
@@ -117,6 +119,121 @@ TEST(Topology, EmptyDemandsCongestionOne)
     Topology t({{4}, true, 1});
     EXPECT_DOUBLE_EQ(t.congestionOf({}), 1.0);
     EXPECT_DOUBLE_EQ(t.congestionOf({{2, 2, 100}}), 1.0);
+}
+
+// The dense reference: per-link load array sized linkCount, the
+// implementation analyzeCongestion() replaced with a sparse
+// accumulation. Byte-identical factors are required at every node
+// count, so the active-set rewrite is observability-invisible.
+double
+denseCongestionOf(const Topology &t,
+                  const std::vector<TrafficDemand> &demands)
+{
+    std::vector<double> load(static_cast<std::size_t>(t.linkCount()),
+                             0.0);
+    double total = 0.0;
+    int routed = 0;
+    for (const auto &d : demands) {
+        if (d.bytes == 0 || d.src == d.dst)
+            continue;
+        ++routed;
+        total += static_cast<double>(d.bytes);
+        for (LinkId link : t.route(d.src, d.dst))
+            load[static_cast<std::size_t>(link)] +=
+                static_cast<double>(d.bytes);
+    }
+    if (routed == 0)
+        return 1.0;
+    double mean = total / routed;
+    double peak = 0.0;
+    for (double l : load)
+        peak = std::max(peak, l);
+    return std::max(1.0, peak / mean);
+}
+
+TEST(Topology, SparseCongestionMatchesDenseReference)
+{
+    // 64 nodes, both machine shapes, several patterns: the sparse
+    // link-load accumulation must reproduce the dense array's factor
+    // bit-for-bit (same per-link addition order; max over loads is
+    // order-independent).
+    for (TopologyConfig cfg :
+         {TopologyConfig{{4, 4, 4}, true, 2},
+          TopologyConfig{{8, 8}, false, 1}}) {
+        Topology t(cfg);
+        std::vector<TrafficDemand> pairwise, shift, fan_in;
+        for (int n = 0; n + 1 < 64; n += 2) {
+            pairwise.push_back({n, n + 1, 8192});
+            pairwise.push_back({n + 1, n, 8192});
+        }
+        for (int n = 0; n < 64; ++n)
+            shift.push_back({n, (n + 5) % 64, 1024});
+        for (int n = 1; n < 17; ++n)
+            fan_in.push_back({n, 0, 4096});
+        for (const auto &demands : {pairwise, shift, fan_in}) {
+            CongestionReport report = t.analyzeCongestion(demands);
+            EXPECT_DOUBLE_EQ(report.factor,
+                             denseCongestionOf(t, demands));
+            EXPECT_EQ(report.routed,
+                      static_cast<int>(demands.size()));
+            EXPECT_EQ(report.unroutable, 0);
+            EXPECT_GT(report.touchedLinks, 0);
+            EXPECT_LE(report.touchedLinks, t.linkCount());
+        }
+    }
+}
+
+TEST(Topology, AllUnroutableIsReportedNotDisguisedAsBalanced)
+{
+    Topology t({{8}, true, 1});
+    // Down node 0's injection port: everything it sends is
+    // unroutable.
+    t.downLink(t.route(0, 4).front(), 0);
+    std::vector<TrafficDemand> demands{{0, 4, 1024}, {0, 2, 1024}};
+    CongestionReport report = t.analyzeCongestion(demands);
+    EXPECT_EQ(report.routed, 0);
+    EXPECT_EQ(report.unroutable, 2);
+    EXPECT_TRUE(report.allUnroutable());
+    EXPECT_DOUBLE_EQ(report.factor, 1.0);
+    EXPECT_EQ(report.touchedLinks, 0);
+    // The factor-only wrapper still shows the ambiguous 1.0 -- the
+    // report exists precisely to disambiguate it.
+    EXPECT_DOUBLE_EQ(t.congestionOf(demands), 1.0);
+}
+
+TEST(Topology, RouteBufferReuseMatchesFreshVectors)
+{
+    Topology t({{4, 4, 2}, true, 2});
+    std::vector<LinkId> reused;
+    reused.reserve(64); // any prior capacity must not leak through
+    for (NodeId src = 0; src < t.nodeCount(); src += 3) {
+        for (NodeId dst = 0; dst < t.nodeCount(); dst += 5) {
+            t.route(src, dst, reused);
+            EXPECT_EQ(reused, t.route(src, dst))
+                << src << "->" << dst;
+        }
+    }
+}
+
+TEST(Topology, HealthyRouteBufferReuseResetsFlags)
+{
+    Topology t({{8}, true, 1});
+    // Kill the positive ring link out of node 0 so 0->2 must detour
+    // the long way and marks the info rerouted.
+    auto direct = t.route(0, 2);
+    t.downLink(direct[1], 0); // first network hop
+    RouteInfo info;
+    t.healthyRoute(0, 2, 1, info);
+    EXPECT_TRUE(info.ok);
+    EXPECT_TRUE(info.rerouted);
+    EXPECT_FALSE(info.avoided.empty());
+    // Reusing the same buffer for an untouched pair must clear the
+    // detour state, not inherit it.
+    t.healthyRoute(4, 5, 1, info);
+    EXPECT_TRUE(info.ok);
+    EXPECT_FALSE(info.rerouted);
+    EXPECT_TRUE(info.avoided.empty());
+    EXPECT_EQ(info.links, t.route(4, 5));
 }
 
 TEST(TopologyDeath, BadNode)

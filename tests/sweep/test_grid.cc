@@ -122,6 +122,96 @@ TEST(Grid, MergedResultsAreByteIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(GridParse, NodesKeyExpandsScaledCells)
+{
+    std::string error;
+    auto grid = Grid::parse(
+        "kind=exchange;machine=t3d;style=chained;x=1;y=1;words=1024;"
+        "nodes=64,4096",
+        &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].id, "t3d/chained/1Q1/w1024/n64");
+    EXPECT_EQ(cells[0].nodes, 64);
+    EXPECT_EQ(cells[1].id, "t3d/chained/1Q1/w1024/n4096");
+    EXPECT_EQ(cells[1].nodes, 4096);
+}
+
+TEST(GridParse, NodesKeyRejectsBadCounts)
+{
+    std::string error;
+    EXPECT_FALSE(Grid::parse("kind=exchange;nodes=100", &error));
+    EXPECT_NE(error.find("powers of two"), std::string::npos);
+    EXPECT_FALSE(Grid::parse("kind=exchange;nodes=16384", &error));
+    // Copies have no network: a nodes axis is meaningless there.
+    EXPECT_FALSE(Grid::parse("kind=copy;nodes=64", &error));
+    EXPECT_NE(error.find("exchange cells only"), std::string::npos);
+}
+
+TEST(GridParse, ScalePresetDoublesAcrossTheRange)
+{
+    std::string error;
+    auto grid = Grid::parse("nodes:64..512", &error);
+    ASSERT_TRUE(grid) << error;
+    std::vector<CellSpec> cells = grid->cells();
+    // 64, 128, 256, 512 on both machines, chained 1Q1.
+    ASSERT_EQ(cells.size(), 8u);
+    for (const CellSpec &cell : cells) {
+        EXPECT_EQ(cell.kind, CellKind::Exchange);
+        EXPECT_GE(cell.nodes, 64);
+        EXPECT_LE(cell.nodes, 512);
+    }
+    EXPECT_FALSE(Grid::parse("nodes:64..100", &error));
+    EXPECT_FALSE(Grid::parse("nodes:512..64", &error));
+}
+
+TEST(Grid, ScaledCellAboveSimCapIsAnalyticOnly)
+{
+    // Above kScaleSimNodes the cell answers analytically: congestion
+    // and model rate are filled, the simulator never runs (simMBps
+    // 0), so an 8192-node cell completes in milliseconds.
+    CellSpec spec;
+    spec.kind = CellKind::Exchange;
+    spec.machine = core::MachineId::T3d;
+    spec.style = "chained";
+    spec.x = core::AccessPattern::contiguous();
+    spec.y = core::AccessPattern::contiguous();
+    spec.words = 1024;
+    spec.nodes = 8192;
+    spec.id = "t3d/chained/1Q1/w1024/n8192";
+    CellResult result = sweep::runCell(spec);
+    EXPECT_EQ(result.simMBps, 0.0);
+    EXPECT_GT(result.modelMBps, 0.0);
+    EXPECT_DOUBLE_EQ(result.congestion, 2.0); // shared ports
+
+    // At or below the cap the same cell cross-validates in the sim.
+    spec.nodes = 64;
+    spec.id = "t3d/chained/1Q1/w1024/n64";
+    CellResult small = sweep::runCell(spec);
+    EXPECT_GT(small.simMBps, 0.0);
+    EXPECT_DOUBLE_EQ(small.congestion, 2.0);
+    // The scaled topology keeps the machine's congestion character,
+    // so the analytic answer matches the unscaled model path.
+    EXPECT_DOUBLE_EQ(small.modelMBps, result.modelMBps);
+}
+
+TEST(Grid, ScaledSweepIsByteIdenticalAcrossThreadCounts)
+{
+    std::string error;
+    auto grid = Grid::parse("nodes:64..1024", &error);
+    ASSERT_TRUE(grid) << error;
+    Farm serial(FarmOptions{0, 0});
+    Farm wide(FarmOptions{8, 1});
+    std::string one =
+        sweep::resultsJson(sweep::runGrid(*grid, serial));
+    std::string eight =
+        sweep::resultsJson(sweep::runGrid(*grid, wide));
+    EXPECT_EQ(one, eight);
+    EXPECT_NE(one.find("/n1024"), std::string::npos);
+    EXPECT_NE(one.find("\"congestion\""), std::string::npos);
+}
+
 TEST(Grid, FormatResultsListsEveryCell)
 {
     std::string error;

@@ -4,7 +4,13 @@
  *
  * Usage:
  *   ctplan <machine> <xQy> [bytes]    plan an operation (optionally
- *                                     for a given message size)
+ *                                     for a given message size;
+ *                                     --nodes=N plans at a scaled
+ *                                     machine size, congestion
+ *                                     derived from the scaled
+ *                                     topology -- analytic only, no
+ *                                     machine is built, so N=8192
+ *                                     answers in microseconds)
  *   ctplan <machine> eval <formula>   rate a formula
  *   ctplan <machine> table            print the paper's tables
  *   ctplan <machine> sim-table        measure the tables on the
@@ -21,8 +27,9 @@
  *                                     tolerance
  *   ctplan sweep --grid=SPEC          run a parameter-sweep grid on
  *                                     the work-stealing farm
- *                                     (presets "fig4"/"faultsweep"
- *                                     or "key=v,v;..." dimensions,
+ *                                     (presets "fig4"/"faultsweep"/
+ *                                     "nodes:LO..HI" or
+ *                                     "key=v,v;..." dimensions,
  *                                     see src/sweep/grid.h)
  *   ctplan serve                      crash-calm planning service:
  *                                     answer NDJSON requests from
@@ -126,7 +133,7 @@ usage()
         stderr,
         "usage: ctplan <t3d|paragon> "
         "<xQy | eval <formula> | table | sim <xQy> [words]>\n"
-        "       [--faults=SPEC] [--json]\n"
+        "       [--faults=SPEC] [--json] [--nodes=N]\n"
         "       sim also takes [--chaos=SPEC] [--adaptive] "
         "[--rounds=N] [--trace=FILE]\n"
         "       [--trace-format=chrome|jsonl] [--metrics-out=FILE]\n"
@@ -139,7 +146,9 @@ usage()
         "       [--default-budget=N] [--svc-chaos=SPEC] "
         "[--metrics-out=FILE]\n"
         "  ctplan t3d 1Q64\n"
+        "  ctplan t3d 1Q64 --nodes=4096\n"
         "  ctplan paragon wQw\n"
+        "  ctplan sweep --grid=nodes:64..8192\n"
         "  ctplan t3d eval '1C1 o (1S0 || Nd || 0D1) o 1C64'\n"
         "  ctplan t3d sim 1Q4 8192 --faults=drop=0.01,seed=7\n"
         "  ctplan t3d sim 1Q4 4096 --trace=out.json "
@@ -588,18 +597,56 @@ runServe(const svc::ServiceOptions &opts,
     return kExitOk;
 }
 
+/**
+ * Large-N planning context: the scaled topology and the congestion
+ * analysis of the pair-exchange pattern on it. Built from a Topology
+ * alone -- never a Machine -- so a --nodes=8192 plan allocates a few
+ * link tables and a demand list, nothing per-node beyond them.
+ */
+struct ScaleInfo
+{
+    int nodes = 0;
+    sim::TopologyConfig topology;
+    sim::CongestionReport report;
+};
+
+/** Render "16x16x16" from a dims vector. */
+std::string
+dimsLabel(const std::vector<int> &dims)
+{
+    std::string label;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        if (d)
+            label += 'x';
+        label += std::to_string(dims[d]);
+    }
+    return label;
+}
+
 /** JSON rendering of a planning decision (plan --json). */
 void
 printPlanJson(const core::PlanQuery &query,
               const std::vector<core::PlannedStrategy> &plans,
               util::Bytes bytes,
-              const std::vector<core::SizedPlan> &sized)
+              const std::vector<core::SizedPlan> &sized,
+              const ScaleInfo *scale)
 {
     core::MachineCaps caps = core::paperCaps(query.machine);
     std::printf("{\n");
     std::printf("  \"machine\": \"%s\",\n", caps.name.c_str());
     std::printf("  \"x\": \"%s\",\n", query.read.label().c_str());
     std::printf("  \"y\": \"%s\",\n", query.write.label().c_str());
+    if (scale) {
+        std::printf("  \"nodes\": %d,\n", scale->nodes);
+        std::printf("  \"dims\": \"%s\",\n",
+                    dimsLabel(scale->topology.dims).c_str());
+        std::printf("  \"congestion\": %.3f,\n",
+                    scale->report.factor);
+        std::printf("  \"routed_demands\": %d,\n",
+                    scale->report.routed);
+        std::printf("  \"unroutable_demands\": %d,\n",
+                    scale->report.unroutable);
+    }
     std::printf("  \"plans\": [\n");
     for (std::size_t i = 0; i < plans.size(); ++i) {
         const auto &p = plans[i];
@@ -657,6 +704,8 @@ main(int argc, char **argv)
     bool transport_set = false;
     std::string grid_spec;
     bool grid_set = false;
+    int scale_nodes = 0;
+    bool nodes_set = false;
     // Flags that take a =VALUE; a bare occurrence (or an empty
     // value) gets a dedicated diagnostic instead of the generic
     // unknown-flag one.
@@ -665,7 +714,8 @@ main(int argc, char **argv)
         "--out",            "--trace",     "--trace-format",
         "--metrics-out",    "--workers",   "--queue",
         "--cache",          "--default-budget", "--svc-chaos",
-        "--threads",        "--grid",      "--transport"};
+        "--threads",        "--grid",      "--transport",
+        "--nodes"};
     // Shared helper for the serve subcommand's integer flags.
     auto parse_count = [](const char *text, const char *flag,
                           long min, long max, long &value) {
@@ -804,6 +854,20 @@ main(int argc, char **argv)
                    argv[i][7]) {
             grid_spec = argv[i] + 7;
             grid_set = true;
+        } else if (std::strncmp(argv[i], "--nodes=", 8) == 0 &&
+                   argv[i][8]) {
+            long v;
+            if (!parse_count(argv[i] + 8, "--nodes", 8, 8192, v))
+                return usage();
+            if (!sim::validScaleNodes(static_cast<int>(v))) {
+                std::fprintf(stderr,
+                             "bad --nodes '%s' (expected a power of "
+                             "two in [8, 8192])\n",
+                             argv[i] + 8);
+                return usage();
+            }
+            scale_nodes = static_cast<int>(v);
+            nodes_set = true;
         } else if (std::strncmp(argv[i], "--svc-chaos=", 12) == 0 &&
                    argv[i][12]) {
             std::string error;
@@ -846,7 +910,7 @@ main(int argc, char **argv)
         }
         if (faults_set || chaos_set || adaptive || rounds_set ||
             json || out_set || threads_set || transport_set ||
-            grid_set || !obs_opts.traceFile.empty()) {
+            grid_set || nodes_set || !obs_opts.traceFile.empty()) {
             std::fprintf(
                 stderr,
                 "serve takes only --workers/--queue/--cache/"
@@ -884,6 +948,11 @@ main(int argc, char **argv)
                          "only\n");
             return usage();
         }
+        if (nodes_set) {
+            std::fprintf(stderr, "--nodes applies to the plan (xQy) "
+                                 "subcommand only\n");
+            return usage();
+        }
         if (is_sweep) {
             if (!grid_set) {
                 std::fprintf(stderr,
@@ -918,6 +987,11 @@ main(int argc, char **argv)
     std::string cmd = argv[2];
     bool is_plan = cmd != "table" && cmd != "sim-table" &&
                    cmd != "sim" && cmd != "eval";
+    if (nodes_set && !is_plan) {
+        std::fprintf(stderr, "--nodes applies to the plan (xQy) "
+                             "subcommand only\n");
+        return usage();
+    }
     if (obs_opts.any() && cmd != "sim") {
         std::fprintf(stderr, "--trace/--metrics-out apply to the "
                              "sim subcommand only\n");
@@ -1013,6 +1087,22 @@ main(int argc, char **argv)
         return kExitUsage;
     }
     core::PlanQuery query{machine, *x, *y, 0.0};
+    std::unique_ptr<ScaleInfo> scale;
+    if (nodes_set) {
+        // Large-N planning: rebuild the topology -- just the
+        // topology, never a machine -- at the requested node count
+        // and derive the congestion of the pair-exchange pattern
+        // from static link-load analysis. The demand bytes cancel in
+        // the factor, so one word per demand is enough.
+        scale = std::make_unique<ScaleInfo>();
+        scale->nodes = scale_nodes;
+        scale->topology =
+            sim::configFor(machine, scale_nodes).topology;
+        sim::Topology topo(scale->topology);
+        scale->report = topo.analyzeCongestion(
+            rt::pairExchangeDemands(scale_nodes, 8));
+        query.congestion = scale->report.factor;
+    }
     auto plans = core::plan(query);
 
     util::Bytes bytes = 0;
@@ -1029,10 +1119,19 @@ main(int argc, char **argv)
     }
 
     if (json) {
-        printPlanJson(query, plans, bytes, sized);
+        printPlanJson(query, plans, bytes, sized, scale.get());
         return 0;
     }
 
+    if (scale) {
+        std::printf("at %d nodes (%s %s): congestion %.2f, "
+                    "%d demands routed, %d unroutable\n",
+                    scale->nodes,
+                    dimsLabel(scale->topology.dims).c_str(),
+                    scale->topology.torus ? "torus" : "mesh",
+                    scale->report.factor, scale->report.routed,
+                    scale->report.unroutable);
+    }
     std::printf("%s", core::formatPlan(query, plans).c_str());
     if (!sized.empty()) {
         std::printf("\nat %llu-byte messages (latency-extended "
